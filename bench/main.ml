@@ -1,0 +1,248 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. V) plus the ablations of DESIGN.md §4.
+
+     dune exec bench/main.exe                 # everything, default scales
+     dune exec bench/main.exe -- --list       # experiment catalogue
+     dune exec bench/main.exe -- fig3-T fig4-eps --scale 1 --reps 30
+     dune exec bench/main.exe -- micro        # bechamel micro benches
+
+   Scales shrink workloads density-preservingly (1.0 = the paper's exact
+   cardinalities); shapes are preserved, absolute numbers are not. *)
+
+open Ltc_experiments
+
+let run_figure ~scale ~reps ~seed ~csv ~plot (e : Figures.t) =
+  let scale = Option.value scale ~default:e.Figures.default_scale in
+  Printf.printf "### %s — %s\n" e.Figures.id e.Figures.panels;
+  Printf.printf "    %s\n" e.Figures.description;
+  Printf.printf "    scale=%g reps=%d seed=%d\n\n%!" scale reps seed;
+  let outputs, dt =
+    Ltc_util.Timer.time (fun () -> e.Figures.run ~scale ~reps ~seed)
+  in
+  List.iter
+    (fun o ->
+      Runner.print o;
+      if plot then
+        Option.iter (fun p -> print_newline (); print_string p) (Runner.to_plot o);
+      (match csv with
+      | None -> ()
+      | Some dir ->
+        let path = Runner.write_csv ~dir o in
+        Printf.printf "(csv: %s)\n" path);
+      print_newline ())
+    outputs;
+  Printf.printf "(%s finished in %.1f s)\n\n%!" e.Figures.id dt
+
+(* ------------------------------------------------------- micro benchmarks *)
+
+let micro_tests () =
+  let open Bechamel in
+  let spec =
+    Ltc_workload.Spec.scale_synthetic 0.1 Ltc_workload.Spec.default_synthetic
+  in
+  let instance =
+    Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed:1) spec
+  in
+  let progress =
+    Ltc_core.Progress.create_per_task
+      ~thresholds:(Ltc_core.Instance.thresholds instance)
+  in
+  let tracker = Ltc_util.Mem.Tracker.create () in
+  let worker = instance.Ltc_core.Instance.workers.(17) in
+  let laf_decide = Ltc_algo.Laf.policy instance tracker progress in
+  let aam_decide = Ltc_algo.Aam.policy instance tracker progress in
+  let random_decide =
+    Ltc_algo.Random_assign.policy ~seed:7 instance tracker progress
+  in
+  let mcmf_input () =
+    (* A representative single-batch LTC network: 60 workers x 40 tasks. *)
+    let g = Ltc_flow.Graph.create ~n:102 in
+    let rng = Ltc_util.Rng.create ~seed:3 in
+    for w = 1 to 60 do
+      ignore (Ltc_flow.Graph.add_arc g ~src:0 ~dst:w ~cap:6 ~cost:0.0);
+      for t = 61 to 100 do
+        if Ltc_util.Rng.bernoulli rng 0.2 then
+          ignore
+            (Ltc_flow.Graph.add_arc g ~src:w ~dst:t ~cap:1
+               ~cost:(-.Ltc_util.Rng.float rng 1.0))
+      done
+    done;
+    for t = 61 to 100 do
+      ignore (Ltc_flow.Graph.add_arc g ~src:t ~dst:101 ~cap:4 ~cost:0.0)
+    done;
+    g
+  in
+  [
+    Test.make ~name:"laf-arrival"
+      (Staged.stage (fun () -> ignore (laf_decide worker)));
+    Test.make ~name:"aam-arrival"
+      (Staged.stage (fun () -> ignore (aam_decide worker)));
+    Test.make ~name:"random-arrival"
+      (Staged.stage (fun () -> ignore (random_decide worker)));
+    Test.make ~name:"grid-candidates"
+      (Staged.stage (fun () ->
+           ignore (Ltc_core.Instance.candidates instance worker)));
+    Test.make ~name:"progress-aggregates"
+      (Staged.stage (fun () ->
+           ignore (Ltc_core.Progress.max_remaining progress);
+           ignore (Ltc_core.Progress.sum_remaining progress)));
+    Test.make ~name:"mcmf-batch-60x40"
+      (Staged.stage (fun () ->
+           let g = mcmf_input () in
+           ignore (Ltc_flow.Mcmf.run g ~source:0 ~sink:101)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "### micro — per-arrival decision and substrate costs\n";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()))
+  in
+  let ols witness =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0
+         ~predictors:[| Measure.run |])
+      witness raw
+  in
+  let time_results = ols Instance.monotonic_clock in
+  let alloc_results = ols Instance.minor_allocated in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | None -> nan
+    | Some o -> (
+      match Analyze.OLS.estimates o with
+      | Some [ e ] -> e
+      | Some _ | None -> nan)
+  in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) time_results []
+    |> List.sort compare
+    |> List.map (fun name ->
+           [
+             Ltc_util.Table.Str name;
+             Ltc_util.Table.Float (estimate time_results name /. 1000.0);
+             Ltc_util.Table.Float (estimate alloc_results name);
+           ])
+  in
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "benchmark"; "time (us/run)"; "minor words/run" ]
+    rows;
+  print_newline ()
+
+(* -------------------------------------------------------------------- cli *)
+
+let list_experiments () =
+  let rows =
+    List.map
+      (fun (e : Figures.t) ->
+        [
+          Ltc_util.Table.Str e.Figures.id;
+          Ltc_util.Table.Str e.Figures.panels;
+          Ltc_util.Table.Float e.Figures.default_scale;
+        ])
+      Figures.all
+    @ [
+        [
+          Ltc_util.Table.Str "micro";
+          Ltc_util.Table.Str "per-arrival decision costs (bechamel)";
+          Ltc_util.Table.Float 1.0;
+        ];
+      ]
+  in
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "id"; "panels"; "default scale" ]
+    rows
+
+let main ids scale reps seed full list csv plot verbose =
+  if verbose then Ltc_util.Log.setup ~level:Logs.Debug ()
+  else Ltc_util.Log.setup ();
+  if list then begin
+    list_experiments ();
+    0
+  end
+  else begin
+    let scale = if full then Some 1.0 else scale in
+    let reps = if full && reps = 3 then 30 else reps in
+    let ids = if ids = [] then Figures.ids () @ [ "micro" ] else ids in
+    let unknown =
+      List.filter
+        (fun id -> id <> "micro" && Figures.find id = None)
+        ids
+    in
+    match unknown with
+    | _ :: _ ->
+      Printf.eprintf "unknown experiment(s): %s\nuse --list to enumerate\n"
+        (String.concat ", " unknown);
+      1
+    | [] ->
+      Printf.printf
+        "LTC benchmark harness — reproduction of ICDE'18 \
+         \"Latency-oriented Task Completion via Spatial Crowdsourcing\"\n\n%!";
+      List.iter
+        (fun id ->
+          if id = "micro" then run_micro ()
+          else
+            match Figures.find id with
+            | Some e -> run_figure ~scale ~reps ~seed ~csv ~plot e
+            | None -> assert false)
+        ids;
+      0
+  end
+
+open Cmdliner
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiment ids to run (default: all). See --list.")
+
+let scale_arg =
+  Arg.(value & opt (some float) None
+       & info [ "scale" ] ~docv:"S"
+           ~doc:"Workload scale factor; 1.0 = the paper's cardinalities. \
+                 Defaults to each experiment's laptop-friendly scale.")
+
+let reps_arg =
+  Arg.(value & opt int 3
+       & info [ "reps" ] ~docv:"N"
+           ~doc:"Repetitions per setting (paper: 30).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Base RNG seed.")
+
+let full_arg =
+  Arg.(value & flag
+       & info [ "full" ]
+           ~doc:"Paper-scale run: --scale 1.0 and 30 repetitions. Expect \
+                 hours for fig4-scal.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write every table as a CSV file under $(docv).")
+
+let plot_arg =
+  Arg.(value & flag
+       & info [ "plot" ] ~doc:"Render an ASCII chart under every table.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose"; "v" ] ~doc:"Debug logging (batch solves etc.).")
+
+let cmd =
+  let doc = "regenerate the tables and figures of the LTC paper" in
+  Cmd.v
+    (Cmd.info "ltc-bench" ~doc)
+    Term.(
+      const main $ ids_arg $ scale_arg $ reps_arg $ seed_arg $ full_arg
+      $ list_arg $ csv_arg $ plot_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

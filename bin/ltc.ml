@@ -1,0 +1,537 @@
+(* ltc — command-line interface to the LTC library.
+
+   Subcommands:
+     ltc run      generate a workload and run one or all algorithms
+     ltc sweep    run a registered experiment (same registry as bench/)
+     ltc bounds   print the Theorem-2 latency bounds for a configuration
+     ltc example  replay the paper's running example (Tables I-II)           *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------ run command *)
+
+type workload_kind = Synthetic | New_york | Tokyo
+
+let workload_conv =
+  let parse = function
+    | "synthetic" -> Ok Synthetic
+    | "ny" | "new-york" -> Ok New_york
+    | "tokyo" -> Ok Tokyo
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print fmt = function
+    | Synthetic -> Format.fprintf fmt "synthetic"
+    | New_york -> Format.fprintf fmt "ny"
+    | Tokyo -> Format.fprintf fmt "tokyo"
+  in
+  Arg.conv (parse, print)
+
+let build_instance ~workload ~scale ~tasks ~workers ~capacity ~epsilon ~seed =
+  let rng = Ltc_util.Rng.create ~seed in
+  match workload with
+  | Synthetic ->
+    let spec =
+      {
+        Ltc_workload.Spec.default_synthetic with
+        Ltc_workload.Spec.n_tasks =
+          Option.value tasks
+            ~default:Ltc_workload.Spec.default_synthetic.Ltc_workload.Spec.n_tasks;
+        n_workers =
+          Option.value workers
+            ~default:
+              Ltc_workload.Spec.default_synthetic.Ltc_workload.Spec.n_workers;
+        capacity =
+          Option.value capacity
+            ~default:
+              Ltc_workload.Spec.default_synthetic.Ltc_workload.Spec.capacity;
+        epsilon =
+          Option.value epsilon
+            ~default:
+              Ltc_workload.Spec.default_synthetic.Ltc_workload.Spec.epsilon;
+      }
+    in
+    let spec = Ltc_workload.Spec.scale_synthetic scale spec in
+    Ltc_workload.Synthetic.generate rng spec
+  | New_york | Tokyo ->
+    let base =
+      if workload = New_york then Ltc_workload.Spec.new_york
+      else Ltc_workload.Spec.tokyo
+    in
+    let base =
+      {
+        base with
+        Ltc_workload.Spec.c_n_tasks =
+          Option.value tasks ~default:base.Ltc_workload.Spec.c_n_tasks;
+        c_n_workers =
+          Option.value workers ~default:base.Ltc_workload.Spec.c_n_workers;
+        c_capacity =
+          Option.value capacity ~default:base.Ltc_workload.Spec.c_capacity;
+        c_epsilon =
+          Option.value epsilon ~default:base.Ltc_workload.Spec.c_epsilon;
+      }
+    in
+    Ltc_workload.City.generate rng (Ltc_workload.Spec.scale_city scale base)
+
+let run_cmd_impl workload scale tasks workers capacity epsilon seed algo
+    validate simulate load report save_arrangement screen verbose svg =
+  if verbose then Ltc_util.Log.setup ~level:Logs.Debug ();
+  let instance =
+    match load with
+    | Some path -> Ltc_core.Serialize.load_instance ~path
+    | None ->
+      build_instance ~workload ~scale ~tasks ~workers ~capacity ~epsilon ~seed
+  in
+  Format.printf "%a@.@." Ltc_core.Instance.pp instance;
+  if screen then begin
+    let verdict = Ltc_algo.Feasibility.screen instance in
+    Format.printf "feasibility screen: %a@." Ltc_algo.Feasibility.pp_verdict
+      verdict;
+    (match Ltc_algo.Feasibility.latency_lower_bound instance with
+    | Some low -> Format.printf "flow lower bound on latency: %d workers@.@." low
+    | None -> Format.printf "flow lower bound: instance cannot complete@.@.")
+  end;
+  let algorithms =
+    match algo with
+    | None -> Ltc_algo.Algorithm.all ~seed
+    | Some name -> (
+      match Ltc_algo.Algorithm.find ~seed name with
+      | Some a -> [ a ]
+      | None ->
+        Format.eprintf "unknown algorithm %S (try: Base-off, MCF-LTC, \
+                        Random, LAF, AAM)@." name;
+        exit 1)
+  in
+  List.iter
+    (fun (a : Ltc_algo.Algorithm.t) ->
+      let outcome, dt = Ltc_util.Timer.time (fun () -> a.run instance) in
+      Format.printf "%a  (%.3f s)@." Ltc_algo.Engine.pp_outcome outcome dt;
+      if validate then begin
+        match
+          Ltc_core.Arrangement.validate instance
+            outcome.Ltc_algo.Engine.arrangement
+        with
+        | Ok () -> Format.printf "  constraints: all satisfied@."
+        | Error vs ->
+          Format.printf "  constraint violations (%d):@." (List.length vs);
+          List.iter
+            (Format.printf "    %a@." Ltc_core.Arrangement.pp_violation)
+            (List.filteri (fun i _ -> i < 10) vs)
+      end;
+      if report then
+        Format.printf "  --- report ---@.  @[<v>%a@]@."
+          Ltc_core.Analysis.pp
+          (Ltc_core.Analysis.of_arrangement instance
+             outcome.Ltc_algo.Engine.arrangement);
+      if simulate then begin
+        let report =
+          Ltc_core.Truth_sim.run ~trials:1000
+            (Ltc_util.Rng.create ~seed:(seed + 1))
+            instance outcome.Ltc_algo.Engine.arrangement
+        in
+        Format.printf
+          "  voting simulation: mean error %.4f, max error %.4f (promise <= \
+           %.2f)@."
+          report.Ltc_core.Truth_sim.mean_error
+          report.Ltc_core.Truth_sim.max_error report.Ltc_core.Truth_sim.epsilon
+      end;
+      (match svg with
+      | None -> ()
+      | Some path ->
+        Ltc_core.Svg.save ~path
+          ~arrangement:outcome.Ltc_algo.Engine.arrangement instance;
+        Format.printf "  map rendered to %s@." path);
+      match save_arrangement with
+      | None -> ()
+      | Some path ->
+        Ltc_core.Serialize.save_arrangement ~path
+          outcome.Ltc_algo.Engine.arrangement;
+        Format.printf "  arrangement saved to %s@." path)
+    algorithms;
+  0
+
+let scale_arg =
+  Arg.(value & opt float 0.1
+       & info [ "scale" ] ~docv:"S"
+           ~doc:"Density-preserving workload scale (1.0 = paper size).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let run_cmd =
+  let workload =
+    Arg.(value & opt workload_conv Synthetic
+         & info [ "workload"; "w" ] ~docv:"KIND"
+             ~doc:"Workload: $(b,synthetic), $(b,ny) or $(b,tokyo).")
+  in
+  let tasks =
+    Arg.(value & opt (some int) None
+         & info [ "tasks"; "T" ] ~docv:"N" ~doc:"Task count (pre-scaling).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "W" ] ~docv:"N" ~doc:"Worker count (pre-scaling).")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity"; "K" ] ~docv:"K" ~doc:"Per-worker capacity.")
+  in
+  let epsilon =
+    Arg.(value & opt (some float) None
+         & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Tolerable error rate.")
+  in
+  let algo =
+    Arg.(value & opt (some string) None
+         & info [ "algo"; "a" ] ~docv:"NAME"
+             ~doc:"Run a single algorithm (default: all five).")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ] ~doc:"Check every Definition-6 constraint.")
+  in
+  let simulate =
+    Arg.(value & flag
+         & info [ "simulate" ]
+             ~doc:"Monte-Carlo voting simulation of the result quality.")
+  in
+  let load =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Load the instance from a file written by $(b,ltc \
+                   generate) instead of generating one.")
+  in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Print load / travel / margin statistics per algorithm.")
+  in
+  let save_arrangement =
+    Arg.(value & opt (some string) None
+         & info [ "save-arrangement" ] ~docv:"FILE"
+             ~doc:"Write the (last) algorithm's arrangement to $(docv).")
+  in
+  let screen =
+    Arg.(value & flag
+         & info [ "screen" ]
+             ~doc:"Run the feasibility screen and the flow lower bound \
+                   before any algorithm.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Debug logging to stderr.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE"
+             ~doc:"Render the instance and the (last) algorithm's \
+                   arrangement as an SVG map.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"generate a workload and run LTC algorithms on it")
+    Term.(
+      const run_cmd_impl $ workload $ scale_arg $ tasks $ workers $ capacity
+      $ epsilon $ seed_arg $ algo $ validate $ simulate $ load $ report
+      $ save_arrangement $ screen $ verbose $ svg)
+
+(* ------------------------------------------------------- generate command *)
+
+let generate_cmd =
+  let impl workload scale tasks workers capacity epsilon seed out =
+    let instance =
+      build_instance ~workload ~scale ~tasks ~workers ~capacity ~epsilon ~seed
+    in
+    Ltc_core.Serialize.save_instance ~path:out instance;
+    Format.printf "%a@.saved to %s@." Ltc_core.Instance.pp instance out;
+    0
+  in
+  let workload =
+    Arg.(value & opt workload_conv Synthetic
+         & info [ "workload"; "w" ] ~docv:"KIND"
+             ~doc:"Workload: $(b,synthetic), $(b,ny) or $(b,tokyo).")
+  in
+  let tasks =
+    Arg.(value & opt (some int) None
+         & info [ "tasks"; "T" ] ~docv:"N" ~doc:"Task count (pre-scaling).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "W" ] ~docv:"N" ~doc:"Worker count (pre-scaling).")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity"; "K" ] ~docv:"K" ~doc:"Per-worker capacity.")
+  in
+  let epsilon =
+    Arg.(value & opt (some float) None
+         & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Tolerable error rate.")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output instance file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"generate a workload and save it to a file")
+    Term.(
+      const impl $ workload $ scale_arg $ tasks $ workers $ capacity
+      $ epsilon $ seed_arg $ out)
+
+(* ---------------------------------------------------------- sweep command *)
+
+let sweep_cmd_impl id scale reps seed csv plot =
+  match Ltc_experiments.Figures.find id with
+  | None ->
+    Format.eprintf "unknown experiment %S; available: %s@." id
+      (String.concat ", " (Ltc_experiments.Figures.ids ()));
+    1
+  | Some e ->
+    let scale = Option.value scale ~default:e.Ltc_experiments.Figures.default_scale in
+    Format.printf "%s (%s), scale=%g reps=%d seed=%d@.@."
+      e.Ltc_experiments.Figures.id e.Ltc_experiments.Figures.panels scale reps
+      seed;
+    List.iter
+      (fun o ->
+        Ltc_experiments.Runner.print o;
+        if plot then
+          Option.iter
+            (fun p ->
+              print_newline ();
+              print_string p)
+            (Ltc_experiments.Runner.to_plot o);
+        (match csv with
+        | None -> ()
+        | Some dir ->
+          Format.printf "(csv: %s)@."
+            (Ltc_experiments.Runner.write_csv ~dir o));
+        print_newline ())
+      (e.Ltc_experiments.Figures.run ~scale ~reps ~seed);
+    0
+
+let sweep_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see bench --list).")
+  in
+  let scale =
+    Arg.(value & opt (some float) None
+         & info [ "scale" ] ~docv:"S" ~doc:"Workload scale override.")
+  in
+  let reps =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"N" ~doc:"Repetitions.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also write tables as CSV files.")
+  in
+  let plot =
+    Arg.(value & flag
+         & info [ "plot" ] ~doc:"Render an ASCII chart under every table.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"run one registered experiment")
+    Term.(const sweep_cmd_impl $ id $ scale $ reps $ seed_arg $ csv $ plot)
+
+(* --------------------------------------------------------- bounds command *)
+
+let bounds_cmd_impl n_tasks epsilon capacity =
+  let delta = Ltc_core.Quality.delta ~epsilon in
+  let low = Ltc_algo.Bounds.lower ~n_tasks ~delta ~k:capacity in
+  let high = Ltc_algo.Bounds.upper ~n_tasks ~delta ~k:capacity in
+  Format.printf "|T| = %d, eps = %g, K = %d@." n_tasks epsilon capacity;
+  Format.printf "delta (2 ln 1/eps)          = %.4f@." delta;
+  Format.printf "Theorem-2 lower bound       = %.1f workers@." low;
+  Format.printf "Theorem-2 upper bound       = %.1f workers@." high;
+  Format.printf "McNaughton optimum at r=1   = %d workers@."
+    (Ltc_algo.Bounds.mcnaughton ~n_tasks ~delta ~k:capacity ~r:1.0);
+  Format.printf "McNaughton optimum at r=0.5 = %d workers@."
+    (Ltc_algo.Bounds.mcnaughton ~n_tasks ~delta ~k:capacity ~r:0.5);
+  0
+
+let bounds_cmd =
+  let n_tasks =
+    Arg.(value & opt int 3000 & info [ "tasks"; "T" ] ~docv:"N" ~doc:"Tasks.")
+  in
+  let epsilon =
+    Arg.(value & opt float 0.14
+         & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Error rate.")
+  in
+  let capacity =
+    Arg.(value & opt int 6 & info [ "capacity"; "K" ] ~docv:"K" ~doc:"Capacity.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"print the Theorem-2 latency bounds")
+    Term.(const bounds_cmd_impl $ n_tasks $ epsilon $ capacity)
+
+(* ---------------------------------------------------------- infer command *)
+
+(* Answer files: one observation per line, `worker task Y|N`, '#' comments. *)
+let read_observations path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let observations = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           let line =
+             match String.index_opt line '#' with
+             | None -> line
+             | Some i -> String.sub line 0 i
+           in
+           match
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (( <> ) "")
+           with
+           | [] -> ()
+           | [ worker; task; answer ] ->
+             let answer =
+               match String.uppercase_ascii answer with
+               | "Y" | "YES" | "+1" -> Ltc_core.Task.Yes
+               | "N" | "NO" | "-1" -> Ltc_core.Task.No
+               | other ->
+                 failwith
+                   (Printf.sprintf "line %d: bad answer %S" !line_no other)
+             in
+             observations :=
+               {
+                 Ltc_core.Truth_infer.worker = int_of_string worker;
+                 task = int_of_string task;
+                 answer;
+               }
+               :: !observations
+           | _ -> failwith (Printf.sprintf "line %d: expected 3 fields" !line_no)
+         done
+       with End_of_file -> ());
+      List.rev !observations)
+
+let infer_cmd =
+  let impl path two_coin =
+    let observations = read_observations path in
+    let n_workers =
+      List.fold_left
+        (fun acc o -> max acc o.Ltc_core.Truth_infer.worker)
+        0 observations
+    in
+    let n_tasks =
+      List.fold_left
+        (fun acc o -> max acc (o.Ltc_core.Truth_infer.task + 1))
+        0 observations
+    in
+    Format.printf "%d observations, %d workers, %d tasks@.@."
+      (List.length observations) n_workers n_tasks;
+    if two_coin then begin
+      let r =
+        Ltc_core.Truth_infer.run_two_coin ~n_workers ~n_tasks observations
+      in
+      Format.printf
+        "two-coin EM: %d iterations%s, prevalence %.3f@.@.worker  alpha           beta   p_w@."
+        r.Ltc_core.Truth_infer.tc_iterations
+        (if r.Ltc_core.Truth_infer.tc_converged then "" else " (not converged)")
+        r.Ltc_core.Truth_infer.prevalence;
+      Array.iteri
+        (fun w a ->
+          Format.printf "w%-5d  %.3f  %.3f  %.3f@." (w + 1) a
+            r.Ltc_core.Truth_infer.specificities.(w)
+            r.Ltc_core.Truth_infer.tc_accuracies.(w))
+        r.Ltc_core.Truth_infer.sensitivities
+    end
+    else begin
+      let r = Ltc_core.Truth_infer.run ~n_workers ~n_tasks observations in
+      Format.printf "one-coin EM: %d iterations%s@.@.worker  p_w@."
+        r.Ltc_core.Truth_infer.iterations
+        (if r.Ltc_core.Truth_infer.converged then "" else " (not converged)");
+      Array.iteri
+        (fun w p -> Format.printf "w%-5d  %.3f@." (w + 1) p)
+        r.Ltc_core.Truth_infer.accuracies
+    end;
+    0
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ANSWERS"
+             ~doc:"Answer file: one `worker task Y|N` triple per line.")
+  in
+  let two_coin =
+    Arg.(value & flag
+         & info [ "two-coin" ]
+             ~doc:"Full Dawid-Skene (separate sensitivity/specificity).")
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"estimate worker accuracies from raw answers (truth inference)")
+    Term.(const impl $ path $ two_coin)
+
+(* -------------------------------------------------------- example command *)
+
+let example_cmd =
+  let impl () =
+    (* The example binary contains the full walkthrough; point there. *)
+    Format.printf
+      "The paper's running example lives in examples/facebook_editor.ml:@.@.  \
+       dune exec examples/facebook_editor.exe@.@.Quick summary on this \
+       build:@.";
+    let fixture scoring epsilon =
+      let table1 =
+        [|
+          [| 0.96; 0.98; 0.98; 0.98; 0.96; 0.96; 0.94; 0.94 |];
+          [| 0.98; 0.96; 0.96; 0.98; 0.94; 0.96; 0.96; 0.94 |];
+          [| 0.96; 0.96; 0.96; 0.98; 0.94; 0.94; 0.96; 0.96 |];
+        |]
+      in
+      let tasks =
+        Array.init 3 (fun id ->
+            Ltc_core.Task.make ~id
+              ~loc:(Ltc_geo.Point.make ~x:(float_of_int id) ~y:0.0)
+              ())
+      in
+      let workers =
+        Array.init 8 (fun i ->
+            Ltc_core.Worker.make ~index:(i + 1)
+              ~loc:(Ltc_geo.Point.make ~x:(float_of_int i) ~y:1.0)
+              ~accuracy:table1.(0).(i) ~capacity:2)
+      in
+      Ltc_core.Instance.create
+        ~accuracy:
+          (Ltc_core.Accuracy.Custom
+             {
+               name = "table1";
+               f = (fun w t -> table1.(t.Ltc_core.Task.id).(w.Ltc_core.Worker.index - 1));
+             })
+        ~scoring ~tasks ~workers ~epsilon ()
+    in
+    let i = fixture Ltc_core.Quality.Hoeffding 0.2 in
+    List.iter
+      (fun (a : Ltc_algo.Algorithm.t) ->
+        let o = a.run i in
+        Format.printf "  %-8s latency = %d@." a.name o.Ltc_algo.Engine.latency)
+      (Ltc_algo.Algorithm.all ~seed:1);
+    0
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"replay the paper's running example")
+    Term.(const impl $ const ())
+
+let main =
+  let doc = "latency-oriented task completion via spatial crowdsourcing" in
+  Cmd.group
+    (Cmd.info "ltc" ~doc ~version:"1.0.0")
+    [ run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd ]
+
+(* Turn expected failures (missing files, corrupt inputs, bad parameters)
+   into clean error messages instead of backtraces. *)
+let () =
+  match Cmd.eval' ~catch:false main with
+  | code -> exit code
+  | exception Sys_error message ->
+    Format.eprintf "ltc: %s@." message;
+    exit 2
+  | exception Ltc_core.Serialize.Parse_error { line; message } ->
+    Format.eprintf "ltc: parse error at line %d: %s@." line message;
+    exit 2
+  | exception Invalid_argument message ->
+    Format.eprintf "ltc: invalid argument: %s@." message;
+    exit 2
+  | exception Failure message ->
+    Format.eprintf "ltc: %s@." message;
+    exit 2

@@ -1,0 +1,79 @@
+(* Quickstart: the smallest end-to-end use of the library.
+
+   Build an instance (tasks + arriving workers), run an online algorithm,
+   inspect the arrangement, and check the quality guarantee by Monte-Carlo
+   simulation.
+
+     dune exec examples/quickstart.exe *)
+
+open Ltc_core
+
+let point = Ltc_geo.Point.make
+
+let () =
+  (* Three POI questions in a small neighbourhood. *)
+  let tasks =
+    [|
+      Task.make ~id:0 ~loc:(point ~x:10.0 ~y:10.0) ();
+      Task.make ~id:1 ~loc:(point ~x:25.0 ~y:12.0) ();
+      Task.make ~id:2 ~loc:(point ~x:18.0 ~y:30.0) ();
+    |]
+  in
+  (* Fifty workers check in around the neighbourhood, in arrival order;
+     each answers at most 2 questions per check-in. *)
+  let rng = Ltc_util.Rng.create ~seed:2024 in
+  let accuracy_dist = Ltc_util.Distribution.accuracy_normal ~mu:0.86 in
+  let workers =
+    Array.init 50 (fun i ->
+        Worker.make ~index:(i + 1)
+          ~loc:
+            (point
+               ~x:(Ltc_util.Rng.float rng 40.0)
+               ~y:(Ltc_util.Rng.float rng 40.0))
+          ~accuracy:(Ltc_util.Distribution.sample rng accuracy_dist)
+          ~capacity:2)
+  in
+  (* Tolerable error rate 10%: every task must accumulate
+     Acc* >= delta = 2 ln(1/0.1) ~ 4.6 before it counts as completed. *)
+  let instance = Instance.create ~tasks ~workers ~epsilon:0.1 () in
+  Format.printf "Instance: %a@." Instance.pp instance;
+  Format.printf "Completion threshold (delta): %.3f@.@." (Instance.threshold instance);
+
+  (* Run the paper's best online algorithm. *)
+  let outcome = Ltc_algo.Aam.run instance in
+  Format.printf "%a@.@." Ltc_algo.Engine.pp_outcome outcome;
+
+  (* Who does what? *)
+  List.iter
+    (fun (a : Arrangement.assignment) ->
+      let w = workers.(a.worker - 1) in
+      Format.printf "  worker %2d (p=%.2f) -> task %d  (Acc* %.3f)@." a.worker
+        w.Worker.accuracy a.task
+        (Instance.score instance w a.task))
+    (Arrangement.to_list outcome.Ltc_algo.Engine.arrangement);
+
+  (* The arrangement satisfies every constraint of the problem. *)
+  (match Arrangement.validate instance outcome.Ltc_algo.Engine.arrangement with
+  | Ok () -> Format.printf "@.Arrangement validates: all constraints hold.@."
+  | Error vs ->
+    Format.printf "@.Violations:@.";
+    List.iter (Format.printf "  %a@." Arrangement.pp_violation) vs);
+
+  (* And the Hoeffding guarantee holds empirically. *)
+  let report =
+    Truth_sim.run ~trials:5000
+      (Ltc_util.Rng.create ~seed:7)
+      instance outcome.Ltc_algo.Engine.arrangement
+  in
+  Format.printf
+    "@.Monte-Carlo voting check (%d trials): mean error %.4f, max error \
+     %.4f, promised <= %.2f@."
+    report.Truth_sim.trials report.Truth_sim.mean_error
+    report.Truth_sim.max_error report.Truth_sim.epsilon;
+
+  (* Finally, draw the run: tasks (green = completed), check-ins, and who
+     answered what. *)
+  let svg_path = Filename.temp_file "ltc_quickstart" ".svg" in
+  Svg.save ~path:svg_path ~arrangement:outcome.Ltc_algo.Engine.arrangement
+    instance;
+  Format.printf "@.Map of the run written to %s@." svg_path

@@ -1,0 +1,19 @@
+(** Average And Max — Algorithm 3 (online, competitive ratio 7.738).
+
+    A hybrid greedy inspired by McNaughton's rule.  Per arrival it compares
+
+    - [avg = (sum over unfinished t of (delta - S[t])) / K], the average
+      number of workers still needed, with
+    - [maxRemain = max over unfinished t of (delta - S[t])], the demand of
+      the hardest task,
+
+    and ranks candidates by Largest Gain First
+    ([min(Acc*(w,t), delta - S[t])]) while [avg >= maxRemain], switching to
+    Largest Remaining First ([delta - S[t]]) once some difficult task becomes
+    the bottleneck.  Reproduces the paper's Example 4 trace (latency 7). *)
+
+val name : string
+
+val policy : Engine.policy
+
+val run : Ltc_core.Instance.t -> Engine.outcome

@@ -1,0 +1,30 @@
+type kind = Offline | Online
+
+type t = {
+  name : string;
+  kind : kind;
+  run : Ltc_core.Instance.t -> Engine.outcome;
+}
+
+let base_off = { name = Base_off.name; kind = Offline; run = Base_off.run }
+
+let mcf_ltc =
+  { name = Mcf_ltc.name; kind = Offline; run = (fun i -> Mcf_ltc.run i) }
+
+let random ~seed =
+  { name = Random_assign.name; kind = Online; run = Random_assign.run ~seed }
+
+let laf = { name = Laf.name; kind = Online; run = Laf.run }
+let aam = { name = Aam.name; kind = Online; run = Aam.run }
+
+let all ~seed = [ base_off; mcf_ltc; random ~seed; laf; aam ]
+
+let find ~seed name =
+  let target = String.lowercase_ascii name in
+  List.find_opt
+    (fun t -> String.lowercase_ascii t.name = target)
+    (all ~seed)
+
+let pp_kind fmt = function
+  | Offline -> Format.fprintf fmt "offline"
+  | Online -> Format.fprintf fmt "online"

@@ -1,0 +1,27 @@
+(** Registry of the five algorithms compared in the paper's evaluation.
+
+    The list order matches the legends of Figs. 3-4: Base-off, MCF-LTC,
+    Random, LAF, AAM. *)
+
+type kind = Offline | Online
+
+type t = {
+  name : string;
+  kind : kind;
+  run : Ltc_core.Instance.t -> Engine.outcome;
+}
+
+val base_off : t
+val mcf_ltc : t
+val random : seed:int -> t
+val laf : t
+val aam : t
+
+val all : seed:int -> t list
+(** All five, in the paper's plot order.  [seed] feeds the Random
+    baseline. *)
+
+val find : seed:int -> string -> t option
+(** Case-insensitive lookup by name. *)
+
+val pp_kind : Format.formatter -> kind -> unit

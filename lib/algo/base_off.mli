@@ -1,0 +1,12 @@
+(** Base-off — the paper's offline baseline (Sec. V-A).
+
+    "tasks with fewer workers nearby (from the remaining workers) are
+    greedily assigned to the new worker when s/he arrives": the baseline
+    walks the arrival sequence like an online algorithm but consults the
+    future — each arriving worker receives the [K] unfinished candidate
+    tasks with the {e fewest} not-yet-arrived nearby workers, i.e. the tasks
+    whose supply of helpers is about to dry up. *)
+
+val name : string
+
+val run : Ltc_core.Instance.t -> Engine.outcome

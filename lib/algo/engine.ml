@@ -1,0 +1,126 @@
+open Ltc_core
+
+type outcome = {
+  name : string;
+  arrangement : Arrangement.t;
+  completed : bool;
+  latency : int;
+  workers_consumed : int;
+  peak_memory_mb : float;
+}
+
+type policy =
+  Instance.t -> Ltc_util.Mem.Tracker.t -> Progress.t -> Worker.t -> int list
+
+exception Invalid_decision of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
+
+let check_decisions instance (w : Worker.t) tasks =
+  let n_tasks = Instance.task_count instance in
+  if List.length tasks > w.capacity then
+    invalid "worker %d given %d tasks, capacity %d" w.index
+      (List.length tasks) w.capacity;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun task ->
+      if task < 0 || task >= n_tasks then
+        invalid "worker %d given out-of-range task %d" w.index task;
+      if Hashtbl.mem seen task then
+        invalid "worker %d given task %d twice" w.index task;
+      Hashtbl.add seen task ();
+      match instance.Instance.candidate_radius with
+      | None -> ()
+      | Some radius ->
+        let d =
+          Ltc_geo.Point.distance w.loc instance.Instance.tasks.(task).Task.loc
+        in
+        if d > radius +. 1e-9 then
+          invalid "worker %d given non-candidate task %d (distance %.3f > %g)"
+            w.index task d radius)
+    tasks
+
+(* Shared driver: [answered w task] decides whether an assignment actually
+   produces an answer (always true in the paper's model). *)
+let drive ~name ~answered policy instance =
+  let progress =
+    Progress.create_per_task ~thresholds:(Instance.thresholds instance)
+  in
+  let tracker = Ltc_util.Mem.Tracker.create () in
+  Ltc_util.Mem.Tracker.set_baseline_words tracker (Progress.memory_words progress);
+  let decide = policy instance tracker progress in
+  let arrangement = ref Arrangement.empty in
+  let consumed = ref 0 in
+  let workers = instance.Instance.workers in
+  let n = Array.length workers in
+  let i = ref 0 in
+  while (not (Progress.all_complete progress)) && !i < n do
+    let w = workers.(!i) in
+    incr i;
+    incr consumed;
+    let tasks = decide w in
+    check_decisions instance w tasks;
+    List.iter
+      (fun task ->
+        if answered w task then begin
+          let score = Instance.score instance w task in
+          Progress.record progress ~task ~score;
+          arrangement := Arrangement.add !arrangement ~worker:w.index ~task
+        end)
+      tasks
+  done;
+  let completed = Progress.all_complete progress in
+  Logs.debug ~src:Ltc_util.Log.algo (fun m ->
+      m "%s: %s after %d arrivals (latency %d, %d assignments)" name
+        (if completed then "completed" else "ran out of workers")
+        !consumed
+        (Arrangement.latency !arrangement)
+        (Arrangement.size !arrangement));
+  {
+    name;
+    arrangement = !arrangement;
+    completed;
+    latency = Arrangement.latency !arrangement;
+    workers_consumed = !consumed;
+    peak_memory_mb = Ltc_util.Mem.Tracker.high_water_mb tracker;
+  }
+
+let run_policy ~name policy instance =
+  drive ~name ~answered:(fun _ _ -> true) policy instance
+
+let run_policy_with_noshow ~name ~accept_rate ~rng policy instance =
+  if accept_rate <= 0.0 || accept_rate > 1.0 then
+    invalid_arg "Engine.run_policy_with_noshow: accept_rate must be in (0, 1]";
+  drive ~name
+    ~answered:(fun _ _ -> Ltc_util.Rng.bernoulli rng accept_rate)
+    policy instance
+
+let of_arrangement ~name ?workers_consumed ?tracker instance arrangement =
+  let progress =
+    Progress.create_per_task ~thresholds:(Instance.thresholds instance)
+  in
+  List.iter
+    (fun (a : Arrangement.assignment) ->
+      let w = instance.Instance.workers.(a.worker - 1) in
+      Progress.record progress ~task:a.task
+        ~score:(Instance.score instance w a.task))
+    (Arrangement.to_list arrangement);
+  let latency = Arrangement.latency arrangement in
+  {
+    name;
+    arrangement;
+    completed = Progress.all_complete progress;
+    latency;
+    workers_consumed = Option.value workers_consumed ~default:latency;
+    peak_memory_mb =
+      (match tracker with
+      | None -> 0.0
+      | Some tr -> Ltc_util.Mem.Tracker.high_water_mb tr);
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%s: latency=%d assignments=%d completed=%b consumed=%d mem=%.2fMB" o.name
+    o.latency
+    (Arrangement.size o.arrangement)
+    o.completed o.workers_consumed o.peak_memory_mb

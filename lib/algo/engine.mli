@@ -1,0 +1,69 @@
+(** Arrival-stream execution engine.
+
+    The engine owns everything an online LTC algorithm must not control: the
+    accumulator array [S] (a {!Ltc_core.Progress.t}), the growing
+    arrangement, the stopping rule ("stop once every task reached the
+    threshold", Algorithms 2-3 line 11/16) and the enforcement of the
+    capacity / invariable / candidate constraints.  A policy only ranks
+    tasks; a buggy policy therefore raises instead of silently producing an
+    invalid arrangement.
+
+    Offline algorithms (MCF-LTC, Base-off) build their outcome themselves
+    and wrap it with {!of_arrangement} so all five algorithms report through
+    the same {!outcome} record. *)
+
+open Ltc_core
+
+type outcome = {
+  name : string;
+  arrangement : Arrangement.t;
+  completed : bool;   (** did every task reach the threshold? *)
+  latency : int;      (** the objective: max arrival index in the arrangement *)
+  workers_consumed : int;
+      (** arrivals processed before stopping (>= latency for online runs) *)
+  peak_memory_mb : float;
+      (** high-water footprint of algorithm-owned structures *)
+}
+
+type policy =
+  Instance.t -> Ltc_util.Mem.Tracker.t -> Progress.t -> Worker.t -> int list
+(** [policy instance tracker progress] is partially applied once per run;
+    the resulting function maps each arriving worker to the task ids to
+    assign (at most the worker's capacity, candidates only).  [progress] is
+    read-only for the policy: the engine performs all {!Progress.record}
+    calls. *)
+
+exception Invalid_decision of string
+(** Raised when a policy over-assigns, repeats a task or picks a
+    non-candidate. *)
+
+val run_policy : name:string -> policy -> Instance.t -> outcome
+
+val run_policy_with_noshow :
+  name:string ->
+  accept_rate:float ->
+  rng:Ltc_util.Rng.t ->
+  policy ->
+  Instance.t ->
+  outcome
+(** Robustness extension (not in the paper, which assumes every assigned
+    question is answered): each assignment is actually {e answered} only
+    with probability [accept_rate].  Unanswered assignments still consume
+    the worker's capacity (the question was sent) but contribute no score,
+    do not enter the returned arrangement, and are invisible to the policy
+    — the platform only observes answers.  With [accept_rate = 1.0] this is
+    exactly {!run_policy}.  @raise Invalid_argument when [accept_rate] is
+    outside (0, 1]. *)
+
+val of_arrangement :
+  name:string ->
+  ?workers_consumed:int ->
+  ?tracker:Ltc_util.Mem.Tracker.t ->
+  Instance.t ->
+  Arrangement.t ->
+  outcome
+(** Wraps an arrangement produced by an offline algorithm, recomputing
+    completion and latency.  [workers_consumed] defaults to the
+    arrangement's latency. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,41 @@
+(** Fast infeasibility screen.
+
+    LTC algorithms silently run out of workers when an instance cannot be
+    completed at all (a starved task with too few nearby check-ins).  This
+    screen decides "provably impossible" {e before} running any algorithm,
+    by a necessary-condition relaxation:
+
+    - every task [t] needs at least [d_t = ceil (threshold_t / s_t)]
+      {e distinct} workers, where [s_t] is the best score any candidate
+      worker of [t] can contribute;
+    - a completing arrangement therefore induces an integral flow of value
+      [sum d_t] in the bipartite network [source -(K)-> workers -(1)->
+      tasks -(d_t)-> sink] restricted to candidate pairs.
+
+    If the {!Ltc_flow.Dinic} maximum flow falls short, no arrangement
+    exists.  The converse does not hold (real-valued scores are coarser
+    than the relaxation), hence [feasible_maybe]. *)
+
+type verdict = {
+  feasible_maybe : bool;
+      (** [false] = certified infeasible; [true] = the screen passes *)
+  required_units : int;  (** [sum over tasks of d_t] *)
+  routable_units : int;  (** max flow achieved by the relaxation *)
+  starved_tasks : int list;
+      (** tasks with fewer candidate workers than their [d_t] (a cheap
+          sufficient reason for infeasibility; may be empty even when the
+          screen fails for global-capacity reasons) *)
+}
+
+val screen : Ltc_core.Instance.t -> verdict
+
+val latency_lower_bound : Ltc_core.Instance.t -> int option
+(** Geometry-aware lower bound on the optimal latency: the smallest prefix
+    length [L] such that workers [1..L] can route the full demand of the
+    relaxation above ([None] when even the full worker set cannot).  Every
+    completing arrangement of latency [L'] certifies the relaxation at
+    [L'], so [latency_lower_bound <= OPT]; unlike Theorem 2's [|T| d / K]
+    this accounts for the candidate radius, which makes it much tighter on
+    sparse or clustered workloads.  Cost: O(log |W|) max-flow runs. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

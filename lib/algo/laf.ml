@@ -1,0 +1,24 @@
+open Ltc_core
+
+let name = "LAF"
+
+let policy instance tracker progress =
+  (* The only structure LAF owns is the K-bounded heap (paper: Q). *)
+  let heap_budget (w : Worker.t) = 4 * w.capacity in
+  fun (w : Worker.t) ->
+    let heap = Ltc_util.Bounded_heap.create ~k:w.capacity () in
+    Ltc_util.Mem.Tracker.add_words tracker (heap_budget w);
+    (* Candidates arrive in ascending task-id order, so the bounded heap's
+       stable tie-break implements "prefer the lower task index". *)
+    List.iter
+      (fun task ->
+        if not (Progress.is_complete progress task) then
+          Ltc_util.Bounded_heap.push heap
+            ~score:(Instance.score instance w task)
+            task)
+      (Instance.candidates instance w);
+    let chosen = List.map snd (Ltc_util.Bounded_heap.pop_all heap) in
+    Ltc_util.Mem.Tracker.remove_words tracker (heap_budget w);
+    chosen
+
+let run instance = Engine.run_policy ~name policy instance

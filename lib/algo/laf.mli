@@ -1,0 +1,11 @@
+(** Largest Acc First — Algorithm 2 (online, competitive ratio 7.967).
+
+    On each arrival, assign the [K] unfinished candidate tasks with the
+    largest [Acc*(w, t)], ties broken towards the lower task id (this is the
+    tie-break that makes the paper's Example 3 trace end at latency 8). *)
+
+val name : string
+
+val policy : Engine.policy
+
+val run : Ltc_core.Instance.t -> Engine.outcome

@@ -1,0 +1,181 @@
+open Ltc_core
+
+let name = "MCF-LTC"
+
+type config = {
+  first_batch_factor : float;
+  batch_factor : float;
+}
+
+let default_config = { first_batch_factor = 1.5; batch_factor = 1.0 }
+
+(* Deterministic preference for earlier workers among cost ties; see .mli. *)
+let tie_cost ~n_workers (w : Worker.t) =
+  5e-8 *. float_of_int w.index /. float_of_int (max 1 n_workers)
+
+(* Solve one batch: build the flow network over incomplete tasks, run SSPA,
+   record the resulting assignments, then greedily spend leftover capacity.
+   Returns the updated arrangement. *)
+let solve_batch instance tracker progress arrangement batch =
+  let n_workers = Instance.worker_count instance in
+  let n_batch = Array.length batch in
+  (* Incomplete tasks get contiguous node ids after the worker nodes. *)
+  let task_ids =
+    Progress.fold_incomplete progress ~init:[] ~f:(fun acc task -> task :: acc)
+  in
+  let task_ids = Array.of_list (List.sort compare task_ids) in
+  let n_inc = Array.length task_ids in
+  let node_of_task = Hashtbl.create (2 * max n_inc 1) in
+  Array.iteri (fun i task -> Hashtbl.add node_of_task task (1 + n_batch + i)) task_ids;
+  let source = 0 in
+  let sink = 1 + n_batch + n_inc in
+  let g = Ltc_flow.Graph.create ~n:(sink + 1) in
+  Array.iteri
+    (fun bi (w : Worker.t) ->
+      ignore
+        (Ltc_flow.Graph.add_arc g ~src:source ~dst:(1 + bi) ~cap:w.capacity
+           ~cost:0.0))
+    batch;
+  (* Worker->task arcs; [arc_owner] remembers (batch slot, task) per arc for
+     the flow extraction below. *)
+  let worker_task_arcs = ref [] in
+  Array.iteri
+    (fun bi (w : Worker.t) ->
+      Instance.iter_candidates instance w (fun task ->
+          match Hashtbl.find_opt node_of_task task with
+          | None -> ()
+          | Some node ->
+            let cost =
+              -.Instance.score instance w task +. tie_cost ~n_workers w
+            in
+            let arc =
+              Ltc_flow.Graph.add_arc g ~src:(1 + bi) ~dst:node ~cap:1 ~cost
+            in
+            worker_task_arcs := (arc, bi, task) :: !worker_task_arcs))
+    batch;
+  Array.iteri
+    (fun i task ->
+      let cap = int_of_float (Float.ceil (Progress.remaining progress task)) in
+      ignore
+        (Ltc_flow.Graph.add_arc g ~src:(1 + n_batch + i) ~dst:sink
+           ~cap:(max cap 1) ~cost:0.0))
+    task_ids;
+  let graph_words =
+    Ltc_flow.Graph.memory_words g + (8 * Ltc_flow.Graph.node_count g)
+  in
+  Ltc_util.Mem.Tracker.add_words tracker graph_words;
+  let flow_result = Ltc_flow.Mcmf.run g ~source ~sink in
+  Logs.debug ~src:Ltc_util.Log.algo (fun m ->
+      m "MCF-LTC batch: %d workers, %d open tasks, %d arcs -> flow %d, cost %.3f (%d rounds)"
+        n_batch n_inc
+        (Ltc_flow.Graph.arc_count g)
+        flow_result.Ltc_flow.Mcmf.flow flow_result.Ltc_flow.Mcmf.cost
+        flow_result.Ltc_flow.Mcmf.rounds);
+  (* Extract the arrangement M' of this batch, per worker. *)
+  let performed = Hashtbl.create 64 in
+  let assigned = Array.make n_batch 0 in
+  let per_worker = Array.make n_batch [] in
+  List.iter
+    (fun (arc, bi, task) ->
+      if Ltc_flow.Graph.flow g arc = 1 then begin
+        per_worker.(bi) <- task :: per_worker.(bi);
+        assigned.(bi) <- assigned.(bi) + 1;
+        Hashtbl.add performed (bi, task) ()
+      end)
+    !worker_task_arcs;
+  let arrangement = ref arrangement in
+  Array.iteri
+    (fun bi (w : Worker.t) ->
+      List.iter
+        (fun task ->
+          Progress.record progress ~task ~score:(Instance.score instance w task);
+          arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
+        (List.sort compare per_worker.(bi)))
+    batch;
+  (* Lines 8-15: leftover capacity goes to the most reliable unfinished
+     tasks this worker has not performed in this batch. *)
+  Array.iteri
+    (fun bi (w : Worker.t) ->
+      let leftover = w.capacity - assigned.(bi) in
+      if leftover > 0 && not (Progress.all_complete progress) then begin
+        let heap = Ltc_util.Bounded_heap.create ~k:leftover () in
+        List.iter
+          (fun task ->
+            if
+              (not (Progress.is_complete progress task))
+              && not (Hashtbl.mem performed (bi, task))
+            then
+              Ltc_util.Bounded_heap.push heap
+                ~score:(Instance.score instance w task)
+                task)
+          (Instance.candidates instance w);
+        List.iter
+          (fun (_, task) ->
+            Progress.record progress ~task
+              ~score:(Instance.score instance w task);
+            arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
+          (Ltc_util.Bounded_heap.pop_all heap)
+      end)
+    batch;
+  Ltc_util.Mem.Tracker.remove_words tracker graph_words;
+  !arrangement
+
+(* Shared batch loop: [batch_size ~first] gives each batch's width. *)
+let run_batches ~name ~batch_size instance =
+  let n_tasks = Instance.task_count instance in
+  let workers = instance.Instance.workers in
+  let n_workers = Array.length workers in
+  let tracker = Ltc_util.Mem.Tracker.create () in
+  if n_tasks = 0 || n_workers = 0 then
+    Engine.of_arrangement ~name ~workers_consumed:0 ~tracker instance
+      Arrangement.empty
+  else begin
+    let progress =
+      Progress.create_per_task ~thresholds:(Instance.thresholds instance)
+    in
+    Ltc_util.Mem.Tracker.set_baseline_words tracker
+      (Progress.memory_words progress);
+    let arrangement = ref Arrangement.empty in
+    let cursor = ref 0 in
+    let first = ref true in
+    while (not (Progress.all_complete progress)) && !cursor < n_workers do
+      let size = min (batch_size ~first:!first) (n_workers - !cursor) in
+      first := false;
+      let batch = Array.sub workers !cursor size in
+      cursor := !cursor + size;
+      arrangement := solve_batch instance tracker progress !arrangement batch
+    done;
+    Engine.of_arrangement ~name ~workers_consumed:!cursor ~tracker instance
+      !arrangement
+  end
+
+(* Theorem-2 batch width m = |T| ceil(delta) / K, using the strictest
+   per-task threshold (conservative: larger batches only add choice). *)
+let theorem2_m instance =
+  let n_tasks = Instance.task_count instance in
+  let workers = instance.Instance.workers in
+  let k = if Array.length workers = 0 then 1 else workers.(0).Worker.capacity in
+  let delta =
+    Array.fold_left Float.max (Instance.threshold instance)
+      (Instance.thresholds instance)
+  in
+  float_of_int n_tasks *. Float.ceil delta /. float_of_int k
+
+let run ?(config = default_config) instance =
+  if config.first_batch_factor <= 0.0 || config.batch_factor <= 0.0 then
+    invalid_arg "Mcf_ltc.run: batch factors must be positive";
+  let m = theorem2_m instance in
+  let batch_size ~first =
+    let factor =
+      if first then config.first_batch_factor else config.batch_factor
+    in
+    max 1 (int_of_float (factor *. m))
+  in
+  run_batches ~name ~batch_size instance
+
+let run_buffered ~buffer instance =
+  if buffer < 1 then invalid_arg "Mcf_ltc.run_buffered: buffer must be >= 1";
+  run_batches
+    ~name:(Printf.sprintf "Buffered(%d)" buffer)
+    ~batch_size:(fun ~first:_ -> buffer)
+    instance

@@ -1,0 +1,39 @@
+(** MCF-LTC — Algorithm 1 (offline, 7.5-approximation).
+
+    Processes the known arrival sequence in batches sized by the Theorem-2
+    lower bound [m = |T| * ceil(delta) / K] (first batch [1.5 m]).  Each
+    batch is reduced to a min-cost max-flow instance
+
+    {v st -[cap K, cost 0]-> w -[cap 1, cost -Acc(w,t)^star]-> t
+                                 -[cap ceil(delta - S[t]), cost 0]-> ed v}
+
+    solved with {!Ltc_flow.Mcmf} (SSPA); leftover worker capacity is then
+    spent greedily on the highest-[Acc*] unfinished tasks (Algorithm 1 lines
+    8-15).  A tie-break perturbation of [5e-8 * index / |W|] on the [w->t]
+    arc costs prefers earlier workers among equally accurate ones — it can
+    only lower the latency objective and pins down Example 2's answer (6).
+
+    The batch factors are exposed for the [ablation-batch] bench, which
+    reproduces the paper's observation that large batches can make MCF-LTC
+    lose to AAM (Sec. V-B1). *)
+
+val name : string
+
+type config = {
+  first_batch_factor : float;  (** paper: 1.5 *)
+  batch_factor : float;        (** paper: 1.0 *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Ltc_core.Instance.t -> Engine.outcome
+(** @raise Invalid_argument when a batch factor is not positive. *)
+
+val run_buffered : buffer:int -> Ltc_core.Instance.t -> Engine.outcome
+(** Buffered-online relaxation: Definition 7 only requires a decision "a
+    short time after" each arrival, so a platform may hold a small buffer
+    of [buffer] workers and solve the same min-cost-flow sub-problem per
+    buffer.  [buffer = 1] is a per-worker flow greedy (close to LAF);
+    [buffer >= |T| ceil(delta) / K] recovers MCF-LTC's batch regime.  The
+    [ext-buffer] bench sweeps the buffer size to price the value of
+    waiting.  @raise Invalid_argument when [buffer < 1]. *)

@@ -1,0 +1,25 @@
+open Ltc_core
+
+let name = "Random"
+
+let policy ~seed instance _tracker progress =
+  let rng = Ltc_util.Rng.create ~seed in
+  fun (w : Worker.t) ->
+    let unfinished =
+      List.filter
+        (fun task -> not (Progress.is_complete progress task))
+        (Instance.candidates instance w)
+    in
+    let pool = Array.of_list unfinished in
+    let n = Array.length pool in
+    let k = min w.capacity n in
+    (* Partial Fisher-Yates: the first [k] slots become the sample. *)
+    for i = 0 to k - 1 do
+      let j = i + Ltc_util.Rng.int rng (n - i) in
+      let tmp = pool.(i) in
+      pool.(i) <- pool.(j);
+      pool.(j) <- tmp
+    done;
+    Array.to_list (Array.sub pool 0 k)
+
+let run ~seed instance = Engine.run_policy ~name (policy ~seed) instance

@@ -1,0 +1,13 @@
+(** Random — the paper's naive online baseline (Sec. V-A).
+
+    "tasks nearby are assigned randomly to the worker when s/he arrives":
+    up to [K] unfinished candidate tasks drawn uniformly without
+    replacement. *)
+
+val name : string
+
+val policy : seed:int -> Engine.policy
+(** Each run seeds its own {!Ltc_util.Rng.t}; identical seeds reproduce the
+    run exactly. *)
+
+val run : seed:int -> Ltc_core.Instance.t -> Engine.outcome

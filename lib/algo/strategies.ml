@@ -1,0 +1,41 @@
+open Ltc_core
+
+(* Shared skeleton: score unfinished candidates, keep the top K. *)
+let greedy_policy ~score instance _tracker progress (w : Worker.t) =
+  let heap = Ltc_util.Bounded_heap.create ~k:w.capacity () in
+  List.iter
+    (fun task ->
+      if not (Progress.is_complete progress task) then
+        Ltc_util.Bounded_heap.push heap
+          ~score:(score instance progress w task)
+          task)
+    (Instance.candidates instance w);
+  List.map snd (Ltc_util.Bounded_heap.pop_all heap)
+
+let lgf_score instance progress w task =
+  Float.min (Instance.score instance w task) (Progress.remaining progress task)
+
+let lrf_score _instance progress _w task = Progress.remaining progress task
+
+let lgf instance =
+  Engine.run_policy ~name:"LGF-only" (greedy_policy ~score:lgf_score) instance
+
+let lrf instance =
+  Engine.run_policy ~name:"LRF-only" (greedy_policy ~score:lrf_score) instance
+
+let nearest_score (instance : Instance.t) _progress (w : Worker.t) task =
+  (* Bounded heap keeps the largest scores; negate so nearest wins. *)
+  -.Ltc_geo.Point.distance w.loc instance.Instance.tasks.(task).Task.loc
+
+let nearest_first instance =
+  Engine.run_policy ~name:"Nearest" (greedy_policy ~score:nearest_score)
+    instance
+
+let lgf_algorithm =
+  { Algorithm.name = "LGF-only"; kind = Algorithm.Online; run = lgf }
+
+let lrf_algorithm =
+  { Algorithm.name = "LRF-only"; kind = Algorithm.Online; run = lrf }
+
+let nearest_first_algorithm =
+  { Algorithm.name = "Nearest"; kind = Algorithm.Online; run = nearest_first }

@@ -1,0 +1,26 @@
+type t =
+  | Sigmoid of { dmax : float }
+  | Historical
+  | Custom of { name : string; f : Worker.t -> Task.t -> float }
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let acc t (w : Worker.t) (task : Task.t) =
+  match t with
+  | Sigmoid { dmax } ->
+    let d = Ltc_geo.Point.distance w.loc task.loc in
+    clamp01 (w.accuracy /. (1.0 +. exp (-.(dmax -. d))))
+  | Historical -> clamp01 w.accuracy
+  | Custom { f; _ } -> clamp01 (f w task)
+
+let acc_star t w task =
+  let a = acc t w task in
+  let x = (2.0 *. a) -. 1.0 in
+  x *. x
+
+let default_dmax = 30.0
+
+let pp fmt = function
+  | Sigmoid { dmax } -> Format.fprintf fmt "sigmoid(dmax=%g)" dmax
+  | Historical -> Format.fprintf fmt "historical"
+  | Custom { name; _ } -> Format.fprintf fmt "custom(%s)" name

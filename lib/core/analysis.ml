@@ -1,0 +1,115 @@
+type t = {
+  assignments : int;
+  workers_used : int;
+  latency : int;
+  load_mean : float;
+  load_max : int;
+  load_gini : float;
+  travel_mean : float;
+  travel_max : float;
+  votes_mean : float;
+  votes_min : int;
+  votes_max : int;
+  margin_mean : float;
+  margin_min : float;
+  error_bound_worst : float;
+}
+
+(* Gini over the loads of recruited workers, by the sorted-rank formula
+   G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n  with 1-based ranks. *)
+let gini loads =
+  let n = Array.length loads in
+  if n = 0 then 0.0
+  else begin
+    let xs = Array.map float_of_int loads in
+    Array.sort compare xs;
+    let total = Array.fold_left ( +. ) 0.0 xs in
+    if total <= 0.0 then 0.0
+    else begin
+      let weighted = ref 0.0 in
+      Array.iteri
+        (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x))
+        xs;
+      let nf = float_of_int n in
+      (2.0 *. !weighted /. (nf *. total)) -. ((nf +. 1.0) /. nf)
+    end
+  end
+
+let of_arrangement (instance : Instance.t) arrangement =
+  let n_tasks = Instance.task_count instance in
+  let n_workers = Instance.worker_count instance in
+  let load = Array.make (n_workers + 1) 0 in
+  let votes = Array.make (max n_tasks 1) 0 in
+  let score_sum = Array.make (max n_tasks 1) 0.0 in
+  let travel_total = ref 0.0 in
+  let travel_max = ref 0.0 in
+  let assignments = Arrangement.to_list arrangement in
+  List.iter
+    (fun (a : Arrangement.assignment) ->
+      let w = instance.Instance.workers.(a.worker - 1) in
+      load.(a.worker) <- load.(a.worker) + 1;
+      votes.(a.task) <- votes.(a.task) + 1;
+      score_sum.(a.task) <-
+        score_sum.(a.task) +. Instance.score instance w a.task;
+      let d =
+        Ltc_geo.Point.distance w.Worker.loc
+          instance.Instance.tasks.(a.task).Task.loc
+      in
+      travel_total := !travel_total +. d;
+      if d > !travel_max then travel_max := d)
+    assignments;
+  let recruited = Array.of_list (List.filter (fun l -> l > 0) (Array.to_list load)) in
+  let n_recruited = Array.length recruited in
+  let n_assign = Arrangement.size arrangement in
+  let margin task = score_sum.(task) -. Instance.threshold_of instance task in
+  let fold_tasks f init =
+    let acc = ref init in
+    for task = 0 to n_tasks - 1 do
+      acc := f !acc task
+    done;
+    !acc
+  in
+  {
+    assignments = n_assign;
+    workers_used = n_recruited;
+    latency = Arrangement.latency arrangement;
+    load_mean =
+      (if n_recruited = 0 then 0.0
+       else float_of_int n_assign /. float_of_int n_recruited);
+    load_max = Array.fold_left max 0 load;
+    load_gini = gini recruited;
+    travel_mean =
+      (if n_assign = 0 then 0.0 else !travel_total /. float_of_int n_assign);
+    travel_max = !travel_max;
+    votes_mean =
+      (if n_tasks = 0 then 0.0
+       else float_of_int n_assign /. float_of_int n_tasks);
+    votes_min =
+      (if n_tasks = 0 then 0 else Array.fold_left min max_int votes);
+    votes_max = Array.fold_left max 0 votes;
+    margin_mean =
+      (if n_tasks = 0 then 0.0
+       else fold_tasks (fun acc task -> acc +. margin task) 0.0
+            /. float_of_int n_tasks);
+    margin_min =
+      (if n_tasks = 0 then 0.0
+       else fold_tasks (fun acc task -> Float.min acc (margin task)) infinity);
+    error_bound_worst =
+      (if n_tasks = 0 then 0.0
+       else
+         fold_tasks
+           (fun acc task ->
+             Float.max acc
+               (Quality.hoeffding_error_bound ~acc_star_sum:score_sum.(task)))
+           0.0);
+  }
+
+let pp fmt a =
+  Format.fprintf fmt
+    "@[<v>assignments        %d@,workers recruited  %d@,latency            \
+     %d@,load mean/max      %.2f / %d (gini %.3f)@,travel mean/max    %.2f \
+     / %.2f@,votes mean/min/max %.2f / %d / %d@,margin mean/min    %.3f / \
+     %.3f@,worst error bound  %.4f@]"
+    a.assignments a.workers_used a.latency a.load_mean a.load_max a.load_gini
+    a.travel_mean a.travel_max a.votes_mean a.votes_min a.votes_max
+    a.margin_mean a.margin_min a.error_bound_worst

@@ -1,0 +1,39 @@
+(** Post-hoc analysis of arrangements.
+
+    The paper reports a single number per run (the latency); a platform
+    operator cares about more: how evenly work spreads over workers, how
+    far workers would travel, how much quality margin tasks ended up with.
+    This module computes those summaries from an arrangement — used by the
+    CLI's [--report] flag and the examples, and handy when comparing
+    algorithms beyond the headline metric. *)
+
+type t = {
+  assignments : int;
+  workers_used : int;          (** workers with at least one task *)
+  latency : int;
+  (* Worker-side *)
+  load_mean : float;           (** tasks per recruited worker *)
+  load_max : int;
+  load_gini : float;
+      (** Gini coefficient of per-recruited-worker load: 0 = perfectly
+          even, 1 = one worker does everything *)
+  travel_mean : float;         (** mean worker-to-task distance *)
+  travel_max : float;
+  (* Task-side *)
+  votes_mean : float;          (** workers per task *)
+  votes_min : int;
+  votes_max : int;
+  margin_mean : float;
+      (** mean accumulated score above the threshold (over-provisioning) *)
+  margin_min : float;
+  error_bound_worst : float;
+      (** worst per-task Hoeffding bound [exp(-S_t / 2)] under Hoeffding
+          scoring (meaningless for other scorings; still reported) *)
+}
+
+val of_arrangement : Instance.t -> Arrangement.t -> t
+(** Summarise a (possibly incomplete) arrangement.  O(assignments +
+    |T| + |W|). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,100 @@
+type t = {
+  thresholds : float array;
+  s : float array;
+  version : int array;  (* bumped on every record; invalidates heap entries *)
+  (* Swap-remove set of incomplete task ids. *)
+  incomplete : int array;      (* first [n_incomplete] entries are live *)
+  position : int array;        (* position.(task) in [incomplete], -1 if done *)
+  mutable n_incomplete : int;
+  mutable sum_remaining : float;
+  (* Lazy max-heap over (remaining, task, version). *)
+  heap : (float * int * int) Ltc_util.Heap.t;
+}
+
+let create_per_task ~thresholds =
+  let n_tasks = Array.length thresholds in
+  Array.iter
+    (fun threshold ->
+      if threshold <= 0.0 then
+        invalid_arg "Progress.create_per_task: thresholds must be positive")
+    thresholds;
+  let heap_leq (a, _, _) (b, _, _) = (a : float) >= b in
+  let t =
+    {
+      thresholds = Array.copy thresholds;
+      s = Array.make (max n_tasks 1) 0.0;
+      version = Array.make (max n_tasks 1) 0;
+      incomplete = Array.init (max n_tasks 1) (fun i -> i);
+      position = Array.init (max n_tasks 1) (fun i -> i);
+      n_incomplete = n_tasks;
+      sum_remaining = Array.fold_left ( +. ) 0.0 thresholds;
+      heap = Ltc_util.Heap.create ~capacity:(2 * max n_tasks 1) ~leq:heap_leq ();
+    }
+  in
+  for task = 0 to n_tasks - 1 do
+    Ltc_util.Heap.push t.heap (thresholds.(task), task, 0)
+  done;
+  t
+
+let create ~threshold ~n_tasks =
+  if threshold <= 0.0 then invalid_arg "Progress.create: threshold <= 0";
+  if n_tasks < 0 then invalid_arg "Progress.create: negative n_tasks";
+  create_per_task ~thresholds:(Array.make n_tasks threshold)
+
+let threshold_of t task = t.thresholds.(task)
+let n_tasks t = Array.length t.s
+let accumulated t task = t.s.(task)
+let remaining t task = Float.max 0.0 (t.thresholds.(task) -. t.s.(task))
+let is_complete t task = t.s.(task) >= t.thresholds.(task)
+let all_complete t = t.n_incomplete = 0
+let incomplete_count t = t.n_incomplete
+let sum_remaining t = Float.max 0.0 t.sum_remaining
+
+let remove_incomplete t task =
+  let pos = t.position.(task) in
+  if pos >= 0 then begin
+    let last = t.n_incomplete - 1 in
+    let moved = t.incomplete.(last) in
+    t.incomplete.(pos) <- moved;
+    t.position.(moved) <- pos;
+    t.position.(task) <- -1;
+    t.n_incomplete <- last
+  end
+
+let record t ~task ~score =
+  if score < 0.0 then invalid_arg "Progress.record: negative score";
+  if not (is_complete t task) then begin
+    let before = remaining t task in
+    t.s.(task) <- t.s.(task) +. score;
+    let after = remaining t task in
+    t.sum_remaining <- t.sum_remaining -. (before -. after);
+    t.version.(task) <- t.version.(task) + 1;
+    if after <= 0.0 then remove_incomplete t task
+    else Ltc_util.Heap.push t.heap (after, task, t.version.(task))
+  end
+  else t.s.(task) <- t.s.(task) +. score
+
+let rec max_remaining t =
+  match Ltc_util.Heap.peek t.heap with
+  | None -> 0.0
+  | Some (r, task, version) ->
+    if t.version.(task) = version && not (is_complete t task) then r
+    else begin
+      ignore (Ltc_util.Heap.pop t.heap);
+      max_remaining t
+    end
+
+let iter_incomplete t f =
+  for i = 0 to t.n_incomplete - 1 do
+    f t.incomplete.(i)
+  done
+
+let fold_incomplete t ~init ~f =
+  let acc = ref init in
+  iter_incomplete t (fun task -> acc := f !acc task);
+  !acc
+
+let memory_words t =
+  (* thresholds + s (floats) + version + incomplete + position + heap
+     triples (~6 words each including the tuple block). *)
+  (5 * Array.length t.s) + (6 * Ltc_util.Heap.length t.heap)

@@ -1,0 +1,56 @@
+(** Mutable completion state: the paper's accumulator array [S].
+
+    [S\[t\]] is the score task [t] has accumulated so far; a task is complete
+    once [S\[t\] >= threshold].  Beyond the plain array the structure
+    maintains, incrementally, the two aggregates AAM consults on every
+    arrival (Algorithm 3 lines 4-5):
+
+    - [sum_remaining = sum over incomplete t of (threshold - S\[t\])], and
+    - [max_remaining], served by a lazily-pruned max-heap so a query costs
+      amortised O(log |T|) instead of the paper's O(|T|) rescan. *)
+
+type t
+
+val create : threshold:float -> n_tasks:int -> t
+(** All accumulators at 0, every task sharing one threshold (the paper's
+    constant-epsilon platform).  @raise Invalid_argument when
+    [threshold <= 0] or [n_tasks < 0]. *)
+
+val create_per_task : thresholds:float array -> t
+(** Per-task thresholds (Definition 1's general [t = <l_t, epsilon>] form);
+    the array is copied.  @raise Invalid_argument on a non-positive
+    threshold. *)
+
+val threshold_of : t -> int -> float
+(** The given task's completion threshold. *)
+
+val n_tasks : t -> int
+
+val accumulated : t -> int -> float
+(** Current [S\[t\]]. *)
+
+val remaining : t -> int -> float
+(** [max 0 (threshold - S[t])]. *)
+
+val is_complete : t -> int -> bool
+val all_complete : t -> bool
+
+val incomplete_count : t -> int
+
+val record : t -> task:int -> score:float -> unit
+(** Accumulate [score] onto task [task].  [score] must be [>= 0]. *)
+
+val sum_remaining : t -> float
+(** Total outstanding score over incomplete tasks. *)
+
+val max_remaining : t -> float
+(** Largest outstanding score over incomplete tasks; [0] when all are
+    complete. *)
+
+val iter_incomplete : t -> (int -> unit) -> unit
+(** Every incomplete task id, in unspecified order.  The callback must not
+    call {!record}. *)
+
+val fold_incomplete : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val memory_words : t -> int

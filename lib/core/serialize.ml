@@ -1,0 +1,227 @@
+exception Parse_error of { line : int; message : string }
+
+let parse_error ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let fp = Printf.sprintf "%.17g"
+
+(* ------------------------------------------------------------- writing *)
+
+(* All writers emit through a string sink so channels and buffers share the
+   same code path. *)
+let emit_instance sink (instance : Instance.t) =
+  let pf fmt = Printf.ksprintf sink fmt in
+  pf "ltc-instance v1\n";
+  pf "epsilon %s\n" (fp instance.epsilon);
+  (match instance.accuracy with
+  | Accuracy.Sigmoid { dmax } -> pf "accuracy sigmoid %s\n" (fp dmax)
+  | Accuracy.Historical -> pf "accuracy historical\n"
+  | Accuracy.Custom { name; _ } ->
+    invalid_arg
+      (Printf.sprintf
+         "Serialize: custom accuracy model %S cannot be saved" name));
+  (match instance.scoring with
+  | Quality.Hoeffding -> pf "scoring hoeffding\n"
+  | Quality.Sum_accuracy { threshold } ->
+    pf "scoring sum_accuracy %s\n" (fp threshold));
+  (match instance.candidate_radius with
+  | None -> pf "radius none\n"
+  | Some r -> pf "radius %s\n" (fp r));
+  pf "tasks %d\n" (Array.length instance.tasks);
+  Array.iter
+    (fun (task : Task.t) ->
+      match task.epsilon with
+      | None ->
+        pf "t %d %s %s\n" task.id
+          (fp task.loc.Ltc_geo.Point.x)
+          (fp task.loc.Ltc_geo.Point.y)
+      | Some e ->
+        pf "t %d %s %s %s\n" task.id
+          (fp task.loc.Ltc_geo.Point.x)
+          (fp task.loc.Ltc_geo.Point.y)
+          (fp e))
+    instance.tasks;
+  pf "workers %d\n" (Array.length instance.workers);
+  Array.iter
+    (fun (w : Worker.t) ->
+      pf "w %d %s %s %s %d\n" w.index
+        (fp w.loc.Ltc_geo.Point.x)
+        (fp w.loc.Ltc_geo.Point.y)
+        (fp w.accuracy) w.capacity)
+    instance.workers
+
+let emit_arrangement sink arrangement =
+  let pf fmt = Printf.ksprintf sink fmt in
+  pf "ltc-arrangement v1\n";
+  pf "assignments %d\n" (Arrangement.size arrangement);
+  List.iter
+    (fun (a : Arrangement.assignment) -> pf "a %d %d\n" a.worker a.task)
+    (Arrangement.to_list arrangement)
+
+let write_instance oc instance = emit_instance (output_string oc) instance
+let write_arrangement oc a = emit_arrangement (output_string oc) a
+
+(* ------------------------------------------------------------- reading *)
+
+(* A source of significant lines (comments and blanks stripped), tracking
+   line numbers for error reporting. *)
+type source = {
+  next_raw : unit -> string option;
+  mutable line_no : int;
+}
+
+let source_of_channel ic =
+  { next_raw = (fun () -> In_channel.input_line ic); line_no = 0 }
+
+let source_of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  let next_raw () =
+    match !lines with
+    | [] -> None
+    | l :: rest ->
+      lines := rest;
+      Some l
+  in
+  { next_raw; line_no = 0 }
+
+let rec next_line src =
+  match src.next_raw () with
+  | None -> parse_error ~line:src.line_no "unexpected end of input"
+  | Some line ->
+    src.line_no <- src.line_no + 1;
+    let line =
+      match String.index_opt line '#' with
+      | None -> line
+      | Some i -> String.sub line 0 i
+    in
+    let line = String.trim line in
+    if line = "" then next_line src else line
+
+let fields line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let float_field src s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> parse_error ~line:src.line_no "expected a float, got %S" s
+
+let int_field src s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> parse_error ~line:src.line_no "expected an integer, got %S" s
+
+let parse_instance src =
+  (match next_line src with
+  | "ltc-instance v1" -> ()
+  | other -> parse_error ~line:src.line_no "bad header %S" other);
+  let epsilon =
+    match fields (next_line src) with
+    | [ "epsilon"; e ] -> float_field src e
+    | _ -> parse_error ~line:src.line_no "expected 'epsilon <float>'"
+  in
+  let accuracy =
+    match fields (next_line src) with
+    | [ "accuracy"; "sigmoid"; dmax ] ->
+      Accuracy.Sigmoid { dmax = float_field src dmax }
+    | [ "accuracy"; "historical" ] -> Accuracy.Historical
+    | _ -> parse_error ~line:src.line_no "expected an accuracy line"
+  in
+  let scoring =
+    match fields (next_line src) with
+    | [ "scoring"; "hoeffding" ] -> Quality.Hoeffding
+    | [ "scoring"; "sum_accuracy"; t ] ->
+      Quality.Sum_accuracy { threshold = float_field src t }
+    | _ -> parse_error ~line:src.line_no "expected a scoring line"
+  in
+  let radius =
+    match fields (next_line src) with
+    | [ "radius"; "none" ] -> None
+    | [ "radius"; x ] -> Some (float_field src x)
+    | _ -> parse_error ~line:src.line_no "expected a radius line"
+  in
+  let n_tasks =
+    match fields (next_line src) with
+    | [ "tasks"; n ] -> int_field src n
+    | _ -> parse_error ~line:src.line_no "expected 'tasks <count>'"
+  in
+  let tasks =
+    Array.init n_tasks (fun _ ->
+        match fields (next_line src) with
+        | [ "t"; id; x; y ] ->
+          Task.make ~id:(int_field src id)
+            ~loc:(Ltc_geo.Point.make ~x:(float_field src x) ~y:(float_field src y))
+            ()
+        | [ "t"; id; x; y; eps ] ->
+          Task.make
+            ~epsilon:(float_field src eps)
+            ~id:(int_field src id)
+            ~loc:(Ltc_geo.Point.make ~x:(float_field src x) ~y:(float_field src y))
+            ()
+        | _ -> parse_error ~line:src.line_no "expected a task line")
+  in
+  let n_workers =
+    match fields (next_line src) with
+    | [ "workers"; n ] -> int_field src n
+    | _ -> parse_error ~line:src.line_no "expected 'workers <count>'"
+  in
+  let workers =
+    Array.init n_workers (fun _ ->
+        match fields (next_line src) with
+        | [ "w"; index; x; y; accuracy; capacity ] ->
+          Worker.make ~index:(int_field src index)
+            ~loc:(Ltc_geo.Point.make ~x:(float_field src x) ~y:(float_field src y))
+            ~accuracy:(float_field src accuracy)
+            ~capacity:(int_field src capacity)
+        | _ -> parse_error ~line:src.line_no "expected a worker line")
+  in
+  Instance.create ~accuracy ~scoring ~candidate_radius:radius ~tasks ~workers
+    ~epsilon ()
+
+let parse_arrangement src =
+  (match next_line src with
+  | "ltc-arrangement v1" -> ()
+  | other -> parse_error ~line:src.line_no "bad header %S" other);
+  let n =
+    match fields (next_line src) with
+    | [ "assignments"; n ] -> int_field src n
+    | _ -> parse_error ~line:src.line_no "expected 'assignments <count>'"
+  in
+  let arrangement = ref Arrangement.empty in
+  for _ = 1 to n do
+    match fields (next_line src) with
+    | [ "a"; worker; task ] ->
+      arrangement :=
+        Arrangement.add !arrangement ~worker:(int_field src worker)
+          ~task:(int_field src task)
+    | _ -> parse_error ~line:src.line_no "expected an assignment line"
+  done;
+  !arrangement
+
+let read_instance ic = parse_instance (source_of_channel ic)
+let read_arrangement ic = parse_arrangement (source_of_channel ic)
+
+(* ------------------------------------------------------------- helpers *)
+
+let with_file_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_file_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save_instance ~path instance =
+  with_file_out path (fun oc -> write_instance oc instance)
+
+let load_instance ~path = with_file_in path read_instance
+
+let save_arrangement ~path arrangement =
+  with_file_out path (fun oc -> write_arrangement oc arrangement)
+
+let load_arrangement ~path = with_file_in path read_arrangement
+
+let instance_to_string instance =
+  let buf = Buffer.create 4096 in
+  emit_instance (Buffer.add_string buf) instance;
+  Buffer.contents buf
+
+let instance_of_string s = parse_instance (source_of_string s)

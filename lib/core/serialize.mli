@@ -1,0 +1,41 @@
+(** Plain-text persistence for instances and arrangements.
+
+    A line-oriented format so that generated workloads can be saved,
+    shipped and replayed bit-for-bit (the CLI's [ltc generate] /
+    [ltc run --load] flow), and arrangements can be archived next to the
+    numbers they produced:
+
+    {v
+    ltc-instance v1
+    epsilon 0.14
+    accuracy sigmoid 30
+    scoring hoeffding
+    radius 30
+    tasks 2
+    t 0 105.5 20.5
+    t 1 10 17 0.02          # trailing field = per-task epsilon
+    workers 1
+    w 1 3 4.5 0.86 6        # index x y accuracy capacity
+    v}
+
+    Floats are printed with round-trip precision.  [Custom] accuracy models
+    embed arbitrary OCaml closures and are rejected at save time. *)
+
+exception Parse_error of { line : int; message : string }
+
+val write_instance : out_channel -> Instance.t -> unit
+(** @raise Invalid_argument on a [Custom] accuracy model. *)
+
+val read_instance : in_channel -> Instance.t
+(** @raise Parse_error on malformed input. *)
+
+val save_instance : path:string -> Instance.t -> unit
+val load_instance : path:string -> Instance.t
+
+val write_arrangement : out_channel -> Arrangement.t -> unit
+val read_arrangement : in_channel -> Arrangement.t
+val save_arrangement : path:string -> Arrangement.t -> unit
+val load_arrangement : path:string -> Arrangement.t
+
+val instance_to_string : Instance.t -> string
+val instance_of_string : string -> Instance.t

@@ -1,0 +1,29 @@
+(** SVG rendering of instances and arrangements.
+
+    One picture of a spatial-crowdsourcing run says more than any latency
+    table: where the POIs sit, where check-ins cluster, which workers served
+    which tasks.  [ltc run --svg out.svg] and [ltc generate --svg] use this;
+    the output is self-contained SVG 1.1 (no external assets).
+
+    Visual encoding: tasks are circles (green = completed, red = not, by
+    the arrangement if one is given) with a light halo showing the
+    candidate radius; workers are small dots with opacity scaled by
+    historical accuracy; assignments are thin lines from worker to task. *)
+
+val render :
+  ?size:int ->
+  ?arrangement:Arrangement.t ->
+  ?show_radius:bool ->
+  Instance.t ->
+  string
+(** [size] is the image's larger dimension in pixels (default 800).
+    [show_radius] (default [true]) draws the candidate-radius halo around
+    tasks when the instance has one. *)
+
+val save :
+  path:string ->
+  ?size:int ->
+  ?arrangement:Arrangement.t ->
+  ?show_radius:bool ->
+  Instance.t ->
+  unit

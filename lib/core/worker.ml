@@ -1,0 +1,21 @@
+type t = {
+  index : int;
+  loc : Ltc_geo.Point.t;
+  accuracy : float;
+  capacity : int;
+}
+
+let make ~index ~loc ~accuracy ~capacity =
+  if index < 1 then invalid_arg "Worker.make: index must be >= 1";
+  if capacity < 1 then invalid_arg "Worker.make: capacity must be >= 1";
+  if accuracy < 0.0 || accuracy > 1.0 then
+    invalid_arg "Worker.make: accuracy out of [0, 1]";
+  { index; loc; accuracy; capacity }
+
+let min_trusted_accuracy = 0.66
+
+let is_trusted w = w.accuracy >= min_trusted_accuracy
+
+let pp fmt w =
+  Format.fprintf fmt "w%d@%a(p=%.2f, K=%d)" w.index Ltc_geo.Point.pp w.loc
+    w.accuracy w.capacity

@@ -1,0 +1,214 @@
+type aggregated = {
+  algorithm : string;
+  mean_latency : float;
+  mean_runtime_s : float;
+  mean_memory_mb : float;
+  all_completed : bool;
+}
+
+type point = {
+  label : string;
+  algos : aggregated list;
+}
+
+type output = {
+  title : string;
+  header : string list;
+  rows : Ltc_util.Table.cell list list;
+  float_digits : int;
+}
+
+(* One derived seed per repetition, shared across x values: sweeping a
+   parameter (e.g. epsilon) then compares the SAME workload at every x, as
+   the paper does, instead of adding generation noise to the trend. *)
+let rep_seed ~seed ~rep = (seed * 1_000_003) + rep
+
+let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed) ~reps
+    ~seed ~xs ~label ~instance_of () =
+  if reps <= 0 then invalid_arg "Runner.sweep: reps must be positive";
+  List.map
+    (fun x ->
+      (* metric accumulators per algorithm name, in first-seen order *)
+      let order = ref [] in
+      let acc : (string, float ref * float ref * float ref * bool ref) Hashtbl.t
+          =
+        Hashtbl.create 8
+      in
+      for rep = 0 to reps - 1 do
+        let rseed = rep_seed ~seed ~rep in
+        let instance = instance_of ~seed:rseed x in
+        let instance_mb =
+          Ltc_util.Mem.words_to_mb (Ltc_core.Instance.memory_words instance)
+        in
+        List.iter
+          (fun (algo : Ltc_algo.Algorithm.t) ->
+            let outcome, runtime =
+              Ltc_util.Timer.time (fun () -> algo.run instance)
+            in
+            let lat, time, mem, comp =
+              match Hashtbl.find_opt acc algo.name with
+              | Some slot -> slot
+              | None ->
+                let slot = (ref 0.0, ref 0.0, ref 0.0, ref true) in
+                Hashtbl.add acc algo.name slot;
+                order := algo.name :: !order;
+                slot
+            in
+            lat := !lat +. float_of_int outcome.Ltc_algo.Engine.latency;
+            time := !time +. runtime;
+            mem :=
+              !mem +. instance_mb +. outcome.Ltc_algo.Engine.peak_memory_mb;
+            comp := !comp && outcome.Ltc_algo.Engine.completed)
+          (algorithms ~seed:rseed)
+      done;
+      let n = float_of_int reps in
+      let algos =
+        List.rev_map
+          (fun name ->
+            let lat, time, mem, comp = Hashtbl.find acc name in
+            {
+              algorithm = name;
+              mean_latency = !lat /. n;
+              mean_runtime_s = !time /. n;
+              mean_memory_mb = !mem /. n;
+              all_completed = !comp;
+            })
+          !order
+      in
+      { label = label x; algos })
+    xs
+
+let table ~title ~x_header ~digits ~cell points =
+  match points with
+  | [] -> { title; header = [ x_header ]; rows = []; float_digits = digits }
+  | first :: _ ->
+    let names = List.map (fun a -> a.algorithm) first.algos in
+    let header = x_header :: names in
+    let rows =
+      List.map
+        (fun p ->
+          Ltc_util.Table.Str p.label :: List.map (fun a -> cell a) p.algos)
+        points
+    in
+    { title; header; rows; float_digits = digits }
+
+let latency_cell a =
+  if a.all_completed then Ltc_util.Table.Float a.mean_latency
+  else
+    (* A starred latency marks repetitions that ran out of workers. *)
+    Ltc_util.Table.Str (Printf.sprintf "%.1f*" a.mean_latency)
+
+let latency_table ~title ~x_header points =
+  table ~title ~x_header ~digits:1 ~cell:latency_cell points
+
+let runtime_table ~title ~x_header points =
+  table ~title ~x_header ~digits:4
+    ~cell:(fun a -> Ltc_util.Table.Float a.mean_runtime_s)
+    points
+
+let memory_table ~title ~x_header points =
+  table ~title ~x_header ~digits:2
+    ~cell:(fun a -> Ltc_util.Table.Float a.mean_memory_mb)
+    points
+
+let render o =
+  Printf.sprintf "== %s ==\n%s" o.title
+    (Ltc_util.Table.render ~float_digits:o.float_digits ~header:o.header
+       o.rows)
+
+(* Numeric prefix of a label ("2000 (|W|=8000)" -> 2000.). *)
+let numeric_prefix s =
+  let is_num c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = 'e' in
+  let n = String.length s in
+  let rec stop i = if i < n && is_num s.[i] then stop (i + 1) else i in
+  let len = stop 0 in
+  if len = 0 then None else float_of_string_opt (String.sub s 0 len)
+
+let cell_value = function
+  | Ltc_util.Table.Int i -> Some (float_of_int i)
+  | Ltc_util.Table.Float f -> Some f
+  | Ltc_util.Table.Str s -> numeric_prefix s
+
+let to_plot o =
+  match (o.header, o.rows) with
+  | _ :: series_names, _ :: _ when series_names <> [] ->
+    let x_of row_idx row =
+      match row with
+      | first :: _ -> (
+        match cell_value first with
+        | Some x -> x
+        | None -> float_of_int row_idx)
+      | [] -> float_of_int row_idx
+    in
+    let series =
+      List.mapi
+        (fun col name ->
+          let points =
+            List.mapi
+              (fun row_idx row ->
+                match List.nth_opt row (col + 1) with
+                | Some cell -> (
+                  match cell_value cell with
+                  | Some y -> Some (x_of row_idx row, y)
+                  | None -> None)
+                | None -> None)
+              o.rows
+            |> List.filter_map Fun.id
+          in
+          { Ltc_util.Ascii_plot.name; points })
+        series_names
+    in
+    let plot = Ltc_util.Ascii_plot.render ~title:o.title series in
+    if plot = "" then None else Some plot
+  | _ -> None
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_cell = function
+  | Ltc_util.Table.Str s -> csv_field s
+  | Ltc_util.Table.Int i -> string_of_int i
+  | Ltc_util.Table.Float f -> Printf.sprintf "%.17g" f
+
+let to_csv o =
+  let buf = Buffer.create 1024 in
+  let emit fields =
+    Buffer.add_string buf (String.concat "," fields);
+    Buffer.add_char buf '\n'
+  in
+  emit (List.map csv_field o.header);
+  List.iter (fun row -> emit (List.map csv_cell row)) o.rows;
+  Buffer.contents buf
+
+let slugify title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    title
+
+let write_csv ~dir o =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (slugify o.title ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv o));
+  path
+
+let print o = print_endline (render o)

@@ -1,0 +1,71 @@
+let max_flow g ~source ~sink =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n || sink < 0 || sink >= n then
+    invalid_arg "Dinic.max_flow: node out of range";
+  if source = sink then invalid_arg "Dinic.max_flow: source = sink";
+  let raw = Graph.raw g in
+  let heads = raw.Graph.r_heads
+  and caps = raw.Graph.r_caps
+  and next = raw.Graph.r_next
+  and first = raw.Graph.r_first in
+  let level = Array.make n (-1) in
+  let cursor = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  (* BFS on residual arcs; true iff the sink is reachable. *)
+  let build_levels () =
+    Array.fill level 0 n (-1);
+    level.(source) <- 0;
+    queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let a = ref first.(u) in
+      while !a <> -1 do
+        let arc = !a in
+        a := next.(arc);
+        if caps.(arc) > 0 then begin
+          let v = heads.(arc) in
+          if level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        end
+      done
+    done;
+    level.(sink) >= 0
+  in
+  (* DFS for one augmenting path in the level graph, advancing each node's
+     arc cursor so dead arcs are never rescanned (the standard "current
+     arc" optimisation that gives Dinic its bound). *)
+  let rec dfs u limit =
+    if u = sink then limit
+    else begin
+      let pushed = ref 0 in
+      while !pushed = 0 && cursor.(u) <> -1 do
+        let arc = cursor.(u) in
+        let v = heads.(arc) in
+        if caps.(arc) > 0 && level.(v) = level.(u) + 1 then begin
+          let got = dfs v (min limit caps.(arc)) in
+          if got > 0 then begin
+            Graph.push g arc got;
+            pushed := got
+          end
+          else cursor.(u) <- next.(arc)
+        end
+        else cursor.(u) <- next.(arc)
+      done;
+      !pushed
+    end
+  in
+  let total = ref 0 in
+  while build_levels () do
+    Array.blit first 0 cursor 0 n;
+    let continue = ref true in
+    while !continue do
+      let got = dfs source max_int in
+      if got = 0 then continue := false else total := !total + got
+    done
+  done;
+  !total

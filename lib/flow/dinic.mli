@@ -1,0 +1,12 @@
+(** Dinic's maximum-flow algorithm (BFS level graph + blocking DFS).
+
+    Cost-free companion to {!Mcmf}: used where only the {e amount} of
+    routable flow matters, e.g. the supply screen of
+    {!Ltc_algo.Feasibility}, which decides whether an instance can possibly
+    complete before any assignment algorithm runs.  O(V^2 E) worst case;
+    near-linear on the unit-capacity bipartite networks LTC produces. *)
+
+val max_flow : Graph.t -> source:int -> sink:int -> int
+(** Saturates the network (mutating residual capacities; read per-arc flow
+    with {!Graph.flow}) and returns the total routed amount.
+    @raise Invalid_argument when [source = sink] or out of range. *)

@@ -1,0 +1,143 @@
+type result = {
+  flow : int;
+  cost : float;
+  rounds : int;
+}
+
+(* Tolerance for reduced-cost non-negativity under float arithmetic. *)
+let epsilon = 1e-9
+
+(* Bellman-Ford over residual arcs; fills [pot] with shortest-path distances
+   from [source] (unreachable nodes keep 0, which is safe: they can only be
+   reached later through reachable nodes, whose potentials are exact). *)
+let bellman_ford (raw : Graph.raw) ~n ~source pot =
+  Array.fill pot 0 n infinity;
+  pot.(source) <- 0.0;
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed && !round < n do
+    changed := false;
+    incr round;
+    for a = 0 to raw.Graph.r_len - 1 do
+      if raw.Graph.r_caps.(a) > 0 then begin
+        (* The source of arc [a] is the head of its reverse. *)
+        let u = raw.Graph.r_heads.(a lxor 1) in
+        let v = raw.Graph.r_heads.(a) in
+        if pot.(u) < infinity then begin
+          let d = pot.(u) +. raw.Graph.r_costs.(a) in
+          if d < pot.(v) -. epsilon then begin
+            pot.(v) <- d;
+            changed := true
+          end
+        end
+      end
+    done
+  done;
+  if !changed then invalid_arg "Mcmf: negative-cost cycle in input";
+  for v = 0 to n - 1 do
+    if pot.(v) = infinity then pot.(v) <- 0.0
+  done
+
+let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n || sink < 0 || sink >= n then
+    invalid_arg "Mcmf.run: node out of range";
+  if source = sink then invalid_arg "Mcmf.run: source = sink";
+  let raw = Graph.raw g in
+  let heads = raw.Graph.r_heads
+  and caps = raw.Graph.r_caps
+  and costs = raw.Graph.r_costs
+  and next = raw.Graph.r_next
+  and first = raw.Graph.r_first in
+  let pot = Array.make n 0.0 in
+  bellman_ford raw ~n ~source pot;
+  let dist = Array.make n infinity in
+  let settled = Bytes.make n '\000' in
+  let pred = Array.make n (-1) in
+  let heap = Node_heap.create ~n in
+  (* Dijkstra on reduced costs, stopping as soon as the sink settles.
+     Returns true when the sink is reachable. *)
+  let dijkstra () =
+    Array.fill dist 0 n infinity;
+    Bytes.fill settled 0 n '\000';
+    Array.fill pred 0 n (-1);
+    Node_heap.clear heap;
+    dist.(source) <- 0.0;
+    Node_heap.push_or_decrease heap source 0.0;
+    let reached_sink = ref false in
+    let continue = ref true in
+    while !continue do
+      match Node_heap.pop_min heap with
+      | None -> continue := false
+      | Some (u, d) ->
+        Bytes.unsafe_set settled u '\001';
+        if u = sink then begin
+          reached_sink := true;
+          continue := false
+        end
+        else begin
+          let pot_u = Array.unsafe_get pot u in
+          let a = ref (Array.unsafe_get first u) in
+          while !a <> -1 do
+            let arc = !a in
+            a := Array.unsafe_get next arc;
+            if Array.unsafe_get caps arc > 0 then begin
+              let v = Array.unsafe_get heads arc in
+              if Bytes.unsafe_get settled v = '\000' then begin
+                let reduced =
+                  Array.unsafe_get costs arc
+                  +. pot_u
+                  -. Array.unsafe_get pot v
+                in
+                let reduced = if reduced < 0.0 then 0.0 else reduced in
+                let nd = d +. reduced in
+                if nd < Array.unsafe_get dist v -. epsilon then begin
+                  Array.unsafe_set dist v nd;
+                  Array.unsafe_set pred v arc;
+                  Node_heap.push_or_decrease heap v nd
+                end
+              end
+            end
+          done
+        end
+    done;
+    !reached_sink
+  in
+  let total_flow = ref 0 in
+  let total_cost = ref 0.0 in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !total_flow < max_flow && dijkstra () do
+    (* True (unreduced) cost of the found path. *)
+    let path_cost = dist.(sink) +. pot.(sink) -. pot.(source) in
+    if stop_on_nonnegative && path_cost >= -.epsilon then continue := false
+    else begin
+      incr rounds;
+      (* Early-exit potential update: unsettled nodes advance by the sink
+         distance, settled ones by their own distance. *)
+      let d_sink = dist.(sink) in
+      for v = 0 to n - 1 do
+        pot.(v) <- pot.(v) +. Float.min dist.(v) d_sink
+      done;
+      (* Bottleneck along the predecessor chain. *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else begin
+          let a = pred.(v) in
+          bottleneck heads.(a lxor 1) (min acc caps.(a))
+        end
+      in
+      let amount = min (bottleneck sink max_int) (max_flow - !total_flow) in
+      let rec augment v =
+        if v <> source then begin
+          let a = pred.(v) in
+          Graph.push g a amount;
+          augment heads.(a lxor 1)
+        end
+      in
+      augment sink;
+      total_flow := !total_flow + amount;
+      total_cost := !total_cost +. (float_of_int amount *. path_cost)
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost; rounds = !rounds }

@@ -1,0 +1,39 @@
+(** Minimum-cost maximum-flow via the Successive Shortest Path Algorithm.
+
+    This is the solver the paper plugs into MCF-LTC (Sec. III): "we apply the
+    Successive Shortest Path Algorithm (SSPA) to calculate the minimum cost
+    flow [...] SSPA is suitable for large-scale data and many-to-many
+    matching with real-valued arc costs".
+
+    Implementation: node potentials initialised by Bellman-Ford (the LTC
+    networks carry negative arc costs [-Acc*]), then repeated Dijkstra on
+    reduced costs with a binary heap, augmenting one shortest path per
+    round.  Dijkstra stops as soon as the sink settles; potentials of
+    unsettled nodes advance by the sink distance (Goldberg's early-exit
+    variant), preserving reduced-cost non-negativity.  A small epsilon
+    absorbs floating-point drift in the reduced costs. *)
+
+type result = {
+  flow : int;      (** total units routed from source to sink *)
+  cost : float;    (** total cost of the routed flow *)
+  rounds : int;    (** number of augmenting iterations *)
+}
+
+val run :
+  ?max_flow:int ->
+  ?stop_on_nonnegative:bool ->
+  Graph.t ->
+  source:int ->
+  sink:int ->
+  result
+(** [run g ~source ~sink] augments along successive cheapest paths until the
+    sink is unreachable (a {e maximum} flow of minimum cost), mutating [g]'s
+    residual capacities; read per-arc results with {!Graph.flow}.
+
+    [max_flow] caps the total units routed.  [stop_on_nonnegative] (default
+    [false]) additionally stops when the cheapest augmenting path has cost
+    [>= 0], yielding a {e minimum-cost} flow instead (never routes
+    cost-increasing flow).
+
+    @raise Invalid_argument when [source = sink] or nodes are out of
+    range. *)

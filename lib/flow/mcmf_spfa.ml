@@ -1,0 +1,86 @@
+let epsilon = 1e-9
+
+let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n || sink < 0 || sink >= n then
+    invalid_arg "Mcmf_spfa.run: node out of range";
+  if source = sink then invalid_arg "Mcmf_spfa.run: source = sink";
+  let raw = Graph.raw g in
+  let heads = raw.Graph.r_heads
+  and caps = raw.Graph.r_caps
+  and costs = raw.Graph.r_costs
+  and next = raw.Graph.r_next
+  and first = raw.Graph.r_first in
+  let dist = Array.make n infinity in
+  let in_queue = Bytes.make n '\000' in
+  let pred = Array.make n (-1) in
+  let queue = Queue.create () in
+  let relax_count = Array.make n 0 in
+  (* Shortest path by SPFA; handles negative arcs, detects negative cycles
+     by the n-relaxations rule. *)
+  let spfa () =
+    Array.fill dist 0 n infinity;
+    Array.fill pred 0 n (-1);
+    Bytes.fill in_queue 0 n '\000';
+    Array.fill relax_count 0 n 0;
+    Queue.clear queue;
+    dist.(source) <- 0.0;
+    Queue.push source queue;
+    Bytes.set in_queue source '\001';
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Bytes.set in_queue u '\000';
+      let du = dist.(u) in
+      let a = ref first.(u) in
+      while !a <> -1 do
+        let arc = !a in
+        a := next.(arc);
+        if caps.(arc) > 0 then begin
+          let v = heads.(arc) in
+          let nd = du +. costs.(arc) in
+          if nd < dist.(v) -. epsilon then begin
+            dist.(v) <- nd;
+            pred.(v) <- arc;
+            if Bytes.get in_queue v = '\000' then begin
+              relax_count.(v) <- relax_count.(v) + 1;
+              if relax_count.(v) > n then
+                invalid_arg "Mcmf_spfa: negative-cost cycle in input";
+              Queue.push v queue;
+              Bytes.set in_queue v '\001'
+            end
+          end
+        end
+      done
+    done;
+    dist.(sink) < infinity
+  in
+  let total_flow = ref 0 in
+  let total_cost = ref 0.0 in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !total_flow < max_flow && spfa () do
+    let path_cost = dist.(sink) in
+    if stop_on_nonnegative && path_cost >= -.epsilon then continue := false
+    else begin
+      incr rounds;
+      let rec bottleneck v acc =
+        if v = source then acc
+        else begin
+          let a = pred.(v) in
+          bottleneck heads.(a lxor 1) (min acc caps.(a))
+        end
+      in
+      let amount = min (bottleneck sink max_int) (max_flow - !total_flow) in
+      let rec augment v =
+        if v <> source then begin
+          let a = pred.(v) in
+          Graph.push g a amount;
+          augment heads.(a lxor 1)
+        end
+      in
+      augment sink;
+      total_flow := !total_flow + amount;
+      total_cost := !total_cost +. (float_of_int amount *. path_cost)
+    end
+  done;
+  { Mcmf.flow = !total_flow; cost = !total_cost; rounds = !rounds }

@@ -1,0 +1,17 @@
+(** Reference min-cost max-flow solver: SPFA (queue-based Bellman-Ford)
+    path search without potentials.
+
+    Slower than {!Mcmf} (no reduced costs, no early exit) but structurally
+    independent from it: no potential maintenance, no float-epsilon
+    subtleties in reduced costs.  The test-suite cross-checks both solvers
+    on random instances, and the [ablation-solver] bench measures the gap.
+    Results are interchangeable with {!Mcmf.run}'s. *)
+
+val run :
+  ?max_flow:int ->
+  ?stop_on_nonnegative:bool ->
+  Graph.t ->
+  source:int ->
+  sink:int ->
+  Mcmf.result
+(** Same contract as {!Mcmf.run}. *)

@@ -1,0 +1,28 @@
+(** Indexed binary min-heap over node ids with float keys.
+
+    Purpose-built priority queue for Dijkstra inside {!Mcmf}: nodes are small
+    integers, keys are distances, and [decrease] updates a node's priority in
+    place — no stale entries, no per-push tuple allocation.  All storage is
+    three flat arrays sized by the node count. *)
+
+type t
+
+val create : n:int -> t
+(** Heap over node ids [0 .. n-1], initially empty. *)
+
+val clear : t -> unit
+(** O(size): empties the heap for reuse. *)
+
+val is_empty : t -> bool
+val size : t -> int
+
+val mem : t -> int -> bool
+(** Is the node currently queued? *)
+
+val push_or_decrease : t -> int -> float -> unit
+(** Insert the node with the given key, or lower its key if already queued
+    with a larger one.  Raising a queued node's key is a no-op (Dijkstra
+    never needs it).  @raise Invalid_argument on an out-of-range node. *)
+
+val pop_min : t -> (int * float) option
+(** Remove and return the minimum-key node. *)

@@ -1,0 +1,153 @@
+(* Implicit kd-tree: [order] is a permutation of point indices arranged so
+   that the median of every subrange splits it on the range's spread axis.
+   Node metadata (split axis, bounding boxes) is recomputed during traversal
+   from stored per-range axes, keeping the structure at two int arrays. *)
+type t = {
+  points : Point.t array;
+  order : int array;
+  axes : Bytes.t;  (* axes.(node slot) = 0 for x-split, 1 for y-split *)
+}
+
+let length t = Array.length t.order
+
+let coord (p : Point.t) axis = if axis = 0 then p.x else p.y
+
+(* In-place quickselect of the k-th element of order[lo..hi] by coordinate
+   on [axis].  Median-of-three pivot avoids quadratic behaviour on the
+   sorted/duplicated inputs the city generator produces. *)
+let rec select points order axis lo hi k =
+  if lo < hi then begin
+    let swap i j =
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    in
+    let key i = coord points.(order.(i)) axis in
+    if hi - lo = 1 then begin
+      (* The Hoare partition below needs >= 3 elements for its sentinels. *)
+      if key hi < key lo then swap lo hi
+    end
+    else begin
+    let mid = lo + ((hi - lo) / 2) in
+    if key mid < key lo then swap mid lo;
+    if key hi < key lo then swap hi lo;
+    if key hi < key mid then swap hi mid;
+    let pivot = key mid in
+    swap mid (hi - 1);
+    let i = ref lo in
+    let j = ref (hi - 1) in
+    (try
+       while true do
+         incr i;
+         while key !i < pivot do
+           incr i
+         done;
+         decr j;
+         while key !j > pivot do
+           decr j
+         done;
+         if !i >= !j then raise Exit;
+         swap !i !j
+       done
+     with Exit -> ());
+    swap !i (hi - 1);
+    if k < !i then select points order axis lo (!i - 1) k
+    else if k > !i then select points order axis (!i + 1) hi k
+    end
+  end
+
+let build points =
+  let n = Array.length points in
+  let order = Array.init n (fun i -> i) in
+  let axes = Bytes.make (max n 1) '\000' in
+  let rec layout lo hi =
+    if hi - lo >= 1 then begin
+      (* Split on the axis with the larger coordinate spread. *)
+      let min_x = ref infinity and max_x = ref neg_infinity in
+      let min_y = ref infinity and max_y = ref neg_infinity in
+      for i = lo to hi do
+        let p = points.(order.(i)) in
+        if p.Point.x < !min_x then min_x := p.Point.x;
+        if p.Point.x > !max_x then max_x := p.Point.x;
+        if p.Point.y < !min_y then min_y := p.Point.y;
+        if p.Point.y > !max_y then max_y := p.Point.y
+      done;
+      let axis = if !max_x -. !min_x >= !max_y -. !min_y then 0 else 1 in
+      let mid = lo + ((hi - lo) / 2) in
+      select points order axis lo hi mid;
+      Bytes.set axes mid (Char.chr axis);
+      layout lo (mid - 1);
+      layout (mid + 1) hi
+    end
+  in
+  if n > 1 then layout 0 (n - 1);
+  { points; order; axes }
+
+let iter_within t ~center ~radius f =
+  let r_sq = radius *. radius in
+  let rec visit lo hi =
+    if lo <= hi then begin
+      let mid = lo + ((hi - lo) / 2) in
+      let idx = t.order.(mid) in
+      let p = t.points.(idx) in
+      if Point.distance_sq p center <= r_sq then f idx;
+      if lo < hi then begin
+        let axis = Char.code (Bytes.get t.axes mid) in
+        let diff = coord center axis -. coord p axis in
+        (* Recurse into the near side always, the far side only when the
+           splitting plane is within the radius. *)
+        if diff <= 0.0 then begin
+          visit lo (mid - 1);
+          if diff *. diff <= r_sq then visit (mid + 1) hi
+        end
+        else begin
+          visit (mid + 1) hi;
+          if diff *. diff <= r_sq then visit lo (mid - 1)
+        end
+      end
+    end
+  in
+  let n = Array.length t.order in
+  if n > 0 then visit 0 (n - 1)
+
+let query_within t ~center ~radius =
+  let acc = ref [] in
+  iter_within t ~center ~radius (fun i -> acc := i :: !acc);
+  List.sort compare !acc
+
+let nearest t query =
+  let n = Array.length t.order in
+  if n = 0 then None
+  else begin
+    let best = ref t.order.(0) in
+    let best_d = ref infinity in
+    let rec visit lo hi =
+      if lo <= hi then begin
+        let mid = lo + ((hi - lo) / 2) in
+        let idx = t.order.(mid) in
+        let d = Point.distance_sq t.points.(idx) query in
+        if d < !best_d then begin
+          best_d := d;
+          best := idx
+        end;
+        if lo < hi then begin
+          let axis = Char.code (Bytes.get t.axes mid) in
+          let diff = coord query axis -. coord t.points.(idx) axis in
+          if diff <= 0.0 then begin
+            visit lo (mid - 1);
+            if diff *. diff < !best_d then visit (mid + 1) hi
+          end
+          else begin
+            visit (mid + 1) hi;
+            if diff *. diff < !best_d then visit lo (mid - 1)
+          end
+        end
+      end
+    in
+    visit 0 (n - 1);
+    Some !best
+  end
+
+let memory_words t =
+  Array.length t.order + (Bytes.length t.axes / (Sys.word_size / 8))
+  + (3 * Array.length t.points)

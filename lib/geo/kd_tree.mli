@@ -1,0 +1,28 @@
+(** Static 2-d tree over a fixed point set.
+
+    Alternative spatial index to {!Grid_index}: better when point density is
+    highly non-uniform (the clustered city workloads) because its cells adapt
+    to the data.  The [ablation-index] bench compares both against a linear
+    scan.  Also provides nearest-neighbour search, which the city generator
+    uses to snap check-ins to POIs. *)
+
+type t
+
+val build : Point.t array -> t
+(** O(n log n) construction by in-place median partitioning (Hoare-style
+    selection); points are identified by their array index. *)
+
+val length : t -> int
+
+val iter_within : t -> center:Point.t -> radius:float -> (int -> unit) -> unit
+(** Calls [f i] for each point within Euclidean [radius] of [center], in
+    tree order (unspecified but deterministic). *)
+
+val query_within : t -> center:Point.t -> radius:float -> int list
+(** Materialised {!iter_within}, ascending point-index order. *)
+
+val nearest : t -> Point.t -> int option
+(** Index of a closest point ([None] iff the tree is empty).  Ties are broken
+    deterministically by tree order. *)
+
+val memory_words : t -> int

@@ -1,0 +1,20 @@
+(** Planar points.
+
+    The paper's world is a 1000x1000 grid where one unit is a 10 m square;
+    all distances ([dmax = 30] units = 300 m) are Euclidean in grid units.
+    Coordinates are floats so that the city workload generator can place
+    check-ins off the lattice. *)
+
+type t = { x : float; y : float }
+
+val make : x:float -> y:float -> t
+
+val distance : t -> t -> float
+(** Euclidean distance. *)
+
+val distance_sq : t -> t -> float
+(** Squared Euclidean distance; avoids the [sqrt] in pure comparisons. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

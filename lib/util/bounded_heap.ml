@@ -1,0 +1,46 @@
+(* Elements carry a push sequence number so that equal scores keep the
+   earliest-pushed element: the resident element wins against a tying
+   newcomer, and [pop_all] sorts ties by ascending sequence. *)
+type 'a entry = { score : float; seq : int; value : 'a }
+
+type 'a t = {
+  k : int;
+  heap : 'a entry Heap.t;
+  mutable next_seq : int;
+}
+
+(* Min-heap by score; among equal scores the *later* push is the smaller
+   element, i.e. the first evicted. *)
+let entry_leq a b = a.score < b.score || (a.score = b.score && a.seq > b.seq)
+
+let create ~k () =
+  if k <= 0 then invalid_arg "Bounded_heap.create: k must be positive";
+  { k; heap = Heap.create ~capacity:(k + 1) ~leq:entry_leq (); next_seq = 0 }
+
+let push t ~score value =
+  let e = { score; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e;
+  if Heap.length t.heap > t.k then ignore (Heap.pop t.heap)
+
+let length t = Heap.length t.heap
+
+let pop_all t =
+  let rec drain acc =
+    match Heap.pop t.heap with
+    | None -> acc
+    | Some e -> drain (e :: acc)
+  in
+  let ascending = List.rev (drain []) in
+  (* [drain] yields ascending score order (min-heap pops), reversed to
+     descending by the accumulator; re-sort only to stabilise equal scores by
+     push order. *)
+  let descending =
+    List.sort
+      (fun a b ->
+        if a.score = b.score then compare a.seq b.seq else compare b.score a.score)
+      ascending
+  in
+  List.map (fun e -> (e.score, e.value)) descending
+
+let clear t = Heap.clear t.heap

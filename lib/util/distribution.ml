@@ -1,0 +1,47 @@
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float }
+  | Truncated of { dist : t; lo : float; hi : float }
+  | Constant of float
+
+let rec sample rng = function
+  | Constant c -> c
+  | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+  | Normal { mu; sigma } ->
+    (* Box-Muller; one draw per call keeps the stream position independent of
+       how callers interleave distributions. *)
+    let u1 = 1.0 -. Rng.float rng 1.0 in
+    let u2 = Rng.float rng 1.0 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    mu +. (sigma *. z)
+  | Truncated { dist; lo; hi } ->
+    let rec draw attempts =
+      if attempts = 0 then Float.min hi (Float.max lo (sample rng dist))
+      else
+        let x = sample rng dist in
+        if x >= lo && x <= hi then x else draw (attempts - 1)
+    in
+    draw 1000
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Normal { mu; _ } -> mu
+  | Truncated { dist; _ } -> mean dist
+
+let min_accuracy = 0.66
+
+let accuracy_normal ~mu =
+  Truncated { dist = Normal { mu; sigma = 0.05 }; lo = min_accuracy; hi = 1.0 }
+
+let accuracy_uniform ~mean =
+  let lo = Float.max min_accuracy (mean -. 0.08) in
+  let hi = Float.min 1.0 (mean +. 0.08) in
+  Uniform { lo; hi }
+
+let rec pp fmt = function
+  | Constant c -> Format.fprintf fmt "Constant(%g)" c
+  | Uniform { lo; hi } -> Format.fprintf fmt "Uniform[%g, %g]" lo hi
+  | Normal { mu; sigma } -> Format.fprintf fmt "Normal(%g, %g)" mu sigma
+  | Truncated { dist; lo; hi } ->
+    Format.fprintf fmt "%a|[%g, %g]" pp dist lo hi

@@ -1,0 +1,32 @@
+(** Probability distributions used by the workload generators.
+
+    Table IV of the paper draws historical worker accuracies from either a
+    Normal(mu, 0.05) or a Uniform distribution with a given mean; both are
+    truncated to the platform's admissible accuracy band (the paper ignores
+    workers with [p_w < 0.66] as spam, and accuracy can never exceed 1). *)
+
+type t =
+  | Uniform of { lo : float; hi : float }
+      (** Uniform over [\[lo, hi\]]. *)
+  | Normal of { mu : float; sigma : float }
+      (** Gaussian with mean [mu] and standard deviation [sigma]. *)
+  | Truncated of { dist : t; lo : float; hi : float }
+      (** Rejection-resample [dist] until the draw lands in [\[lo, hi\]]. *)
+  | Constant of float
+
+val sample : Rng.t -> t -> float
+
+val mean : t -> float
+(** Analytical mean for [Uniform]/[Normal]/[Constant]; for [Truncated] the
+    mean of the underlying distribution (adequate for the mild truncations
+    used here, where clipping is nearly symmetric). *)
+
+val accuracy_normal : mu:float -> t
+(** The paper's Normal accuracy model: Normal(mu, 0.05) truncated to
+    [\[0.66, 1.0\]]. *)
+
+val accuracy_uniform : mean:float -> t
+(** The paper's Uniform accuracy model: a uniform distribution centred on
+    [mean] with half-width 0.08, clipped into [\[0.66, 1.0\]]. *)
+
+val pp : Format.formatter -> t -> unit

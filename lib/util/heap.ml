@@ -1,0 +1,95 @@
+(* The backing store is an ['a option array]: [None] marks unused slots.
+   This avoids manufacturing dummy values of an arbitrary ['a] (unsafe for
+   [float], whose arrays are unboxed). *)
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) ~leq () =
+  { leq; data = Array.make (max capacity 1) None; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  Array.fill t.data 0 t.size None;
+  t.size <- 0
+
+let get t i =
+  match t.data.(i) with
+  | Some x -> x
+  | None -> assert false
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) None in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if not (t.leq (get t parent) (get t i)) then begin
+      swap t parent i;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && not (t.leq (get t i) (get t l)) then l else i in
+  let smallest =
+    if r < t.size && not (t.leq (get t smallest) (get t r)) then r else smallest
+  in
+  if smallest <> i then begin
+    swap t smallest i;
+    sift_down t smallest
+  end
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- Some x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    root
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let to_list t =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (get t i :: acc)
+  in
+  collect (t.size - 1) []
+
+let of_array ~leq a =
+  let size = Array.length a in
+  let data = Array.make (max size 1) None in
+  for i = 0 to size - 1 do
+    data.(i) <- Some a.(i)
+  done;
+  let t = { leq; data; size } in
+  for i = (size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t

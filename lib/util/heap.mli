@@ -1,0 +1,32 @@
+(** Mutable array-backed binary heap.
+
+    The ordering is supplied at creation time: [Heap.create ~leq] builds a
+    heap whose [pop] returns the {e smallest} element under [leq].  Pass a
+    reversed predicate for a max-heap.  Used as the priority queue of the
+    SSPA/Dijkstra augmentation inside {!Ltc_flow.Mcmf} and as the task
+    selector of the online algorithms. *)
+
+type 'a t
+
+val create : ?capacity:int -> leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [leq a b] must hold iff [a] sorts before or equal to [b]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; the heap is unchanged. *)
+
+val of_array : leq:('a -> 'a -> bool) -> 'a array -> 'a t
+(** Linear-time heapify. *)

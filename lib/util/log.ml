@@ -1,0 +1,24 @@
+let algo = Logs.Src.create "ltc.algo" ~doc:"LTC assignment algorithms"
+let flow = Logs.Src.create "ltc.flow" ~doc:"min-cost-flow solvers"
+let workload = Logs.Src.create "ltc.workload" ~doc:"workload generators"
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf (fun ?header ?tags fmt ->
+        ignore tags;
+        let ppf = Format.err_formatter in
+        Format.kfprintf k ppf
+          ("[%s] %s%s @[" ^^ fmt ^^ "@]@.")
+          (Logs.level_to_string (Some level))
+          (Logs.Src.name src)
+          (match header with None -> "" | Some h -> " " ^ h))
+  in
+  { Logs.report }
+
+let setup ?level () =
+  Logs.set_reporter (reporter ());
+  match level with None -> () | Some l -> Logs.set_level (Some l)

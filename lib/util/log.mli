@@ -1,0 +1,19 @@
+(** Logging sources for the library.
+
+    All libraries log through these {!Logs} sources; applications choose
+    what to see.  The CLI and the bench harness call {!setup} (Fmt reporter
+    on stderr); embedders can install their own reporter instead and tune
+    per-source levels with [Logs.Src.set_level]. *)
+
+val algo : Logs.src
+(** Algorithm events: batch solves, completion, engine stops. *)
+
+val flow : Logs.src
+(** Solver internals: augmentation rounds, Bellman-Ford passes. *)
+
+val workload : Logs.src
+(** Generator events: hot-spot mixtures, cardinalities. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a [Format]-based reporter on stderr and set the global level
+    ([None] semantics: pass no [level] to leave reporting off). *)

@@ -1,0 +1,33 @@
+let bytes_per_word = Sys.word_size / 8
+
+let words_to_mb words = float_of_int (words * bytes_per_word) /. (1024.0 *. 1024.0)
+
+let live_mb () =
+  let stat = Gc.quick_stat () in
+  words_to_mb stat.Gc.heap_words
+
+module Tracker = struct
+  type t = {
+    mutable current : int;
+    mutable baseline : int;
+    mutable peak : int;
+  }
+
+  let create () = { current = 0; baseline = 0; peak = 0 }
+
+  let refresh_peak t =
+    let total = t.current + t.baseline in
+    if total > t.peak then t.peak <- total
+
+  let add_words t n =
+    t.current <- t.current + n;
+    refresh_peak t
+
+  let remove_words t n = t.current <- max 0 (t.current - n)
+
+  let set_baseline_words t n =
+    t.baseline <- n;
+    refresh_peak t
+
+  let high_water_mb t = words_to_mb t.peak
+end

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (workload generation, the
+    [Random] baseline, Monte-Carlo voting simulation) draws from an explicit
+    [Rng.t] so that experiments are exactly reproducible from a seed, across
+    machines and OCaml versions.  The implementation is the splitmix64
+    generator of Steele, Lea and Flood, which passes BigCrush and supports
+    cheap stream splitting. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy at the current position of the stream. *)
+
+val split : t -> t
+(** [split rng] advances [rng] and returns a generator whose stream is
+    statistically independent from the remainder of [rng]'s stream.  Use it to
+    give sub-components their own stream without coupling their consumption
+    rates. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform over [\[0, n-1\]].  Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform over [\[0, x)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli rng p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

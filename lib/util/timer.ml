@@ -1,0 +1,9 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+let elapsed_s t = Unix.gettimeofday () -. t
+
+let time f =
+  let t = start () in
+  let result = f () in
+  (result, elapsed_s t)

@@ -1,0 +1,12 @@
+(** Wall-clock timing for the runtime panels of Figs. 3-4. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result together with the elapsed wall
+    time in seconds. *)

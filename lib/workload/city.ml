@@ -1,0 +1,81 @@
+open Ltc_core
+
+let zipf_weights n =
+  let raw = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun w -> w /. total) raw
+
+let hotspots rng (spec : Spec.city) =
+  let weights = zipf_weights spec.c_clusters in
+  Array.init spec.c_clusters (fun i ->
+      let coord () = Ltc_util.Rng.float rng spec.c_side in
+      (Ltc_geo.Point.make ~x:(coord ()) ~y:(coord ()), weights.(i)))
+
+(* Inverse-CDF draw over mixture components. *)
+let pick_component rng cumulative =
+  let u = Ltc_util.Rng.float rng 1.0 in
+  let n = Array.length cumulative in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if cumulative.(mid) < u then bsearch (mid + 1) hi else bsearch lo mid
+    end
+  in
+  min (bsearch 0 (n - 1)) (n - 1)
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let hotspot_point rng spec hotspots cumulative ~sigma =
+  let centre, _ = hotspots.(pick_component rng cumulative) in
+  let gauss = Ltc_util.Distribution.Normal { mu = 0.0; sigma } in
+  let jitter () = Ltc_util.Distribution.sample rng gauss in
+  Ltc_geo.Point.make
+    ~x:(clamp 0.0 spec.Spec.c_side (centre.Ltc_geo.Point.x +. jitter ()))
+    ~y:(clamp 0.0 spec.Spec.c_side (centre.Ltc_geo.Point.y +. jitter ()))
+
+(* Tasks are questions about POIs, and POIs sit at the heart of the
+   neighbourhoods workers frequent (the paper generates task locations from
+   POIs "within the convex region of the workers"); so tasks get a tighter
+   jitter than check-ins and no uniform background component. *)
+let task_point rng spec hotspots cumulative =
+  hotspot_point rng spec hotspots cumulative
+    ~sigma:(spec.Spec.c_cluster_sigma /. 3.0)
+
+let worker_point rng spec hotspots cumulative =
+  if Ltc_util.Rng.float rng 1.0 < spec.Spec.c_background then begin
+    let coord () = Ltc_util.Rng.float rng spec.Spec.c_side in
+    Ltc_geo.Point.make ~x:(coord ()) ~y:(coord ())
+  end
+  else
+    hotspot_point rng spec hotspots cumulative
+      ~sigma:spec.Spec.c_cluster_sigma
+
+let generate rng (spec : Spec.city) =
+  let spots = hotspots rng spec in
+  Logs.debug ~src:Ltc_util.Log.workload (fun m ->
+      m "city %s: %d hot-spots, |T|=%d, |W|=%d over %.0fx%.0f" spec.city_name
+        (Array.length spots) spec.c_n_tasks spec.c_n_workers spec.c_side
+        spec.c_side);
+  let cumulative = Array.make (Array.length spots) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i (_, w) ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    spots;
+  let tasks =
+    Array.init spec.c_n_tasks (fun id ->
+        Task.make ~id ~loc:(task_point rng spec spots cumulative) ())
+  in
+  let accuracy_dist = Ltc_util.Distribution.accuracy_normal ~mu:spec.c_mu in
+  let workers =
+    Array.init spec.c_n_workers (fun i ->
+        Worker.make ~index:(i + 1)
+          ~loc:(worker_point rng spec spots cumulative)
+          ~accuracy:(Ltc_util.Distribution.sample rng accuracy_dist)
+          ~capacity:spec.c_capacity)
+  in
+  Instance.create
+    ~accuracy:(Accuracy.Sigmoid { dmax = spec.c_dmax })
+    ~tasks ~workers ~epsilon:spec.c_epsilon ()

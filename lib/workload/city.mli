@@ -1,0 +1,30 @@
+(** Clustered-city check-in workloads — the Table V substitute.
+
+    The paper evaluates on Foursquare check-in dumps of New York and Tokyo
+    [17].  Those dumps are not shipped here, so this module simulates the
+    properties the LTC algorithms can actually observe in them:
+
+    - {b POI clustering}: POI hot spots are drawn as a Gaussian mixture over
+      the city extent, with Zipf-distributed popularity (a few
+      neighbourhoods absorb most activity);
+    - {b tasks at POIs}: task locations are sampled from the same mixture
+      with half the check-in jitter and no background component — POIs sit
+      at the heart of the neighbourhoods workers frequent ("the coordinates
+      of POIs within the convex region of the workers"), which keeps every
+      task within reach of enough check-ins to be completable;
+    - {b check-ins near POIs}: each worker checks in around a
+      popularity-weighted hot spot, plus a uniform background fraction;
+    - {b chronological arrival}: the generated order {e is} the arrival
+      order, as the paper orders workers by check-in timestamp;
+    - {b synthetic accuracies}: Normal(0.86, 0.05) — the paper itself
+      generates accuracies, since the dumps contain none.
+
+    The Table V cardinalities ([|T|], [|W|]) are kept exactly. *)
+
+val generate : Ltc_util.Rng.t -> Spec.city -> Ltc_core.Instance.t
+
+val hotspots : Ltc_util.Rng.t -> Spec.city -> (Ltc_geo.Point.t * float) array
+(** The mixture underlying a generation run: [(centre, weight)] pairs with
+    weights summing to 1.  Exposed for tests and the example programs;
+    calling it with an RNG in the same state as {!generate} yields the same
+    hot spots. *)

@@ -1,0 +1,28 @@
+open Ltc_core
+
+let accuracy_distribution = function
+  | Spec.Normal_acc mu -> Ltc_util.Distribution.accuracy_normal ~mu
+  | Spec.Uniform_acc mean -> Ltc_util.Distribution.accuracy_uniform ~mean
+
+(* Uniform draw from the grid's cell centres (integer lattice + 0.5). *)
+let grid_point rng ~side =
+  let cells = max 1 (int_of_float side) in
+  let coord () = float_of_int (Ltc_util.Rng.int rng cells) +. 0.5 in
+  Ltc_geo.Point.make ~x:(coord ()) ~y:(coord ())
+
+let generate rng (spec : Spec.synthetic) =
+  let dist = accuracy_distribution spec.accuracy in
+  let tasks =
+    Array.init spec.n_tasks (fun id ->
+        Task.make ~id ~loc:(grid_point rng ~side:spec.world_side) ())
+  in
+  let workers =
+    Array.init spec.n_workers (fun i ->
+        Worker.make ~index:(i + 1)
+          ~loc:(grid_point rng ~side:spec.world_side)
+          ~accuracy:(Ltc_util.Distribution.sample rng dist)
+          ~capacity:spec.capacity)
+  in
+  Instance.create
+    ~accuracy:(Accuracy.Sigmoid { dmax = spec.dmax })
+    ~tasks ~workers ~epsilon:spec.epsilon ()

@@ -1,0 +1,11 @@
+(** Synthetic workloads (Table IV).
+
+    "The locations of tasks and workers are randomly generated from a
+    1000x1000 2D grid" — both populations are uniform over the grid's cell
+    centres; historical accuracies follow the spec's Normal or Uniform
+    model, truncated to the trusted band [\[0.66, 1\]]. *)
+
+val generate : Ltc_util.Rng.t -> Spec.synthetic -> Ltc_core.Instance.t
+(** Deterministic in the RNG state.  The instance uses the sigmoid accuracy
+    model with the spec's [dmax] (also the candidate radius) and Hoeffding
+    scoring. *)

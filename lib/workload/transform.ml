@@ -1,0 +1,30 @@
+open Ltc_core
+
+let rebuild (instance : Instance.t) workers =
+  Instance.create ~accuracy:instance.accuracy ~scoring:instance.scoring
+    ~candidate_radius:instance.candidate_radius ~tasks:instance.tasks ~workers
+    ~epsilon:instance.epsilon ()
+
+let uniform_capacity ~k (instance : Instance.t) =
+  if k < 1 then invalid_arg "Transform.uniform_capacity: k must be >= 1";
+  let clones = ref [] in
+  let next_index = ref 0 in
+  let push ~loc ~accuracy ~capacity =
+    incr next_index;
+    clones := Worker.make ~index:!next_index ~loc ~accuracy ~capacity :: !clones
+  in
+  Array.iter
+    (fun (w : Worker.t) ->
+      let rec split remaining =
+        if remaining > 0 then begin
+          push ~loc:w.loc ~accuracy:w.accuracy ~capacity:(min k remaining);
+          split (remaining - k)
+        end
+      in
+      split w.capacity)
+    instance.workers;
+  rebuild instance (Array.of_list (List.rev !clones))
+
+let restrict_workers (instance : Instance.t) ~prefix =
+  let n = max 0 (min prefix (Array.length instance.workers)) in
+  rebuild instance (Array.sub instance.workers 0 n)

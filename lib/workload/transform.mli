@@ -1,0 +1,21 @@
+(** Instance transformations.
+
+    Definition 2 assumes a uniform capacity [K] and argues that "any worker
+    who is willing to answer more questions during each check-in can be
+    viewed as multiple workers".  {!uniform_capacity} performs exactly that
+    reduction, so heterogeneous-capacity data can be fed to the algorithms
+    (whose guarantees are stated for uniform [K]). *)
+
+val uniform_capacity : k:int -> Ltc_core.Instance.t -> Ltc_core.Instance.t
+(** [uniform_capacity ~k instance] replaces every worker of capacity
+    [c > k] by [ceil(c / k)] consecutive clones at the same location with
+    the same historical accuracy (capacities [k, ..., k, c mod k]); workers
+    with [c <= k] are kept as-is.  Arrival order is preserved, indexes are
+    re-assigned contiguously.  Latencies measured on the transformed
+    instance count clone arrivals — the paper's notion when it applies this
+    view.  @raise Invalid_argument when [k < 1]. *)
+
+val restrict_workers : Ltc_core.Instance.t -> prefix:int -> Ltc_core.Instance.t
+(** Keep only the first [prefix] arrivals (clamped to the worker count);
+    useful to replay the offline scenario on the stream a given latency
+    actually consumed. *)

@@ -1,0 +1,110 @@
+The Theorem-2 bounds command is pure arithmetic and fully deterministic:
+
+  $ ltc bounds -T 3000 -e 0.14 -K 6
+  |T| = 3000, eps = 0.14, K = 6
+  delta (2 ln 1/eps)          = 3.9322
+  Theorem-2 lower bound       = 1966.1 workers
+  Theorem-2 upper bound       = 20162.1 workers
+  McNaughton optimum at r=1   = 2000 workers
+  McNaughton optimum at r=0.5 = 4000 workers
+
+The running example replays Tables I-II (see DESIGN.md for why MCF-LTC
+and AAM differ from the paper's prose):
+
+  $ ltc example
+  The paper's running example lives in examples/facebook_editor.ml:
+  
+    dune exec examples/facebook_editor.exe
+  
+  Quick summary on this build:
+    Base-off latency = 8
+    MCF-LTC  latency = 7
+    Random   latency = 6
+    LAF      latency = 8
+    AAM      latency = 6
+
+Generate a dense (completable) workload, save, reload, run and audit.
+Wall-clock timings are normalised so the expectation stays stable:
+
+  $ ltc generate -T 200 -W 20000 --scale 0.05 --seed 3 -o wl.inst
+  instance{|T|=10, |W|=1000, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  saved to wl.inst
+
+  $ ltc run --load wl.inst --algo LAF --validate | sed 's/([0-9.]* s)/(T s)/'
+  instance{|T|=10, |W|=1000, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  
+  LAF: latency=269 assignments=92 completed=true consumed=269 mem=0.00MB  (T s)
+    constraints: all satisfied
+
+  $ ltc run --load wl.inst --algo AAM --save-arrangement out.arr | sed 's/([0-9.]* s)/(T s)/'
+  instance{|T|=10, |W|=1000, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  
+  AAM: latency=269 assignments=92 completed=true consumed=269 mem=0.00MB  (T s)
+    arrangement saved to out.arr
+
+  $ head -2 out.arr
+  ltc-arrangement v1
+  assignments 92
+
+A sparse workload is caught by the feasibility screen before any
+algorithm wastes time on it:
+
+  $ ltc generate -T 6 -W 120 --scale 1 --seed 3 -o sparse.inst
+  instance{|T|=6, |W|=120, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  saved to sparse.inst
+
+  $ ltc run --load sparse.inst --algo AAM --screen | grep -E "screen|bound"
+  feasibility screen: certified infeasible (routed 0 of 0 demand units; 6 starved tasks)
+  flow lower bound: instance cannot complete
+
+Unknown algorithms are rejected with a helpful message:
+
+  $ ltc run --load wl.inst --algo Astar
+  instance{|T|=10, |W|=1000, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  
+  unknown algorithm "Astar" (try: Base-off, MCF-LTC, Random, LAF, AAM)
+  [1]
+
+Missing and corrupt input files fail cleanly (no backtrace):
+
+  $ ltc run --load does-not-exist.inst
+  ltc: does-not-exist.inst: No such file or directory
+  [2]
+
+  $ echo "not an instance" > corrupt.inst
+  $ ltc run --load corrupt.inst
+  ltc: parse error at line 1: bad header "not an instance"
+  [2]
+
+Truth inference from a raw answer file (workers 1-3 vote on tasks 0-1;
+worker 3 is a contrarian):
+
+  $ cat > answers.txt <<'ANSWERS'
+  > 1 0 Y
+  > 2 0 Y
+  > 3 0 N
+  > 1 1 N
+  > 2 1 N
+  > 3 1 Y
+  > ANSWERS
+
+  $ ltc infer answers.txt
+  6 observations, 3 workers, 2 tasks
+  
+  one-coin EM: 5 iterations
+  
+  worker  p_w
+  w1      0.990
+  w2      0.990
+  w3      0.510
+
+  $ ltc infer answers.txt --two-coin | head -4
+  6 observations, 3 workers, 2 tasks
+  
+  two-coin EM: 5 iterations, prevalence 0.500
+  
+
+  $ echo "1 0 MAYBE" > bad.txt
+  $ ltc infer bad.txt
+  ltc: line 1: bad answer "MAYBE"
+  [2]

@@ -1,0 +1,73 @@
+(* Shared fixtures: the paper's running example (Fig. 1, Tables I-II) and
+   small random instances for property tests. *)
+
+open Ltc_core
+
+(* Table I: historical accuracy of workers w1..w8 on tasks t1..t3. *)
+let table1 =
+  [|
+    [| 0.96; 0.98; 0.98; 0.98; 0.96; 0.96; 0.94; 0.94 |];
+    [| 0.98; 0.96; 0.96; 0.98; 0.94; 0.96; 0.96; 0.94 |];
+    [| 0.96; 0.96; 0.96; 0.98; 0.94; 0.94; 0.96; 0.96 |];
+  |]
+
+let example_accuracy =
+  Accuracy.Custom
+    {
+      name = "table1";
+      f = (fun w t -> table1.(t.Task.id).(w.Worker.index - 1));
+    }
+
+(* Locations are irrelevant under the Custom model; spread workers on a line
+   so that spatial code paths still see distinct points. *)
+let example_instance ~scoring ~epsilon =
+  let tasks =
+    Array.init 3 (fun id ->
+        Task.make ~id ~loc:(Ltc_geo.Point.make ~x:(float_of_int id) ~y:0.0) ())
+  in
+  let workers =
+    Array.init 8 (fun i ->
+        Worker.make ~index:(i + 1)
+          ~loc:(Ltc_geo.Point.make ~x:(float_of_int i) ~y:1.0)
+          ~accuracy:table1.(0).(i) ~capacity:2)
+  in
+  Instance.create ~accuracy:example_accuracy ~scoring ~tasks ~workers ~epsilon
+    ()
+
+(* Example 1: quality = plain sum of accuracies, threshold 2.92. *)
+let example1 () =
+  example_instance ~scoring:(Quality.Sum_accuracy { threshold = 2.92 })
+    ~epsilon:0.14
+
+(* Examples 2-4: Hoeffding scoring with eps = 0.2 (delta ~ 3.22). *)
+let example2 () = example_instance ~scoring:Quality.Hoeffding ~epsilon:0.2
+
+(* A small uniform random instance for property tests: dense enough that all
+   algorithms complete. *)
+let small_random ~seed ?(n_tasks = 12) ?(n_workers = 600) ?(capacity = 3)
+    ?(epsilon = 0.14) () =
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      n_tasks;
+      n_workers;
+      capacity;
+      epsilon;
+      world_side = 80.0;
+    }
+  in
+  Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed) spec
+
+(* A micro instance solvable by the exact optimum. *)
+let micro_random ~seed () =
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      n_tasks = 3;
+      n_workers = 14;
+      capacity = 2;
+      epsilon = 0.2;
+      world_side = 12.0;
+    }
+  in
+  Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed) spec

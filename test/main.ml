@@ -1,0 +1,4 @@
+let () =
+  Alcotest.run "ltc"
+    (Test_util.suite @ Test_geo.suite @ Test_flow.suite @ Test_core.suite
+   @ Test_algo.suite @ Test_workload.suite @ Test_experiments.suite)

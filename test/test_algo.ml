@@ -1,0 +1,942 @@
+open Ltc_core
+open Ltc_algo
+
+(* ------------------------------------------- the paper's running example *)
+
+(* Example 1: optimal offline arrangement needs 5 workers (Table I, bold). *)
+let test_example1_optimal () =
+  let i = Fixtures.example1 () in
+  match Optimal.solve i with
+  | None -> Alcotest.fail "example must be solvable"
+  | Some (latency, arrangement) ->
+    Alcotest.(check int) "optimal latency" 5 latency;
+    (match Arrangement.validate i arrangement with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "optimal witness must validate")
+
+(* Example 2: the paper's prose claims MCF-LTC stops at worker 6, but that
+   contradicts its own reduction: the minimum-cost max-flow on Table I is
+   5 x 0.9216 + 7 x 0.8464 (total Acc* 10.533), and no selection confined to
+   w1..w6 reaches that value (best is 10.461), so a cost-optimal flow MUST
+   recruit beyond w6 — the paper's Fig. 2b flow is not cost-optimal.  Our
+   SSPA finds the equal-cost solution with the smallest max index: 7. *)
+let test_example2_mcf () =
+  let i = Fixtures.example2 () in
+  let o = Mcf_ltc.run i in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  Alcotest.(check int) "latency 7 (cost-optimal flow)" 7 o.Engine.latency;
+  match Arrangement.validate i o.Engine.arrangement with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "MCF arrangement must validate"
+
+(* Example 3: LAF needs all 8 workers. *)
+let test_example3_laf () =
+  let i = Fixtures.example2 () in
+  let o = Laf.run i in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  Alcotest.(check int) "latency 8" 8 o.Engine.latency
+
+(* Example 4: the paper's hand trace reports 7, but it deviates from
+   Algorithm 3 at w3: with S = {1.768, 1.768, 0} the pseudocode computes
+   avg = 6.121/2 = 3.06 < maxRemain = 3.22 and must already switch to LRF
+   (the prose keeps LGF "same as LAF" for w3).  Following Algorithm 3
+   faithfully, w3 takes {t3, t1}, and everything completes at worker 6 —
+   beating both the paper's trace and LAF by two workers. *)
+let test_example4_aam () =
+  let i = Fixtures.example2 () in
+  let o = Aam.run i in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  Alcotest.(check int) "latency 6 (faithful Algorithm 3)" 6 o.Engine.latency
+
+(* The w3 LRF switch that the paper's prose misses. *)
+let test_example4_aam_trace () =
+  let i = Fixtures.example2 () in
+  let o = Aam.run i in
+  let a = o.Engine.arrangement in
+  Alcotest.(check (list int)) "w1 takes t1, t2" [ 0; 1 ]
+    (Arrangement.tasks_of_worker a 1);
+  Alcotest.(check (list int)) "w2 takes t1, t2" [ 0; 1 ]
+    (Arrangement.tasks_of_worker a 2);
+  Alcotest.(check (list int)) "w3 switches to LRF: t1, t3" [ 0; 2 ]
+    (Arrangement.tasks_of_worker a 3)
+
+(* The LAF trace of Example 3: w1..w4 all work on t1 and t2. *)
+let test_example3_laf_trace () =
+  let i = Fixtures.example2 () in
+  let o = Laf.run i in
+  let a = o.Engine.arrangement in
+  List.iter
+    (fun w ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "worker %d on t1, t2" w)
+        [ 0; 1 ] (Arrangement.tasks_of_worker a w))
+    [ 1; 2; 3; 4 ];
+  (* w5..w8 mop up t3. *)
+  List.iter
+    (fun w ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "worker %d on t3" w)
+        [ 2 ] (Arrangement.tasks_of_worker a w))
+    [ 5; 6; 7; 8 ]
+
+(* Theorem 4: the adversarial instance on which every deterministic online
+   algorithm is at least 5.5-competitive.  delta = 1 (eps = e^-0.5), K = 1,
+   two tasks; w1 has Acc* = 1 on both; every later worker has Acc* = 1 on
+   the task the algorithm gave w1 and Acc* = 0.1 on the other.  The
+   optimum is 2 (w1 takes the task the adversary will starve); the online
+   algorithm needs 1 + ceil(1/0.1) = 11. *)
+let theorem4_instance ~first_choice =
+  let epsilon = exp (-0.5) in
+  (* Acc values realizing Acc* = 1 and Acc* = 0.1. *)
+  let acc_of_star star = (1.0 +. sqrt star) /. 2.0 in
+  let accuracy =
+    Accuracy.Custom
+      {
+        name = "theorem4";
+        f =
+          (fun w t ->
+            if w.Worker.index = 1 then 1.0
+            else if t.Task.id = first_choice then acc_of_star 1.0
+            else acc_of_star 0.1);
+      }
+  in
+  let tasks =
+    Array.init 2 (fun id ->
+        Task.make ~id ~loc:(Ltc_geo.Point.make ~x:(float_of_int id) ~y:0.0) ())
+  in
+  let workers =
+    Array.init 12 (fun i ->
+        Worker.make ~index:(i + 1)
+          ~loc:(Ltc_geo.Point.make ~x:0.5 ~y:0.0)
+          ~accuracy:0.9 ~capacity:1)
+  in
+  Instance.create ~accuracy ~tasks ~workers ~epsilon ()
+
+let test_theorem4_adversary () =
+  (* LAF's deterministic tie-break gives w1 task 0, so the adversary makes
+     task 1 the starved one. *)
+  let i = theorem4_instance ~first_choice:0 in
+  let o = Laf.run i in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  Alcotest.(check (list int)) "w1 got task 0" [ 0 ]
+    (Arrangement.tasks_of_worker o.Engine.arrangement 1);
+  Alcotest.(check int) "online latency 11" 11 o.Engine.latency;
+  match Optimal.solve i with
+  | None -> Alcotest.fail "theorem-4 instance must be solvable"
+  | Some (opt, _) ->
+    Alcotest.(check int) "optimum 2" 2 opt;
+    Alcotest.(check bool) "ratio = 5.5 as in Theorem 4" true
+      (float_of_int o.Engine.latency /. float_of_int opt = 5.5)
+
+(* ----------------------------------------------------------- the engine *)
+
+let test_engine_stops_at_completion () =
+  let i = Fixtures.small_random ~seed:1 () in
+  let o = Laf.run i in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  Alcotest.(check bool) "did not consume every worker" true
+    (o.Engine.workers_consumed < Instance.worker_count i);
+  Alcotest.(check int) "consumed = latency for busy online runs"
+    o.Engine.latency o.Engine.workers_consumed
+
+let test_engine_presents_workers_in_arrival_order () =
+  let i = Fixtures.small_random ~seed:4 () in
+  let seen = ref [] in
+  let spy_policy _ _ _ (w : Worker.t) =
+    seen := w.Worker.index :: !seen;
+    []
+  in
+  let o = Engine.run_policy ~name:"spy" spy_policy i in
+  let seen = List.rev !seen in
+  Alcotest.(check int) "consumed everything (policy never assigns)"
+    (Instance.worker_count i) o.Engine.workers_consumed;
+  Alcotest.(check (list int)) "indexes are 1..n in order"
+    (List.init (Instance.worker_count i) (fun k -> k + 1))
+    seen
+
+let test_engine_rejects_over_capacity () =
+  let i = Fixtures.small_random ~seed:2 () in
+  let greedy_policy _ _ _ (w : Worker.t) =
+    List.init (w.Worker.capacity + 1) (fun k -> k)
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.run_policy ~name:"bad" greedy_policy i);
+       false
+     with Engine.Invalid_decision _ -> true)
+
+let test_engine_rejects_duplicates () =
+  let i = Fixtures.small_random ~seed:3 () in
+  let dup_policy _ _ _ _ = [ 0; 0 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.run_policy ~name:"dup" dup_policy i);
+       false
+     with Engine.Invalid_decision _ -> true)
+
+let test_engine_rejects_non_candidates () =
+  (* Tasks far apart, radius 30: a policy assigning a remote task dies. *)
+  let i = Fixtures.example2 () in
+  let i_spatial =
+    Instance.create ~accuracy:(Accuracy.Sigmoid { dmax = 1.0 })
+      ~tasks:
+        [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) ();
+           Task.make ~id:1 ~loc:(Ltc_geo.Point.make ~x:100.0 ~y:0.0) () |]
+      ~workers:i.Instance.workers ~epsilon:0.2 ()
+  in
+  let far_policy _ _ _ _ = [ 1 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.run_policy ~name:"far" far_policy i_spatial);
+       false
+     with Engine.Invalid_decision _ -> true)
+
+let test_engine_incomplete_when_starved () =
+  (* Two tasks, one worker with capacity 1: cannot complete. *)
+  let tasks =
+    [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) () |]
+  in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0)
+         ~accuracy:0.9 ~capacity:1 |]
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon:0.05 () in
+  let o = Laf.run i in
+  Alcotest.(check bool) "not completed" false o.Engine.completed;
+  Alcotest.(check int) "consumed all" 1 o.Engine.workers_consumed
+
+(* -------------------------------------- validity across all algorithms *)
+
+let all_algorithms = Algorithm.all ~seed:4242
+
+let test_all_valid_on_random_instances () =
+  List.iter
+    (fun seed ->
+      let i = Fixtures.small_random ~seed () in
+      List.iter
+        (fun (algo : Algorithm.t) ->
+          let o = algo.run i in
+          if not o.Engine.completed then
+            Alcotest.failf "%s did not complete (seed %d)" algo.name seed;
+          match Arrangement.validate i o.Engine.arrangement with
+          | Ok () -> ()
+          | Error vs ->
+            Alcotest.failf "%s invalid on seed %d: %a" algo.name seed
+              (Format.pp_print_list Arrangement.pp_violation)
+              vs)
+        all_algorithms)
+    [ 11; 12; 13 ]
+
+let test_latency_never_below_optimal () =
+  List.iter
+    (fun seed ->
+      let i = Fixtures.micro_random ~seed () in
+      match Optimal.solve i with
+      | None -> () (* instance not solvable at all: skip *)
+      | Some (opt, _) ->
+        List.iter
+          (fun (algo : Algorithm.t) ->
+            let o = algo.run i in
+            if o.Engine.completed then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s >= OPT (seed %d)" algo.name seed)
+                true
+                (o.Engine.latency >= opt))
+          all_algorithms)
+    [ 21; 22; 23; 24 ]
+
+let test_theorem2_lower_bound () =
+  (* No completed arrangement can beat |T| delta / K when it must route all
+     score through capacity-K workers with Acc* <= 1. *)
+  List.iter
+    (fun seed ->
+      let i = Fixtures.small_random ~seed () in
+      let low, _ = Bounds.of_instance i in
+      List.iter
+        (fun (algo : Algorithm.t) ->
+          let o = algo.run i in
+          if o.Engine.completed then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s above Theorem-2 lower bound" algo.name)
+              true
+              (float_of_int o.Engine.latency >= Float.floor low))
+        all_algorithms)
+    [ 31; 32 ]
+
+let test_mcnaughton () =
+  (* 4 tasks, delta 3, r=1, K=2: each task needs 3 workers, 12 assignments
+     over capacity 2 => 6 workers; and ceil(delta/r)=3 <= 6. *)
+  Alcotest.(check int) "spread bound" 6
+    (Bounds.mcnaughton ~n_tasks:4 ~delta:3.0 ~k:2 ~r:1.0);
+  (* 1 task, delta 3, K=8: the per-task chain dominates. *)
+  Alcotest.(check int) "per-task bound" 3
+    (Bounds.mcnaughton ~n_tasks:1 ~delta:3.0 ~k:8 ~r:1.0)
+
+let test_bounds_order () =
+  let i = Fixtures.small_random ~seed:5 () in
+  let low, high = Bounds.of_instance i in
+  Alcotest.(check bool) "lower < upper" true (low < high)
+
+(* ------------------------------------------------- determinism & config *)
+
+let test_runs_deterministic () =
+  let i = Fixtures.small_random ~seed:6 () in
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      let a = (algo.run i).Engine.latency in
+      let b = (algo.run i).Engine.latency in
+      Alcotest.(check int) (algo.name ^ " deterministic") a b)
+    all_algorithms
+
+let test_random_seed_changes_runs () =
+  let i = Fixtures.small_random ~seed:7 () in
+  let a = (Random_assign.run ~seed:1 i).Engine.latency in
+  let b = (Random_assign.run ~seed:2 i).Engine.latency in
+  let c = (Random_assign.run ~seed:3 i).Engine.latency in
+  (* At least one of three seeds should differ (overwhelmingly likely). *)
+  Alcotest.(check bool) "seeds matter" true (a <> b || b <> c)
+
+let test_mcf_batch_config () =
+  let i = Fixtures.small_random ~seed:8 () in
+  let o =
+    Mcf_ltc.run
+      ~config:{ Mcf_ltc.first_batch_factor = 0.5; batch_factor = 0.5 }
+      i
+  in
+  Alcotest.(check bool) "small batches still complete" true o.Engine.completed;
+  Alcotest.check_raises "invalid factor"
+    (Invalid_argument "Mcf_ltc.run: batch factors must be positive") (fun () ->
+      ignore
+        (Mcf_ltc.run ~config:{ Mcf_ltc.first_batch_factor = 0.0; batch_factor = 1.0 } i))
+
+let test_mcf_empty_instance () =
+  let i =
+    Instance.create ~tasks:[||]
+      ~workers:
+        [| Worker.make ~index:1 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0)
+             ~accuracy:0.9 ~capacity:2 |]
+      ~epsilon:0.2 ()
+  in
+  let o = Mcf_ltc.run i in
+  Alcotest.(check bool) "trivially complete" true o.Engine.completed;
+  Alcotest.(check int) "latency 0" 0 o.Engine.latency
+
+(* ------------------------------------------------------------- optimal *)
+
+let test_optimal_infeasible () =
+  let tasks = [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) () |] in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0)
+         ~accuracy:0.9 ~capacity:1 |]
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon:0.05 () in
+  Alcotest.(check bool) "infeasible" true (Optimal.solve i = None)
+
+let test_optimal_monotone_prefix () =
+  let i = Fixtures.micro_random ~seed:33 () in
+  match Optimal.solve i with
+  | None -> ()
+  | Some (opt, _) ->
+    Alcotest.(check bool) "prefix opt-1 infeasible" true
+      (Optimal.feasible_with i (opt - 1) = None);
+    Alcotest.(check bool) "prefix opt feasible" true
+      (Optimal.feasible_with i opt <> None)
+
+(* ------------------------------------------------- component strategies *)
+
+let test_strategies_complete_and_validate () =
+  let i = Fixtures.small_random ~seed:51 () in
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      let o = algo.run i in
+      Alcotest.(check bool) (algo.name ^ " completes") true o.Engine.completed;
+      match Arrangement.validate i o.Engine.arrangement with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "%s produced an invalid arrangement" algo.name)
+    [ Strategies.lgf_algorithm; Strategies.lrf_algorithm ]
+
+let test_aam_equals_lgf_before_switch () =
+  (* While avg >= maxRemain, AAM must make exactly LGF's choices: on the
+     running example both pick the same tasks for w1 and w2. *)
+  let i = Fixtures.example2 () in
+  let aam = (Aam.run i).Engine.arrangement in
+  let lgf = (Strategies.lgf i).Engine.arrangement in
+  List.iter
+    (fun w ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "worker %d agrees" w)
+        (Arrangement.tasks_of_worker lgf w)
+        (Arrangement.tasks_of_worker aam w))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------ feasibility *)
+
+let test_feasibility_screen_passes () =
+  let i = Fixtures.small_random ~seed:61 () in
+  let v = Feasibility.screen i in
+  Alcotest.(check bool) "maybe feasible" true v.Feasibility.feasible_maybe;
+  Alcotest.(check (list int)) "no starved tasks" [] v.Feasibility.starved_tasks;
+  Alcotest.(check bool) "routed everything" true
+    (v.Feasibility.routable_units >= v.Feasibility.required_units)
+
+let test_feasibility_detects_starvation () =
+  (* One task, one nearby worker, strict epsilon: the worker's single unit
+     cannot reach delta ~ 6. *)
+  let tasks = [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) () |] in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0)
+         ~accuracy:0.9 ~capacity:1 |]
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon:0.05 () in
+  let v = Feasibility.screen i in
+  Alcotest.(check bool) "certified infeasible" false v.Feasibility.feasible_maybe;
+  Alcotest.(check (list int)) "task 0 starved" [ 0 ] v.Feasibility.starved_tasks
+
+let test_feasibility_agrees_with_optimal () =
+  (* On micro instances: whenever the exact solver finds a solution, the
+     screen must not have certified infeasibility. *)
+  List.iter
+    (fun seed ->
+      let i = Fixtures.micro_random ~seed () in
+      let v = Feasibility.screen i in
+      match Optimal.solve i with
+      | Some _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "screen sound on seed %d" seed)
+          true v.Feasibility.feasible_maybe
+      | None -> ())
+    [ 71; 72; 73; 74; 75 ]
+
+let test_flow_lower_bound_sound () =
+  (* The relaxation bound must never exceed the exact optimum. *)
+  List.iter
+    (fun seed ->
+      let i = Fixtures.micro_random ~seed () in
+      match (Optimal.solve i, Feasibility.latency_lower_bound i) with
+      | Some (opt, _), Some low ->
+        Alcotest.(check bool)
+          (Printf.sprintf "bound %d <= OPT %d (seed %d)" low opt seed)
+          true (low <= opt)
+      | Some _, None ->
+        Alcotest.fail "relaxation infeasible but exact solver succeeded"
+      | None, _ -> ())
+    [ 81; 82; 83; 84; 85 ]
+
+let test_flow_lower_bound_tighter_than_theorem2 () =
+  (* On a spatially sparse instance the geometry-aware bound dominates the
+     Theorem-2 bound (which ignores the candidate radius). *)
+  let i = Fixtures.small_random ~seed:86 () in
+  match Feasibility.latency_lower_bound i with
+  | None -> Alcotest.fail "dense fixture must be feasible"
+  | Some low ->
+    let t2, _ = Bounds.of_instance i in
+    Alcotest.(check bool)
+      (Printf.sprintf "flow bound %d vs Theorem-2 %.1f" low t2)
+      true
+      (float_of_int low >= Float.floor t2)
+
+let test_flow_lower_bound_empty () =
+  let i =
+    Instance.create ~tasks:[||]
+      ~workers:
+        [| Worker.make ~index:1 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0)
+             ~accuracy:0.9 ~capacity:2 |]
+      ~epsilon:0.2 ()
+  in
+  Alcotest.(check bool) "zero tasks" true
+    (Feasibility.latency_lower_bound i = Some 0)
+
+(* ---------------------------------------------------------------- noshow *)
+
+let test_noshow_full_rate_equals_run_policy () =
+  let i = Fixtures.small_random ~seed:91 () in
+  let a = Laf.run i in
+  let b =
+    Engine.run_policy_with_noshow ~name:"LAF" ~accept_rate:1.0
+      ~rng:(Ltc_util.Rng.create ~seed:1)
+      Laf.policy i
+  in
+  Alcotest.(check int) "same latency at q=1" a.Engine.latency b.Engine.latency;
+  Alcotest.(check int) "same size" (Arrangement.size a.Engine.arrangement)
+    (Arrangement.size b.Engine.arrangement)
+
+let test_noshow_costs_latency () =
+  let i = Fixtures.small_random ~seed:92 () in
+  let run rate =
+    (Engine.run_policy_with_noshow ~name:"AAM" ~accept_rate:rate
+       ~rng:(Ltc_util.Rng.create ~seed:5)
+       Aam.policy i)
+      .Engine
+      .latency
+  in
+  (* Dropping half the answers cannot make completion faster. *)
+  Alcotest.(check bool) "latency grows under no-shows" true
+    (run 0.5 >= run 1.0)
+
+let test_noshow_validates () =
+  let i = Fixtures.small_random ~seed:93 () in
+  let o =
+    Engine.run_policy_with_noshow ~name:"AAM" ~accept_rate:0.7
+      ~rng:(Ltc_util.Rng.create ~seed:3)
+      Aam.policy i
+  in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  match Arrangement.validate i o.Engine.arrangement with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "answered-only arrangement must validate"
+
+let test_noshow_invalid_rate () =
+  let i = Fixtures.small_random ~seed:94 () in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument
+       "Engine.run_policy_with_noshow: accept_rate must be in (0, 1]")
+    (fun () ->
+      ignore
+        (Engine.run_policy_with_noshow ~name:"x" ~accept_rate:0.0
+           ~rng:(Ltc_util.Rng.create ~seed:1)
+           Laf.policy i))
+
+(* --------------------------------------------------- qcheck: whole-stack *)
+
+let algo_instance_gen =
+  QCheck2.Gen.(
+    let* n_tasks = int_range 2 6 in
+    let* capacity = int_range 1 4 in
+    let* epsilon_centi = int_range 10 30 in
+    let* seed = int_range 0 10_000 in
+    return (n_tasks, capacity, float_of_int epsilon_centi /. 100.0, seed))
+
+let prop_algorithms_sound =
+  QCheck2.Test.make ~name:"any algorithm, any instance: valid and bounded"
+    ~count:60 algo_instance_gen
+    (fun (n_tasks, capacity, epsilon, seed) ->
+      let spec =
+        {
+          Ltc_workload.Spec.default_synthetic with
+          Ltc_workload.Spec.n_tasks;
+          n_workers = 300;
+          capacity;
+          epsilon;
+          world_side = 40.0;
+        }
+      in
+      let i =
+        Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed) spec
+      in
+      let flow_bound = Feasibility.latency_lower_bound i in
+      List.for_all
+        (fun (algo : Algorithm.t) ->
+          let o = algo.run i in
+          if not o.Engine.completed then true
+          else begin
+            let valid = Arrangement.validate i o.Engine.arrangement = Ok () in
+            let above_flow_bound =
+              match flow_bound with
+              | None -> false (* completed but relaxation says impossible *)
+              | Some low -> o.Engine.latency >= low
+            in
+            let theorem2 =
+              let low, _ = Bounds.of_instance i in
+              float_of_int o.Engine.latency >= Float.floor low
+            in
+            valid && above_flow_bound && theorem2
+          end)
+        (Algorithm.all ~seed:(seed + 1)
+        @ [ Strategies.lgf_algorithm; Strategies.lrf_algorithm;
+            Strategies.nearest_first_algorithm ]))
+
+(* ---------------------------------------------------------------- buffered *)
+
+let test_buffered_validates_and_brackets () =
+  let i = Fixtures.small_random ~seed:95 () in
+  let aam = Aam.run i in
+  List.iter
+    (fun buffer ->
+      let o = Mcf_ltc.run_buffered ~buffer i in
+      Alcotest.(check bool)
+        (Printf.sprintf "B=%d completes" buffer)
+        true o.Engine.completed;
+      (match Arrangement.validate i o.Engine.arrangement with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "B=%d invalid" buffer);
+      (* Sanity: stays within 3x of AAM on a dense instance. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "B=%d latency %d sane vs AAM %d" buffer
+           o.Engine.latency aam.Engine.latency)
+        true
+        (o.Engine.latency <= 3 * aam.Engine.latency))
+    [ 1; 7; 40 ];
+  Alcotest.check_raises "B=0 rejected"
+    (Invalid_argument "Mcf_ltc.run_buffered: buffer must be >= 1") (fun () ->
+      ignore (Mcf_ltc.run_buffered ~buffer:0 i))
+
+(* ----------------------------------------------------------------- dynamic *)
+
+let test_dynamic_upfront_equals_static () =
+  (* With every task released at 0, the dynamic drivers must reproduce the
+     static online algorithms exactly. *)
+  let i = Fixtures.small_random ~seed:96 () in
+  let release = Array.make (Instance.task_count i) 0 in
+  let dyn_laf = Dynamic.run ~strategy:Dynamic.Laf_d ~release i in
+  let dyn_aam = Dynamic.run ~strategy:Dynamic.Aam_d ~release i in
+  Alcotest.(check int) "LAF-dyn = LAF" (Laf.run i).Engine.latency
+    dyn_laf.Dynamic.engine.Engine.latency;
+  Alcotest.(check int) "AAM-dyn = AAM" (Aam.run i).Engine.latency
+    dyn_aam.Dynamic.engine.Engine.latency;
+  Alcotest.(check bool) "responses = completion indexes" true
+    (dyn_laf.Dynamic.max_response
+    = Arrangement.latency dyn_laf.Dynamic.engine.Engine.arrangement)
+
+let test_dynamic_respects_releases () =
+  let i = Fixtures.small_random ~seed:97 () in
+  let n_tasks = Instance.task_count i in
+  (* Every task held back until worker 40. *)
+  let release = Array.make n_tasks 40 in
+  let o = Dynamic.run ~strategy:Dynamic.Aam_d ~release i in
+  Alcotest.(check bool) "completed" true o.Dynamic.engine.Engine.completed;
+  List.iter
+    (fun (a : Arrangement.assignment) ->
+      Alcotest.(check bool) "no assignment before release" true (a.worker >= 40))
+    (Arrangement.to_list o.Dynamic.engine.Engine.arrangement);
+  (* Response time is measured from release, not from the stream start. *)
+  Alcotest.(check bool) "response < latency" true
+    (o.Dynamic.max_response
+    < o.Dynamic.engine.Engine.latency);
+  match Arrangement.validate i o.Dynamic.engine.Engine.arrangement with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "dynamic arrangement must validate"
+
+let test_dynamic_never_completes_unreleased () =
+  let i = Fixtures.small_random ~seed:98 () in
+  let n_tasks = Instance.task_count i in
+  let release = Array.make n_tasks 0 in
+  (* One task released far beyond the stream. *)
+  release.(0) <- Instance.worker_count i + 100;
+  let o = Dynamic.run ~strategy:Dynamic.Laf_d ~release i in
+  Alcotest.(check bool) "not completed" false o.Dynamic.engine.Engine.completed;
+  Alcotest.(check int) "all others done" (n_tasks - 1) o.Dynamic.completed_tasks;
+  Alcotest.(check (list int)) "task 0 untouched" []
+    (Arrangement.workers_of_task o.Dynamic.engine.Engine.arrangement 0)
+
+let test_dynamic_validation () =
+  let i = Fixtures.small_random ~seed:99 () in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Dynamic.run: release array must have one entry per task")
+    (fun () ->
+      ignore (Dynamic.run ~strategy:Dynamic.Laf_d ~release:[| 0 |] i));
+  Alcotest.check_raises "fraction out of range"
+    (Invalid_argument "Dynamic.uniform_releases: fraction out of [0, 1]")
+    (fun () ->
+      ignore
+        (Dynamic.uniform_releases
+           (Ltc_util.Rng.create ~seed:1)
+           ~n_tasks:3 ~horizon:10 ~upfront_fraction:1.5))
+
+let test_dynamic_uniform_releases_shape () =
+  let r =
+    Dynamic.uniform_releases
+      (Ltc_util.Rng.create ~seed:2)
+      ~n_tasks:10 ~horizon:50 ~upfront_fraction:0.5
+  in
+  Alcotest.(check int) "length" 10 (Array.length r);
+  Alcotest.(check int) "five upfront" 5
+    (Array.length (Array.of_list (List.filter (( = ) 0) (Array.to_list r))));
+  Array.iter
+    (fun x -> Alcotest.(check bool) "within horizon" true (x >= 0 && x <= 50))
+    r
+
+(* ------------------------------------------------------------- transforms *)
+
+let heterogeneous_instance () =
+  let tasks =
+    [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) () |]
+  in
+  let workers =
+    [|
+      Worker.make ~index:1 ~loc:(Ltc_geo.Point.make ~x:1.0 ~y:0.0)
+        ~accuracy:0.9 ~capacity:5;
+      Worker.make ~index:2 ~loc:(Ltc_geo.Point.make ~x:2.0 ~y:0.0)
+        ~accuracy:0.8 ~capacity:2;
+      Worker.make ~index:3 ~loc:(Ltc_geo.Point.make ~x:3.0 ~y:0.0)
+        ~accuracy:0.7 ~capacity:7;
+    |]
+  in
+  Instance.create ~tasks ~workers ~epsilon:0.2 ()
+
+let test_uniform_capacity_split () =
+  let i = heterogeneous_instance () in
+  let j = Ltc_workload.Transform.uniform_capacity ~k:3 i in
+  (* 5 -> 3+2 (2 clones), 2 -> 2 (1), 7 -> 3+3+1 (3 clones): 6 workers. *)
+  Alcotest.(check int) "clone count" 6 (Instance.worker_count j);
+  let total_capacity inst =
+    Array.fold_left
+      (fun acc (w : Worker.t) -> acc + w.capacity)
+      0 inst.Instance.workers
+  in
+  Alcotest.(check int) "capacity preserved" (total_capacity i) (total_capacity j);
+  Array.iteri
+    (fun idx (w : Worker.t) ->
+      Alcotest.(check int) "contiguous indexes" (idx + 1) w.index;
+      Alcotest.(check bool) "capacity bounded" true (w.capacity <= 3))
+    j.Instance.workers;
+  (* Clones keep their originator's location and accuracy. *)
+  let w1 = j.Instance.workers.(0) and w2 = j.Instance.workers.(1) in
+  Alcotest.(check bool) "clones colocated" true
+    (Ltc_geo.Point.equal w1.Worker.loc w2.Worker.loc
+    && w1.Worker.accuracy = w2.Worker.accuracy)
+
+let test_uniform_capacity_noop () =
+  let i = Fixtures.small_random ~seed:87 () in
+  let j = Ltc_workload.Transform.uniform_capacity ~k:10 i in
+  Alcotest.(check int) "unchanged worker count" (Instance.worker_count i)
+    (Instance.worker_count j)
+
+let test_restrict_workers () =
+  let i = Fixtures.small_random ~seed:88 () in
+  let o = Ltc_algo.Aam.run i in
+  let j = Ltc_workload.Transform.restrict_workers i ~prefix:o.Engine.latency in
+  Alcotest.(check int) "prefix length" o.Engine.latency
+    (Instance.worker_count j);
+  (* Replaying AAM on exactly the consumed prefix reproduces the result. *)
+  let o2 = Ltc_algo.Aam.run j in
+  Alcotest.(check int) "same latency on replay" o.Engine.latency
+    o2.Engine.latency
+
+let prop_uniform_capacity_laws =
+  QCheck2.Test.make ~name:"uniform_capacity preserves totals and bounds caps"
+    ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 6)
+        (list_size (int_range 1 12) (int_range 1 9)))
+    (fun (k, capacities) ->
+      let tasks =
+        [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) () |]
+      in
+      let workers =
+        Array.of_list
+          (List.mapi
+             (fun idx capacity ->
+               Worker.make ~index:(idx + 1)
+                 ~loc:(Ltc_geo.Point.make ~x:(float_of_int idx) ~y:0.0)
+                 ~accuracy:0.8 ~capacity)
+             capacities)
+      in
+      let i = Instance.create ~tasks ~workers ~epsilon:0.2 ~candidate_radius:None () in
+      let j = Ltc_workload.Transform.uniform_capacity ~k i in
+      let total inst =
+        Array.fold_left
+          (fun acc (w : Worker.t) -> acc + w.capacity)
+          0 inst.Instance.workers
+      in
+      let expected_clones =
+        List.fold_left (fun acc c -> acc + ((c + k - 1) / k)) 0 capacities
+      in
+      total i = total j
+      && Instance.worker_count j = expected_clones
+      && Array.for_all (fun (w : Worker.t) -> w.capacity <= k && w.capacity >= 1)
+           j.Instance.workers
+      && Array.for_all
+           (fun idx -> j.Instance.workers.(idx).Worker.index = idx + 1)
+           (Array.init (Instance.worker_count j) Fun.id))
+
+(* --------------------------------------------------- per-task error rates *)
+
+let per_task_instance () =
+  (* Two co-located tasks, one with a much stricter error rate. *)
+  let tasks =
+    [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) ();
+       Task.make ~epsilon:0.02 ~id:1 ~loc:(Ltc_geo.Point.make ~x:2.0 ~y:0.0) () |]
+  in
+  let workers =
+    Array.init 40 (fun i ->
+        Worker.make ~index:(i + 1)
+          ~loc:(Ltc_geo.Point.make ~x:1.0 ~y:(float_of_int (i mod 3)))
+          ~accuracy:0.9 ~capacity:2)
+  in
+  Instance.create ~tasks ~workers ~epsilon:0.2 ()
+
+let test_per_task_thresholds () =
+  let i = per_task_instance () in
+  Alcotest.(check (float 1e-9)) "default task threshold"
+    (Quality.delta ~epsilon:0.2)
+    (Instance.threshold_of i 0);
+  Alcotest.(check (float 1e-9)) "strict task threshold"
+    (Quality.delta ~epsilon:0.02)
+    (Instance.threshold_of i 1);
+  Alcotest.(check bool) "thresholds array agrees" true
+    (Instance.thresholds i = [| Instance.threshold_of i 0; Instance.threshold_of i 1 |])
+
+let test_per_task_epsilon_respected_by_algorithms () =
+  let i = per_task_instance () in
+  let strict_needed =
+    int_of_float
+      (Float.ceil (Quality.delta ~epsilon:0.02 /. 0.64))
+      (* Acc* at p=0.9 ~ 0.64 *)
+  in
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      let o = algo.run i in
+      Alcotest.(check bool) (algo.name ^ " completes") true o.Engine.completed;
+      (match Arrangement.validate i o.Engine.arrangement with
+      | Ok () -> ()
+      | Error vs ->
+        Alcotest.failf "%s violates per-task thresholds: %a" algo.name
+          (Format.pp_print_list Arrangement.pp_violation)
+          vs);
+      (* The strict task must have received notably more workers. *)
+      let strict = List.length (Arrangement.workers_of_task o.Engine.arrangement 1) in
+      let lax = List.length (Arrangement.workers_of_task o.Engine.arrangement 0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: strict task got >= %d workers (got %d, lax %d)"
+           algo.name strict_needed strict lax)
+        true
+        (strict >= strict_needed && strict > lax))
+    all_algorithms
+
+let test_task_epsilon_validation () =
+  Alcotest.check_raises "epsilon 1.2"
+    (Invalid_argument "Task.make: epsilon must lie in (0, 1)") (fun () ->
+      ignore
+        (Task.make ~epsilon:1.2 ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0)
+           ()))
+
+(* Algorithm registry *)
+
+let test_registry () =
+  Alcotest.(check int) "five algorithms" 5 (List.length all_algorithms);
+  Alcotest.(check (list string)) "paper order"
+    [ "Base-off"; "MCF-LTC"; "Random"; "LAF"; "AAM" ]
+    (List.map (fun (a : Algorithm.t) -> a.name) all_algorithms);
+  Alcotest.(check bool) "find is case-insensitive" true
+    (match Algorithm.find ~seed:1 "aam" with
+    | Some a -> a.Algorithm.name = "AAM"
+    | None -> false)
+
+let suite =
+  [
+    ( "algo.examples",
+      [
+        Alcotest.test_case "Example 1: optimal = 5" `Quick test_example1_optimal;
+        Alcotest.test_case "Example 2: MCF-LTC = 7 (see comment)" `Quick
+          test_example2_mcf;
+        Alcotest.test_case "Example 3: LAF = 8" `Quick test_example3_laf;
+        Alcotest.test_case "Example 4: AAM = 6 (see comment)" `Quick
+          test_example4_aam;
+        Alcotest.test_case "Example 3 trace" `Quick test_example3_laf_trace;
+        Alcotest.test_case "Example 4 trace (w3 LRF switch)" `Quick
+          test_example4_aam_trace;
+        Alcotest.test_case "Theorem 4 adversarial ratio 5.5" `Quick
+          test_theorem4_adversary;
+      ] );
+    ( "algo.engine",
+      [
+        Alcotest.test_case "stops at completion" `Quick
+          test_engine_stops_at_completion;
+        Alcotest.test_case "arrival order" `Quick
+          test_engine_presents_workers_in_arrival_order;
+        Alcotest.test_case "rejects over-capacity" `Quick
+          test_engine_rejects_over_capacity;
+        Alcotest.test_case "rejects duplicates" `Quick
+          test_engine_rejects_duplicates;
+        Alcotest.test_case "rejects non-candidates" `Quick
+          test_engine_rejects_non_candidates;
+        Alcotest.test_case "incomplete when starved" `Quick
+          test_engine_incomplete_when_starved;
+      ] );
+    ( "algo.validity",
+      [
+        Alcotest.test_case "all algorithms valid on random instances" `Quick
+          test_all_valid_on_random_instances;
+        Alcotest.test_case "latency >= exact optimum" `Quick
+          test_latency_never_below_optimal;
+        Alcotest.test_case "Theorem 2 lower bound" `Quick
+          test_theorem2_lower_bound;
+        Alcotest.test_case "McNaughton bound" `Quick test_mcnaughton;
+        Alcotest.test_case "bounds ordered" `Quick test_bounds_order;
+      ] );
+    ( "algo.behaviour",
+      [
+        Alcotest.test_case "deterministic runs" `Quick test_runs_deterministic;
+        Alcotest.test_case "Random baseline seed-sensitive" `Quick
+          test_random_seed_changes_runs;
+        Alcotest.test_case "MCF batch config" `Quick test_mcf_batch_config;
+        Alcotest.test_case "MCF empty instance" `Quick test_mcf_empty_instance;
+      ] );
+    ( "algo.optimal",
+      [
+        Alcotest.test_case "infeasible detected" `Quick test_optimal_infeasible;
+        Alcotest.test_case "prefix monotonicity" `Quick
+          test_optimal_monotone_prefix;
+      ] );
+    ( "algo.strategies",
+      [
+        Alcotest.test_case "LGF/LRF complete and validate" `Quick
+          test_strategies_complete_and_validate;
+        Alcotest.test_case "AAM = LGF before the switch" `Quick
+          test_aam_equals_lgf_before_switch;
+      ] );
+    ( "algo.feasibility",
+      [
+        Alcotest.test_case "screen passes on dense instances" `Quick
+          test_feasibility_screen_passes;
+        Alcotest.test_case "detects starvation" `Quick
+          test_feasibility_detects_starvation;
+        Alcotest.test_case "sound wrt exact optimum" `Quick
+          test_feasibility_agrees_with_optimal;
+        Alcotest.test_case "flow lower bound <= OPT" `Quick
+          test_flow_lower_bound_sound;
+        Alcotest.test_case "flow bound vs Theorem 2" `Quick
+          test_flow_lower_bound_tighter_than_theorem2;
+        Alcotest.test_case "flow bound on empty task set" `Quick
+          test_flow_lower_bound_empty;
+      ] );
+    ( "algo.noshow",
+      [
+        Alcotest.test_case "q=1 equals run_policy" `Quick
+          test_noshow_full_rate_equals_run_policy;
+        Alcotest.test_case "no-shows cost latency" `Quick
+          test_noshow_costs_latency;
+        Alcotest.test_case "answered arrangement validates" `Quick
+          test_noshow_validates;
+        Alcotest.test_case "invalid rate" `Quick test_noshow_invalid_rate;
+      ] );
+    ( "algo.properties",
+      [ QCheck_alcotest.to_alcotest prop_algorithms_sound ] );
+    ( "algo.buffered",
+      [
+        Alcotest.test_case "validates and brackets" `Quick
+          test_buffered_validates_and_brackets;
+      ] );
+    ( "algo.dynamic",
+      [
+        Alcotest.test_case "upfront = static" `Quick
+          test_dynamic_upfront_equals_static;
+        Alcotest.test_case "respects releases" `Quick
+          test_dynamic_respects_releases;
+        Alcotest.test_case "unreleased never completes" `Quick
+          test_dynamic_never_completes_unreleased;
+        Alcotest.test_case "argument validation" `Quick test_dynamic_validation;
+        Alcotest.test_case "uniform_releases shape" `Quick
+          test_dynamic_uniform_releases_shape;
+      ] );
+    ( "algo.transform",
+      [
+        Alcotest.test_case "uniform capacity split" `Quick
+          test_uniform_capacity_split;
+        Alcotest.test_case "uniform capacity no-op" `Quick
+          test_uniform_capacity_noop;
+        Alcotest.test_case "restrict workers replay" `Quick
+          test_restrict_workers;
+        QCheck_alcotest.to_alcotest prop_uniform_capacity_laws;
+      ] );
+    ( "algo.per_task_epsilon",
+      [
+        Alcotest.test_case "thresholds honour overrides" `Quick
+          test_per_task_thresholds;
+        Alcotest.test_case "algorithms satisfy strict tasks" `Quick
+          test_per_task_epsilon_respected_by_algorithms;
+        Alcotest.test_case "epsilon validation" `Quick
+          test_task_epsilon_validation;
+      ] );
+    ( "algo.registry", [ Alcotest.test_case "registry" `Quick test_registry ] );
+  ]

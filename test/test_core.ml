@@ -1,0 +1,1027 @@
+open Ltc_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let point ~x ~y = Ltc_geo.Point.make ~x ~y
+
+(* --------------------------------------------------------------- Quality *)
+
+let test_delta () =
+  check_float "eps 0.2" (2.0 *. log 5.0) (Quality.delta ~epsilon:0.2);
+  check_float "eps 0.14" (2.0 *. log (1.0 /. 0.14)) (Quality.delta ~epsilon:0.14);
+  Alcotest.check_raises "eps 0 rejected"
+    (Invalid_argument "Quality.delta: epsilon must lie in (0, 1)") (fun () ->
+      ignore (Quality.delta ~epsilon:0.0))
+
+let test_delta_hoeffding_consistency () =
+  (* By construction: accumulating exactly delta makes the Hoeffding bound
+     equal epsilon. *)
+  let epsilon = 0.1 in
+  let delta = Quality.delta ~epsilon in
+  check_float "bound at delta = epsilon" epsilon
+    (Quality.hoeffding_error_bound ~acc_star_sum:delta)
+
+let test_majority () =
+  Alcotest.(check bool) "yes wins" true
+    (Quality.majority [ (0.9, Task.Yes); (0.3, Task.No) ] = Some Task.Yes);
+  Alcotest.(check bool) "no wins" true
+    (Quality.majority [ (0.2, Task.Yes); (0.8, Task.No) ] = Some Task.No);
+  Alcotest.(check bool) "tie" true
+    (Quality.majority [ (0.5, Task.Yes); (0.5, Task.No) ] = None);
+  Alcotest.(check bool) "empty" true (Quality.majority [] = None)
+
+let test_scoring_threshold () =
+  check_float "hoeffding threshold is delta"
+    (Quality.delta ~epsilon:0.2)
+    (Quality.threshold Quality.Hoeffding ~epsilon:0.2);
+  check_float "sum-accuracy threshold fixed" 2.92
+    (Quality.threshold (Quality.Sum_accuracy { threshold = 2.92 }) ~epsilon:0.2)
+
+(* -------------------------------------------------------------- Accuracy *)
+
+let worker_at ~x ~y ~p =
+  Worker.make ~index:1 ~loc:(point ~x ~y) ~accuracy:p ~capacity:2
+
+let task_at ~x ~y = Task.make ~id:0 ~loc:(point ~x ~y) ()
+
+let test_sigmoid_close () =
+  (* Right at the task, the sigmoid is ~ p (exp(-30) vanishes). *)
+  let model = Accuracy.Sigmoid { dmax = 30.0 } in
+  let w = worker_at ~x:0.0 ~y:0.0 ~p:0.9 in
+  let t = task_at ~x:0.0 ~y:0.0 in
+  Alcotest.(check bool) "acc ~ p" true
+    (Float.abs (Accuracy.acc model w t -. 0.9) < 1e-9)
+
+let test_sigmoid_at_dmax () =
+  (* At distance dmax the sigmoid halves the historical accuracy. *)
+  let model = Accuracy.Sigmoid { dmax = 30.0 } in
+  let w = worker_at ~x:0.0 ~y:0.0 ~p:0.9 in
+  let t = task_at ~x:30.0 ~y:0.0 in
+  check_float "acc = p/2" 0.45 (Accuracy.acc model w t)
+
+let test_sigmoid_monotone_in_distance () =
+  let model = Accuracy.Sigmoid { dmax = 30.0 } in
+  let w d = worker_at ~x:d ~y:0.0 ~p:0.9 in
+  let t = task_at ~x:0.0 ~y:0.0 in
+  let prev = ref infinity in
+  List.iter
+    (fun d ->
+      let a = Accuracy.acc model (w d) t in
+      Alcotest.(check bool) "decreasing" true (a <= !prev +. 1e-12);
+      prev := a)
+    [ 0.0; 5.0; 15.0; 29.0; 30.0; 35.0; 60.0 ]
+
+let test_acc_star () =
+  let model = Accuracy.Historical in
+  let w = worker_at ~x:0.0 ~y:0.0 ~p:0.96 in
+  let t = task_at ~x:9.0 ~y:9.0 in
+  check_float "(2*0.96-1)^2" (0.92 *. 0.92) (Accuracy.acc_star model w t)
+
+let test_custom_clamped () =
+  let model = Accuracy.Custom { name = "wild"; f = (fun _ _ -> 1.7) } in
+  let w = worker_at ~x:0.0 ~y:0.0 ~p:0.9 in
+  check_float "clamped to 1" 1.0 (Accuracy.acc model w (task_at ~x:0.0 ~y:0.0))
+
+(* ---------------------------------------------------------------- Worker *)
+
+let test_worker_validation () =
+  Alcotest.check_raises "index 0" (Invalid_argument "Worker.make: index must be >= 1")
+    (fun () ->
+      ignore
+        (Worker.make ~index:0 ~loc:(point ~x:0.0 ~y:0.0) ~accuracy:0.9
+           ~capacity:1));
+  Alcotest.check_raises "accuracy 1.5"
+    (Invalid_argument "Worker.make: accuracy out of [0, 1]") (fun () ->
+      ignore (Worker.make ~index:1 ~loc:(point ~x:0.0 ~y:0.0) ~accuracy:1.5 ~capacity:1));
+  Alcotest.(check bool) "trusted" true
+    (Worker.is_trusted (worker_at ~x:0.0 ~y:0.0 ~p:0.7));
+  Alcotest.(check bool) "spam" false
+    (Worker.is_trusted (worker_at ~x:0.0 ~y:0.0 ~p:0.5))
+
+(* -------------------------------------------------------------- Instance *)
+
+let tiny_instance ?(epsilon = 0.2) ?candidate_radius () =
+  let tasks =
+    [| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) ();
+       Task.make ~id:1 ~loc:(point ~x:50.0 ~y:0.0) () |]
+  in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(point ~x:1.0 ~y:0.0) ~accuracy:0.9 ~capacity:2;
+       Worker.make ~index:2 ~loc:(point ~x:49.0 ~y:0.0) ~accuracy:0.9 ~capacity:2 |]
+  in
+  Instance.create ?candidate_radius ~tasks ~workers ~epsilon ()
+
+let test_instance_validation () =
+  let bad_tasks = [| Task.make ~id:1 ~loc:(point ~x:0.0 ~y:0.0) () |] in
+  Alcotest.check_raises "task id mismatch"
+    (Invalid_argument "Instance.create: task ids must match their positions")
+    (fun () ->
+      ignore (Instance.create ~tasks:bad_tasks ~workers:[||] ~epsilon:0.1 ()));
+  let tasks = [| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) () |] in
+  let bad_workers =
+    [| Worker.make ~index:2 ~loc:(point ~x:0.0 ~y:0.0) ~accuracy:0.9 ~capacity:1 |]
+  in
+  Alcotest.check_raises "worker order"
+    (Invalid_argument
+       "Instance.create: workers must be in contiguous 1-based arrival order")
+    (fun () ->
+      ignore (Instance.create ~tasks ~workers:bad_workers ~epsilon:0.1 ()))
+
+let test_instance_candidates_radius () =
+  let i = tiny_instance () in
+  (* Default radius = dmax = 30: each worker sees only its nearby task. *)
+  Alcotest.(check (list int)) "worker 1 near task 0" [ 0 ]
+    (Instance.candidates i i.Instance.workers.(0));
+  Alcotest.(check (list int)) "worker 2 near task 1" [ 1 ]
+    (Instance.candidates i i.Instance.workers.(1))
+
+let test_instance_candidates_unrestricted () =
+  let i = tiny_instance ~candidate_radius:None () in
+  Alcotest.(check (list int)) "all tasks" [ 0; 1 ]
+    (Instance.candidates i i.Instance.workers.(0));
+  Alcotest.(check int) "count" 2
+    (Instance.count_candidates i i.Instance.workers.(0))
+
+let test_instance_score_matches_quality () =
+  let i = tiny_instance () in
+  let w = i.Instance.workers.(0) in
+  check_float "score = Acc*"
+    (Accuracy.acc_star i.Instance.accuracy w i.Instance.tasks.(0))
+    (Instance.score i w 0)
+
+(* ----------------------------------------------------------- Arrangement *)
+
+let test_arrangement_accumulates () =
+  let a =
+    Arrangement.empty
+    |> Arrangement.add ~worker:3 ~task:0
+    |> Arrangement.add ~worker:1 ~task:1
+  in
+  Alcotest.(check int) "size" 2 (Arrangement.size a);
+  Alcotest.(check int) "latency = max index" 3 (Arrangement.latency a);
+  Alcotest.(check (list int)) "tasks of worker 3" [ 0 ]
+    (Arrangement.tasks_of_worker a 3);
+  Alcotest.(check (list int)) "workers of task 1" [ 1 ]
+    (Arrangement.workers_of_task a 1);
+  Alcotest.(check int) "empty latency" 0 (Arrangement.latency Arrangement.empty)
+
+let test_validate_happy () =
+  let i = tiny_instance () in
+  (* Complete both tasks: delta(0.2) ~ 3.22; Acc* per assignment ~ 0.63
+     (p=0.9 close by) so 6 assignments per task exceed it... but capacity
+     is 2, so build a bigger instance instead with epsilon large. *)
+  let tasks = [| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) () |] in
+  let workers =
+    Array.init 8 (fun k ->
+        Worker.make ~index:(k + 1) ~loc:(point ~x:1.0 ~y:0.0) ~accuracy:0.9
+          ~capacity:2)
+  in
+  let inst = Instance.create ~tasks ~workers ~epsilon:0.2 () in
+  let arrangement =
+    Array.to_list workers
+    |> List.fold_left
+         (fun m (w : Worker.t) -> Arrangement.add m ~worker:w.index ~task:0)
+         Arrangement.empty
+  in
+  (match Arrangement.validate inst arrangement with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "unexpected violations: %a"
+      (Format.pp_print_list Arrangement.pp_violation)
+      vs);
+  ignore i
+
+let test_validate_catches_violations () =
+  let i = tiny_instance () in
+  let a =
+    Arrangement.empty
+    |> Arrangement.add ~worker:1 ~task:0
+    |> Arrangement.add ~worker:1 ~task:0  (* duplicate *)
+    |> Arrangement.add ~worker:1 ~task:1  (* not a candidate *)
+    |> Arrangement.add ~worker:9 ~task:0  (* out of range *)
+  in
+  match Arrangement.validate i a with
+  | Ok () -> Alcotest.fail "expected violations"
+  | Error vs ->
+    let has pred = List.exists pred vs in
+    Alcotest.(check bool) "duplicate" true
+      (has (function Arrangement.Duplicate_assignment _ -> true | _ -> false));
+    Alcotest.(check bool) "not candidate" true
+      (has (function Arrangement.Not_a_candidate _ -> true | _ -> false));
+    Alcotest.(check bool) "out of range" true
+      (has (function Arrangement.Worker_out_of_range _ -> true | _ -> false));
+    Alcotest.(check bool) "incomplete tasks" true
+      (has (function Arrangement.Task_incomplete _ -> true | _ -> false))
+
+let test_validate_capacity () =
+  let tasks =
+    Array.init 3 (fun id -> Task.make ~id ~loc:(point ~x:(float_of_int id) ~y:0.0) ())
+  in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(point ~x:1.0 ~y:0.0) ~accuracy:0.9 ~capacity:2 |]
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon:0.2 () in
+  let a =
+    Arrangement.empty
+    |> Arrangement.add ~worker:1 ~task:0
+    |> Arrangement.add ~worker:1 ~task:1
+    |> Arrangement.add ~worker:1 ~task:2
+  in
+  match Arrangement.validate i a with
+  | Ok () -> Alcotest.fail "expected capacity violation"
+  | Error vs ->
+    Alcotest.(check bool) "capacity" true
+      (List.exists
+         (function Arrangement.Capacity_exceeded _ -> true | _ -> false)
+         vs)
+
+(* -------------------------------------------------------------- Progress *)
+
+let test_progress_basic () =
+  let p = Progress.create ~threshold:2.0 ~n_tasks:3 in
+  Alcotest.(check int) "incomplete" 3 (Progress.incomplete_count p);
+  check_float "sum remaining" 6.0 (Progress.sum_remaining p);
+  check_float "max remaining" 2.0 (Progress.max_remaining p);
+  Progress.record p ~task:1 ~score:1.5;
+  check_float "remaining of 1" 0.5 (Progress.remaining p 1);
+  check_float "sum" 4.5 (Progress.sum_remaining p);
+  Progress.record p ~task:1 ~score:0.6;
+  Alcotest.(check bool) "task 1 complete" true (Progress.is_complete p 1);
+  Alcotest.(check int) "two left" 2 (Progress.incomplete_count p);
+  check_float "max still 2" 2.0 (Progress.max_remaining p);
+  Progress.record p ~task:0 ~score:2.0;
+  Progress.record p ~task:2 ~score:2.5;
+  Alcotest.(check bool) "all done" true (Progress.all_complete p);
+  check_float "sum 0" 0.0 (Progress.sum_remaining p);
+  check_float "max 0" 0.0 (Progress.max_remaining p)
+
+let test_progress_overshoot () =
+  let p = Progress.create ~threshold:1.0 ~n_tasks:1 in
+  Progress.record p ~task:0 ~score:5.0;
+  Progress.record p ~task:0 ~score:5.0;
+  check_float "accumulated keeps growing" 10.0 (Progress.accumulated p 0);
+  Alcotest.(check bool) "complete" true (Progress.all_complete p)
+
+let test_progress_zero_tasks () =
+  let p = Progress.create ~threshold:1.0 ~n_tasks:0 in
+  Alcotest.(check bool) "trivially complete" true (Progress.all_complete p)
+
+let prop_progress_aggregates =
+  (* Against a model: random records; sum/max over explicit arrays. *)
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 8 in
+      let* ops = list_size (int_range 0 60)
+          (pair (int_range 0 (n - 1)) (float_range 0.0 1.0)) in
+      return (n, ops))
+  in
+  QCheck2.Test.make ~name:"progress aggregates match a model" ~count:300 gen
+    (fun (n, ops) ->
+      let threshold = 2.0 in
+      let p = Progress.create ~threshold ~n_tasks:n in
+      let model = Array.make n 0.0 in
+      List.iter
+        (fun (task, score) ->
+          Progress.record p ~task ~score;
+          model.(task) <- model.(task) +. score)
+        ops;
+      let rem i = Float.max 0.0 (threshold -. model.(i)) in
+      let sum = ref 0.0 and mx = ref 0.0 and inc = ref 0 in
+      for i = 0 to n - 1 do
+        sum := !sum +. rem i;
+        mx := Float.max !mx (rem i);
+        if rem i > 0.0 then incr inc
+      done;
+      Float.abs (Progress.sum_remaining p -. !sum) < 1e-6
+      && Float.abs (Progress.max_remaining p -. !mx) < 1e-6
+      && Progress.incomplete_count p = !inc
+      && Progress.all_complete p = (!inc = 0))
+
+let prop_progress_iter_incomplete =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 8 in
+      let* ops = list_size (int_range 0 40)
+          (pair (int_range 0 (n - 1)) (float_range 0.5 1.5)) in
+      return (n, ops))
+  in
+  QCheck2.Test.make ~name:"iter_incomplete visits exactly the open tasks"
+    ~count:200 gen
+    (fun (n, ops) ->
+      let p = Progress.create ~threshold:2.0 ~n_tasks:n in
+      List.iter (fun (task, score) -> Progress.record p ~task ~score) ops;
+      let visited = ref [] in
+      Progress.iter_incomplete p (fun task -> visited := task :: !visited);
+      let visited = List.sort compare !visited in
+      let expected =
+        List.filter (fun i -> not (Progress.is_complete p i))
+          (List.init n (fun i -> i))
+      in
+      visited = expected)
+
+(* ----------------------------------------------------------- Truth_infer *)
+
+(* Planted one-coin model: sample answers, check EM recovers the setup. *)
+let planted_observations ~seed ~n_workers ~n_tasks ~answers_per_worker =
+  let rng = Ltc_util.Rng.create ~seed in
+  let accuracies =
+    Array.init n_workers (fun _ -> 0.65 +. Ltc_util.Rng.float rng 0.3)
+  in
+  let truths =
+    Array.init n_tasks (fun _ ->
+        if Ltc_util.Rng.bool rng then Task.Yes else Task.No)
+  in
+  let observations =
+    List.concat
+      (List.init n_workers (fun wi ->
+           List.init answers_per_worker (fun _ ->
+               let task = Ltc_util.Rng.int rng n_tasks in
+               let correct = Ltc_util.Rng.bernoulli rng accuracies.(wi) in
+               {
+                 Truth_infer.worker = wi + 1;
+                 task;
+                 answer =
+                   (if correct then truths.(task) else Task.negate truths.(task));
+               })))
+  in
+  (accuracies, truths, observations)
+
+let test_truth_infer_recovers_planted_model () =
+  let n_workers = 40 and n_tasks = 60 in
+  let accuracies, truths, observations =
+    planted_observations ~seed:5 ~n_workers ~n_tasks ~answers_per_worker:60
+  in
+  let r = Truth_infer.run ~n_workers ~n_tasks observations in
+  Alcotest.(check bool) "converged" true r.Truth_infer.converged;
+  (* Accuracy estimates close to the planted values on average. *)
+  let err = ref 0.0 in
+  Array.iteri
+    (fun wi p -> err := !err +. Float.abs (p -. accuracies.(wi)))
+    r.Truth_infer.accuracies;
+  let mean_err = !err /. float_of_int n_workers in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean accuracy error %.3f < 0.05" mean_err)
+    true (mean_err < 0.05);
+  (* Inferred labels overwhelmingly correct. *)
+  let correct = ref 0 and labelled = ref 0 in
+  Array.iteri
+    (fun task label ->
+      match label with
+      | None -> ()
+      | Some l ->
+        incr labelled;
+        if Task.answer_equal l truths.(task) then incr correct)
+    r.Truth_infer.labels;
+  Alcotest.(check bool)
+    (Printf.sprintf "labels %d/%d correct" !correct !labelled)
+    true
+    (float_of_int !correct /. float_of_int !labelled > 0.95)
+
+let test_truth_infer_beats_majority () =
+  (* With polarized worker quality, EM should label at least as well as
+     unweighted majority. *)
+  let n_workers = 30 and n_tasks = 80 in
+  let _, truths, observations =
+    planted_observations ~seed:8 ~n_workers ~n_tasks ~answers_per_worker:20
+  in
+  let score (r : Truth_infer.result) =
+    let correct = ref 0 in
+    Array.iteri
+      (fun task label ->
+        match label with
+        | Some l when Task.answer_equal l truths.(task) -> incr correct
+        | Some _ | None -> ())
+      r.Truth_infer.labels;
+    !correct
+  in
+  let em = Truth_infer.run ~n_workers ~n_tasks observations in
+  let mv = Truth_infer.majority_baseline ~n_workers ~n_tasks observations in
+  Alcotest.(check bool)
+    (Printf.sprintf "EM %d >= majority %d" (score em) (score mv))
+    true
+    (score em >= score mv)
+
+let test_truth_infer_empty_and_validation () =
+  let r = Truth_infer.run ~n_workers:3 ~n_tasks:2 [] in
+  Alcotest.(check bool) "prior accuracies" true
+    (Array.for_all (fun p -> p = 0.75) r.Truth_infer.accuracies);
+  Alcotest.(check bool) "no labels" true
+    (Array.for_all (( = ) None) r.Truth_infer.labels);
+  Alcotest.check_raises "bad worker"
+    (Invalid_argument "Truth_infer: worker index out of range") (fun () ->
+      ignore
+        (Truth_infer.run ~n_workers:1 ~n_tasks:1
+           [ { Truth_infer.worker = 2; task = 0; answer = Task.Yes } ]))
+
+let test_truth_infer_accuracy_clamped () =
+  (* A worker who always disagrees with everyone cannot fall below 0.51
+     (the anchor that prevents label-flipped solutions). *)
+  let observations =
+    List.concat
+      (List.init 10 (fun task ->
+           [
+             { Truth_infer.worker = 1; task; answer = Task.Yes };
+             { Truth_infer.worker = 2; task; answer = Task.Yes };
+             { Truth_infer.worker = 3; task; answer = Task.No };
+           ]))
+  in
+  let r = Truth_infer.run ~n_workers:3 ~n_tasks:10 observations in
+  Alcotest.(check (float 1e-9)) "contrarian clamped" 0.51
+    r.Truth_infer.accuracies.(2);
+  Alcotest.(check bool) "agreers near 0.99" true
+    (r.Truth_infer.accuracies.(0) > 0.9)
+
+(* Planted asymmetric (two-coin) answers. *)
+let planted_two_coin ~seed ~n_workers ~n_tasks ~answers_per_worker =
+  let rng = Ltc_util.Rng.create ~seed in
+  let alphas = Array.init n_workers (fun _ -> 0.6 +. Ltc_util.Rng.float rng 0.35) in
+  let betas = Array.init n_workers (fun _ -> 0.6 +. Ltc_util.Rng.float rng 0.35) in
+  let truths =
+    Array.init n_tasks (fun _ ->
+        if Ltc_util.Rng.bool rng then Task.Yes else Task.No)
+  in
+  let observations =
+    List.concat
+      (List.init n_workers (fun wi ->
+           List.init answers_per_worker (fun _ ->
+               let task = Ltc_util.Rng.int rng n_tasks in
+               let says_yes =
+                 match truths.(task) with
+                 | Task.Yes -> Ltc_util.Rng.bernoulli rng alphas.(wi)
+                 | Task.No -> not (Ltc_util.Rng.bernoulli rng betas.(wi))
+               in
+               {
+                 Truth_infer.worker = wi + 1;
+                 task;
+                 answer = (if says_yes then Task.Yes else Task.No);
+               })))
+  in
+  (alphas, betas, truths, observations)
+
+let test_two_coin_recovers_asymmetry () =
+  let n_workers = 30 and n_tasks = 80 in
+  let alphas, betas, truths, observations =
+    planted_two_coin ~seed:13 ~n_workers ~n_tasks ~answers_per_worker:80
+  in
+  let r = Truth_infer.run_two_coin ~n_workers ~n_tasks observations in
+  Alcotest.(check bool) "converged" true r.Truth_infer.tc_converged;
+  let mean_err planted estimated =
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i p ->
+        total :=
+          !total +. Float.abs (Float.max 0.51 (Float.min 0.99 p) -. estimated.(i)))
+      planted;
+    !total /. float_of_int n_workers
+  in
+  Alcotest.(check bool) "sensitivity recovered" true
+    (mean_err alphas r.Truth_infer.sensitivities < 0.06);
+  Alcotest.(check bool) "specificity recovered" true
+    (mean_err betas r.Truth_infer.specificities < 0.06);
+  (* Labels nearly perfect with this much evidence. *)
+  let correct = ref 0 in
+  Array.iteri
+    (fun task label ->
+      match label with
+      | Some l when Task.answer_equal l truths.(task) -> incr correct
+      | Some _ | None -> ())
+    r.Truth_infer.tc_labels;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d labels" !correct n_tasks)
+    true
+    (float_of_int !correct /. float_of_int n_tasks > 0.95)
+
+let test_two_coin_prevalence () =
+  (* Strongly skewed truths should show in the estimated prevalence. *)
+  let rng = Ltc_util.Rng.create ~seed:21 in
+  let observations =
+    List.concat
+      (List.init 20 (fun wi ->
+           List.init 40 (fun _ ->
+               let task = Ltc_util.Rng.int rng 40 in
+               (* All truths Yes; workers 85% accurate. *)
+               let correct = Ltc_util.Rng.bernoulli rng 0.85 in
+               {
+                 Truth_infer.worker = wi + 1;
+                 task;
+                 answer = (if correct then Task.Yes else Task.No);
+               })))
+  in
+  let r = Truth_infer.run_two_coin ~n_workers:20 ~n_tasks:40 observations in
+  Alcotest.(check bool)
+    (Printf.sprintf "prevalence %.2f > 0.8" r.Truth_infer.prevalence)
+    true
+    (r.Truth_infer.prevalence > 0.8)
+
+let test_two_coin_balanced_accuracy () =
+  let r = Truth_infer.run_two_coin ~n_workers:2 ~n_tasks:1 [] in
+  Alcotest.(check (float 1e-9)) "balanced accuracy of priors" 0.75
+    r.Truth_infer.tc_accuracies.(0)
+
+(* ------------------------------------------------------------- Truth_sim *)
+
+let test_truth_sim_respects_bound () =
+  (* A task completed to delta must err at most epsilon (plus sampling
+     noise; Hoeffding is loose, so the real error is far below). *)
+  let epsilon = 0.2 in
+  let tasks = [| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) () |] in
+  let workers =
+    Array.init 8 (fun k ->
+        Worker.make ~index:(k + 1) ~loc:(point ~x:0.5 ~y:0.0) ~accuracy:0.9
+          ~capacity:1)
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon () in
+  let arrangement =
+    Array.fold_left
+      (fun m (w : Worker.t) -> Arrangement.add m ~worker:w.Worker.index ~task:0)
+      Arrangement.empty workers
+  in
+  (* 8 workers x Acc* ~ 0.63 = 5.1 > delta = 3.22: completed. *)
+  (match Arrangement.validate i arrangement with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "fixture must validate");
+  let report =
+    Truth_sim.run ~trials:2000 (Ltc_util.Rng.create ~seed:99) i arrangement
+  in
+  Alcotest.(check bool) "error below epsilon" true
+    (report.Truth_sim.max_error <= epsilon);
+  Alcotest.(check int) "votes" 8 report.Truth_sim.tasks.(0).Truth_sim.votes
+
+let test_truth_sim_unassigned_task_errs () =
+  let tasks = [| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) () |] in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(point ~x:0.0 ~y:0.0) ~accuracy:0.9 ~capacity:1 |]
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon:0.2 () in
+  let report =
+    Truth_sim.run ~trials:50 (Ltc_util.Rng.create ~seed:1) i Arrangement.empty
+  in
+  check_float "error rate 1" 1.0 report.Truth_sim.tasks.(0).Truth_sim.error_rate
+
+(* -------------------------------------------------------------- Analysis *)
+
+let analysis_fixture () =
+  let tasks =
+    [| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) ();
+       Task.make ~id:1 ~loc:(point ~x:4.0 ~y:0.0) () |]
+  in
+  let workers =
+    (* 6 workers x Acc* ~ 0.64 = 3.8 > delta(0.2) = 3.22: completable. *)
+    Array.init 6 (fun k ->
+        Worker.make ~index:(k + 1)
+          ~loc:(point ~x:(float_of_int k) ~y:3.0)
+          ~accuracy:0.9 ~capacity:2)
+  in
+  Instance.create ~tasks ~workers ~epsilon:0.2 ()
+
+let test_analysis_counts () =
+  let i = analysis_fixture () in
+  let a =
+    Arrangement.empty
+    |> Arrangement.add ~worker:1 ~task:0
+    |> Arrangement.add ~worker:1 ~task:1
+    |> Arrangement.add ~worker:3 ~task:0
+  in
+  let r = Analysis.of_arrangement i a in
+  Alcotest.(check int) "assignments" 3 r.Analysis.assignments;
+  Alcotest.(check int) "workers used" 2 r.Analysis.workers_used;
+  Alcotest.(check int) "latency" 3 r.Analysis.latency;
+  Alcotest.(check int) "load max" 2 r.Analysis.load_max;
+  check_float "load mean" 1.5 r.Analysis.load_mean;
+  Alcotest.(check int) "votes min" 1 r.Analysis.votes_min;
+  Alcotest.(check int) "votes max" 2 r.Analysis.votes_max;
+  check_float "votes mean" 1.5 r.Analysis.votes_mean
+
+let test_analysis_gini () =
+  let i = analysis_fixture () in
+  (* Perfectly even load: gini 0. *)
+  let even =
+    Arrangement.empty
+    |> Arrangement.add ~worker:1 ~task:0
+    |> Arrangement.add ~worker:2 ~task:1
+  in
+  let r = Analysis.of_arrangement i even in
+  check_float "gini 0 on even load" 0.0 r.Analysis.load_gini;
+  (* Uneven: 2 tasks on w1, none elsewhere => gini still 0 over recruited
+     workers only (single recruited worker). *)
+  let solo =
+    Arrangement.empty
+    |> Arrangement.add ~worker:1 ~task:0
+    |> Arrangement.add ~worker:1 ~task:1
+  in
+  let r = Analysis.of_arrangement i solo in
+  check_float "gini single worker" 0.0 r.Analysis.load_gini
+
+let test_analysis_margin_and_bound () =
+  let i = analysis_fixture () in
+  let a =
+    Array.fold_left
+      (fun m (w : Worker.t) ->
+        Arrangement.add (Arrangement.add m ~worker:w.index ~task:0) ~worker:w.index
+          ~task:1)
+      Arrangement.empty i.Instance.workers
+  in
+  let r = Analysis.of_arrangement i a in
+  Alcotest.(check bool) "positive margin once complete" true
+    (r.Analysis.margin_min > 0.0);
+  Alcotest.(check bool) "error bound below epsilon" true
+    (r.Analysis.error_bound_worst < 0.2);
+  Alcotest.(check bool) "travel max is finite" true
+    (r.Analysis.travel_max > 0.0 && r.Analysis.travel_max < 10.0)
+
+let test_analysis_empty () =
+  let i = analysis_fixture () in
+  let r = Analysis.of_arrangement i Arrangement.empty in
+  Alcotest.(check int) "no assignments" 0 r.Analysis.assignments;
+  check_float "worst bound is 1 (no votes)" 1.0 r.Analysis.error_bound_worst
+
+(* ------------------------------------------------------------- Serialize *)
+
+let test_serialize_roundtrip () =
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      Ltc_workload.Spec.n_tasks = 15;
+      n_workers = 60;
+      world_side = 100.0;
+    }
+  in
+  let i = Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed:9) spec in
+  let s = Serialize.instance_to_string i in
+  let j = Serialize.instance_of_string s in
+  Alcotest.(check bool) "tasks preserved" true (i.Instance.tasks = j.Instance.tasks);
+  Alcotest.(check bool) "workers preserved" true
+    (i.Instance.workers = j.Instance.workers);
+  Alcotest.(check (float 0.0)) "epsilon preserved" i.Instance.epsilon
+    j.Instance.epsilon;
+  Alcotest.(check bool) "radius preserved" true
+    (i.Instance.candidate_radius = j.Instance.candidate_radius)
+
+let test_serialize_per_task_epsilon () =
+  let tasks =
+    [| Task.make ~id:0 ~loc:(point ~x:1.0 ~y:2.0) ();
+       Task.make ~epsilon:0.03 ~id:1 ~loc:(point ~x:3.0 ~y:4.0) () |]
+  in
+  let workers =
+    [| Worker.make ~index:1 ~loc:(point ~x:1.0 ~y:2.0) ~accuracy:0.8 ~capacity:3 |]
+  in
+  let i = Instance.create ~tasks ~workers ~epsilon:0.2 () in
+  let j = Serialize.instance_of_string (Serialize.instance_to_string i) in
+  Alcotest.(check bool) "per-task epsilon survives" true
+    (j.Instance.tasks.(1).Task.epsilon = Some 0.03);
+  Alcotest.(check bool) "default task epsilon survives" true
+    (j.Instance.tasks.(0).Task.epsilon = None)
+
+let test_serialize_file_roundtrip () =
+  let i = analysis_fixture () in
+  let path = Filename.temp_file "ltc_test" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serialize.save_instance ~path i;
+      let j = Serialize.load_instance ~path in
+      Alcotest.(check bool) "file roundtrip" true
+        (i.Instance.tasks = j.Instance.tasks
+        && i.Instance.workers = j.Instance.workers))
+
+let test_serialize_arrangement_roundtrip () =
+  let a =
+    Arrangement.empty
+    |> Arrangement.add ~worker:2 ~task:0
+    |> Arrangement.add ~worker:5 ~task:3
+  in
+  let path = Filename.temp_file "ltc_test" ".arr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serialize.save_arrangement ~path a;
+      let b = Serialize.load_arrangement ~path in
+      Alcotest.(check bool) "same assignments" true
+        (Arrangement.to_list a = Arrangement.to_list b);
+      Alcotest.(check int) "same latency" (Arrangement.latency a)
+        (Arrangement.latency b))
+
+let test_serialize_rejects_custom_model () =
+  let i =
+    Instance.create
+      ~accuracy:(Accuracy.Custom { name = "m"; f = (fun _ _ -> 0.9) })
+      ~tasks:[| Task.make ~id:0 ~loc:(point ~x:0.0 ~y:0.0) () |]
+      ~workers:[||] ~epsilon:0.1 ()
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Serialize.instance_to_string i);
+       false
+     with Invalid_argument _ -> true)
+
+let test_serialize_parse_errors () =
+  let bad header =
+    try
+      ignore (Serialize.instance_of_string header);
+      false
+    with Serialize.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "bad magic" true (bad "nonsense v9\n");
+  Alcotest.(check bool) "truncated" true (bad "ltc-instance v1\nepsilon 0.1\n");
+  Alcotest.(check bool) "bad float" true
+    (bad "ltc-instance v1\nepsilon fish\n")
+
+let test_serialize_comments_and_blanks () =
+  let i = analysis_fixture () in
+  let s = Serialize.instance_to_string i in
+  (* Inject comments and blank lines everywhere; the parser must cope. *)
+  let noisy =
+    String.concat "\n"
+      (List.concat_map
+         (fun l -> [ ""; "# comment"; l ^ "   # trailing" ])
+         (String.split_on_char '\n' s))
+  in
+  let j = Serialize.instance_of_string noisy in
+  Alcotest.(check bool) "noisy parse" true (i.Instance.tasks = j.Instance.tasks)
+
+(* ------------------------------------------------------------------- Svg *)
+
+let test_svg_renders_elements () =
+  let i = analysis_fixture () in
+  let arrangement =
+    Arrangement.empty
+    |> Arrangement.add ~worker:1 ~task:0
+    |> Arrangement.add ~worker:2 ~task:0
+  in
+  let svg = Svg.render ~arrangement i in
+  let count affix =
+    let n = ref 0 in
+    let len = String.length affix in
+    for k = 0 to String.length svg - len do
+      if String.sub svg k len = affix then incr n
+    done;
+    !n
+  in
+  Alcotest.(check bool) "well-formed envelope" true
+    (Astring.String.is_prefix ~affix:"<?xml" svg
+    && Astring.String.is_suffix ~affix:"</svg>\n" svg);
+  (* 2 halos + 6 workers + 2 tasks = 10 circles; 2 assignment lines. *)
+  Alcotest.(check int) "circles" 10 (count "<circle");
+  Alcotest.(check int) "assignment lines" 2 (count "<line");
+  (* One incomplete (red) and no completed tasks at this score level... the
+     two assignments give task 0 ~1.3 < delta: both tasks red. *)
+  Alcotest.(check int) "incomplete tasks red" 2 (count "#d0342c")
+
+let test_svg_without_arrangement () =
+  let i = analysis_fixture () in
+  let svg = Svg.render ~show_radius:false i in
+  Alcotest.(check bool) "neutral task colour" true
+    (Astring.String.is_infix ~affix:"#4a90d9" svg);
+  Alcotest.(check bool) "no lines" false
+    (Astring.String.is_infix ~affix:"<line" svg)
+
+let test_svg_save () =
+  let i = analysis_fixture () in
+  let path = Filename.temp_file "ltc_test" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Svg.save ~path i;
+      let ic = open_in path in
+      let first = input_line ic in
+      close_in ic;
+      Alcotest.(check bool) "xml header" true
+        (Astring.String.is_prefix ~affix:"<?xml" first))
+
+(* --------------------------------------------------- qcheck: core layer *)
+
+let small_instance_gen =
+  QCheck2.Gen.(
+    let* n_tasks = int_range 1 30 in
+    let* n_workers = int_range 0 60 in
+    let* capacity = int_range 1 5 in
+    let* epsilon_centi = int_range 5 40 in
+    let* seed = int_range 0 100_000 in
+    return (n_tasks, n_workers, capacity, float_of_int epsilon_centi /. 100.0, seed))
+
+let generate_small (n_tasks, n_workers, capacity, epsilon, seed) =
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      Ltc_workload.Spec.n_tasks;
+      n_workers;
+      capacity;
+      epsilon;
+      world_side = 150.0;
+    }
+  in
+  Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed) spec
+
+let prop_serialize_rejects_garbage_without_crashing =
+  (* Random mutations of a valid file must either parse or raise
+     Parse_error — never crash with anything else. *)
+  QCheck2.Test.make ~name:"parser total on mutated input" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 0 100_000) (int_range 0 5000) (int_range 0 255))
+    (fun (seed, pos, byte) ->
+      let i =
+        generate_small (3, 10, 2, 0.2, seed)
+      in
+      let s = Bytes.of_string (Serialize.instance_to_string i) in
+      if Bytes.length s = 0 then true
+      else begin
+        Bytes.set s (pos mod Bytes.length s) (Char.chr byte);
+        match Serialize.instance_of_string (Bytes.to_string s) with
+        | (_ : Instance.t) -> true
+        | exception Serialize.Parse_error _ -> true
+        | exception Invalid_argument _ ->
+          (* mutations can corrupt numeric fields into out-of-domain values
+             caught by the constructors — also acceptable *)
+          true
+      end)
+
+let prop_serialize_roundtrip =
+  QCheck2.Test.make ~name:"serialize/parse is the identity" ~count:100
+    small_instance_gen
+    (fun params ->
+      let i = generate_small params in
+      let j = Serialize.instance_of_string (Serialize.instance_to_string i) in
+      i.Instance.tasks = j.Instance.tasks
+      && i.Instance.workers = j.Instance.workers
+      && i.Instance.epsilon = j.Instance.epsilon
+      && i.Instance.candidate_radius = j.Instance.candidate_radius
+      && i.Instance.scoring = j.Instance.scoring)
+
+let prop_analysis_invariants =
+  QCheck2.Test.make ~name:"analysis invariants on random arrangements"
+    ~count:100
+    QCheck2.Gen.(pair small_instance_gen (int_range 0 100_000))
+    (fun (params, aseed) ->
+      let i = generate_small params in
+      if Instance.worker_count i = 0 then true
+      else begin
+        (* Random (possibly invalid) arrangement built from candidates. *)
+        let rng = Ltc_util.Rng.create ~seed:aseed in
+        let arrangement = ref Arrangement.empty in
+        Array.iter
+          (fun (w : Worker.t) ->
+            if Ltc_util.Rng.bool rng then
+              List.iteri
+                (fun k task ->
+                  if k < w.capacity && Ltc_util.Rng.bool rng then
+                    arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
+                (Instance.candidates i w))
+          i.Instance.workers;
+        let r = Analysis.of_arrangement i !arrangement in
+        let n_assign = Arrangement.size !arrangement in
+        r.Analysis.assignments = n_assign
+        && r.Analysis.load_gini >= 0.0
+        && r.Analysis.load_gini <= 1.0
+        && r.Analysis.workers_used <= n_assign
+        && r.Analysis.latency = Arrangement.latency !arrangement
+        && r.Analysis.error_bound_worst >= 0.0
+        && r.Analysis.error_bound_worst <= 1.0
+        && (n_assign = 0 || r.Analysis.travel_max <= 30.0 +. 1e-9)
+      end)
+
+let prop_candidates_consistent =
+  QCheck2.Test.make ~name:"candidates = iter_candidates = count_candidates"
+    ~count:100 small_instance_gen
+    (fun params ->
+      let i = generate_small params in
+      Array.for_all
+        (fun w ->
+          let listed = Instance.candidates i w in
+          let iterated = ref [] in
+          Instance.iter_candidates i w (fun t -> iterated := t :: !iterated);
+          List.sort compare !iterated = listed
+          && Instance.count_candidates i w = List.length listed
+          && List.for_all
+               (fun t ->
+                 Ltc_geo.Point.distance w.Worker.loc
+                   i.Instance.tasks.(t).Task.loc
+                 <= 30.0 +. 1e-9)
+               listed)
+        i.Instance.workers)
+
+let prop_progress_threshold_per_task =
+  QCheck2.Test.make ~name:"per-task thresholds drive completion" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 6) (pair (float_range 0.5 3.0) (float_range 0.0 4.0)))
+    (fun spec ->
+      let thresholds = Array.of_list (List.map fst spec) in
+      let p = Progress.create_per_task ~thresholds in
+      List.iteri
+        (fun task (_, score) -> Progress.record p ~task ~score)
+        spec;
+      List.for_all
+        (fun (task, (threshold, score)) ->
+          Progress.is_complete p task = (score >= threshold))
+        (List.mapi (fun i x -> (i, x)) spec))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "core.quality",
+      [
+        Alcotest.test_case "delta" `Quick test_delta;
+        Alcotest.test_case "delta/Hoeffding consistency" `Quick
+          test_delta_hoeffding_consistency;
+        Alcotest.test_case "majority vote" `Quick test_majority;
+        Alcotest.test_case "scoring thresholds" `Quick test_scoring_threshold;
+      ] );
+    ( "core.accuracy",
+      [
+        Alcotest.test_case "sigmoid near task" `Quick test_sigmoid_close;
+        Alcotest.test_case "sigmoid at dmax" `Quick test_sigmoid_at_dmax;
+        Alcotest.test_case "sigmoid monotone" `Quick
+          test_sigmoid_monotone_in_distance;
+        Alcotest.test_case "acc_star" `Quick test_acc_star;
+        Alcotest.test_case "custom clamped" `Quick test_custom_clamped;
+      ] );
+    ( "core.worker",
+      [ Alcotest.test_case "validation and trust" `Quick test_worker_validation ] );
+    ( "core.instance",
+      [
+        Alcotest.test_case "validation" `Quick test_instance_validation;
+        Alcotest.test_case "candidate radius" `Quick
+          test_instance_candidates_radius;
+        Alcotest.test_case "unrestricted candidates" `Quick
+          test_instance_candidates_unrestricted;
+        Alcotest.test_case "score consistency" `Quick
+          test_instance_score_matches_quality;
+      ] );
+    ( "core.arrangement",
+      [
+        Alcotest.test_case "accumulates" `Quick test_arrangement_accumulates;
+        Alcotest.test_case "validate happy path" `Quick test_validate_happy;
+        Alcotest.test_case "validate violations" `Quick
+          test_validate_catches_violations;
+        Alcotest.test_case "validate capacity" `Quick test_validate_capacity;
+      ] );
+    ( "core.progress",
+      [
+        Alcotest.test_case "basics" `Quick test_progress_basic;
+        Alcotest.test_case "overshoot" `Quick test_progress_overshoot;
+        Alcotest.test_case "zero tasks" `Quick test_progress_zero_tasks;
+        qcheck prop_progress_aggregates;
+        qcheck prop_progress_iter_incomplete;
+      ] );
+    ( "core.analysis",
+      [
+        Alcotest.test_case "counts" `Quick test_analysis_counts;
+        Alcotest.test_case "gini" `Quick test_analysis_gini;
+        Alcotest.test_case "margin and error bound" `Quick
+          test_analysis_margin_and_bound;
+        Alcotest.test_case "empty arrangement" `Quick test_analysis_empty;
+      ] );
+    ( "core.serialize",
+      [
+        Alcotest.test_case "instance roundtrip" `Quick test_serialize_roundtrip;
+        Alcotest.test_case "per-task epsilon survives" `Quick
+          test_serialize_per_task_epsilon;
+        Alcotest.test_case "file roundtrip" `Quick test_serialize_file_roundtrip;
+        Alcotest.test_case "arrangement roundtrip" `Quick
+          test_serialize_arrangement_roundtrip;
+        Alcotest.test_case "rejects custom model" `Quick
+          test_serialize_rejects_custom_model;
+        Alcotest.test_case "parse errors" `Quick test_serialize_parse_errors;
+        Alcotest.test_case "comments and blanks" `Quick
+          test_serialize_comments_and_blanks;
+        qcheck prop_serialize_roundtrip;
+        qcheck prop_serialize_rejects_garbage_without_crashing;
+      ] );
+    ( "core.svg",
+      [
+        Alcotest.test_case "renders all elements" `Quick
+          test_svg_renders_elements;
+        Alcotest.test_case "without arrangement" `Quick
+          test_svg_without_arrangement;
+        Alcotest.test_case "save to file" `Quick test_svg_save;
+      ] );
+    ( "core.properties",
+      [
+        qcheck prop_analysis_invariants;
+        qcheck prop_progress_threshold_per_task;
+        qcheck prop_candidates_consistent;
+      ] );
+    ( "core.truth_infer",
+      [
+        Alcotest.test_case "recovers planted model" `Quick
+          test_truth_infer_recovers_planted_model;
+        Alcotest.test_case "EM >= majority voting" `Quick
+          test_truth_infer_beats_majority;
+        Alcotest.test_case "empty input and validation" `Quick
+          test_truth_infer_empty_and_validation;
+        Alcotest.test_case "accuracy clamped" `Quick
+          test_truth_infer_accuracy_clamped;
+        Alcotest.test_case "two-coin recovers asymmetry" `Quick
+          test_two_coin_recovers_asymmetry;
+        Alcotest.test_case "two-coin prevalence" `Quick test_two_coin_prevalence;
+        Alcotest.test_case "two-coin balanced accuracy" `Quick
+          test_two_coin_balanced_accuracy;
+      ] );
+    ( "core.truth_sim",
+      [
+        Alcotest.test_case "respects Hoeffding bound" `Quick
+          test_truth_sim_respects_bound;
+        Alcotest.test_case "unassigned task errs" `Quick
+          test_truth_sim_unassigned_task_errs;
+      ] );
+  ]

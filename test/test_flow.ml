@@ -1,0 +1,445 @@
+open Ltc_flow
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ----------------------------------------------------------------- Graph *)
+
+let test_graph_basics () =
+  let g = Graph.create ~n:3 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:5 ~cost:2.0 in
+  let b = Graph.add_arc g ~src:1 ~dst:2 ~cap:3 ~cost:(-1.0) in
+  Alcotest.(check int) "node count" 3 (Graph.node_count g);
+  Alcotest.(check int) "arc count" 2 (Graph.arc_count g);
+  Alcotest.(check int) "residual" 5 (Graph.residual g a);
+  Alcotest.(check int) "flow 0" 0 (Graph.flow g a);
+  Graph.push g a 2;
+  Alcotest.(check int) "residual after push" 3 (Graph.residual g a);
+  Alcotest.(check int) "flow after push" 2 (Graph.flow g a);
+  Alcotest.(check int) "reverse residual" 2 (Graph.residual g (a lxor 1));
+  check_float "cost" (-1.0) (Graph.cost g b);
+  Alcotest.(check int) "src" 1 (Graph.src g b);
+  Alcotest.(check int) "dst" 2 (Graph.dst g b)
+
+let test_graph_push_cancel () =
+  let g = Graph.create ~n:2 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:4 ~cost:1.0 in
+  Graph.push g a 4;
+  (* Pushing on the reverse arc cancels flow. *)
+  Graph.push g (a lxor 1) 1;
+  Alcotest.(check int) "flow cancelled" 3 (Graph.flow g a)
+
+let test_graph_invalid () =
+  let g = Graph.create ~n:2 in
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Graph.add_arc: node out of range") (fun () ->
+      ignore (Graph.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:0.0));
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0 in
+  Alcotest.check_raises "over-push"
+    (Invalid_argument "Graph.push: exceeds residual") (fun () ->
+      Graph.push g a 2);
+  Alcotest.check_raises "flow of backward arc"
+    (Invalid_argument "Graph.flow: backward arc") (fun () ->
+      ignore (Graph.flow g (a lxor 1)))
+
+let test_graph_iter_from () =
+  let g = Graph.create ~n:3 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0 in
+  let b = Graph.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:0.0 in
+  let seen = ref [] in
+  Graph.iter_arcs_from g 0 (fun arc -> seen := arc :: !seen);
+  Alcotest.(check (list int)) "both forward arcs, oldest last" [ a; b ]
+    !seen
+
+(* ------------------------------------------------------------- Node_heap *)
+
+let test_node_heap_basic () =
+  let h = Node_heap.create ~n:5 in
+  Alcotest.(check bool) "empty" true (Node_heap.is_empty h);
+  Node_heap.push_or_decrease h 3 2.5;
+  Node_heap.push_or_decrease h 1 1.0;
+  Node_heap.push_or_decrease h 4 4.0;
+  Alcotest.(check bool) "mem" true (Node_heap.mem h 3);
+  Alcotest.(check bool) "not mem" false (Node_heap.mem h 0);
+  Alcotest.(check int) "size" 3 (Node_heap.size h);
+  Alcotest.(check bool) "min first" true (Node_heap.pop_min h = Some (1, 1.0));
+  Alcotest.(check bool) "then 3" true (Node_heap.pop_min h = Some (3, 2.5));
+  Alcotest.(check bool) "then 4" true (Node_heap.pop_min h = Some (4, 4.0));
+  Alcotest.(check bool) "exhausted" true (Node_heap.pop_min h = None)
+
+let test_node_heap_decrease () =
+  let h = Node_heap.create ~n:4 in
+  Node_heap.push_or_decrease h 0 5.0;
+  Node_heap.push_or_decrease h 1 3.0;
+  Node_heap.push_or_decrease h 0 1.0;  (* decrease-key *)
+  Node_heap.push_or_decrease h 1 9.0;  (* increase: must be ignored *)
+  Alcotest.(check bool) "decreased node wins" true
+    (Node_heap.pop_min h = Some (0, 1.0));
+  Alcotest.(check bool) "increase ignored" true
+    (Node_heap.pop_min h = Some (1, 3.0))
+
+let test_node_heap_clear_reuse () =
+  let h = Node_heap.create ~n:3 in
+  Node_heap.push_or_decrease h 2 1.0;
+  Node_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Node_heap.is_empty h);
+  Alcotest.(check bool) "mem reset" false (Node_heap.mem h 2);
+  Node_heap.push_or_decrease h 2 7.0;
+  Alcotest.(check bool) "reusable" true (Node_heap.pop_min h = Some (2, 7.0))
+
+let prop_node_heap_sorts =
+  QCheck2.Test.make ~name:"node heap pops keys in ascending order" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 32 in
+      let* keys = array_size (return n) (float_range 0.0 100.0) in
+      return (n, keys))
+    (fun (n, keys) ->
+      let h = Node_heap.create ~n in
+      Array.iteri (fun v k -> Node_heap.push_or_decrease h v k) keys;
+      let rec drain last =
+        match Node_heap.pop_min h with
+        | None -> true
+        | Some (_, k) -> k >= last && drain k
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ Mcmf *)
+
+(* Two units from 0 to 3 over parallel middle arcs of different costs. *)
+let test_mcmf_prefers_cheap_path () =
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:5.0);
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:1.0);
+  let r = Mcmf.run g ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow" 2 r.Mcmf.flow;
+  check_float "total cost" 6.0 r.Mcmf.cost
+
+let test_mcmf_negative_costs () =
+  (* The LTC-style network: all middle arcs carry negative cost. *)
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:0.0);
+  let cheap = Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:(-0.9) in
+  let dear = Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:(-0.4) in
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:0.0);
+  let r = Mcmf.run g ~source:0 ~sink:3 in
+  (* Sink capacity admits one unit; it must travel the -0.9 arc. *)
+  Alcotest.(check int) "one unit" 1 r.Mcmf.flow;
+  check_float "picked min cost" (-0.9) r.Mcmf.cost;
+  Alcotest.(check int) "cheap arc used" 1 (Graph.flow g cheap);
+  Alcotest.(check int) "dear arc unused" 0 (Graph.flow g dear)
+
+let test_mcmf_rerouting () =
+  (* Classic residual test: the cheap greedy path must be partially undone
+     to reach the true optimum. *)
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:1.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:1.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:1.0);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:4.0);
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~cap:2 ~cost:1.0);
+  let r = Mcmf.run g ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow 3" 3 r.Mcmf.flow;
+  (* Units: 0-1-3 (2), 0-1-2-3 (3), 0-2-3 (5) = 10. *)
+  check_float "optimal cost" 10.0 r.Mcmf.cost
+
+let test_mcmf_max_flow_cap () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:10 ~cost:1.0);
+  let r = Mcmf.run ~max_flow:4 g ~source:0 ~sink:1 in
+  Alcotest.(check int) "capped" 4 r.Mcmf.flow;
+  check_float "cost" 4.0 r.Mcmf.cost
+
+let test_mcmf_stop_on_nonnegative () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:(-2.0));
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:3.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:2 ~cost:0.0);
+  let r = Mcmf.run ~stop_on_nonnegative:true g ~source:0 ~sink:2 in
+  Alcotest.(check int) "only profitable unit" 1 r.Mcmf.flow;
+  check_float "cost" (-2.0) r.Mcmf.cost
+
+let test_mcmf_disconnected () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:1.0);
+  let r = Mcmf.run g ~source:0 ~sink:2 in
+  Alcotest.(check int) "no flow" 0 r.Mcmf.flow
+
+let test_mcmf_invalid () =
+  let g = Graph.create ~n:2 in
+  Alcotest.check_raises "source=sink"
+    (Invalid_argument "Mcmf.run: source = sink") (fun () ->
+      ignore (Mcmf.run g ~source:0 ~sink:0))
+
+(* Brute-force reference: minimum-cost assignment on small bipartite
+   instances, compared against the SSPA result. *)
+let brute_min_cost_assignment ~n_left ~n_right ~cap_left ~cap_right ~costs =
+  (* Enumerate all ways to pick a set of (i, j) pairs respecting caps and
+     maximising routed units first, then minimising cost. *)
+  let pairs =
+    List.concat
+      (List.init n_left (fun i -> List.init n_right (fun j -> (i, j))))
+  in
+  let best_units = ref 0 in
+  let best_cost = ref infinity in
+  let load_l = Array.make n_left 0 and load_r = Array.make n_right 0 in
+  let rec go remaining units cost =
+    if units > !best_units || (units = !best_units && cost < !best_cost) then begin
+      best_units := units;
+      best_cost := cost
+    end;
+    match remaining with
+    | [] -> ()
+    | (i, j) :: rest ->
+      go rest units cost;
+      if load_l.(i) < cap_left && load_r.(j) < cap_right then begin
+        load_l.(i) <- load_l.(i) + 1;
+        load_r.(j) <- load_r.(j) + 1;
+        go rest (units + 1) (cost +. costs.(i).(j));
+        load_l.(i) <- load_l.(i) - 1;
+        load_r.(j) <- load_r.(j) - 1
+      end
+  in
+  go pairs 0 0.0;
+  (!best_units, !best_cost)
+
+let prop_mcmf_matches_brute =
+  let gen =
+    QCheck2.Gen.(
+      let* n_left = int_range 1 3 in
+      let* n_right = int_range 1 3 in
+      let* cap_left = int_range 1 2 in
+      let* cap_right = int_range 1 2 in
+      let* costs =
+        array_size (return n_left)
+          (array_size (return n_right) (float_range (-1.0) 0.0))
+      in
+      return (n_left, n_right, cap_left, cap_right, costs))
+  in
+  QCheck2.Test.make ~name:"SSPA = brute force on bipartite instances"
+    ~count:150 gen
+    (fun (n_left, n_right, cap_left, cap_right, costs) ->
+      let n = n_left + n_right + 2 in
+      let source = 0 and sink = n - 1 in
+      let g = Graph.create ~n in
+      for i = 0 to n_left - 1 do
+        ignore (Graph.add_arc g ~src:source ~dst:(1 + i) ~cap:cap_left ~cost:0.0)
+      done;
+      for i = 0 to n_left - 1 do
+        for j = 0 to n_right - 1 do
+          ignore
+            (Graph.add_arc g ~src:(1 + i) ~dst:(1 + n_left + j) ~cap:1
+               ~cost:costs.(i).(j))
+        done
+      done;
+      for j = 0 to n_right - 1 do
+        ignore
+          (Graph.add_arc g ~src:(1 + n_left + j) ~dst:sink ~cap:cap_right
+             ~cost:0.0)
+      done;
+      let r = Mcmf.run g ~source ~sink in
+      let units, cost =
+        brute_min_cost_assignment ~n_left ~n_right ~cap_left ~cap_right ~costs
+      in
+      r.Mcmf.flow = units && Float.abs (r.Mcmf.cost -. cost) < 1e-6)
+
+let prop_mcmf_flow_conservation =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 6 in
+      let* arcs =
+        (* Non-negative costs: random topologies with negative arcs can
+           contain negative cycles, which Mcmf rejects by design. *)
+        list_size (int_range 1 12)
+          (triple (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+             (int_range 0 3) (float_range 0.0 2.0))
+      in
+      return (n, arcs))
+  in
+  QCheck2.Test.make ~name:"flow conservation at inner nodes" ~count:150 gen
+    (fun (n, arcs) ->
+      let g = Graph.create ~n in
+      List.iter
+        (fun ((src, dst), cap, cost) ->
+          if src <> dst then ignore (Graph.add_arc g ~src ~dst ~cap ~cost))
+        arcs;
+      let source = 0 and sink = n - 1 in
+      let r = Mcmf.run g ~source ~sink in
+      let balance = Array.make n 0 in
+      Graph.iter_forward_arcs g (fun a ->
+          let f = Graph.flow g a in
+          balance.(Graph.src g a) <- balance.(Graph.src g a) - f;
+          balance.(Graph.dst g a) <- balance.(Graph.dst g a) + f);
+      let ok = ref (balance.(source) = -r.Mcmf.flow && balance.(sink) = r.Mcmf.flow) in
+      for v = 0 to n - 1 do
+        if v <> source && v <> sink && balance.(v) <> 0 then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------- Mcmf_spfa *)
+
+let random_bipartite_gen =
+  QCheck2.Gen.(
+    let* n_left = int_range 1 4 in
+    let* n_right = int_range 1 4 in
+    let* cap_left = int_range 1 3 in
+    let* cap_right = int_range 1 3 in
+    let* costs =
+      array_size (return n_left)
+        (array_size (return n_right) (float_range (-1.0) 0.0))
+    in
+    return (n_left, n_right, cap_left, cap_right, costs))
+
+let build_bipartite (n_left, n_right, cap_left, cap_right, costs) =
+  let n = n_left + n_right + 2 in
+  let source = 0 and sink = n - 1 in
+  let g = Graph.create ~n in
+  for i = 0 to n_left - 1 do
+    ignore (Graph.add_arc g ~src:source ~dst:(1 + i) ~cap:cap_left ~cost:0.0)
+  done;
+  for i = 0 to n_left - 1 do
+    for j = 0 to n_right - 1 do
+      ignore
+        (Graph.add_arc g ~src:(1 + i) ~dst:(1 + n_left + j) ~cap:1
+           ~cost:costs.(i).(j))
+    done
+  done;
+  for j = 0 to n_right - 1 do
+    ignore
+      (Graph.add_arc g ~src:(1 + n_left + j) ~dst:sink ~cap:cap_right ~cost:0.0)
+  done;
+  (g, source, sink)
+
+let prop_spfa_agrees_with_sspa =
+  QCheck2.Test.make ~name:"SPFA and SSPA solvers agree" ~count:200
+    random_bipartite_gen
+    (fun input ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let r1 = Mcmf.run g1 ~source ~sink in
+      let r2 = Mcmf_spfa.run g2 ~source ~sink in
+      r1.Mcmf.flow = r2.Mcmf.flow
+      && Float.abs (r1.Mcmf.cost -. r2.Mcmf.cost) < 1e-6)
+
+let test_spfa_negative_costs () =
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:(-0.9));
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:(-0.4));
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:0.0);
+  let r = Mcmf_spfa.run g ~source:0 ~sink:3 in
+  Alcotest.(check int) "one unit" 1 r.Mcmf.flow;
+  check_float "min cost" (-0.9) r.Mcmf.cost
+
+(* ----------------------------------------------------------------- Dinic *)
+
+let test_dinic_simple () =
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:3 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~cap:2 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:3 ~cap:2 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~cap:3 ~cost:0.0);
+  Alcotest.(check int) "max flow 5" 5 (Dinic.max_flow g ~source:0 ~sink:3)
+
+let test_dinic_disconnected () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:5 ~cost:0.0);
+  Alcotest.(check int) "no flow" 0 (Dinic.max_flow g ~source:0 ~sink:2)
+
+let general_graph_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 7 in
+    let* arcs =
+      list_size (int_range 1 14)
+        (triple (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+           (int_range 0 4) (float_range 0.0 3.0))
+    in
+    return (n, arcs))
+
+let build_general (n, arcs) =
+  let g = Graph.create ~n in
+  List.iter
+    (fun ((src, dst), cap, cost) ->
+      if src <> dst then ignore (Graph.add_arc g ~src ~dst ~cap ~cost))
+    arcs;
+  g
+
+let prop_spfa_agrees_on_general_graphs =
+  QCheck2.Test.make ~name:"SPFA = SSPA on general non-negative graphs"
+    ~count:150 general_graph_gen
+    (fun input ->
+      let n, _ = input in
+      let g1 = build_general input in
+      let g2 = build_general input in
+      let r1 = Mcmf.run g1 ~source:0 ~sink:(n - 1) in
+      let r2 = Mcmf_spfa.run g2 ~source:0 ~sink:(n - 1) in
+      r1.Mcmf.flow = r2.Mcmf.flow
+      && Float.abs (r1.Mcmf.cost -. r2.Mcmf.cost) < 1e-6)
+
+let prop_dinic_on_general_graphs =
+  QCheck2.Test.make ~name:"Dinic = SSPA flow value on general graphs"
+    ~count:150 general_graph_gen
+    (fun input ->
+      let n, _ = input in
+      let g1 = build_general input in
+      let g2 = build_general input in
+      let r = Mcmf.run g1 ~source:0 ~sink:(n - 1) in
+      Dinic.max_flow g2 ~source:0 ~sink:(n - 1) = r.Mcmf.flow)
+
+let prop_dinic_agrees_with_mcmf_flow =
+  QCheck2.Test.make ~name:"Dinic max flow = SSPA max flow" ~count:200
+    random_bipartite_gen
+    (fun input ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let r = Mcmf.run g1 ~source ~sink in
+      Dinic.max_flow g2 ~source ~sink = r.Mcmf.flow)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "flow.graph",
+      [
+        Alcotest.test_case "basics" `Quick test_graph_basics;
+        Alcotest.test_case "push/cancel" `Quick test_graph_push_cancel;
+        Alcotest.test_case "invalid args" `Quick test_graph_invalid;
+        Alcotest.test_case "iteration" `Quick test_graph_iter_from;
+      ] );
+    ( "flow.node_heap",
+      [
+        Alcotest.test_case "basic" `Quick test_node_heap_basic;
+        Alcotest.test_case "decrease-key" `Quick test_node_heap_decrease;
+        Alcotest.test_case "clear and reuse" `Quick test_node_heap_clear_reuse;
+        qcheck prop_node_heap_sorts;
+      ] );
+    ( "flow.mcmf",
+      [
+        Alcotest.test_case "prefers cheap path" `Quick
+          test_mcmf_prefers_cheap_path;
+        Alcotest.test_case "negative costs" `Quick test_mcmf_negative_costs;
+        Alcotest.test_case "rerouting through residuals" `Quick
+          test_mcmf_rerouting;
+        Alcotest.test_case "max_flow cap" `Quick test_mcmf_max_flow_cap;
+        Alcotest.test_case "stop on nonnegative" `Quick
+          test_mcmf_stop_on_nonnegative;
+        Alcotest.test_case "disconnected" `Quick test_mcmf_disconnected;
+        Alcotest.test_case "invalid args" `Quick test_mcmf_invalid;
+        qcheck prop_mcmf_matches_brute;
+        qcheck prop_mcmf_flow_conservation;
+      ] );
+    ( "flow.mcmf_spfa",
+      [
+        Alcotest.test_case "negative costs" `Quick test_spfa_negative_costs;
+        qcheck prop_spfa_agrees_with_sspa;
+        qcheck prop_spfa_agrees_on_general_graphs;
+      ] );
+    ( "flow.dinic",
+      [
+        Alcotest.test_case "textbook network" `Quick test_dinic_simple;
+        Alcotest.test_case "disconnected" `Quick test_dinic_disconnected;
+        qcheck prop_dinic_agrees_with_mcmf_flow;
+        qcheck prop_dinic_on_general_graphs;
+      ] );
+  ]

@@ -1,0 +1,194 @@
+open Ltc_geo
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let point_gen ~side =
+  QCheck2.Gen.(
+    map2
+      (fun x y -> Point.make ~x ~y)
+      (float_range 0.0 side) (float_range 0.0 side))
+
+let points_gen ~side = QCheck2.Gen.(list_size (int_range 0 200) (point_gen ~side))
+
+let brute_within points ~center ~radius =
+  let r_sq = radius *. radius in
+  points
+  |> List.mapi (fun i p -> (i, p))
+  |> List.filter (fun (_, p) -> Point.distance_sq p center <= r_sq)
+  |> List.map fst
+
+(* ----------------------------------------------------------------- Point *)
+
+let test_point_distance () =
+  let a = Point.make ~x:0.0 ~y:0.0 and b = Point.make ~x:3.0 ~y:4.0 in
+  check_float "3-4-5" 5.0 (Point.distance a b);
+  check_float "squared" 25.0 (Point.distance_sq a b);
+  check_float "self" 0.0 (Point.distance a a)
+
+let test_point_equal () =
+  let a = Point.make ~x:1.0 ~y:2.0 in
+  Alcotest.(check bool) "equal" true (Point.equal a (Point.make ~x:1.0 ~y:2.0));
+  Alcotest.(check bool) "not equal" false
+    (Point.equal a (Point.make ~x:1.0 ~y:2.1))
+
+(* ------------------------------------------------------------------ Bbox *)
+
+let test_bbox_contains () =
+  let b = Bbox.square ~side:10.0 in
+  Alcotest.(check bool) "inside" true (Bbox.contains b (Point.make ~x:5.0 ~y:5.0));
+  Alcotest.(check bool) "boundary" true
+    (Bbox.contains b (Point.make ~x:0.0 ~y:10.0));
+  Alcotest.(check bool) "outside" false
+    (Bbox.contains b (Point.make ~x:(-0.1) ~y:5.0))
+
+let test_bbox_inverted () =
+  Alcotest.check_raises "inverted" (Invalid_argument "Bbox.make: inverted box")
+    (fun () ->
+      ignore (Bbox.make ~min_x:1.0 ~min_y:0.0 ~max_x:0.0 ~max_y:1.0))
+
+let test_bbox_of_points () =
+  let b =
+    Bbox.of_points
+      [ Point.make ~x:2.0 ~y:5.0; Point.make ~x:(-1.0) ~y:3.0; Point.make ~x:0.0 ~y:9.0 ]
+  in
+  check_float "min_x" (-1.0) b.Bbox.min_x;
+  check_float "max_y" 9.0 b.Bbox.max_y
+
+let test_bbox_distance () =
+  let b = Bbox.square ~side:2.0 in
+  check_float "inside is 0" 0.0
+    (Bbox.distance_sq_to_point b (Point.make ~x:1.0 ~y:1.0));
+  check_float "corner distance" 2.0
+    (Bbox.distance_sq_to_point b (Point.make ~x:3.0 ~y:3.0))
+
+(* ------------------------------------------------------------ Grid_index *)
+
+let test_grid_basic () =
+  let points =
+    [| Point.make ~x:1.0 ~y:1.0; Point.make ~x:5.0 ~y:5.0; Point.make ~x:9.0 ~y:9.0 |]
+  in
+  let g = Grid_index.build ~world:(Bbox.square ~side:10.0) ~cell:2.0 points in
+  Alcotest.(check int) "length" 3 (Grid_index.length g);
+  Alcotest.(check (list int)) "radius 1 around (5,5)" [ 1 ]
+    (Grid_index.query_within g ~center:(Point.make ~x:5.0 ~y:5.0) ~radius:1.0);
+  Alcotest.(check (list int)) "radius 7 catches corners" [ 0; 1; 2 ]
+    (Grid_index.query_within g ~center:(Point.make ~x:5.0 ~y:5.0) ~radius:7.0)
+
+let test_grid_invalid_cell () =
+  Alcotest.check_raises "cell 0"
+    (Invalid_argument "Grid_index.build: cell must be positive") (fun () ->
+      ignore (Grid_index.build ~world:(Bbox.square ~side:1.0) ~cell:0.0 [||]))
+
+let test_grid_out_of_world_points () =
+  (* Points outside the declared world are clamped into boundary cells and
+     must still be findable. *)
+  let points = [| Point.make ~x:15.0 ~y:15.0 |] in
+  let g = Grid_index.build ~world:(Bbox.square ~side:10.0) ~cell:3.0 points in
+  Alcotest.(check (list int)) "found" [ 0 ]
+    (Grid_index.query_within g ~center:(Point.make ~x:15.0 ~y:15.0) ~radius:0.5)
+
+let prop_grid_matches_brute =
+  QCheck2.Test.make ~name:"grid query = brute force" ~count:200
+    QCheck2.Gen.(
+      triple (points_gen ~side:100.0) (point_gen ~side:100.0)
+        (float_range 0.1 40.0))
+    (fun (points, center, radius) ->
+      let arr = Array.of_list points in
+      let g = Grid_index.build ~world:(Bbox.square ~side:100.0) ~cell:10.0 arr in
+      Grid_index.query_within g ~center ~radius
+      = brute_within points ~center ~radius)
+
+let prop_grid_count =
+  QCheck2.Test.make ~name:"grid count = query length" ~count:100
+    QCheck2.Gen.(pair (points_gen ~side:50.0) (point_gen ~side:50.0))
+    (fun (points, center) ->
+      let arr = Array.of_list points in
+      let g = Grid_index.build ~world:(Bbox.square ~side:50.0) ~cell:5.0 arr in
+      Grid_index.count_within g ~center ~radius:8.0
+      = List.length (Grid_index.query_within g ~center ~radius:8.0))
+
+(* --------------------------------------------------------------- Kd_tree *)
+
+let test_kd_empty () =
+  let t = Kd_tree.build [||] in
+  Alcotest.(check int) "length" 0 (Kd_tree.length t);
+  Alcotest.(check (option int)) "nearest none" None
+    (Kd_tree.nearest t (Point.make ~x:0.0 ~y:0.0));
+  Alcotest.(check (list int)) "query empty" []
+    (Kd_tree.query_within t ~center:(Point.make ~x:0.0 ~y:0.0) ~radius:5.0)
+
+let test_kd_single () =
+  let t = Kd_tree.build [| Point.make ~x:3.0 ~y:4.0 |] in
+  Alcotest.(check (option int)) "nearest" (Some 0)
+    (Kd_tree.nearest t (Point.make ~x:0.0 ~y:0.0));
+  Alcotest.(check (list int)) "within 5" [ 0 ]
+    (Kd_tree.query_within t ~center:(Point.make ~x:0.0 ~y:0.0) ~radius:5.0)
+
+let prop_kd_matches_brute =
+  QCheck2.Test.make ~name:"kd query = brute force" ~count:200
+    QCheck2.Gen.(
+      triple (points_gen ~side:100.0) (point_gen ~side:100.0)
+        (float_range 0.1 40.0))
+    (fun (points, center, radius) ->
+      let t = Kd_tree.build (Array.of_list points) in
+      Kd_tree.query_within t ~center ~radius
+      = brute_within points ~center ~radius)
+
+let prop_kd_nearest_matches_brute =
+  QCheck2.Test.make ~name:"kd nearest = brute force distance" ~count:200
+    QCheck2.Gen.(pair (points_gen ~side:100.0) (point_gen ~side:100.0))
+    (fun (points, query) ->
+      let t = Kd_tree.build (Array.of_list points) in
+      match (Kd_tree.nearest t query, points) with
+      | None, [] -> true
+      | None, _ :: _ | Some _, [] -> false
+      | Some i, _ :: _ ->
+        let best =
+          List.fold_left
+            (fun acc p -> Float.min acc (Point.distance_sq p query))
+            infinity points
+        in
+        Float.abs (Point.distance_sq (List.nth points i) query -. best) < 1e-9)
+
+let prop_kd_duplicates =
+  QCheck2.Test.make ~name:"kd handles duplicate points" ~count:50
+    QCheck2.Gen.(int_range 1 64)
+    (fun n ->
+      let p = Point.make ~x:1.0 ~y:1.0 in
+      let t = Kd_tree.build (Array.make n p) in
+      List.length (Kd_tree.query_within t ~center:p ~radius:0.1) = n)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "geo.point",
+      [
+        Alcotest.test_case "distance" `Quick test_point_distance;
+        Alcotest.test_case "equal" `Quick test_point_equal;
+      ] );
+    ( "geo.bbox",
+      [
+        Alcotest.test_case "contains" `Quick test_bbox_contains;
+        Alcotest.test_case "inverted raises" `Quick test_bbox_inverted;
+        Alcotest.test_case "of_points" `Quick test_bbox_of_points;
+        Alcotest.test_case "distance to point" `Quick test_bbox_distance;
+      ] );
+    ( "geo.grid_index",
+      [
+        Alcotest.test_case "basic queries" `Quick test_grid_basic;
+        Alcotest.test_case "invalid cell" `Quick test_grid_invalid_cell;
+        Alcotest.test_case "out-of-world points" `Quick
+          test_grid_out_of_world_points;
+        qcheck prop_grid_matches_brute;
+        qcheck prop_grid_count;
+      ] );
+    ( "geo.kd_tree",
+      [
+        Alcotest.test_case "empty" `Quick test_kd_empty;
+        Alcotest.test_case "single point" `Quick test_kd_single;
+        qcheck prop_kd_matches_brute;
+        qcheck prop_kd_nearest_matches_brute;
+        qcheck prop_kd_duplicates;
+      ] );
+  ]

@@ -1,0 +1,183 @@
+open Ltc_core
+open Ltc_workload
+
+(* ------------------------------------------------------------------ Spec *)
+
+let test_defaults_match_table4 () =
+  let s = Spec.default_synthetic in
+  Alcotest.(check int) "|T|" 3000 s.Spec.n_tasks;
+  Alcotest.(check int) "|W|" 40000 s.Spec.n_workers;
+  Alcotest.(check int) "K" 6 s.Spec.capacity;
+  Alcotest.(check (float 1e-9)) "eps" 0.14 s.Spec.epsilon;
+  Alcotest.(check (float 1e-9)) "dmax" 30.0 s.Spec.dmax;
+  Alcotest.(check bool) "normal 0.86" true (s.Spec.accuracy = Spec.Normal_acc 0.86)
+
+let test_sweeps_match_table4 () =
+  Alcotest.(check (list int)) "tasks" [ 1000; 2000; 3000; 4000; 5000 ]
+    Spec.n_tasks_sweep;
+  Alcotest.(check (list int)) "capacity" [ 4; 5; 6; 7; 8 ] Spec.capacity_sweep;
+  Alcotest.(check int) "scalability rows" 6 (List.length Spec.scalability_sweep);
+  List.iter
+    (fun (_, w) -> Alcotest.(check int) "400k workers" 400_000 w)
+    Spec.scalability_sweep
+
+let test_table5_cardinalities () =
+  Alcotest.(check int) "NY tasks" 3717 Spec.new_york.Spec.c_n_tasks;
+  Alcotest.(check int) "NY workers" 227_428 Spec.new_york.Spec.c_n_workers;
+  Alcotest.(check int) "Tokyo tasks" 9317 Spec.tokyo.Spec.c_n_tasks;
+  Alcotest.(check int) "Tokyo workers" 573_703 Spec.tokyo.Spec.c_n_workers
+
+let test_scaling_preserves_density () =
+  let s = Spec.scale_synthetic 0.25 Spec.default_synthetic in
+  Alcotest.(check int) "tasks" 750 s.Spec.n_tasks;
+  Alcotest.(check int) "workers" 10000 s.Spec.n_workers;
+  Alcotest.(check (float 1e-6)) "side" 500.0 s.Spec.world_side;
+  (* density = n / side^2 invariant *)
+  let density spec =
+    float_of_int spec.Spec.n_tasks /. (spec.Spec.world_side ** 2.0)
+  in
+  Alcotest.(check (float 1e-9)) "task density"
+    (density Spec.default_synthetic) (density s);
+  Alcotest.(check int) "identity at 1"
+    Spec.default_synthetic.Spec.n_tasks
+    (Spec.scale_synthetic 1.0 Spec.default_synthetic).Spec.n_tasks
+
+let test_scaling_invalid () =
+  Alcotest.check_raises "zero factor"
+    (Invalid_argument "Spec.scale_synthetic: factor <= 0") (fun () ->
+      ignore (Spec.scale_synthetic 0.0 Spec.default_synthetic))
+
+(* -------------------------------------------------------------- Synthetic *)
+
+let small_spec =
+  Spec.
+    {
+      default_synthetic with
+      n_tasks = 50;
+      n_workers = 400;
+      world_side = 200.0;
+    }
+
+let test_synthetic_shape () =
+  let i = Synthetic.generate (Ltc_util.Rng.create ~seed:1) small_spec in
+  Alcotest.(check int) "tasks" 50 (Instance.task_count i);
+  Alcotest.(check int) "workers" 400 (Instance.worker_count i);
+  Array.iteri
+    (fun k (w : Worker.t) ->
+      Alcotest.(check int) "arrival order" (k + 1) w.index;
+      Alcotest.(check int) "capacity" 6 w.capacity;
+      Alcotest.(check bool) "trusted accuracy" true
+        (w.accuracy >= 0.66 && w.accuracy <= 1.0);
+      Alcotest.(check bool) "in world" true
+        (w.loc.Ltc_geo.Point.x >= 0.0
+        && w.loc.Ltc_geo.Point.x <= 200.0
+        && w.loc.Ltc_geo.Point.y >= 0.0
+        && w.loc.Ltc_geo.Point.y <= 200.0))
+    i.Instance.workers
+
+let test_synthetic_deterministic () =
+  let gen seed = Synthetic.generate (Ltc_util.Rng.create ~seed) small_spec in
+  let a = gen 7 and b = gen 7 and c = gen 8 in
+  Alcotest.(check bool) "same seed, same workers" true
+    (a.Instance.workers = b.Instance.workers);
+  Alcotest.(check bool) "different seed differs" false
+    (a.Instance.workers = c.Instance.workers)
+
+let test_synthetic_uniform_accuracy_model () =
+  let spec = { small_spec with Spec.accuracy = Spec.Uniform_acc 0.9 } in
+  let i = Synthetic.generate (Ltc_util.Rng.create ~seed:2) spec in
+  Array.iter
+    (fun (w : Worker.t) ->
+      Alcotest.(check bool) "in uniform band" true
+        (w.accuracy >= 0.82 && w.accuracy <= 0.98 +. 1e-9))
+    i.Instance.workers
+
+(* ------------------------------------------------------------------ City *)
+
+let tiny_city =
+  Spec.
+    {
+      new_york with
+      c_n_tasks = 60;
+      c_n_workers = 1500;
+      c_side = 300.0;
+      c_clusters = 6;
+    }
+
+let test_city_shape () =
+  let i = City.generate (Ltc_util.Rng.create ~seed:3) tiny_city in
+  Alcotest.(check int) "tasks" 60 (Instance.task_count i);
+  Alcotest.(check int) "workers" 1500 (Instance.worker_count i);
+  Array.iter
+    (fun (t : Task.t) ->
+      Alcotest.(check bool) "task in city" true
+        (t.loc.Ltc_geo.Point.x >= 0.0 && t.loc.Ltc_geo.Point.x <= 300.0))
+    i.Instance.tasks
+
+let test_city_is_clustered () =
+  (* Check-ins concentrate: the busiest 10% of grid cells should hold far
+     more than 10% of the workers (they would under a uniform layout they
+     would hold ~10%). *)
+  let i = City.generate (Ltc_util.Rng.create ~seed:4) tiny_city in
+  let cells = 10 in
+  let histogram = Array.make (cells * cells) 0 in
+  Array.iter
+    (fun (w : Worker.t) ->
+      let cx =
+        min (cells - 1) (int_of_float (w.loc.Ltc_geo.Point.x /. 300.0 *. 10.0))
+      in
+      let cy =
+        min (cells - 1) (int_of_float (w.loc.Ltc_geo.Point.y /. 300.0 *. 10.0))
+      in
+      histogram.((cy * cells) + cx) <- histogram.((cy * cells) + cx) + 1)
+    i.Instance.workers;
+  Array.sort (fun a b -> compare b a) histogram;
+  let top10 = Array.fold_left ( + ) 0 (Array.sub histogram 0 10) in
+  (* Under a uniform layout the busiest 10% of cells would hold ~10% of the
+     1500 workers (~150); the mixture concentrates at least twice that. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "top 10 cells hold %d of 1500" top10)
+    true (top10 > 300)
+
+let test_city_hotspot_weights () =
+  let spots = City.hotspots (Ltc_util.Rng.create ~seed:5) tiny_city in
+  Alcotest.(check int) "cluster count" 6 (Array.length spots);
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 spots in
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1.0 total;
+  (* Zipf: first weight is the largest. *)
+  let w0 = snd spots.(0) in
+  Array.iter (fun (_, w) -> Alcotest.(check bool) "zipf head" true (w <= w0)) spots
+
+let test_city_completable () =
+  (* The algorithms must be able to finish a city workload. *)
+  let i = City.generate (Ltc_util.Rng.create ~seed:6) tiny_city in
+  let o = Ltc_algo.Aam.run i in
+  Alcotest.(check bool) "AAM completes" true o.Ltc_algo.Engine.completed
+
+let suite =
+  [
+    ( "workload.spec",
+      [
+        Alcotest.test_case "Table IV defaults" `Quick test_defaults_match_table4;
+        Alcotest.test_case "Table IV sweeps" `Quick test_sweeps_match_table4;
+        Alcotest.test_case "Table V cardinalities" `Quick
+          test_table5_cardinalities;
+        Alcotest.test_case "density-preserving scaling" `Quick
+          test_scaling_preserves_density;
+        Alcotest.test_case "invalid scaling" `Quick test_scaling_invalid;
+      ] );
+    ( "workload.synthetic",
+      [
+        Alcotest.test_case "shape" `Quick test_synthetic_shape;
+        Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+        Alcotest.test_case "uniform accuracy model" `Quick
+          test_synthetic_uniform_accuracy_model;
+      ] );
+    ( "workload.city",
+      [
+        Alcotest.test_case "shape" `Quick test_city_shape;
+        Alcotest.test_case "clustered" `Quick test_city_is_clustered;
+        Alcotest.test_case "hotspot weights" `Quick test_city_hotspot_weights;
+        Alcotest.test_case "completable" `Quick test_city_completable;
+      ] );
+  ]
