@@ -1,0 +1,24 @@
+# Convenience wrappers around dune; `make check` is the one command CI
+# and contributors run before pushing.
+
+.PHONY: all build test bench fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+fmt:
+	dune build @fmt --auto-promote
+
+check:
+	dune build @check
+
+clean:
+	dune clean

@@ -159,9 +159,14 @@ let list_experiments () =
     ~header:[ "id"; "panels"; "default scale" ]
     rows
 
-let main ids scale reps seed full list csv plot verbose =
+let main ids scale reps seed full list csv plot verbose metrics metrics_format =
   if verbose then Ltc_util.Log.setup ~level:Logs.Debug ()
   else Ltc_util.Log.setup ();
+  (match metrics with
+  | None -> ()
+  | Some _ ->
+    Ltc_util.Metrics.set_enabled true;
+    Ltc_util.Trace.set_enabled true);
   if list then begin
     list_experiments ();
     0
@@ -192,6 +197,9 @@ let main ids scale reps seed full list csv plot verbose =
             | Some e -> run_figure ~scale ~reps ~seed ~csv ~plot e
             | None -> assert false)
         ids;
+      Option.iter
+        (fun path -> Ltc_util.Snapshot.write ~path metrics_format)
+        metrics;
       0
   end
 
@@ -237,12 +245,33 @@ let verbose_arg =
   Arg.(value & flag
        & info [ "verbose"; "v" ] ~doc:"Debug logging (batch solves etc.).")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and span tracing, and write a \
+                 snapshot to $(docv) after all experiments ($(b,-) for \
+                 stdout).")
+
+let metrics_format_conv =
+  let parse s =
+    match Ltc_util.Snapshot.format_of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Ltc_util.Snapshot.pp_format)
+
+let metrics_format_arg =
+  Arg.(value & opt metrics_format_conv Ltc_util.Snapshot.Json
+       & info [ "metrics-format" ] ~docv:"FMT"
+           ~doc:"Snapshot format: $(b,json) or $(b,prom).")
+
 let cmd =
   let doc = "regenerate the tables and figures of the LTC paper" in
   Cmd.v
     (Cmd.info "ltc-bench" ~doc)
     Term.(
       const main $ ids_arg $ scale_arg $ reps_arg $ seed_arg $ full_arg
-      $ list_arg $ csv_arg $ plot_arg $ verbose_arg)
+      $ list_arg $ csv_arg $ plot_arg $ verbose_arg $ metrics_arg
+      $ metrics_format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,67 @@
 
 open Cmdliner
 
+(* ----------------------------------------------------- shared observability *)
+
+let metrics_format_conv =
+  let parse s =
+    match Ltc_util.Snapshot.format_of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Ltc_util.Snapshot.pp_format)
+
+(* "SRC:LEVEL" pairs for Log.setup's per-source levels, e.g. "obs:debug". *)
+let log_spec_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "expected SRC:LEVEL, got %S" s))
+    | Some i ->
+      let src = String.sub s 0 i in
+      let lvl = String.sub s (i + 1) (String.length s - i - 1) in
+      (match Logs.level_of_string lvl with
+      | Ok (Some l) -> Ok (src, l)
+      | Ok None -> Ok (src, Logs.Error)
+      | Error (`Msg m) -> Error (`Msg m))
+  in
+  let print fmt (src, l) =
+    Format.fprintf fmt "%s:%s" src (Logs.level_to_string (Some l))
+  in
+  Arg.conv (parse, print)
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and span tracing, and write a \
+                 snapshot to $(docv) after the run ($(b,-) for stdout).")
+
+let metrics_format_arg =
+  Arg.(value & opt metrics_format_conv Ltc_util.Snapshot.Json
+       & info [ "metrics-format" ] ~docv:"FMT"
+           ~doc:"Snapshot format: $(b,json) (metrics + span tree) or \
+                 $(b,prom) (Prometheus text exposition).")
+
+let log_arg =
+  Arg.(value & opt_all log_spec_conv []
+       & info [ "log" ] ~docv:"SRC:LEVEL"
+           ~doc:"Per-source log level, e.g. $(b,obs:debug) or \
+                 $(b,flow:info); repeatable.  Overrides $(b,--verbose) for \
+                 the named source.")
+
+let setup_observability ~verbose ~log_levels ~metrics =
+  Ltc_util.Log.setup
+    ?level:(if verbose then Some Logs.Debug else None)
+    ~src_levels:log_levels ();
+  if metrics <> None then begin
+    Ltc_util.Metrics.set_enabled true;
+    Ltc_util.Trace.set_enabled true
+  end
+
+let write_snapshot ~metrics ~metrics_format =
+  Option.iter
+    (fun path -> Ltc_util.Snapshot.write ~path metrics_format)
+    metrics
+
 (* ------------------------------------------------------------ run command *)
 
 type workload_kind = Synthetic | New_york | Tokyo
@@ -73,8 +134,9 @@ let build_instance ~workload ~scale ~tasks ~workers ~capacity ~epsilon ~seed =
     Ltc_workload.City.generate rng (Ltc_workload.Spec.scale_city scale base)
 
 let run_cmd_impl workload scale tasks workers capacity epsilon seed algo
-    validate simulate load report save_arrangement screen verbose svg =
-  if verbose then Ltc_util.Log.setup ~level:Logs.Debug ();
+    validate simulate load report save_arrangement screen verbose svg
+    log_levels metrics metrics_format =
+  setup_observability ~verbose ~log_levels ~metrics;
   let instance =
     match load with
     | Some path -> Ltc_core.Serialize.load_instance ~path
@@ -147,6 +209,7 @@ let run_cmd_impl workload scale tasks workers capacity epsilon seed algo
           outcome.Ltc_algo.Engine.arrangement;
         Format.printf "  arrangement saved to %s@." path)
     algorithms;
+  write_snapshot ~metrics ~metrics_format;
   0
 
 let scale_arg =
@@ -230,7 +293,8 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ workload $ scale_arg $ tasks $ workers $ capacity
       $ epsilon $ seed_arg $ algo $ validate $ simulate $ load $ report
-      $ save_arrangement $ screen $ verbose $ svg)
+      $ save_arrangement $ screen $ verbose $ svg $ log_arg $ metrics_arg
+      $ metrics_format_arg)
 
 (* ------------------------------------------------------- generate command *)
 
@@ -276,7 +340,9 @@ let generate_cmd =
 
 (* ---------------------------------------------------------- sweep command *)
 
-let sweep_cmd_impl id scale reps seed csv plot =
+let sweep_cmd_impl id scale reps seed csv plot log_levels metrics
+    metrics_format =
+  setup_observability ~verbose:false ~log_levels ~metrics;
   match Ltc_experiments.Figures.find id with
   | None ->
     Format.eprintf "unknown experiment %S; available: %s@." id
@@ -303,6 +369,7 @@ let sweep_cmd_impl id scale reps seed csv plot =
             (Ltc_experiments.Runner.write_csv ~dir o));
         print_newline ())
       (e.Ltc_experiments.Figures.run ~scale ~reps ~seed);
+    write_snapshot ~metrics ~metrics_format;
     0
 
 let sweep_cmd =
@@ -327,7 +394,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"run one registered experiment")
-    Term.(const sweep_cmd_impl $ id $ scale $ reps $ seed_arg $ csv $ plot)
+    Term.(
+      const sweep_cmd_impl $ id $ scale $ reps $ seed_arg $ csv $ plot
+      $ log_arg $ metrics_arg $ metrics_format_arg)
 
 (* --------------------------------------------------------- bounds command *)
 

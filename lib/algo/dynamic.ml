@@ -83,6 +83,7 @@ let strategy_name = function
   | Random_d _ -> "Random-dyn"
 
 let run ~strategy ~release:releases (instance : Instance.t) =
+  Ltc_util.Trace.with_span ("dynamic:" ^ strategy_name strategy) @@ fun () ->
   let n_tasks = Instance.task_count instance in
   if Array.length releases <> n_tasks then
     invalid_arg "Dynamic.run: release array must have one entry per task";
@@ -193,6 +194,7 @@ let run ~strategy ~release:releases (instance : Instance.t) =
         latency = Arrangement.latency !arrangement;
         workers_consumed = !consumed;
         peak_memory_mb = 0.0;
+        telemetry = Engine.no_telemetry;
       };
     mean_response =
       (if !completed_tasks = 0 then 0.0

@@ -1,5 +1,14 @@
 open Ltc_core
 
+type telemetry = {
+  decisions : int;
+  decision_seconds_total : float;
+  decision_seconds_max : float;
+}
+
+let no_telemetry =
+  { decisions = 0; decision_seconds_total = 0.0; decision_seconds_max = 0.0 }
+
 type outcome = {
   name : string;
   arrangement : Arrangement.t;
@@ -7,6 +16,7 @@ type outcome = {
   latency : int;
   workers_consumed : int;
   peak_memory_mb : float;
+  telemetry : telemetry;
 }
 
 type policy =
@@ -40,9 +50,32 @@ let check_decisions instance (w : Worker.t) tasks =
             w.index task d radius)
     tasks
 
+(* Per-algorithm engine metrics; registration is a hashtable lookup, done
+   once per run, and every mutation below is a no-op while disabled. *)
+let engine_metrics name =
+  let labels = [ ("algo", name) ] in
+  ( Ltc_util.Metrics.counter ~help:"worker arrivals processed" ~labels
+      "ltc_engine_arrivals_total",
+    Ltc_util.Metrics.counter ~help:"assignments recorded" ~labels
+      "ltc_engine_assignments_total",
+    Ltc_util.Metrics.histogram ~help:"per-arrival decision latency (s)"
+      ~labels "ltc_engine_decision_seconds",
+    Ltc_util.Metrics.histogram ~help:"tasks assigned per arriving worker"
+      ~buckets:[| 0.0; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+      ~labels "ltc_engine_assignments_per_arrival" )
+
+let stop_counter name reason =
+  Ltc_util.Metrics.counter ~help:"engine stop-rule firings by reason"
+    ~labels:[ ("algo", name); ("reason", reason) ]
+    "ltc_engine_stops_total"
+
 (* Shared driver: [answered w task] decides whether an assignment actually
    produces an answer (always true in the paper's model). *)
 let drive ~name ~answered policy instance =
+  Ltc_util.Trace.with_span ("engine:" ^ name) @@ fun () ->
+  let m_arrivals, m_assignments, m_decision, m_per_arrival =
+    engine_metrics name
+  in
   let progress =
     Progress.create_per_task ~thresholds:(Instance.thresholds instance)
   in
@@ -53,29 +86,57 @@ let drive ~name ~answered policy instance =
   let consumed = ref 0 in
   let workers = instance.Instance.workers in
   let n = Array.length workers in
+  (* Clock reads are gated on the registry switch: two gettimeofday calls
+     per arrival would be measurable against sub-microsecond decisions. *)
+  let timing = Ltc_util.Metrics.enabled () in
+  let decisions = ref 0 in
+  let dt_total = ref 0.0 in
+  let dt_max = ref 0.0 in
   let i = ref 0 in
   while (not (Progress.all_complete progress)) && !i < n do
     let w = workers.(!i) in
     incr i;
     incr consumed;
-    let tasks = decide w in
+    incr decisions;
+    let tasks =
+      if not timing then decide w
+      else begin
+        let t0 = Ltc_util.Timer.start () in
+        let tasks = decide w in
+        let dt = Ltc_util.Timer.elapsed_s t0 in
+        dt_total := !dt_total +. dt;
+        if dt > !dt_max then dt_max := dt;
+        Ltc_util.Metrics.Histogram.observe m_decision dt;
+        tasks
+      end
+    in
+    Ltc_util.Metrics.Counter.incr m_arrivals;
     check_decisions instance w tasks;
+    let assigned = ref 0 in
     List.iter
       (fun task ->
         if answered w task then begin
           let score = Instance.score instance w task in
           Progress.record progress ~task ~score;
-          arrangement := Arrangement.add !arrangement ~worker:w.index ~task
+          arrangement := Arrangement.add !arrangement ~worker:w.index ~task;
+          incr assigned
         end)
-      tasks
+      tasks;
+    Ltc_util.Metrics.Counter.add m_assignments !assigned;
+    Ltc_util.Metrics.Histogram.observe m_per_arrival (float_of_int !assigned)
   done;
   let completed = Progress.all_complete progress in
+  Ltc_util.Metrics.Counter.incr
+    (stop_counter name (if completed then "completed" else "exhausted"));
   Logs.debug ~src:Ltc_util.Log.algo (fun m ->
       m "%s: %s after %d arrivals (latency %d, %d assignments)" name
         (if completed then "completed" else "ran out of workers")
         !consumed
         (Arrangement.latency !arrangement)
         (Arrangement.size !arrangement));
+  Logs.debug ~src:Ltc_util.Log.obs (fun m ->
+      m "%s: %d decisions, %.6f s total, %.6f s max" name !decisions !dt_total
+        !dt_max);
   {
     name;
     arrangement = !arrangement;
@@ -83,6 +144,12 @@ let drive ~name ~answered policy instance =
     latency = Arrangement.latency !arrangement;
     workers_consumed = !consumed;
     peak_memory_mb = Ltc_util.Mem.Tracker.high_water_mb tracker;
+    telemetry =
+      {
+        decisions = !decisions;
+        decision_seconds_total = !dt_total;
+        decision_seconds_max = !dt_max;
+      };
   }
 
 let run_policy ~name policy instance =
@@ -116,6 +183,7 @@ let of_arrangement ~name ?workers_consumed ?tracker instance arrangement =
       (match tracker with
       | None -> 0.0
       | Some tr -> Ltc_util.Mem.Tracker.high_water_mb tr);
+    telemetry = no_telemetry;
   }
 
 let pp_outcome fmt o =

@@ -14,6 +14,23 @@
 
 open Ltc_core
 
+type telemetry = {
+  decisions : int;  (** arrivals the policy decided on *)
+  decision_seconds_total : float;
+      (** summed per-arrival decision wall time *)
+  decision_seconds_max : float;  (** slowest single decision *)
+}
+(** Per-run decision-cost summary from {!run_policy} /
+    {!run_policy_with_noshow}.  [decisions] is always counted; the two
+    timing fields require the {!Ltc_util.Metrics} registry to be enabled
+    when the run starts (per-arrival clock reads are skipped otherwise and
+    both stay [0.]).  The same observations also feed the [ltc_engine_*]
+    metric series. *)
+
+val no_telemetry : telemetry
+(** All-zero telemetry, used by {!of_arrangement} (offline algorithms have
+    no per-arrival decisions). *)
+
 type outcome = {
   name : string;
   arrangement : Arrangement.t;
@@ -23,6 +40,7 @@ type outcome = {
       (** arrivals processed before stopping (>= latency for online runs) *)
   peak_memory_mb : float;
       (** high-water footprint of algorithm-owned structures *)
+  telemetry : telemetry;
 }
 
 type policy =
@@ -67,3 +85,5 @@ val of_arrangement :
     arrangement's latency. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+(** One line with every scalar field:
+    [name: latency=L assignments=A completed=B consumed=C mem=M.MMMB]. *)

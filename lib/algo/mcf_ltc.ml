@@ -9,6 +9,19 @@ type config = {
 
 let default_config = { first_batch_factor = 1.5; batch_factor = 1.0 }
 
+let m_batches =
+  Ltc_util.Metrics.counter ~help:"MCF-LTC batches solved"
+    "ltc_mcf_batches_total"
+
+let m_batch_workers =
+  Ltc_util.Metrics.histogram ~help:"workers per MCF-LTC batch"
+    ~buckets:[| 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0 |]
+    "ltc_mcf_batch_workers"
+
+let m_batch_seconds =
+  Ltc_util.Metrics.histogram ~help:"wall time per MCF-LTC batch solve (s)"
+    "ltc_mcf_batch_seconds"
+
 (* Deterministic preference for earlier workers among cost ties; see .mli. *)
 let tie_cost ~n_workers (w : Worker.t) =
   5e-8 *. float_of_int w.index /. float_of_int (max 1 n_workers)
@@ -17,6 +30,8 @@ let tie_cost ~n_workers (w : Worker.t) =
    record the resulting assignments, then greedily spend leftover capacity.
    Returns the updated arrangement. *)
 let solve_batch instance tracker progress arrangement batch =
+  Ltc_util.Trace.with_span "mcf-ltc.batch" @@ fun () ->
+  let t_batch = Ltc_util.Timer.start () in
   let n_workers = Instance.worker_count instance in
   let n_batch = Array.length batch in
   (* Incomplete tasks get contiguous node ids after the worker nodes. *)
@@ -64,7 +79,10 @@ let solve_batch instance tracker progress arrangement batch =
     Ltc_flow.Graph.memory_words g + (8 * Ltc_flow.Graph.node_count g)
   in
   Ltc_util.Mem.Tracker.add_words tracker graph_words;
-  let flow_result = Ltc_flow.Mcmf.run g ~source ~sink in
+  let flow_result =
+    Ltc_util.Trace.with_span "mcmf.solve" (fun () ->
+        Ltc_flow.Mcmf.run g ~source ~sink)
+  in
   Logs.debug ~src:Ltc_util.Log.algo (fun m ->
       m "MCF-LTC batch: %d workers, %d open tasks, %d arcs -> flow %d, cost %.3f (%d rounds)"
         n_batch n_inc
@@ -118,10 +136,15 @@ let solve_batch instance tracker progress arrangement batch =
       end)
     batch;
   Ltc_util.Mem.Tracker.remove_words tracker graph_words;
+  Ltc_util.Metrics.Counter.incr m_batches;
+  Ltc_util.Metrics.Histogram.observe m_batch_workers (float_of_int n_batch);
+  Ltc_util.Metrics.Histogram.observe m_batch_seconds
+    (Ltc_util.Timer.elapsed_s t_batch);
   !arrangement
 
 (* Shared batch loop: [batch_size ~first] gives each batch's width. *)
 let run_batches ~name ~batch_size instance =
+  Ltc_util.Trace.with_span ("engine:" ^ name) @@ fun () ->
   let n_tasks = Instance.task_count instance in
   let workers = instance.Instance.workers in
   let n_workers = Array.length workers in

@@ -23,6 +23,15 @@ type output = {
    the paper does, instead of adding generation noise to the trend. *)
 let rep_seed ~seed ~rep = (seed * 1_000_003) + rep
 
+(* Per-algorithm sweep metrics; attached to every run so a snapshot taken
+   after a sweep carries the full measurement series. *)
+let run_metrics algo =
+  let labels = [ ("algo", algo) ] in
+  ( Ltc_util.Metrics.counter ~help:"sweep runs executed" ~labels
+      "ltc_runner_runs_total",
+    Ltc_util.Metrics.histogram ~help:"wall time per sweep run (s)" ~labels
+      "ltc_runner_runtime_seconds" )
+
 let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed) ~reps
     ~seed ~xs ~label ~instance_of () =
   if reps <= 0 then invalid_arg "Runner.sweep: reps must be positive";
@@ -43,8 +52,13 @@ let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed) ~reps
         List.iter
           (fun (algo : Ltc_algo.Algorithm.t) ->
             let outcome, runtime =
-              Ltc_util.Timer.time (fun () -> algo.run instance)
+              Ltc_util.Timer.time (fun () ->
+                  Ltc_util.Trace.with_span ("sweep:" ^ algo.name) (fun () ->
+                      algo.run instance))
             in
+            let m_runs, m_runtime = run_metrics algo.name in
+            Ltc_util.Metrics.Counter.incr m_runs;
+            Ltc_util.Metrics.Histogram.observe m_runtime runtime;
             let lat, time, mem, comp =
               match Hashtbl.find_opt acc algo.name with
               | Some slot -> slot

@@ -1,3 +1,20 @@
+(* Registered once; incr/add are no-ops while metrics are disabled. *)
+let m_runs =
+  Ltc_util.Metrics.counter ~help:"Dinic invocations"
+    "ltc_flow_dinic_runs_total"
+
+let m_bfs =
+  Ltc_util.Metrics.counter ~help:"Dinic level-graph (BFS) rebuilds"
+    "ltc_flow_dinic_bfs_rounds_total"
+
+let m_paths =
+  Ltc_util.Metrics.counter ~help:"Dinic augmenting paths found"
+    "ltc_flow_dinic_augmenting_paths_total"
+
+let m_flow =
+  Ltc_util.Metrics.counter ~help:"Total flow units pushed by Dinic"
+    "ltc_flow_dinic_pushed_flow_total"
+
 let max_flow g ~source ~sink =
   let n = Graph.node_count g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
@@ -59,13 +76,22 @@ let max_flow g ~source ~sink =
       !pushed
     end
   in
+  Ltc_util.Metrics.Counter.incr m_runs;
   let total = ref 0 in
-  while build_levels () do
+  while
+    Ltc_util.Metrics.Counter.incr m_bfs;
+    build_levels ()
+  do
     Array.blit first 0 cursor 0 n;
     let continue = ref true in
     while !continue do
       let got = dfs source max_int in
-      if got = 0 then continue := false else total := !total + got
+      if got = 0 then continue := false
+      else begin
+        Ltc_util.Metrics.Counter.incr m_paths;
+        total := !total + got
+      end
     done
   done;
+  Ltc_util.Metrics.Counter.add m_flow !total;
   !total

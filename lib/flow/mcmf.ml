@@ -7,6 +7,30 @@ type result = {
 (* Tolerance for reduced-cost non-negativity under float arithmetic. *)
 let epsilon = 1e-9
 
+(* Shared solver metrics, one series per solver backend; registered once
+   and free while metrics are disabled. *)
+let solver_metrics solver =
+  let labels = [ ("solver", solver) ] in
+  ( Ltc_util.Metrics.counter ~help:"min-cost-flow solver invocations" ~labels
+      "ltc_flow_mcmf_runs_total",
+    Ltc_util.Metrics.counter ~help:"augmenting rounds (shortest-path solves)"
+      ~labels "ltc_flow_mcmf_rounds_total",
+    Ltc_util.Metrics.counter ~help:"total flow units pushed" ~labels
+      "ltc_flow_mcmf_pushed_flow_total" )
+
+let m_runs, m_rounds, m_flow = solver_metrics "sspa"
+
+let m_bf_rounds =
+  Ltc_util.Metrics.counter
+    ~help:"Bellman-Ford relaxation sweeps while initialising potentials"
+    ~labels:[ ("solver", "sspa") ]
+    "ltc_flow_mcmf_bellman_ford_rounds_total"
+
+let m_dijkstra =
+  Ltc_util.Metrics.counter ~help:"Dijkstra passes over the reduced graph"
+    ~labels:[ ("solver", "sspa") ]
+    "ltc_flow_mcmf_dijkstra_passes_total"
+
 (* Bellman-Ford over residual arcs; fills [pot] with shortest-path distances
    from [source] (unreachable nodes keep 0, which is safe: they can only be
    reached later through reachable nodes, whose potentials are exact). *)
@@ -18,6 +42,7 @@ let bellman_ford (raw : Graph.raw) ~n ~source pot =
   while !changed && !round < n do
     changed := false;
     incr round;
+    Ltc_util.Metrics.Counter.incr m_bf_rounds;
     for a = 0 to raw.Graph.r_len - 1 do
       if raw.Graph.r_caps.(a) > 0 then begin
         (* The source of arc [a] is the head of its reverse. *)
@@ -103,11 +128,17 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
     done;
     !reached_sink
   in
+  Ltc_util.Metrics.Counter.incr m_runs;
   let total_flow = ref 0 in
   let total_cost = ref 0.0 in
   let rounds = ref 0 in
   let continue = ref true in
-  while !continue && !total_flow < max_flow && dijkstra () do
+  while
+    !continue && !total_flow < max_flow
+    &&
+    (Ltc_util.Metrics.Counter.incr m_dijkstra;
+     dijkstra ())
+  do
     (* True (unreduced) cost of the found path. *)
     let path_cost = dist.(sink) +. pot.(sink) -. pot.(source) in
     if stop_on_nonnegative && path_cost >= -.epsilon then continue := false
@@ -140,4 +171,6 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
       total_cost := !total_cost +. (float_of_int amount *. path_cost)
     end
   done;
+  Ltc_util.Metrics.Counter.add m_rounds !rounds;
+  Ltc_util.Metrics.Counter.add m_flow !total_flow;
   { flow = !total_flow; cost = !total_cost; rounds = !rounds }

@@ -1,5 +1,24 @@
 let epsilon = 1e-9
 
+(* Same metric names as {!Mcmf}, distinguished by the [solver] label. *)
+let labels = [ ("solver", "spfa") ]
+
+let m_runs =
+  Ltc_util.Metrics.counter ~help:"min-cost-flow solver invocations" ~labels
+    "ltc_flow_mcmf_runs_total"
+
+let m_rounds =
+  Ltc_util.Metrics.counter ~help:"augmenting rounds (shortest-path solves)"
+    ~labels "ltc_flow_mcmf_rounds_total"
+
+let m_flow =
+  Ltc_util.Metrics.counter ~help:"total flow units pushed" ~labels
+    "ltc_flow_mcmf_pushed_flow_total"
+
+let m_spfa =
+  Ltc_util.Metrics.counter ~help:"SPFA shortest-path passes" ~labels
+    "ltc_flow_mcmf_spfa_passes_total"
+
 let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
   let n = Graph.node_count g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
@@ -54,11 +73,17 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
     done;
     dist.(sink) < infinity
   in
+  Ltc_util.Metrics.Counter.incr m_runs;
   let total_flow = ref 0 in
   let total_cost = ref 0.0 in
   let rounds = ref 0 in
   let continue = ref true in
-  while !continue && !total_flow < max_flow && spfa () do
+  while
+    !continue && !total_flow < max_flow
+    &&
+    (Ltc_util.Metrics.Counter.incr m_spfa;
+     spfa ())
+  do
     let path_cost = dist.(sink) in
     if stop_on_nonnegative && path_cost >= -.epsilon then continue := false
     else begin
@@ -83,4 +108,6 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
       total_cost := !total_cost +. (float_of_int amount *. path_cost)
     end
   done;
+  Ltc_util.Metrics.Counter.add m_rounds !rounds;
+  Ltc_util.Metrics.Counter.add m_flow !total_flow;
   { Mcmf.flow = !total_flow; cost = !total_cost; rounds = !rounds }

@@ -1,6 +1,7 @@
 let algo = Logs.Src.create "ltc.algo" ~doc:"LTC assignment algorithms"
 let flow = Logs.Src.create "ltc.flow" ~doc:"min-cost-flow solvers"
 let workload = Logs.Src.create "ltc.workload" ~doc:"workload generators"
+let obs = Logs.Src.create "ltc.obs" ~doc:"observability layer (metrics, traces)"
 
 let reporter () =
   let report src level ~over k msgf =
@@ -19,6 +20,16 @@ let reporter () =
   in
   { Logs.report }
 
-let setup ?level () =
+let set_src_level (name, lvl) =
+  let matches src =
+    let n = Logs.Src.name src in
+    n = name || n = "ltc." ^ name
+  in
+  match List.filter matches (Logs.Src.list ()) with
+  | [] -> invalid_arg (Printf.sprintf "Log.setup: unknown log source %S" name)
+  | srcs -> List.iter (fun src -> Logs.Src.set_level src (Some lvl)) srcs
+
+let setup ?level ?(src_levels = []) () =
   Logs.set_reporter (reporter ());
-  match level with None -> () | Some l -> Logs.set_level (Some l)
+  (match level with None -> () | Some l -> Logs.set_level (Some l));
+  List.iter set_src_level src_levels

@@ -14,6 +14,16 @@ val flow : Logs.src
 val workload : Logs.src
 (** Generator events: hot-spot mixtures, cardinalities. *)
 
-val setup : ?level:Logs.level -> unit -> unit
+val obs : Logs.src
+(** Observability layer: metric snapshots, trace summaries, engine
+    telemetry. *)
+
+val setup :
+  ?level:Logs.level -> ?src_levels:(string * Logs.level) list -> unit -> unit
 (** Install a [Format]-based reporter on stderr and set the global level
-    ([None] semantics: pass no [level] to leave reporting off). *)
+    ([None] semantics: pass no [level] to leave reporting off).
+
+    [src_levels] then overrides individual sources by name — the [ltc.]
+    prefix is optional, so [("obs", Logs.Debug)] turns on solver-trace
+    logging without drowning in [flow] debug lines.
+    @raise Invalid_argument on an unknown source name. *)

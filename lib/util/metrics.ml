@@ -1,0 +1,302 @@
+type labels = (string * string) list
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+module Counter = struct
+  type t = { mutable c : int }
+
+  let incr t = if !enabled_flag then t.c <- t.c + 1
+
+  let add t n =
+    if n < 0 then invalid_arg "Metrics.Counter.add: negative amount";
+    if !enabled_flag then t.c <- t.c + n
+
+  let value t = t.c
+end
+
+module Gauge = struct
+  type t = { mutable g : float }
+
+  let set t v = if !enabled_flag then t.g <- v
+  let add t v = if !enabled_flag then t.g <- t.g +. v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;  (* strictly increasing finite upper bounds *)
+    counts : int array;    (* per-bucket, length = |bounds| + 1 (+Inf last) *)
+    mutable total : int;
+    mutable hsum : float;
+  }
+
+  let observe t v =
+    if !enabled_flag then begin
+      let n = Array.length t.bounds in
+      let i = ref 0 in
+      (* Linear scan: bucket lists are short and this stays allocation-free. *)
+      while !i < n && v > Array.unsafe_get t.bounds !i do incr i done;
+      t.counts.(!i) <- t.counts.(!i) + 1;
+      t.total <- t.total + 1;
+      t.hsum <- t.hsum +. v
+    end
+
+  let count t = t.total
+  let sum t = t.hsum
+end
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 |]
+
+type instrument =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type series = {
+  s_name : string;
+  s_labels : labels;  (* canonical: sorted by key *)
+  s_help : string;
+  s_inst : instrument;
+}
+
+(* Per-name metadata fixed by the first registration; later registrations
+   (any label set) must agree on kind and buckets. *)
+type meta = {
+  m_kind : [ `Counter | `Gauge | `Histogram ];
+  m_help : string;
+  m_buckets : float array;  (* empty unless histogram *)
+}
+
+let registry : (string * labels, series) Hashtbl.t = Hashtbl.create 64
+let metas : (string, meta) Hashtbl.t = Hashtbl.create 64
+
+let canonical_labels name labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  (match dup sorted with
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf "Metrics: duplicate label key %S on metric %S" k name)
+  | None -> ());
+  sorted
+
+let kind_name = function
+  | `Counter -> "counter"
+  | `Gauge -> "gauge"
+  | `Histogram -> "histogram"
+
+let register ~name ~help ~labels ~kind ~buckets make =
+  let labels = canonical_labels name labels in
+  (match Hashtbl.find_opt metas name with
+  | None -> Hashtbl.add metas name { m_kind = kind; m_help = help; m_buckets = buckets }
+  | Some m ->
+    if m.m_kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered as a %s" name
+           (kind_name m.m_kind));
+    if kind = `Histogram && m.m_buckets <> buckets then
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered with other buckets"
+           name));
+  match Hashtbl.find_opt registry (name, labels) with
+  | Some s -> s.s_inst
+  | None ->
+    let inst = make () in
+    let help =
+      match Hashtbl.find_opt metas name with
+      | Some m -> m.m_help
+      | None -> help
+    in
+    Hashtbl.add registry (name, labels)
+      { s_name = name; s_labels = labels; s_help = help; s_inst = inst };
+    inst
+
+let counter ?(help = "") ?(labels = []) name =
+  match
+    register ~name ~help ~labels ~kind:`Counter ~buckets:[||] (fun () ->
+        C { Counter.c = 0 })
+  with
+  | C c -> c
+  | G _ | H _ -> assert false
+
+let gauge ?(help = "") ?(labels = []) name =
+  match
+    register ~name ~help ~labels ~kind:`Gauge ~buckets:[||] (fun () ->
+        G { Gauge.g = 0.0 })
+  with
+  | G g -> g
+  | C _ | H _ -> assert false
+
+let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Metrics.histogram: buckets must be finite";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  match
+    register ~name ~help ~labels ~kind:`Histogram ~buckets (fun () ->
+        H
+          {
+            Histogram.bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            total = 0;
+            hsum = 0.0;
+          })
+  with
+  | H h -> h
+  | C _ | G _ -> assert false
+
+let reset () =
+  Hashtbl.iter
+    (fun _ s ->
+      match s.s_inst with
+      | C c -> c.Counter.c <- 0
+      | G g -> g.Gauge.g <- 0.0
+      | H h ->
+        Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
+        h.Histogram.total <- 0;
+        h.Histogram.hsum <- 0.0)
+    registry
+
+(* ------------------------------------------------------------- snapshots *)
+
+let sorted_series () =
+  Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+  |> List.sort (fun a b ->
+         match compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
+         | c -> c)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label v)) labels)
+    ^ "}"
+
+(* Labels with one extra pair appended (for histogram [le]). *)
+let prom_labels_le labels le =
+  prom_labels (labels @ [ ("le", le) ])
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun s ->
+      if s.s_name <> !last_name then begin
+        last_name := s.s_name;
+        if s.s_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" s.s_name s.s_help);
+        let kind =
+          match s.s_inst with
+          | C _ -> "counter"
+          | G _ -> "gauge"
+          | H _ -> "histogram"
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" s.s_name kind)
+      end;
+      match s.s_inst with
+      | C c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" s.s_name (prom_labels s.s_labels)
+             c.Counter.c)
+      | G g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" s.s_name (prom_labels s.s_labels)
+             (float_str g.Gauge.g))
+      | H h ->
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun i n ->
+            cumulative := !cumulative + n;
+            let le =
+              if i < Array.length h.Histogram.bounds then
+                float_str h.Histogram.bounds.(i)
+              else "+Inf"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" s.s_name
+                 (prom_labels_le s.s_labels le)
+                 !cumulative))
+          h.Histogram.counts;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" s.s_name (prom_labels s.s_labels)
+             (float_str h.Histogram.hsum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" s.s_name (prom_labels s.s_labels)
+             h.Histogram.total))
+    (sorted_series ());
+  Buffer.contents buf
+
+let json_string s = "\"" ^ escape_label s ^ "\""
+
+let json_float v = if Float.is_finite v then float_str v else "null"
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) labels)
+  ^ "}"
+
+let to_json () =
+  let series_json s =
+    let common kind =
+      Printf.sprintf "\"name\":%s,\"type\":\"%s\",\"help\":%s,\"labels\":%s"
+        (json_string s.s_name) kind (json_string s.s_help)
+        (json_labels s.s_labels)
+    in
+    match s.s_inst with
+    | C c -> Printf.sprintf "{%s,\"value\":%d}" (common "counter") c.Counter.c
+    | G g ->
+      Printf.sprintf "{%s,\"value\":%s}" (common "gauge")
+        (json_float g.Gauge.g)
+    | H h ->
+      let cumulative = ref 0 in
+      let buckets =
+        Array.to_list
+          (Array.mapi
+             (fun i n ->
+               cumulative := !cumulative + n;
+               let le =
+                 if i < Array.length h.Histogram.bounds then
+                   json_float h.Histogram.bounds.(i)
+                 else "\"+Inf\""
+               in
+               Printf.sprintf "{\"le\":%s,\"count\":%d}" le !cumulative)
+             h.Histogram.counts)
+      in
+      Printf.sprintf "{%s,\"buckets\":[%s],\"sum\":%s,\"count\":%d}"
+        (common "histogram")
+        (String.concat "," buckets)
+        (json_float h.Histogram.hsum) h.Histogram.total
+  in
+  "[" ^ String.concat "," (List.map series_json (sorted_series ())) ^ "]"

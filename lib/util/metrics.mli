@@ -1,0 +1,87 @@
+(** Process-global metric registry: counters, gauges and fixed-bucket
+    histograms, in the Prometheus data model.
+
+    Instruments are registered once per (name, label set) — re-registering
+    returns the existing instrument, so call sites can look their series up
+    at run start without coordinating.  The mutation paths ({!Counter.incr},
+    {!Histogram.observe}, ...) are allocation-free: a branch on the global
+    enable flag plus mutable-field updates, so leaving them compiled into
+    hot loops costs nothing measurable while the registry is disabled
+    (the default).
+
+    Snapshots ({!to_json}, {!to_prometheus}) render every registered series
+    in a deterministic order (name, then labels), which is what the test
+    suite and the cram tests pin. *)
+
+type labels = (string * string) list
+(** Label key/value pairs; order is irrelevant (canonicalised on
+    registration).  Values must not contain newlines. *)
+
+val set_enabled : bool -> unit
+(** Master switch; starts [false].  While disabled every mutation is a
+    no-op, so snapshots stay at registration defaults. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zeroes every registered series (counts, sums, gauge values) without
+    dropping registrations.  Meant for tests and for per-run isolation in
+    harnesses. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Monotone increment; [add] with a negative amount raises
+      [Invalid_argument]. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Adds the observation to the first bucket whose upper bound is [>=] the
+      value (cumulative buckets are computed at snapshot time, like
+      Prometheus client libraries). *)
+
+  val count : t -> int
+  val sum : t -> float
+end
+
+val default_buckets : float array
+(** Log-spaced seconds buckets [1e-6 .. 10.0], suitable for decision and
+    solve latencies. *)
+
+val counter : ?help:string -> ?labels:labels -> string -> Counter.t
+val gauge : ?help:string -> ?labels:labels -> string -> Gauge.t
+
+val histogram :
+  ?help:string -> ?labels:labels -> ?buckets:float array -> string ->
+  Histogram.t
+(** [buckets] must be strictly increasing and non-empty (defaults to
+    {!default_buckets}); an implicit [+Inf] bucket is always appended.
+
+    All three registration functions raise [Invalid_argument] when [name]
+    is already registered with a different instrument kind, or — for
+    histograms — with different buckets. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format (version 0.0.4): [# HELP] / [# TYPE]
+    per metric name, then one line per series, deterministically ordered. *)
+
+val to_json : unit -> string
+(** JSON array of series objects:
+    [{"name":..,"type":..,"help":..,"labels":{..},..}] with kind-specific
+    payload ([value] for counters/gauges, [buckets]/[sum]/[count] for
+    histograms).  Deterministically ordered like {!to_prometheus}. *)

@@ -1,0 +1,29 @@
+type format = Json | Prometheus
+
+let format_of_string = function
+  | "json" -> Ok Json
+  | "prom" | "prometheus" -> Ok Prometheus
+  | s -> Error (Printf.sprintf "unknown metrics format %S (try: prom, json)" s)
+
+let pp_format fmt = function
+  | Json -> Format.pp_print_string fmt "json"
+  | Prometheus -> Format.pp_print_string fmt "prom"
+
+let render = function
+  | Prometheus -> Metrics.to_prometheus ()
+  | Json ->
+    Printf.sprintf "{\"metrics\":%s,\"spans\":%s,\"dropped_spans\":%d}\n"
+      (Metrics.to_json ()) (Trace.to_json ()) (Trace.dropped ())
+
+let write ~path format =
+  let body = render format in
+  if path = "-" then print_string body
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc body)
+  end;
+  Logs.info ~src:Log.obs (fun m ->
+      m "metrics snapshot (%a) written to %s" pp_format format
+        (if path = "-" then "<stdout>" else path))

@@ -1,0 +1,18 @@
+(** Combined observability snapshot: every registered {!Metrics} series
+    plus the {!Trace} ring, rendered for export.  Shared by [bin/ltc] and
+    the bench harness. *)
+
+type format =
+  | Json         (** [{"metrics":[..],"spans":[..],"dropped_spans":n}] *)
+  | Prometheus   (** text exposition format; spans are not representable *)
+
+val format_of_string : string -> (format, string) result
+(** Accepts ["json"] and ["prom"] / ["prometheus"]. *)
+
+val pp_format : Format.formatter -> format -> unit
+
+val render : format -> string
+
+val write : path:string -> format -> unit
+(** Writes {!render} to [path]; ["-"] means stdout.  Logs the destination
+    on the {!Log.obs} source at info level. *)

@@ -1,7 +1,10 @@
 type t = float
 
 let start () = Unix.gettimeofday ()
-let elapsed_s t = Unix.gettimeofday () -. t
+
+(* [gettimeofday] is wall-clock time and can step backwards under NTP
+   adjustment; clamp so callers never see a negative duration. *)
+let elapsed_s t = Float.max 0.0 (Unix.gettimeofday () -. t)
 
 let time f =
   let t = start () in

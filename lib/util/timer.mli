@@ -1,12 +1,17 @@
-(** Wall-clock timing for the runtime panels of Figs. 3-4. *)
+(** Wall-clock timing for the runtime panels of Figs. 3-4.
+
+    Based on [Unix.gettimeofday], i.e. {e wall-clock} time: the clock can
+    be stepped backwards (NTP adjustment, manual reset), so measurements
+    spanning such a step under-report.  Elapsed times are clamped to [>= 0]
+    so a step never yields a negative duration. *)
 
 type t
 
 val start : unit -> t
 
 val elapsed_s : t -> float
-(** Seconds since [start]. *)
+(** Seconds since [start]; never negative. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result together with the elapsed wall
-    time in seconds. *)
+    time in seconds (never negative). *)

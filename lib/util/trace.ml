@@ -1,0 +1,88 @@
+type span = {
+  id : int;
+  parent : int;
+  depth : int;
+  name : string;
+  start_s : float;
+  duration_s : float;
+}
+
+let dummy =
+  { id = -1; parent = -1; depth = 0; name = ""; start_s = 0.0; duration_s = 0.0 }
+
+let enabled_flag = ref false
+let epoch = ref 0.0
+let ring = ref (Array.make 1024 dummy)
+let completed = ref 0  (* total completed spans since clear *)
+let next_id = ref 0
+let stack = ref []     (* ids of open spans, innermost first *)
+
+let enabled () = !enabled_flag
+
+let set_enabled b =
+  if b && not !enabled_flag then epoch := Unix.gettimeofday ();
+  enabled_flag := b
+
+let clear () =
+  completed := 0;
+  next_id := 0;
+  stack := []
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  ring := Array.make n dummy;
+  clear ()
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let id = !next_id in
+    incr next_id;
+    let parent = match !stack with [] -> -1 | p :: _ -> p in
+    let depth = List.length !stack in
+    stack := id :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let duration_s = Float.max 0.0 (Unix.gettimeofday () -. t0) in
+        (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
+        let r = !ring in
+        r.(!completed mod Array.length r) <-
+          {
+            id;
+            parent;
+            depth;
+            name;
+            start_s = Float.max 0.0 (t0 -. !epoch);
+            duration_s;
+          };
+        incr completed)
+      f
+  end
+
+let dropped () = max 0 (!completed - Array.length !ring)
+
+let spans () =
+  let r = !ring in
+  let n = min !completed (Array.length r) in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    out := r.(i) :: !out
+  done;
+  List.sort (fun a b -> compare a.id b.id) !out
+
+let pp_tree fmt () =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%s%s %.6fs@."
+        (String.make (2 * s.depth) ' ')
+        s.name s.duration_s)
+    (spans ())
+
+let to_json () =
+  let span_json s =
+    Printf.sprintf
+      "{\"id\":%d,\"parent\":%d,\"depth\":%d,\"name\":\"%s\",\"start_s\":%.9f,\"duration_s\":%.9f}"
+      s.id s.parent s.depth (String.escaped s.name) s.start_s s.duration_s
+  in
+  "[" ^ String.concat "," (List.map span_json (spans ())) ^ "]"

@@ -1,0 +1,52 @@
+(** Lightweight nested tracing: wall-clock spans in a bounded ring buffer.
+
+    Tracing is off by default; while disabled, {!with_span} is a single
+    branch plus the traced function call — no clock reads, no allocation,
+    no recorded state — so instrumentation can stay compiled into hot
+    paths.  When enabled, each completed span records its name, nesting
+    depth, parent, start offset and duration into a fixed-capacity ring
+    buffer (oldest spans are overwritten; {!dropped} counts the loss).
+
+    Spans use {!Unix.gettimeofday} and share {!Timer}'s caveat: wall time
+    can step backwards, so durations are clamped to [>= 0]. *)
+
+type span = {
+  id : int;          (** monotonically increasing start order *)
+  parent : int;      (** [id] of the enclosing span, [-1] at top level *)
+  depth : int;       (** nesting depth, [0] at top level *)
+  name : string;
+  start_s : float;   (** seconds since {!set_enabled}[ true] *)
+  duration_s : float;
+}
+
+val set_enabled : bool -> unit
+(** Enabling (re)starts the trace clock; disabling keeps recorded spans
+    readable. *)
+
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drops all recorded spans and resets the id counter. *)
+
+val set_capacity : int -> unit
+(** Ring-buffer capacity (default 1024).  Implies {!clear}.
+    @raise Invalid_argument when not positive. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  The span is recorded even
+    when [f] raises (the exception is re-raised).  A no-op wrapper when
+    tracing is disabled. *)
+
+val spans : unit -> span list
+(** Completed spans that are still in the ring, ordered by start ([id]). *)
+
+val dropped : unit -> int
+(** Completed spans lost to ring overwrite since the last {!clear}. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Indented per-span rendering of {!spans}, one line per span. *)
+
+val to_json : unit -> string
+(** JSON array of span objects
+    [{"id":..,"parent":..,"depth":..,"name":..,"start_s":..,"duration_s":..}]
+    in {!spans} order. *)

@@ -1,0 +1,267 @@
+(* Observability layer: Metrics registry, Trace spans, engine telemetry and
+   the pinned pp_outcome format.
+
+   The registry and the trace ring are process-global, so every test that
+   enables them restores the disabled default on the way out (the rest of
+   the suite must keep running with free no-op instrumentation). *)
+
+open Ltc_util
+
+let with_obs ?(trace = false) f =
+  Metrics.set_enabled true;
+  if trace then begin
+    Trace.clear ();
+    Trace.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Trace.set_enabled false)
+    f
+
+let contains ~affix s = Astring.String.is_infix ~affix s
+
+(* -------------------------------------------------------------- counters *)
+
+let test_counter_semantics () =
+  let c = Metrics.counter "test_obs_counter" in
+  with_obs (fun () ->
+      Metrics.Counter.incr c;
+      Metrics.Counter.incr c;
+      Metrics.Counter.add c 40;
+      Alcotest.(check int) "incr + add accumulate" 42 (Metrics.Counter.value c));
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "disabled incr is a no-op" 42 (Metrics.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.Counter.add: negative amount") (fun () ->
+      Metrics.Counter.add c (-1));
+  let c' = Metrics.counter "test_obs_counter" in
+  with_obs (fun () -> Metrics.Counter.incr c');
+  Alcotest.(check int) "re-registration returns the same instance" 43
+    (Metrics.Counter.value c)
+
+let test_gauge_semantics () =
+  let g = Metrics.gauge "test_obs_gauge" in
+  with_obs (fun () ->
+      Metrics.Gauge.set g 2.5;
+      Metrics.Gauge.add g 0.5;
+      Alcotest.(check (float 1e-9)) "set + add" 3.0 (Metrics.Gauge.value g));
+  Metrics.Gauge.set g 99.0;
+  Alcotest.(check (float 1e-9)) "disabled set is a no-op" 3.0
+    (Metrics.Gauge.value g)
+
+let test_histogram_semantics () =
+  let h =
+    Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "test_obs_histogram"
+  in
+  with_obs (fun () ->
+      List.iter (Metrics.Histogram.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ]);
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 106.0 (Metrics.Histogram.sum h);
+  (* Cumulative bucket counts appear in the snapshot: le=1 holds the two
+     observations <= 1 (boundary inclusive), +Inf holds all five. *)
+  let prom = Metrics.to_prometheus () in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) affix true (contains ~affix prom))
+    [
+      "test_obs_histogram_bucket{le=\"1\"} 2";
+      "test_obs_histogram_bucket{le=\"2\"} 3";
+      "test_obs_histogram_bucket{le=\"4\"} 4";
+      "test_obs_histogram_bucket{le=\"+Inf\"} 5";
+      "test_obs_histogram_count 5";
+    ]
+
+let test_registration_collisions () =
+  ignore (Metrics.counter "test_obs_kind_clash");
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: \"test_obs_kind_clash\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "test_obs_kind_clash"));
+  ignore (Metrics.histogram ~buckets:[| 1.0 |] "test_obs_bucket_clash");
+  Alcotest.check_raises "bucket clash rejected"
+    (Invalid_argument "Metrics: \"test_obs_bucket_clash\" already registered with other buckets")
+    (fun () ->
+      ignore (Metrics.histogram ~buckets:[| 2.0 |] "test_obs_bucket_clash"));
+  Alcotest.check_raises "duplicate label keys rejected"
+    (Invalid_argument "Metrics: duplicate label key \"k\" on metric \"test_obs_dup_label\"")
+    (fun () ->
+      ignore
+        (Metrics.counter ~labels:[ ("k", "a"); ("k", "b") ] "test_obs_dup_label"));
+  Alcotest.check_raises "unordered buckets rejected"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing")
+    (fun () ->
+      ignore (Metrics.histogram ~buckets:[| 2.0; 1.0 |] "test_obs_bad_buckets"))
+
+let test_label_series_independent () =
+  let a = Metrics.counter ~labels:[ ("algo", "A") ] "test_obs_labeled"
+  and b = Metrics.counter ~labels:[ ("algo", "B") ] "test_obs_labeled" in
+  with_obs (fun () ->
+      Metrics.Counter.incr a;
+      Metrics.Counter.incr a;
+      Metrics.Counter.incr b);
+  Alcotest.(check int) "series A" 2 (Metrics.Counter.value a);
+  Alcotest.(check int) "series B" 1 (Metrics.Counter.value b);
+  (* Label order is canonicalised: both spellings name the same series. *)
+  let c1 =
+    Metrics.counter ~labels:[ ("x", "1"); ("y", "2") ] "test_obs_label_order"
+  and c2 =
+    Metrics.counter ~labels:[ ("y", "2"); ("x", "1") ] "test_obs_label_order"
+  in
+  with_obs (fun () -> Metrics.Counter.incr c1);
+  Alcotest.(check int) "canonical label order" 1 (Metrics.Counter.value c2)
+
+let test_snapshot_determinism () =
+  (* A fixed scenario renders byte-identically, and repeated snapshots of
+     the same state are equal. *)
+  Metrics.reset ();
+  let c = Metrics.counter ~labels:[ ("algo", "X") ] "test_obs_counter" in
+  with_obs (fun () -> Metrics.Counter.add c 7);
+  let s1 = Metrics.to_prometheus () and s2 = Metrics.to_prometheus () in
+  Alcotest.(check string) "stable prometheus snapshot" s1 s2;
+  Alcotest.(check bool) "series rendered" true
+    (contains ~affix:"test_obs_counter{algo=\"X\"} 7" s1);
+  let j1 = Metrics.to_json () and j2 = Metrics.to_json () in
+  Alcotest.(check string) "stable json snapshot" j1 j2;
+  Alcotest.(check bool) "json series rendered" true
+    (contains
+       ~affix:
+         "{\"name\":\"test_obs_counter\",\"type\":\"counter\",\"help\":\"\",\"labels\":{\"algo\":\"X\"},\"value\":7}"
+       j1);
+  (* reset zeroes values but keeps registrations. *)
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.Counter.value c);
+  Alcotest.(check bool) "registration survives reset" true
+    (contains ~affix:"test_obs_counter{algo=\"X\"} 0" (Metrics.to_prometheus ()))
+
+(* ----------------------------------------------------------------- trace *)
+
+let test_trace_nesting () =
+  with_obs ~trace:true (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner-1" (fun () -> ());
+          Trace.with_span "inner-2" (fun () ->
+              Trace.with_span "leaf" (fun () -> ()))));
+  let spans = Trace.spans () in
+  Alcotest.(check (list string))
+    "start order" [ "outer"; "inner-1"; "inner-2"; "leaf" ]
+    (List.map (fun s -> s.Trace.name) spans);
+  Alcotest.(check (list int))
+    "depths" [ 0; 1; 1; 2 ]
+    (List.map (fun s -> s.Trace.depth) spans);
+  let outer = List.hd spans in
+  List.iter
+    (fun s ->
+      if s.Trace.depth = 1 then
+        Alcotest.(check int)
+          (s.Trace.name ^ " parent") outer.Trace.id s.Trace.parent)
+    spans;
+  Alcotest.(check int) "outer is a root" (-1) outer.Trace.parent
+
+let test_trace_disabled_is_free () =
+  Trace.clear ();
+  Alcotest.(check int) "returns the function's value" 9
+    (Trace.with_span "ignored" (fun () -> 9));
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Trace.spans ()));
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ())
+
+let test_trace_exception_safety () =
+  with_obs ~trace:true (fun () ->
+      (try
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "boom" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      Trace.with_span "after" (fun () -> ()));
+  let spans = Trace.spans () in
+  Alcotest.(check (list string))
+    "spans recorded despite raise" [ "outer"; "boom"; "after" ]
+    (List.map (fun s -> s.Trace.name) spans);
+  let after = List.nth spans 2 in
+  Alcotest.(check int) "depth restored after raise" 0 after.Trace.depth
+
+let test_trace_ring_overwrite () =
+  Trace.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_capacity 1024)
+    (fun () ->
+      with_obs ~trace:true (fun () ->
+          for i = 1 to 6 do
+            Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+          done);
+      Alcotest.(check int) "ring keeps capacity" 4
+        (List.length (Trace.spans ()));
+      Alcotest.(check int) "overwritten spans counted" 2 (Trace.dropped ());
+      Alcotest.(check (list string))
+        "newest spans survive" [ "s3"; "s4"; "s5"; "s6" ]
+        (List.map (fun s -> s.Trace.name) (Trace.spans ())))
+
+(* ------------------------------------------------- engine telemetry + pp *)
+
+let test_engine_records_metrics () =
+  let instance = Fixtures.example2 () in
+  Metrics.reset ();
+  let outcome =
+    with_obs ~trace:true (fun () ->
+        (Ltc_algo.Algorithm.laf).Ltc_algo.Algorithm.run instance)
+  in
+  let arrivals =
+    Metrics.counter ~labels:[ ("algo", "LAF") ] "ltc_engine_arrivals_total"
+  in
+  Alcotest.(check int) "arrivals counter = workers consumed"
+    outcome.Ltc_algo.Engine.workers_consumed
+    (Metrics.Counter.value arrivals);
+  let t = outcome.Ltc_algo.Engine.telemetry in
+  Alcotest.(check int) "telemetry decisions = workers consumed"
+    outcome.Ltc_algo.Engine.workers_consumed t.Ltc_algo.Engine.decisions;
+  Alcotest.(check bool) "decision time accumulated" true
+    (t.Ltc_algo.Engine.decision_seconds_total >= 0.0
+    && t.Ltc_algo.Engine.decision_seconds_max
+       <= t.Ltc_algo.Engine.decision_seconds_total +. 1e-12);
+  Alcotest.(check bool) "engine span recorded" true
+    (List.exists
+       (fun s -> s.Trace.name = "engine:LAF")
+       (Trace.spans ()));
+  Metrics.reset ()
+
+let test_pp_outcome_format () =
+  let outcome =
+    {
+      Ltc_algo.Engine.name = "LAF";
+      arrangement =
+        Ltc_core.Arrangement.add Ltc_core.Arrangement.empty ~worker:3 ~task:0;
+      completed = true;
+      latency = 3;
+      workers_consumed = 5;
+      peak_memory_mb = 1.25;
+      telemetry = Ltc_algo.Engine.no_telemetry;
+    }
+  in
+  Alcotest.(check string) "pinned format"
+    "LAF: latency=3 assignments=1 completed=true consumed=5 mem=1.25MB"
+    (Format.asprintf "%a" Ltc_algo.Engine.pp_outcome outcome)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+        Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+        Alcotest.test_case "histogram semantics" `Quick
+          test_histogram_semantics;
+        Alcotest.test_case "registration collisions" `Quick
+          test_registration_collisions;
+        Alcotest.test_case "labeled series independent" `Quick
+          test_label_series_independent;
+        Alcotest.test_case "snapshot determinism" `Quick
+          test_snapshot_determinism;
+        Alcotest.test_case "trace nesting" `Quick test_trace_nesting;
+        Alcotest.test_case "trace disabled is free" `Quick
+          test_trace_disabled_is_free;
+        Alcotest.test_case "trace exception safety" `Quick
+          test_trace_exception_safety;
+        Alcotest.test_case "trace ring overwrite" `Quick
+          test_trace_ring_overwrite;
+        Alcotest.test_case "engine records metrics" `Quick
+          test_engine_records_metrics;
+        Alcotest.test_case "pp_outcome format" `Quick test_pp_outcome_format;
+      ] );
+  ]
