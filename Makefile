@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench fmt check clean
+.PHONY: all build test bench bench-smoke fmt check clean
 
 all: build
 
@@ -13,6 +13,13 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Fast parallel sanity run: two figures at toy scale on two domains, with
+# the per-figure timing JSON.  The cram test test/cli/bench.t pins the
+# flag parsing and JSON schema under `dune runtest` (and thus @check).
+bench-smoke:
+	dune exec bench/main.exe -- fig3-K ablation-batch \
+	  --scale 0.05 --reps 2 --jobs 2 --json bench-smoke.json
 
 fmt:
 	dune build @fmt --auto-promote

@@ -11,14 +11,51 @@
 
 open Ltc_experiments
 
-let run_figure ~scale ~reps ~seed ~csv ~plot (e : Figures.t) =
+(* Per-figure wall time and throughput, reported by --json. *)
+type figure_stat = {
+  j_id : string;
+  j_scale : float;
+  j_reps : int;
+  j_jobs : int;
+  j_seed : int;
+  j_wall_s : float;
+  j_runs : int;  (** algorithm executions (Runner.runs_executed delta) *)
+}
+
+let write_json ~path stats =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let rps =
+        if s.j_wall_s > 0.0 then float_of_int s.j_runs /. s.j_wall_s else 0.0
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"BENCH_%s\": {\"id\": %S, \"scale\": %g, \"reps\": %d, \
+            \"jobs\": %d, \"seed\": %d, \"wall_s\": %.6f, \"runs\": %d, \
+            \"runs_per_sec\": %.3f}"
+           s.j_id s.j_id s.j_scale s.j_reps s.j_jobs s.j_seed s.j_wall_s
+           s.j_runs rps))
+    stats;
+  Buffer.add_string b "\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)
+
+let run_figure ~jobs ~scale ~reps ~seed ~csv ~plot (e : Figures.t) =
   let scale = Option.value scale ~default:e.Figures.default_scale in
   Printf.printf "### %s — %s\n" e.Figures.id e.Figures.panels;
   Printf.printf "    %s\n" e.Figures.description;
-  Printf.printf "    scale=%g reps=%d seed=%d\n\n%!" scale reps seed;
+  Printf.printf "    scale=%g reps=%d seed=%d jobs=%d\n\n%!" scale reps seed
+    jobs;
+  let runs_before = Runner.runs_executed () in
   let outputs, dt =
-    Ltc_util.Timer.time (fun () -> e.Figures.run ~scale ~reps ~seed)
+    Ltc_util.Timer.time (fun () -> e.Figures.run ~jobs ~scale ~reps ~seed)
   in
+  let runs = Runner.runs_executed () - runs_before in
   List.iter
     (fun o ->
       Runner.print o;
@@ -31,7 +68,16 @@ let run_figure ~scale ~reps ~seed ~csv ~plot (e : Figures.t) =
         Printf.printf "(csv: %s)\n" path);
       print_newline ())
     outputs;
-  Printf.printf "(%s finished in %.1f s)\n\n%!" e.Figures.id dt
+  Printf.printf "(%s finished in %.1f s)\n\n%!" e.Figures.id dt;
+  {
+    j_id = e.Figures.id;
+    j_scale = scale;
+    j_reps = reps;
+    j_jobs = jobs;
+    j_seed = seed;
+    j_wall_s = dt;
+    j_runs = runs;
+  }
 
 (* ------------------------------------------------------- micro benchmarks *)
 
@@ -82,6 +128,11 @@ let micro_tests () =
     Test.make ~name:"grid-candidates"
       (Staged.stage (fun () ->
            ignore (Ltc_core.Instance.candidates instance worker)));
+    Test.make ~name:"grid-candidates-sorted"
+      (Staged.stage (fun () ->
+           (* The allocation-free path the policies use (vs. the list above). *)
+           Ltc_core.Instance.iter_candidates_sorted instance worker (fun _ ->
+               ())));
     Test.make ~name:"progress-aggregates"
       (Staged.stage (fun () ->
            ignore (Ltc_core.Progress.max_remaining progress);
@@ -159,7 +210,8 @@ let list_experiments () =
     ~header:[ "id"; "panels"; "default scale" ]
     rows
 
-let main ids scale reps seed full list csv plot verbose metrics metrics_format =
+let main ids scale reps seed jobs full list csv plot verbose metrics
+    metrics_format json =
   if verbose then Ltc_util.Log.setup ~level:Logs.Debug ()
   else Ltc_util.Log.setup ();
   (match metrics with
@@ -170,6 +222,10 @@ let main ids scale reps seed full list csv plot verbose metrics metrics_format =
   if list then begin
     list_experiments ();
     0
+  end
+  else if jobs < 1 then begin
+    Printf.eprintf "--jobs must be at least 1 (got %d)\n" jobs;
+    1
   end
   else begin
     let scale = if full then Some 1.0 else scale in
@@ -189,14 +245,24 @@ let main ids scale reps seed full list csv plot verbose metrics metrics_format =
       Printf.printf
         "LTC benchmark harness — reproduction of ICDE'18 \
          \"Latency-oriented Task Completion via Spatial Crowdsourcing\"\n\n%!";
-      List.iter
-        (fun id ->
-          if id = "micro" then run_micro ()
-          else
-            match Figures.find id with
-            | Some e -> run_figure ~scale ~reps ~seed ~csv ~plot e
-            | None -> assert false)
-        ids;
+      let stats =
+        List.filter_map
+          (fun id ->
+            if id = "micro" then begin
+              run_micro ();
+              None
+            end
+            else
+              match Figures.find id with
+              | Some e -> Some (run_figure ~jobs ~scale ~reps ~seed ~csv ~plot e)
+              | None -> assert false)
+          ids
+      in
+      Option.iter
+        (fun path ->
+          write_json ~path stats;
+          Printf.printf "(bench json: %s)\n%!" path)
+        json;
       Option.iter
         (fun path -> Ltc_util.Snapshot.write ~path metrics_format)
         metrics;
@@ -222,6 +288,20 @@ let reps_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Base RNG seed.")
+
+let jobs_arg =
+  Arg.(value & opt int (Ltc_util.Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domains used for the independent experiment cells (default: \
+                 the machine's recommended domain count). Every output \
+                 except the wall-clock runtime tables is identical for \
+                 every value.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write per-figure wall time and throughput (runs/sec) as a \
+                 JSON object keyed $(b,BENCH_<id>) to $(docv).")
 
 let full_arg =
   Arg.(value & flag
@@ -270,8 +350,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ltc-bench" ~doc)
     Term.(
-      const main $ ids_arg $ scale_arg $ reps_arg $ seed_arg $ full_arg
-      $ list_arg $ csv_arg $ plot_arg $ verbose_arg $ metrics_arg
-      $ metrics_format_arg)
+      const main $ ids_arg $ scale_arg $ reps_arg $ seed_arg $ jobs_arg
+      $ full_arg $ list_arg $ csv_arg $ plot_arg $ verbose_arg $ metrics_arg
+      $ metrics_format_arg $ json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -340,9 +340,14 @@ let generate_cmd =
 
 (* ---------------------------------------------------------- sweep command *)
 
-let sweep_cmd_impl id scale reps seed csv plot log_levels metrics
+let sweep_cmd_impl id scale reps seed jobs csv plot log_levels metrics
     metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
+  if jobs < 1 then begin
+    Format.eprintf "--jobs must be at least 1 (got %d)@." jobs;
+    1
+  end
+  else
   match Ltc_experiments.Figures.find id with
   | None ->
     Format.eprintf "unknown experiment %S; available: %s@." id
@@ -350,9 +355,9 @@ let sweep_cmd_impl id scale reps seed csv plot log_levels metrics
     1
   | Some e ->
     let scale = Option.value scale ~default:e.Ltc_experiments.Figures.default_scale in
-    Format.printf "%s (%s), scale=%g reps=%d seed=%d@.@."
+    Format.printf "%s (%s), scale=%g reps=%d seed=%d jobs=%d@.@."
       e.Ltc_experiments.Figures.id e.Ltc_experiments.Figures.panels scale reps
-      seed;
+      seed jobs;
     List.iter
       (fun o ->
         Ltc_experiments.Runner.print o;
@@ -368,7 +373,7 @@ let sweep_cmd_impl id scale reps seed csv plot log_levels metrics
           Format.printf "(csv: %s)@."
             (Ltc_experiments.Runner.write_csv ~dir o));
         print_newline ())
-      (e.Ltc_experiments.Figures.run ~scale ~reps ~seed);
+      (e.Ltc_experiments.Figures.run ~jobs ~scale ~reps ~seed);
     write_snapshot ~metrics ~metrics_format;
     0
 
@@ -384,6 +389,14 @@ let sweep_cmd =
   let reps =
     Arg.(value & opt int 3 & info [ "reps" ] ~docv:"N" ~doc:"Repetitions.")
   in
+  let jobs =
+    Arg.(value & opt int (Ltc_util.Pool.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domains used for the independent experiment cells \
+                   (default: the machine's recommended domain count). \
+                   Everything except wall-clock runtime tables is identical \
+                   for every value.")
+  in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"DIR" ~doc:"Also write tables as CSV files.")
@@ -395,7 +408,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"run one registered experiment")
     Term.(
-      const sweep_cmd_impl $ id $ scale $ reps $ seed_arg $ csv $ plot
+      const sweep_cmd_impl $ id $ scale $ reps $ seed_arg $ jobs $ csv $ plot
       $ log_arg $ metrics_arg $ metrics_format_arg)
 
 (* --------------------------------------------------------- bounds command *)

@@ -10,13 +10,11 @@ let policy instance tracker progress =
     Ltc_util.Mem.Tracker.add_words tracker (heap_budget w);
     (* Candidates arrive in ascending task-id order, so the bounded heap's
        stable tie-break implements "prefer the lower task index". *)
-    List.iter
-      (fun task ->
+    Instance.iter_candidates_sorted instance w (fun task ->
         if not (Progress.is_complete progress task) then
           Ltc_util.Bounded_heap.push heap
             ~score:(Instance.score instance w task)
-            task)
-      (Instance.candidates instance w);
+            task);
     let chosen = List.map snd (Ltc_util.Bounded_heap.pop_all heap) in
     Ltc_util.Mem.Tracker.remove_words tracker (heap_budget w);
     chosen

@@ -51,8 +51,9 @@ let solve_batch instance tracker progress arrangement batch =
         (Ltc_flow.Graph.add_arc g ~src:source ~dst:(1 + bi) ~cap:w.capacity
            ~cost:0.0))
     batch;
-  (* Worker->task arcs; [arc_owner] remembers (batch slot, task) per arc for
-     the flow extraction below. *)
+  (* Worker->task arcs; each entry remembers (batch slot, task, score) per
+     arc so the extraction below never recomputes Instance.score — each
+     (worker, task) score is evaluated exactly once per batch. *)
   let worker_task_arcs = ref [] in
   Array.iteri
     (fun bi (w : Worker.t) ->
@@ -60,13 +61,12 @@ let solve_batch instance tracker progress arrangement batch =
           match Hashtbl.find_opt node_of_task task with
           | None -> ()
           | Some node ->
-            let cost =
-              -.Instance.score instance w task +. tie_cost ~n_workers w
-            in
+            let score = Instance.score instance w task in
+            let cost = -.score +. tie_cost ~n_workers w in
             let arc =
               Ltc_flow.Graph.add_arc g ~src:(1 + bi) ~dst:node ~cap:1 ~cost
             in
-            worker_task_arcs := (arc, bi, task) :: !worker_task_arcs))
+            worker_task_arcs := (arc, bi, task, score) :: !worker_task_arcs))
     batch;
   Array.iteri
     (fun i task ->
@@ -94,9 +94,9 @@ let solve_batch instance tracker progress arrangement batch =
   let assigned = Array.make n_batch 0 in
   let per_worker = Array.make n_batch [] in
   List.iter
-    (fun (arc, bi, task) ->
+    (fun (arc, bi, task, score) ->
       if Ltc_flow.Graph.flow g arc = 1 then begin
-        per_worker.(bi) <- task :: per_worker.(bi);
+        per_worker.(bi) <- (task, score) :: per_worker.(bi);
         assigned.(bi) <- assigned.(bi) + 1;
         Hashtbl.add performed (bi, task) ()
       end)
@@ -105,8 +105,8 @@ let solve_batch instance tracker progress arrangement batch =
   Array.iteri
     (fun bi (w : Worker.t) ->
       List.iter
-        (fun task ->
-          Progress.record progress ~task ~score:(Instance.score instance w task);
+        (fun (task, score) ->
+          Progress.record progress ~task ~score;
           arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
         (List.sort compare per_worker.(bi)))
     batch;
@@ -117,20 +117,17 @@ let solve_batch instance tracker progress arrangement batch =
       let leftover = w.capacity - assigned.(bi) in
       if leftover > 0 && not (Progress.all_complete progress) then begin
         let heap = Ltc_util.Bounded_heap.create ~k:leftover () in
-        List.iter
-          (fun task ->
+        Instance.iter_candidates_sorted instance w (fun task ->
             if
               (not (Progress.is_complete progress task))
               && not (Hashtbl.mem performed (bi, task))
             then
               Ltc_util.Bounded_heap.push heap
                 ~score:(Instance.score instance w task)
-                task)
-          (Instance.candidates instance w);
+                task);
         List.iter
-          (fun (_, task) ->
-            Progress.record progress ~task
-              ~score:(Instance.score instance w task);
+          (fun (score, task) ->
+            Progress.record progress ~task ~score;
             arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
           (Ltc_util.Bounded_heap.pop_all heap)
       end)

@@ -73,6 +73,15 @@ let iter_candidates t (w : Worker.t) f =
       f i
     done
 
+let iter_candidates_sorted t (w : Worker.t) f =
+  match (t.candidate_radius, t.task_index) with
+  | Some radius, Some index ->
+    Ltc_geo.Grid_index.iter_within_sorted index ~center:w.loc ~radius f
+  | None, _ | _, None ->
+    for i = 0 to Array.length t.tasks - 1 do
+      f i
+    done
+
 let candidates t (w : Worker.t) =
   match (t.candidate_radius, t.task_index) with
   | Some radius, Some index ->

@@ -69,6 +69,12 @@ val iter_candidates : t -> Worker.t -> (int -> unit) -> unit
 (** Like {!candidates} but without materialising the list; ascending order
     is NOT guaranteed here (grid cells are visited row-major). *)
 
+val iter_candidates_sorted : t -> Worker.t -> (int -> unit) -> unit
+(** {!candidates} order ({e ascending} task id) without the list: grid cell
+    runs are merged on the fly.  This is the per-arrival path of the online
+    policies — their documented prefer-the-lower-task-index tie-break falls
+    out of the iteration order. *)
+
 val count_candidates : t -> Worker.t -> int
 
 val memory_words : t -> int

@@ -5,13 +5,20 @@ type t = {
   panels : string;
   description : string;
   default_scale : float;
-  run : scale:float -> reps:int -> seed:int -> Runner.output list;
+  run : jobs:int -> scale:float -> reps:int -> seed:int -> Runner.output list;
 }
 
 (* ------------------------------------------------- synthetic panel sweeps *)
 
 let synthetic_instance ~seed spec =
   Synthetic.generate (Ltc_util.Rng.create ~seed) spec
+
+(* Parallel map over a list of independent measurement cells; results come
+   back in input order, so aggregation below is identical for every
+   [jobs]. *)
+let pmap ~jobs xs f =
+  let arr = Array.of_list xs in
+  Array.to_list (Ltc_util.Pool.run ~jobs (Array.length arr) (fun i -> f arr.(i)))
 
 let standard_tables ~id ~x_header points =
   [
@@ -24,10 +31,10 @@ let standard_tables ~id ~x_header points =
 (* A sweep over synthetic specs derived from the bold defaults of Table IV:
    [vary] installs the swept value, then the whole spec is shrunk by
    [scale]. *)
-let synthetic_sweep ~id ~x_header ~xs ~vary ~label ~scale ~reps ~seed =
+let synthetic_sweep ~id ~x_header ~xs ~vary ~label ~jobs ~scale ~reps ~seed =
   let spec_of x = Spec.scale_synthetic scale (vary Spec.default_synthetic x) in
   let points =
-    Runner.sweep ~reps ~seed ~xs
+    Runner.sweep ~jobs ~reps ~seed ~xs
       ~label:(fun x -> label (spec_of x))
       ~instance_of:(fun ~seed x -> synthetic_instance ~seed (spec_of x))
       ()
@@ -41,11 +48,11 @@ let fig3_t =
     description = "latency/runtime/memory while varying |T| (1000..5000)";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         synthetic_sweep ~id:"fig3-T" ~x_header:"|T|" ~xs:Spec.n_tasks_sweep
           ~vary:(fun spec n_tasks -> { spec with Spec.n_tasks })
           ~label:(fun spec -> string_of_int spec.Spec.n_tasks)
-          ~scale ~reps ~seed);
+          ~jobs ~scale ~reps ~seed);
   }
 
 let fig3_k =
@@ -55,11 +62,11 @@ let fig3_k =
     description = "latency/runtime/memory while varying capacity K (4..8)";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         synthetic_sweep ~id:"fig3-K" ~x_header:"K" ~xs:Spec.capacity_sweep
           ~vary:(fun spec capacity -> { spec with Spec.capacity })
           ~label:(fun spec -> string_of_int spec.Spec.capacity)
-          ~scale ~reps ~seed);
+          ~jobs ~scale ~reps ~seed);
   }
 
 let fig3_acc_normal =
@@ -70,7 +77,7 @@ let fig3_acc_normal =
       "latency/runtime/memory with Normal(mu, 0.05) accuracies, mu 0.82..0.90";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         synthetic_sweep ~id:"fig3-accN" ~x_header:"mu"
           ~xs:Spec.normal_mu_sweep
           ~vary:(fun spec mu -> { spec with Spec.accuracy = Spec.Normal_acc mu })
@@ -78,7 +85,7 @@ let fig3_acc_normal =
             match spec.Spec.accuracy with
             | Spec.Normal_acc mu -> Printf.sprintf "%.2f" mu
             | Spec.Uniform_acc m -> Printf.sprintf "%.2f" m)
-          ~scale ~reps ~seed);
+          ~jobs ~scale ~reps ~seed);
   }
 
 let fig3_acc_uniform =
@@ -89,7 +96,7 @@ let fig3_acc_uniform =
       "latency/runtime/memory with Uniform accuracies, mean 0.82..0.90";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         synthetic_sweep ~id:"fig3-accU" ~x_header:"mean"
           ~xs:Spec.uniform_mean_sweep
           ~vary:(fun spec mean ->
@@ -98,7 +105,7 @@ let fig3_acc_uniform =
             match spec.Spec.accuracy with
             | Spec.Normal_acc mu -> Printf.sprintf "%.2f" mu
             | Spec.Uniform_acc m -> Printf.sprintf "%.2f" m)
-          ~scale ~reps ~seed);
+          ~jobs ~scale ~reps ~seed);
   }
 
 let fig4_eps =
@@ -109,12 +116,12 @@ let fig4_eps =
       "latency/runtime/memory while varying the tolerable error rate";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         synthetic_sweep ~id:"fig4-eps" ~x_header:"eps"
           ~xs:Spec.epsilon_sweep
           ~vary:(fun spec epsilon -> { spec with Spec.epsilon })
           ~label:(fun spec -> Printf.sprintf "%.2f" spec.Spec.epsilon)
-          ~scale ~reps ~seed);
+          ~jobs ~scale ~reps ~seed);
   }
 
 let fig4_scalability =
@@ -124,24 +131,24 @@ let fig4_scalability =
     description = "scalability: |T| = 10k..100k with |W| = 400k";
     default_scale = 0.02;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         synthetic_sweep ~id:"fig4-scal" ~x_header:"|T|"
           ~xs:Spec.scalability_sweep
           ~vary:(fun spec (n_tasks, n_workers) ->
             { spec with Spec.n_tasks; n_workers })
           ~label:(fun spec ->
             Printf.sprintf "%d (|W|=%d)" spec.Spec.n_tasks spec.Spec.n_workers)
-          ~scale ~reps ~seed);
+          ~jobs ~scale ~reps ~seed);
   }
 
 (* ------------------------------------------------------------ city sweeps *)
 
-let city_sweep ~id ~city ~scale ~reps ~seed =
+let city_sweep ~id ~city ~jobs ~scale ~reps ~seed =
   let spec_of epsilon =
     Spec.scale_city scale { city with Spec.c_epsilon = epsilon }
   in
   let points =
-    Runner.sweep ~reps ~seed ~xs:Spec.epsilon_sweep
+    Runner.sweep ~jobs ~reps ~seed ~xs:Spec.epsilon_sweep
       ~label:(fun epsilon -> Printf.sprintf "%.2f" epsilon)
       ~instance_of:(fun ~seed epsilon ->
         City.generate (Ltc_util.Rng.create ~seed) (spec_of epsilon))
@@ -156,8 +163,8 @@ let fig4_new_york =
     description = "New York city workload (Table V), varying error rate";
     default_scale = 0.15;
     run =
-      (fun ~scale ~reps ~seed ->
-        city_sweep ~id:"fig4-ny" ~city:Spec.new_york ~scale ~reps ~seed);
+      (fun ~jobs ~scale ~reps ~seed ->
+        city_sweep ~id:"fig4-ny" ~city:Spec.new_york ~jobs ~scale ~reps ~seed);
   }
 
 let fig4_tokyo =
@@ -167,8 +174,8 @@ let fig4_tokyo =
     description = "Tokyo city workload (Table V), varying error rate";
     default_scale = 0.08;
     run =
-      (fun ~scale ~reps ~seed ->
-        city_sweep ~id:"fig4-tokyo" ~city:Spec.tokyo ~scale ~reps ~seed);
+      (fun ~jobs ~scale ~reps ~seed ->
+        city_sweep ~id:"fig4-tokyo" ~city:Spec.tokyo ~jobs ~scale ~reps ~seed);
   }
 
 (* -------------------------------------------------------------- ablations *)
@@ -182,7 +189,7 @@ let ablation_batch =
        with AAM as the online reference";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let factors = [ 0.5; 1.0; 1.5; 2.0 ] in
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
         let algorithms factor ~seed:_ =
@@ -206,7 +213,7 @@ let ablation_batch =
             (fun factor ->
               Runner.sweep
                 ~algorithms:(algorithms factor)
-                ~reps ~seed ~xs:[ factor ]
+                ~jobs ~reps ~seed ~xs:[ factor ]
                 ~label:(Printf.sprintf "%.1f x m")
                 ~instance_of:(fun ~seed _ -> synthetic_instance ~seed spec)
                 ())
@@ -230,7 +237,7 @@ let ablation_strategy =
       "AAM against its two component strategies run alone, plus LAF";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let algorithms ~seed:_ =
           [
             Ltc_algo.Strategies.lgf_algorithm;
@@ -245,7 +252,7 @@ let ablation_strategy =
             { Spec.default_synthetic with Spec.n_tasks }
         in
         let points =
-          Runner.sweep ~algorithms ~reps ~seed ~xs:Spec.n_tasks_sweep
+          Runner.sweep ~algorithms ~jobs ~reps ~seed ~xs:Spec.n_tasks_sweep
             ~label:(fun n -> string_of_int (spec_of n).Spec.n_tasks)
             ~instance_of:(fun ~seed n -> synthetic_instance ~seed (spec_of n))
             ()
@@ -266,7 +273,7 @@ let ablation_approx =
        on micro instances";
     default_scale = 1.0;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let n_instances = max 4 (int_of_float (scale *. float_of_int (10 * reps))) in
         let bound = function
           | "MCF-LTC" -> Some 7.5
@@ -274,66 +281,73 @@ let ablation_approx =
           | "AAM" -> Some 7.738
           | _ -> None
         in
+        let algos = Ltc_algo.Algorithm.all ~seed in
+        let spec =
+          {
+            Spec.default_synthetic with
+            Spec.n_tasks = 3;
+            n_workers = 40;
+            capacity = 2;
+            epsilon = 0.2;
+            world_side = 14.0;
+          }
+        in
+        (* Each micro instance is solved independently (exact optimum plus
+           every algorithm); the ratios are merged afterwards in instance
+           order, so the table is the same for every [jobs]. *)
+        let per_instance =
+          pmap ~jobs (List.init n_instances Fun.id) (fun k ->
+              let instance = synthetic_instance ~seed:((seed * 7919) + k) spec in
+              match Ltc_algo.Optimal.solve instance with
+              | None | Some (0, _) -> None
+              | Some (opt, _) ->
+                let flow_lb =
+                  Option.map
+                    (fun low -> float_of_int low /. float_of_int opt)
+                    (Ltc_algo.Feasibility.latency_lower_bound instance)
+                in
+                let ratios =
+                  List.filter_map
+                    (fun (algo : Ltc_algo.Algorithm.t) ->
+                      let o = algo.run instance in
+                      if o.Ltc_algo.Engine.completed then
+                        Some
+                          ( algo.name,
+                            float_of_int o.Ltc_algo.Engine.latency
+                            /. float_of_int opt )
+                      else None)
+                    algos
+                in
+                Some (flow_lb, ratios))
+        in
         let sum = Hashtbl.create 8 in
         let wins = ref 0 in
         let solved = ref 0 in
-        let algos = Ltc_algo.Algorithm.all ~seed in
-        for k = 0 to n_instances - 1 do
-          let spec =
-            {
-              Spec.default_synthetic with
-              Spec.n_tasks = 3;
-              n_workers = 40;
-              capacity = 2;
-              epsilon = 0.2;
-              world_side = 14.0;
-            }
+        let record name ratio =
+          let s, mx, n =
+            match Hashtbl.find_opt sum name with
+            | Some slot -> slot
+            | None ->
+              let slot = (ref 0.0, ref 0.0, ref 0) in
+              Hashtbl.add sum name slot;
+              slot
           in
-          let instance =
-            synthetic_instance ~seed:((seed * 7919) + k) spec
-          in
-          match Ltc_algo.Optimal.solve instance with
-          | None -> ()
-          | Some (opt, _) when opt = 0 -> ()
-          | Some (opt, _) ->
-            incr solved;
-            (match Ltc_algo.Feasibility.latency_lower_bound instance with
+          s := !s +. ratio;
+          mx := Float.max !mx ratio;
+          incr n
+        in
+        List.iter
+          (function
             | None -> ()
-            | Some low ->
-              let ratio = float_of_int low /. float_of_int opt in
-              let s, mx, n =
-                match Hashtbl.find_opt sum "Flow-LB" with
-                | Some slot -> slot
-                | None ->
-                  let slot = (ref 0.0, ref 0.0, ref 0) in
-                  Hashtbl.add sum "Flow-LB" slot;
-                  slot
-              in
-              s := !s +. ratio;
-              mx := Float.max !mx ratio;
-              incr n);
-            List.iter
-              (fun (algo : Ltc_algo.Algorithm.t) ->
-                let o = algo.run instance in
-                if o.Ltc_algo.Engine.completed then begin
-                  let ratio =
-                    float_of_int o.Ltc_algo.Engine.latency /. float_of_int opt
-                  in
-                  let s, mx, n =
-                    match Hashtbl.find_opt sum algo.name with
-                    | Some slot -> slot
-                    | None ->
-                      let slot = (ref 0.0, ref 0.0, ref 0) in
-                      Hashtbl.add sum algo.name slot;
-                      slot
-                  in
-                  s := !s +. ratio;
-                  mx := Float.max !mx ratio;
-                  incr n;
-                  if ratio <= 1.0 then incr wins
-                end)
-              algos
-        done;
+            | Some (flow_lb, ratios) ->
+              incr solved;
+              Option.iter (record "Flow-LB") flow_lb;
+              List.iter
+                (fun (name, ratio) ->
+                  record name ratio;
+                  if ratio <= 1.0 then incr wins)
+                ratios)
+          per_instance;
         let row_of name =
           match Hashtbl.find_opt sum name with
           | None -> None
@@ -376,7 +390,11 @@ let ablation_index =
       "candidate-task lookup: uniform grid vs kd-tree vs linear scan";
     default_scale = 1.0;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
+        (* The measurement IS wall-clock time per index structure; running
+           the structures concurrently would skew the very numbers the
+           table reports, so this entry stays sequential. *)
+        ignore jobs;
         ignore reps;
         let queries = 20_000 in
         let radius = Spec.default_synthetic.Spec.dmax in
@@ -467,7 +485,10 @@ let ablation_solver =
       "SSPA-with-potentials vs queue-based SPFA on MCF-LTC batch networks";
     default_scale = 1.0;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
+        (* Solver wall-clock comparison: sequential for the same reason as
+           ablation-index. *)
+        ignore jobs;
         ignore reps;
         (* Build the exact network MCF-LTC would build for one batch of the
            default workload, at several batch sizes. *)
@@ -545,7 +566,7 @@ let ext_noshow =
        probability q (the paper assumes q = 1)";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
         let rates = [ 1.0; 0.9; 0.8; 0.7; 0.6 ] in
         let noshow name policy rate ~seed =
@@ -572,7 +593,7 @@ let ext_noshow =
             (fun rate ->
               Runner.sweep
                 ~algorithms:(algorithms rate)
-                ~reps ~seed ~xs:[ rate ]
+                ~jobs ~reps ~seed ~xs:[ rate ]
                 ~label:(Printf.sprintf "%.1f")
                 ~instance_of:(fun ~seed _ -> synthetic_instance ~seed spec)
                 ())
@@ -594,7 +615,7 @@ let ext_buffer =
        committing, from per-worker (B=1) up to MCF-LTC's batch regime";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
         let buffers = [ 1; 10; 50; 200; 1000 ] in
         let algorithms buffer ~seed:_ =
@@ -613,7 +634,7 @@ let ext_buffer =
             (fun buffer ->
               Runner.sweep
                 ~algorithms:(algorithms buffer)
-                ~reps ~seed ~xs:[ buffer ] ~label:string_of_int
+                ~jobs ~reps ~seed ~xs:[ buffer ] ~label:string_of_int
                 ~instance_of:(fun ~seed _ -> synthetic_instance ~seed spec)
                 ())
             buffers
@@ -638,14 +659,16 @@ let ext_dynamic =
        makespan and per-task response time vs the upfront fraction";
     default_scale = 0.2;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
         let fractions = [ 1.0; 0.75; 0.5; 0.25; 0.0 ] in
         let strategies =
           [ Ltc_algo.Dynamic.Laf_d; Ltc_algo.Dynamic.Aam_d ]
         in
+        (* Each fraction row replays the same per-rep seeds, so rows are
+           independent cells: fan them over the pool. *)
         let rows =
-          List.map
+          pmap ~jobs fractions
             (fun fraction ->
               let make_cells strategy =
                 let makespans = ref 0.0 and responses = ref 0.0 in
@@ -691,7 +714,6 @@ let ext_dynamic =
                   strategies
               in
               Ltc_util.Table.Str (Printf.sprintf "%.2f" fraction) :: cells)
-            fractions
         in
         [
           {
@@ -716,7 +738,11 @@ let ext_inference =
        task quality against the known-p_w run";
     default_scale = 1.0;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
+        (* The history rows consume ONE shared rng stream in h order (each
+           row's warm-up answers continue where the previous row stopped),
+           so the rows are sequentially coupled by construction. *)
+        ignore jobs;
         ignore reps;
         let trials = max 200 (int_of_float (scale *. 2000.0)) in
         let spec =
@@ -852,11 +878,13 @@ let hoeffding =
        error rate";
     default_scale = 1.0;
     run =
-      (fun ~scale ~reps ~seed ->
+      (fun ~jobs ~scale ~reps ~seed ->
         let trials = max 200 (int_of_float (scale *. 2000.0)) in
         ignore reps;
+        (* Every epsilon row builds its instance and Monte-Carlo streams
+           from the seed alone — independent cells, pool-friendly. *)
         let rows =
-          List.map
+          pmap ~jobs Spec.epsilon_sweep
             (fun epsilon ->
               let spec =
                 {
@@ -883,7 +911,6 @@ let hoeffding =
                   (if report.Ltc_core.Truth_sim.max_error <= epsilon then "yes"
                    else "NO");
               ])
-            Spec.epsilon_sweep
         in
         [
           {

@@ -13,7 +13,15 @@ type t = {
   description : string;
   default_scale : float;
       (** scale at which the experiment runs in a few minutes on a laptop *)
-  run : scale:float -> reps:int -> seed:int -> Runner.output list;
+  run : jobs:int -> scale:float -> reps:int -> seed:int -> Runner.output list;
+      (** [jobs] parallelizes the entry's independent
+          measurement cells over that many domains (see
+          {!Runner.sweep}).  Latency/memory/completion outputs are
+          bit-identical for every [jobs]; wall-clock runtime columns vary
+          run to run, as they do sequentially.  Entries whose measurements
+          are themselves wall-clock micro-benchmarks ([ablation-index],
+          [ablation-solver]) and the sequentially-coupled [ext-inference]
+          ignore [jobs] by design. *)
 }
 
 val all : t list

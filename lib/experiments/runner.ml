@@ -20,8 +20,12 @@ type output = {
 
 (* One derived seed per repetition, shared across x values: sweeping a
    parameter (e.g. epsilon) then compares the SAME workload at every x, as
-   the paper does, instead of adding generation noise to the trend. *)
-let rep_seed ~seed ~rep = (seed * 1_000_003) + rep
+   the paper does, instead of adding generation noise to the trend.  Seeds
+   come from splitting one root stream, so they are a function of [seed]
+   and [rep] alone — parallel scheduling cannot perturb them. *)
+let rep_seeds ~seed ~reps =
+  let root = Ltc_util.Rng.create ~seed in
+  Array.init reps (fun _ -> Ltc_util.Rng.split_seed root)
 
 (* Per-algorithm sweep metrics; attached to every run so a snapshot taken
    after a sweep carries the full measurement series. *)
@@ -32,11 +36,63 @@ let run_metrics algo =
     Ltc_util.Metrics.histogram ~help:"wall time per sweep run (s)" ~labels
       "ltc_runner_runtime_seconds" )
 
-let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed) ~reps
-    ~seed ~xs ~label ~instance_of () =
+(* Total algorithm executions since [reset_runs]; feeds the bench harness's
+   throughput report (--json). *)
+let runs_total = Atomic.make 0
+let runs_executed () = Atomic.get runs_total
+let reset_runs () = Atomic.set runs_total 0
+let count_run () = ignore (Atomic.fetch_and_add runs_total 1)
+
+(* One measurement: algorithm name, latency, wall time, memory, completed. *)
+type run_result = {
+  r_name : string;
+  r_latency : float;
+  r_runtime : float;
+  r_memory : float;
+  r_completed : bool;
+}
+
+let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed)
+    ?(jobs = 1) ~reps ~seed ~xs ~label ~instance_of () =
   if reps <= 0 then invalid_arg "Runner.sweep: reps must be positive";
-  List.map
-    (fun x ->
+  let xs = Array.of_list xs in
+  let seeds = rep_seeds ~seed ~reps in
+  (* Fan (x value, repetition) cells over the domain pool.  Each cell is a
+     pure function of its derived seed — generation, the five algorithm
+     runs, the memory estimate — so only the wall-clock [r_runtime] differs
+     between parallel and sequential execution. *)
+  let cell k =
+    let x = xs.(k / reps) in
+    let rseed = seeds.(k mod reps) in
+    let instance = instance_of ~seed:rseed x in
+    let instance_mb =
+      Ltc_util.Mem.words_to_mb (Ltc_core.Instance.memory_words instance)
+    in
+    List.map
+      (fun (algo : Ltc_algo.Algorithm.t) ->
+        let outcome, runtime =
+          Ltc_util.Timer.time (fun () ->
+              Ltc_util.Trace.with_span ("sweep:" ^ algo.name) (fun () ->
+                  algo.run instance))
+        in
+        count_run ();
+        let m_runs, m_runtime = run_metrics algo.name in
+        Ltc_util.Metrics.Counter.incr m_runs;
+        Ltc_util.Metrics.Histogram.observe m_runtime runtime;
+        {
+          r_name = algo.name;
+          r_latency = float_of_int outcome.Ltc_algo.Engine.latency;
+          r_runtime = runtime;
+          r_memory = instance_mb +. outcome.Ltc_algo.Engine.peak_memory_mb;
+          r_completed = outcome.Ltc_algo.Engine.completed;
+        })
+      (algorithms ~seed:rseed)
+  in
+  let cells = Ltc_util.Pool.run ~jobs (Array.length xs * reps) cell in
+  (* Aggregate sequentially in (x, rep, algorithm) order — the float
+     summation order of the sequential loop, so means are bit-identical
+     regardless of [jobs]. *)
+  List.init (Array.length xs) (fun xi ->
       (* metric accumulators per algorithm name, in first-seen order *)
       let order = ref [] in
       let acc : (string, float ref * float ref * float ref * bool ref) Hashtbl.t
@@ -44,36 +100,22 @@ let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed) ~reps
         Hashtbl.create 8
       in
       for rep = 0 to reps - 1 do
-        let rseed = rep_seed ~seed ~rep in
-        let instance = instance_of ~seed:rseed x in
-        let instance_mb =
-          Ltc_util.Mem.words_to_mb (Ltc_core.Instance.memory_words instance)
-        in
         List.iter
-          (fun (algo : Ltc_algo.Algorithm.t) ->
-            let outcome, runtime =
-              Ltc_util.Timer.time (fun () ->
-                  Ltc_util.Trace.with_span ("sweep:" ^ algo.name) (fun () ->
-                      algo.run instance))
-            in
-            let m_runs, m_runtime = run_metrics algo.name in
-            Ltc_util.Metrics.Counter.incr m_runs;
-            Ltc_util.Metrics.Histogram.observe m_runtime runtime;
+          (fun r ->
             let lat, time, mem, comp =
-              match Hashtbl.find_opt acc algo.name with
+              match Hashtbl.find_opt acc r.r_name with
               | Some slot -> slot
               | None ->
                 let slot = (ref 0.0, ref 0.0, ref 0.0, ref true) in
-                Hashtbl.add acc algo.name slot;
-                order := algo.name :: !order;
+                Hashtbl.add acc r.r_name slot;
+                order := r.r_name :: !order;
                 slot
             in
-            lat := !lat +. float_of_int outcome.Ltc_algo.Engine.latency;
-            time := !time +. runtime;
-            mem :=
-              !mem +. instance_mb +. outcome.Ltc_algo.Engine.peak_memory_mb;
-            comp := !comp && outcome.Ltc_algo.Engine.completed)
-          (algorithms ~seed:rseed)
+            lat := !lat +. r.r_latency;
+            time := !time +. r.r_runtime;
+            mem := !mem +. r.r_memory;
+            comp := !comp && r.r_completed)
+          cells.((xi * reps) + rep)
       done;
       let n = float_of_int reps in
       let algos =
@@ -89,8 +131,7 @@ let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed) ~reps
             })
           !order
       in
-      { label = label x; algos })
-    xs
+      { label = label xs.(xi); algos })
 
 let table ~title ~x_header ~digits ~cell points =
   match points with

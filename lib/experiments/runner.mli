@@ -33,6 +33,7 @@ type output = {
 
 val sweep :
   ?algorithms:(seed:int -> Ltc_algo.Algorithm.t list) ->
+  ?jobs:int ->
   reps:int ->
   seed:int ->
   xs:'a list ->
@@ -42,7 +43,22 @@ val sweep :
   point list
 (** [instance_of ~seed x] must generate the instance for x-value [x] from
     the given per-repetition seed.  [algorithms] defaults to
-    {!Ltc_algo.Algorithm.all}. *)
+    {!Ltc_algo.Algorithm.all}.
+
+    [jobs] (default [1]) fans the (x value, repetition) cells over an
+    {!Ltc_util.Pool} of that many domains.  Per-repetition seeds are split
+    off one root stream up front and results are aggregated in input
+    order, so latencies, memory and completion flags are bit-identical for
+    every [jobs] — only the measured wall-clock runtimes vary, exactly as
+    they do between two sequential runs.  [instance_of] and [algorithms]
+    must be safe to call from multiple domains (pure generation from the
+    seed, as all registered workloads are). *)
+
+val runs_executed : unit -> int
+(** Algorithm executions {!sweep} performed since {!reset_runs} (process
+    total, all sweeps); the bench harness's throughput denominator. *)
+
+val reset_runs : unit -> unit
 
 val latency_table : title:string -> x_header:string -> point list -> output
 (** Latencies; cells of runs that did not always complete are suffixed

@@ -71,6 +71,52 @@ let iter_within t ~center ~radius f =
     done
   done
 
+let iter_within_sorted t ~center ~radius f =
+  let r_sq = radius *. radius in
+  let cx, cy = cell_of t center in
+  let span = max 1 (int_of_float (Float.ceil (radius /. t.cell))) in
+  let x0 = max 0 (cx - span) and x1 = min (t.cols - 1) (cx + span) in
+  let y0 = max 0 (cy - span) and y1 = min (t.rows - 1) (cy + span) in
+  (* One cursor per non-empty visited cell run.  [build] fills each cell in
+     point-index order, so every run is already ascending and a repeated
+     head-min merge emits the union globally sorted — no buffering, no
+     allocation beyond the two small cursor arrays (at most (2*span+1)^2
+     runs, typically 9). *)
+  let max_runs = (x1 - x0 + 1) * (y1 - y0 + 1) in
+  let cur = Array.make (max 1 max_runs) 0 in
+  let stop = Array.make (max 1 max_runs) 0 in
+  let m = ref 0 in
+  for gy = y0 to y1 do
+    for gx = x0 to x1 do
+      let c = (gy * t.cols) + gx in
+      if t.starts.(c) < t.starts.(c + 1) then begin
+        cur.(!m) <- t.starts.(c);
+        stop.(!m) <- t.starts.(c + 1);
+        incr m
+      end
+    done
+  done;
+  let m = !m in
+  let exhausted = ref false in
+  while not !exhausted do
+    let best = ref (-1) in
+    let best_v = ref max_int in
+    for j = 0 to m - 1 do
+      if cur.(j) < stop.(j) then begin
+        let v = t.entries.(cur.(j)) in
+        if v < !best_v then begin
+          best := j;
+          best_v := v
+        end
+      end
+    done;
+    if !best < 0 then exhausted := true
+    else begin
+      cur.(!best) <- cur.(!best) + 1;
+      if Point.distance_sq t.points.(!best_v) center <= r_sq then f !best_v
+    end
+  done
+
 let query_within t ~center ~radius =
   let acc = ref [] in
   iter_within t ~center ~radius (fun i -> acc := i :: !acc);

@@ -25,6 +25,13 @@ val iter_within : t -> center:Point.t -> radius:float -> (int -> unit) -> unit
     order within each visited cell (cells are visited row-major).  [radius]
     may exceed the build-time cell size; the scan widens accordingly. *)
 
+val iter_within_sorted :
+  t -> center:Point.t -> radius:float -> (int -> unit) -> unit
+(** Like {!iter_within} but in globally ascending point-index order: the
+    per-cell runs (each already ascending) are merged head-min on the fly,
+    so the sorted order costs no list materialisation or sort — the policy
+    layer's documented lower-index tie-break comes for free. *)
+
 val query_within : t -> center:Point.t -> radius:float -> int list
 (** Materialised {!iter_within}, ascending point-index order. *)
 

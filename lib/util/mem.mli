@@ -21,6 +21,11 @@ val words_to_mb : int -> float
 
 module Tracker : sig
   type t
+  (** Domain-safe: each domain that touches the tracker gets its own
+      accounting cell, and {!high_water_mb} reports the merged peak (the
+      sum of per-domain high-water marks — exactly the single-domain peak
+      when only one domain used the tracker, an upper bound on concurrent
+      usage otherwise). *)
 
   val create : unit -> t
 

@@ -1,31 +1,44 @@
 type labels = (string * string) list
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+(* Sweep cells run on pool domains (see Pool), so every mutation path must
+   be domain-safe: counters and gauges are atomics, histograms and the
+   registry take a mutex.  The disabled path stays a single atomic load. *)
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
 module Counter = struct
-  type t = { mutable c : int }
+  type t = { c : int Atomic.t }
 
-  let incr t = if !enabled_flag then t.c <- t.c + 1
+  let incr t = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.c 1)
 
   let add t n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative amount";
-    if !enabled_flag then t.c <- t.c + n
+    if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.c n)
 
-  let value t = t.c
+  let value t = Atomic.get t.c
 end
 
 module Gauge = struct
-  type t = { mutable g : float }
+  type t = { g : float Atomic.t }
 
-  let set t v = if !enabled_flag then t.g <- v
-  let add t v = if !enabled_flag then t.g <- t.g +. v
-  let value t = t.g
+  let set t v = if Atomic.get enabled_flag then Atomic.set t.g v
+
+  let add t v =
+    if Atomic.get enabled_flag then begin
+      let rec cas () =
+        let cur = Atomic.get t.g in
+        if not (Atomic.compare_and_set t.g cur (cur +. v)) then cas ()
+      in
+      cas ()
+    end
+
+  let value t = Atomic.get t.g
 end
 
 module Histogram = struct
   type t = {
+    mutex : Mutex.t;
     bounds : float array;  (* strictly increasing finite upper bounds *)
     counts : int array;    (* per-bucket, length = |bounds| + 1 (+Inf last) *)
     mutable total : int;
@@ -33,18 +46,36 @@ module Histogram = struct
   }
 
   let observe t v =
-    if !enabled_flag then begin
+    if Atomic.get enabled_flag then begin
       let n = Array.length t.bounds in
       let i = ref 0 in
       (* Linear scan: bucket lists are short and this stays allocation-free. *)
       while !i < n && v > Array.unsafe_get t.bounds !i do incr i done;
+      Mutex.lock t.mutex;
       t.counts.(!i) <- t.counts.(!i) + 1;
       t.total <- t.total + 1;
-      t.hsum <- t.hsum +. v
+      t.hsum <- t.hsum +. v;
+      Mutex.unlock t.mutex
     end
 
-  let count t = t.total
-  let sum t = t.hsum
+  let count t =
+    Mutex.lock t.mutex;
+    let n = t.total in
+    Mutex.unlock t.mutex;
+    n
+
+  let sum t =
+    Mutex.lock t.mutex;
+    let s = t.hsum in
+    Mutex.unlock t.mutex;
+    s
+
+  (* Coherent (counts, total, sum) triple for snapshot rendering. *)
+  let read t =
+    Mutex.lock t.mutex;
+    let r = (Array.copy t.counts, t.total, t.hsum) in
+    Mutex.unlock t.mutex;
+    r
 end
 
 let default_buckets =
@@ -70,6 +101,10 @@ type meta = {
   m_buckets : float array;  (* empty unless histogram *)
 }
 
+(* [registry_mutex] guards both tables; instruments themselves synchronise
+   their own mutations, so the lock is only held for registration and for
+   building snapshot series lists. *)
+let registry_mutex = Mutex.create ()
 let registry : (string * labels, series) Hashtbl.t = Hashtbl.create 64
 let metas : (string, meta) Hashtbl.t = Hashtbl.create 64
 
@@ -93,6 +128,8 @@ let kind_name = function
 
 let register ~name ~help ~labels ~kind ~buckets make =
   let labels = canonical_labels name labels in
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
   (match Hashtbl.find_opt metas name with
   | None -> Hashtbl.add metas name { m_kind = kind; m_help = help; m_buckets = buckets }
   | Some m ->
@@ -120,7 +157,7 @@ let register ~name ~help ~labels ~kind ~buckets make =
 let counter ?(help = "") ?(labels = []) name =
   match
     register ~name ~help ~labels ~kind:`Counter ~buckets:[||] (fun () ->
-        C { Counter.c = 0 })
+        C { Counter.c = Atomic.make 0 })
   with
   | C c -> c
   | G _ | H _ -> assert false
@@ -128,7 +165,7 @@ let counter ?(help = "") ?(labels = []) name =
 let gauge ?(help = "") ?(labels = []) name =
   match
     register ~name ~help ~labels ~kind:`Gauge ~buckets:[||] (fun () ->
-        G { Gauge.g = 0.0 })
+        G { Gauge.g = Atomic.make 0.0 })
   with
   | G g -> g
   | C _ | H _ -> assert false
@@ -147,7 +184,8 @@ let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
     register ~name ~help ~labels ~kind:`Histogram ~buckets (fun () ->
         H
           {
-            Histogram.bounds = Array.copy buckets;
+            Histogram.mutex = Mutex.create ();
+            bounds = Array.copy buckets;
             counts = Array.make (Array.length buckets + 1) 0;
             total = 0;
             hsum = 0.0;
@@ -156,22 +194,30 @@ let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
   | H h -> h
   | C _ | G _ -> assert false
 
+let all_series () =
+  Mutex.lock registry_mutex;
+  let out = Hashtbl.fold (fun _ s acc -> s :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  out
+
 let reset () =
-  Hashtbl.iter
-    (fun _ s ->
+  List.iter
+    (fun s ->
       match s.s_inst with
-      | C c -> c.Counter.c <- 0
-      | G g -> g.Gauge.g <- 0.0
+      | C c -> Atomic.set c.Counter.c 0
+      | G g -> Atomic.set g.Gauge.g 0.0
       | H h ->
+        Mutex.lock h.Histogram.mutex;
         Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
         h.Histogram.total <- 0;
-        h.Histogram.hsum <- 0.0)
-    registry
+        h.Histogram.hsum <- 0.0;
+        Mutex.unlock h.Histogram.mutex)
+    (all_series ())
 
 (* ------------------------------------------------------------- snapshots *)
 
 let sorted_series () =
-  Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+  all_series ()
   |> List.sort (fun a b ->
          match compare a.s_name b.s_name with
          | 0 -> compare a.s_labels b.s_labels
@@ -228,12 +274,13 @@ let to_prometheus () =
       | C c ->
         Buffer.add_string buf
           (Printf.sprintf "%s%s %d\n" s.s_name (prom_labels s.s_labels)
-             c.Counter.c)
+             (Counter.value c))
       | G g ->
         Buffer.add_string buf
           (Printf.sprintf "%s%s %s\n" s.s_name (prom_labels s.s_labels)
-             (float_str g.Gauge.g))
+             (float_str (Gauge.value g)))
       | H h ->
+        let counts, total, hsum = Histogram.read h in
         let cumulative = ref 0 in
         Array.iteri
           (fun i n ->
@@ -247,13 +294,13 @@ let to_prometheus () =
               (Printf.sprintf "%s_bucket%s %d\n" s.s_name
                  (prom_labels_le s.s_labels le)
                  !cumulative))
-          h.Histogram.counts;
+          counts;
         Buffer.add_string buf
           (Printf.sprintf "%s_sum%s %s\n" s.s_name (prom_labels s.s_labels)
-             (float_str h.Histogram.hsum));
+             (float_str hsum));
         Buffer.add_string buf
           (Printf.sprintf "%s_count%s %d\n" s.s_name (prom_labels s.s_labels)
-             h.Histogram.total))
+             total))
     (sorted_series ());
   Buffer.contents buf
 
@@ -275,11 +322,13 @@ let to_json () =
         (json_labels s.s_labels)
     in
     match s.s_inst with
-    | C c -> Printf.sprintf "{%s,\"value\":%d}" (common "counter") c.Counter.c
+    | C c ->
+      Printf.sprintf "{%s,\"value\":%d}" (common "counter") (Counter.value c)
     | G g ->
       Printf.sprintf "{%s,\"value\":%s}" (common "gauge")
-        (json_float g.Gauge.g)
+        (json_float (Gauge.value g))
     | H h ->
+      let counts, total, hsum = Histogram.read h in
       let cumulative = ref 0 in
       let buckets =
         Array.to_list
@@ -292,11 +341,11 @@ let to_json () =
                  else "\"+Inf\""
                in
                Printf.sprintf "{\"le\":%s,\"count\":%d}" le !cumulative)
-             h.Histogram.counts)
+             counts)
       in
       Printf.sprintf "{%s,\"buckets\":[%s],\"sum\":%s,\"count\":%d}"
         (common "histogram")
         (String.concat "," buckets)
-        (json_float h.Histogram.hsum) h.Histogram.total
+        (json_float hsum) total
   in
   "[" ^ String.concat "," (List.map series_json (sorted_series ())) ^ "]"

@@ -9,6 +9,11 @@
     hot loops costs nothing measurable while the registry is disabled
     (the default).
 
+    Every operation is domain-safe: counters and gauges are atomic cells,
+    histograms and the registry are mutex-guarded.  Concurrent increments
+    from pool worker domains (see {!Pool}) sum exactly; snapshots render a
+    coherent view of each series.
+
     Snapshots ({!to_json}, {!to_prometheus}) render every registered series
     in a deterministic order (name, then labels), which is what the test
     suite and the cram tests pin. *)

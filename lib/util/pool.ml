@@ -1,0 +1,170 @@
+(* A batch is one map/iter call: lanes claim indices from [next] until it
+   passes [n] or a body raises ([cancelled] stops further claims; indices
+   already claimed still finish). *)
+type batch = {
+  body : int -> unit;  (* wrapped by [map]/[iter]; never raises *)
+  n : int;
+  next : int Atomic.t;
+  cancelled : bool Atomic.t;
+}
+
+type t = {
+  lanes : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  (* All fields below are protected by [mutex]. *)
+  mutable current : batch option;
+  mutable generation : int;  (* bumped once per batch; workers run each once *)
+  mutable finished : int;    (* workers done with the current generation *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let drain batch =
+  let rec claim () =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i < batch.n && not (Atomic.get batch.cancelled) then begin
+      batch.body i;
+      claim ()
+    end
+  in
+  claim ()
+
+(* Worker domains process every generation exactly once (possibly claiming
+   zero indices) so the caller can join on a plain finished-count. *)
+let worker_loop t =
+  let seen = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else if t.generation = !seen then begin
+      Condition.wait t.work_ready t.mutex;
+      loop ()
+    end
+    else begin
+      seen := t.generation;
+      let batch = Option.get t.current in
+      Mutex.unlock t.mutex;
+      drain batch;
+      Mutex.lock t.mutex;
+      t.finished <- t.finished + 1;
+      if t.finished = Array.length t.domains then Condition.signal t.work_done;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      lanes = jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      generation = 0;
+      finished = 0;
+      stop = false;
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.lanes
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+(* Hand [batch] to the workers, drain it on the calling domain too, and
+   return once every lane is done with it. *)
+let submit t batch =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: used after shutdown"
+  end;
+  t.current <- Some batch;
+  t.finished <- 0;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  drain batch;
+  Mutex.lock t.mutex;
+  while t.finished < Array.length t.domains do
+    Condition.wait t.work_done t.mutex
+  done;
+  t.current <- None;
+  Mutex.unlock t.mutex
+
+(* Wraps [f] so bodies never raise across domains: the first failure by
+   *index* (not completion order) is kept, so the exception [map] re-raises
+   is deterministic whenever the failing body is. *)
+let guarded f cancelled =
+  let failure = ref None in
+  let failure_mutex = Mutex.create () in
+  let body i =
+    match f i with
+    | () -> ()
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Atomic.set cancelled true;
+      Mutex.lock failure_mutex;
+      (match !failure with
+      | Some (j, _, _) when j < i -> ()
+      | _ -> failure := Some (i, e, bt));
+      Mutex.unlock failure_mutex
+  in
+  (body, failure)
+
+let parallel_iter t n f =
+  let cancelled = Atomic.make false in
+  let body, failure = guarded f cancelled in
+  submit t { body; n; next = Atomic.make 0; cancelled };
+  match !failure with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map t n f =
+  if n < 0 then invalid_arg "Pool.map: negative range";
+  if n = 0 then [||]
+  else if t.lanes = 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    parallel_iter t n (fun i -> results.(i) <- Some (f i));
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index ran: no failure was raised *))
+      results
+  end
+
+let iter t n f =
+  if n < 0 then invalid_arg "Pool.iter: negative range";
+  if n = 0 then ()
+  else if t.lanes = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else parallel_iter t n f
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ~jobs n f =
+  if jobs <= 1 || n <= 1 then begin
+    if n < 0 then invalid_arg "Pool.run: negative range";
+    Array.init n f
+  end
+  else with_pool ~jobs (fun t -> map t n f)

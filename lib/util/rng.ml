@@ -20,6 +20,8 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+let split_seed t = Int64.to_int (bits64 t)
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the top bits to avoid modulo bias. *)

@@ -22,6 +22,13 @@ val split : t -> t
     give sub-components their own stream without coupling their consumption
     rates. *)
 
+val split_seed : t -> int
+(** [split_seed rng] advances [rng] and returns an integer seed for an
+    independent child stream — [create ~seed:(split_seed rng)] is {!split}
+    up to the int/int64 truncation.  The experiment harness derives one
+    such seed per repetition so that results are a function of the base
+    seed alone, independent of parallel scheduling. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -10,34 +10,51 @@ type span = {
 let dummy =
   { id = -1; parent = -1; depth = 0; name = ""; start_s = 0.0; duration_s = 0.0 }
 
-let enabled_flag = ref false
+(* Spans may open and close on pool worker domains (see Pool): ids come from
+   an atomic, the open-span stack is domain-local, and the completed-span
+   ring is guarded by a mutex.  The disabled path stays a single atomic
+   load. *)
+let enabled_flag = Atomic.make false
 let epoch = ref 0.0
+
+let ring_mutex = Mutex.create ()
+(* Protected by [ring_mutex]. *)
 let ring = ref (Array.make 1024 dummy)
 let completed = ref 0  (* total completed spans since clear *)
-let next_id = ref 0
-let stack = ref []     (* ids of open spans, innermost first *)
 
-let enabled () = !enabled_flag
+let next_id = Atomic.make 0
+
+(* Ids of open spans, innermost first; nesting is per-domain. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enabled () = Atomic.get enabled_flag
 
 let set_enabled b =
-  if b && not !enabled_flag then epoch := Unix.gettimeofday ();
-  enabled_flag := b
+  if b && not (Atomic.get enabled_flag) then epoch := Unix.gettimeofday ();
+  Atomic.set enabled_flag b
 
 let clear () =
+  Mutex.lock ring_mutex;
   completed := 0;
-  next_id := 0;
-  stack := []
+  Atomic.set next_id 0;
+  Domain.DLS.get stack_key := [];
+  Mutex.unlock ring_mutex
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  Mutex.lock ring_mutex;
   ring := Array.make n dummy;
-  clear ()
+  completed := 0;
+  Atomic.set next_id 0;
+  Domain.DLS.get stack_key := [];
+  Mutex.unlock ring_mutex
 
 let with_span name f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
-    let id = !next_id in
-    incr next_id;
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = Domain.DLS.get stack_key in
     let parent = match !stack with [] -> -1 | p :: _ -> p in
     let depth = List.length !stack in
     stack := id :: !stack;
@@ -46,6 +63,7 @@ let with_span name f =
       ~finally:(fun () ->
         let duration_s = Float.max 0.0 (Unix.gettimeofday () -. t0) in
         (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
+        Mutex.lock ring_mutex;
         let r = !ring in
         r.(!completed mod Array.length r) <-
           {
@@ -56,19 +74,26 @@ let with_span name f =
             start_s = Float.max 0.0 (t0 -. !epoch);
             duration_s;
           };
-        incr completed)
+        incr completed;
+        Mutex.unlock ring_mutex)
       f
   end
 
-let dropped () = max 0 (!completed - Array.length !ring)
+let dropped () =
+  Mutex.lock ring_mutex;
+  let d = max 0 (!completed - Array.length !ring) in
+  Mutex.unlock ring_mutex;
+  d
 
 let spans () =
+  Mutex.lock ring_mutex;
   let r = !ring in
   let n = min !completed (Array.length r) in
   let out = ref [] in
   for i = 0 to n - 1 do
     out := r.(i) :: !out
   done;
+  Mutex.unlock ring_mutex;
   List.sort (fun a b -> compare a.id b.id) !out
 
 let pp_tree fmt () =

@@ -8,7 +8,14 @@
     buffer (oldest spans are overwritten; {!dropped} counts the loss).
 
     Spans use {!Unix.gettimeofday} and share {!Timer}'s caveat: wall time
-    can step backwards, so durations are clamped to [>= 0]. *)
+    can step backwards, so durations are clamped to [>= 0].
+
+    Tracing is domain-safe: span ids come from an atomic counter, the
+    open-span stack (and thus [parent]/[depth] nesting) is per-domain, and
+    the completed-span ring is mutex-guarded.  Spans recorded by different
+    domains interleave in the ring; {!spans} still returns them ordered by
+    start ([id]).  {!clear} and {!set_capacity} reset the calling domain's
+    open-span stack only — call them with no spans open elsewhere. *)
 
 type span = {
   id : int;          (** monotonically increasing start order *)

@@ -1,0 +1,36 @@
+The --jobs flag is validated the same way in the bench harness and the
+sweep subcommand:
+
+  $ ltc-bench fig3-K --jobs 0
+  --jobs must be at least 1 (got 0)
+  [1]
+
+  $ ltc sweep fig3-K --jobs 0
+  --jobs must be at least 1 (got 0)
+  [1]
+
+The sweep header reports the parsed jobs value (tables themselves carry
+wall-clock runtimes, so only the header is pinned here):
+
+  $ ltc sweep fig3-K --scale 0.004 --reps 1 --seed 7 --jobs 2 | head -1
+  fig3-K (Fig 3b, 3f, 3j), scale=0.004 reps=1 seed=7 jobs=2
+
+--json writes one object per figure, keyed BENCH_<id>.  Values are
+machine-dependent (wall time, throughput); the schema keys are not:
+
+  $ ltc-bench fig3-K --scale 0.004 --reps 1 --seed 7 --jobs 2 --json bench.json > /dev/null
+  $ sed -e 's/: "[^"]*"/: _/g' -e 's/: [0-9][0-9.e+-]*/: _/g' bench.json
+  {
+    "BENCH_fig3-K": {"id": _, "scale": _, "reps": _, "jobs": _, "seed": _, "wall_s": _, "runs": _, "runs_per_sec": _}
+  }
+
+The recorded jobs/reps/seed round-trip the command line exactly:
+
+  $ grep -o '"reps": 1, "jobs": 2, "seed": 7' bench.json
+  "reps": 1, "jobs": 2, "seed": 7
+
+The run count is the |settings| x reps x |algorithms| product of the
+sweep (5 x 1 x 5 for fig3-K):
+
+  $ grep -o '"runs": 25' bench.json
+  "runs": 25

@@ -137,7 +137,7 @@ let test_experiment_runs_at_micro_scale () =
   match Figures.find "fig3-K" with
   | None -> Alcotest.fail "fig3-K missing"
   | Some e ->
-    let outputs = e.Figures.run ~scale:0.004 ~reps:1 ~seed:3 in
+    let outputs = e.Figures.run ~jobs:1 ~scale:0.004 ~reps:1 ~seed:3 in
     Alcotest.(check int) "three panels" 3 (List.length outputs);
     List.iter
       (fun o ->
@@ -148,7 +148,7 @@ let test_hoeffding_experiment () =
   match Figures.find "hoeffding" with
   | None -> Alcotest.fail "hoeffding missing"
   | Some e ->
-    let outputs = e.Figures.run ~scale:0.1 ~reps:1 ~seed:11 in
+    let outputs = e.Figures.run ~jobs:2 ~scale:0.1 ~reps:1 ~seed:11 in
     (match outputs with
     | [ o ] ->
       Alcotest.(check int) "five eps rows" 5 (List.length o.Runner.rows);

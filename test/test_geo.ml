@@ -98,6 +98,20 @@ let prop_grid_matches_brute =
       Grid_index.query_within g ~center ~radius
       = brute_within points ~center ~radius)
 
+let prop_grid_sorted_iter =
+  (* The merged iteration must equal the materialised sorted query: same
+     members, globally ascending, each exactly once. *)
+  QCheck2.Test.make ~name:"grid iter_within_sorted = sorted query" ~count:200
+    QCheck2.Gen.(
+      triple (points_gen ~side:100.0) (point_gen ~side:100.0)
+        (float_range 0.1 40.0))
+    (fun (points, center, radius) ->
+      let arr = Array.of_list points in
+      let g = Grid_index.build ~world:(Bbox.square ~side:100.0) ~cell:10.0 arr in
+      let acc = ref [] in
+      Grid_index.iter_within_sorted g ~center ~radius (fun i -> acc := i :: !acc);
+      List.rev !acc = Grid_index.query_within g ~center ~radius)
+
 let prop_grid_count =
   QCheck2.Test.make ~name:"grid count = query length" ~count:100
     QCheck2.Gen.(pair (points_gen ~side:50.0) (point_gen ~side:50.0))
@@ -181,6 +195,7 @@ let suite =
         Alcotest.test_case "out-of-world points" `Quick
           test_grid_out_of_world_points;
         qcheck prop_grid_matches_brute;
+        qcheck prop_grid_sorted_iter;
         qcheck prop_grid_count;
       ] );
     ( "geo.kd_tree",

@@ -1,0 +1,200 @@
+(* Domain pool semantics, domain-safety of the observability layer, and the
+   parallel-sweep determinism contract: every [jobs] setting must produce
+   bit-identical latency/memory/completion outputs (DESIGN.md,
+   "Parallelism"). *)
+
+open Ltc_experiments
+module Pool = Ltc_util.Pool
+module Metrics = Ltc_util.Metrics
+module Trace = Ltc_util.Trace
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ pool *)
+
+let test_pool_map_order () =
+  List.iter
+    (fun jobs ->
+      let result = Pool.run ~jobs 64 (fun i -> i * i) in
+      Alcotest.(check int) "length" 64 (Array.length result);
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+        result)
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_reuse () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "jobs" 3 (Pool.jobs pool);
+      Alcotest.(check int) "empty map" 0
+        (Array.length (Pool.map pool 0 Fun.id));
+      (* One pool serves many batches; each stays input-ordered. *)
+      for n = 1 to 5 do
+        let r = Pool.map pool n (fun i -> i + n) in
+        Alcotest.(check int) "first slot" n r.(0);
+        Alcotest.(check int) "last slot" (2 * n - 1) r.(n - 1)
+      done)
+
+exception Boom of int
+
+let test_pool_exception_lowest_index () =
+  (* 3 is the first failing index in claim order for every jobs value, so
+     the exception surfaced to the caller is deterministic. *)
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs 32 (fun i -> if i mod 7 = 3 then raise (Boom i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest failing index" 3 i)
+    [ 1; 2; 4 ]
+
+let test_pool_survives_failed_batch () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match Pool.iter pool 8 (fun i -> if i = 5 then failwith "boom") with
+      | () -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ());
+      let r = Pool.map pool 16 Fun.id in
+      Alcotest.(check int) "pool reusable after failure" 15 r.(15))
+
+let test_pool_invalid_args () =
+  Alcotest.check_raises "jobs 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0));
+  Alcotest.check_raises "negative range"
+    (Invalid_argument "Pool.run: negative range") (fun () ->
+      ignore (Pool.run ~jobs:1 (-1) Fun.id))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool: used after shutdown") (fun () ->
+      ignore (Pool.map pool 8 Fun.id))
+
+(* ------------------------------------------- observability under domains *)
+
+let with_observability f =
+  Metrics.set_enabled true;
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Trace.set_enabled false;
+      Trace.clear ())
+    f
+
+let test_metrics_concurrent_sum_exact () =
+  with_observability @@ fun () ->
+  let c = Metrics.counter ~help:"test" "ltc_test_parallel_total" in
+  let g = Metrics.gauge ~help:"test" "ltc_test_parallel_gauge" in
+  let h = Metrics.histogram ~help:"test" "ltc_test_parallel_seconds" in
+  let c0 = Metrics.Counter.value c in
+  let g0 = Metrics.Gauge.value g in
+  let h0 = Metrics.Histogram.count h in
+  let per_domain = 25_000 in
+  Pool.run ~jobs:4 4 (fun _ ->
+      for _ = 1 to per_domain do
+        Metrics.Counter.incr c;
+        Metrics.Gauge.add g 1.0;
+        Metrics.Histogram.observe h 1e-3
+      done)
+  |> ignore;
+  Alcotest.(check int) "counter sums exactly"
+    (c0 + (4 * per_domain))
+    (Metrics.Counter.value c);
+  Alcotest.(check (float 0.0)) "gauge sums exactly"
+    (g0 +. float_of_int (4 * per_domain))
+    (Metrics.Gauge.value g);
+  Alcotest.(check int) "histogram counts exactly"
+    (h0 + (4 * per_domain))
+    (Metrics.Histogram.count h)
+
+let test_trace_concurrent_spans () =
+  with_observability @@ fun () ->
+  Pool.run ~jobs:4 4 (fun d ->
+      for _ = 1 to 10 do
+        Trace.with_span (Printf.sprintf "lane-%d" d) (fun () -> ())
+      done)
+  |> ignore;
+  Alcotest.(check int) "all spans recorded" 40 (List.length (Trace.spans ()));
+  Alcotest.(check int) "none dropped" 0 (Trace.dropped ());
+  (* Ids are atomic, so no two spans share one. *)
+  let ids = List.map (fun s -> s.Trace.id) (Trace.spans ()) in
+  Alcotest.(check int) "ids unique" 40
+    (List.length (List.sort_uniq compare ids))
+
+let test_mem_tracker_merged_peak () =
+  let tracker = Ltc_util.Mem.Tracker.create () in
+  (* No removals, so the merged peak is the total added no matter how the
+     cells were spread over domains. *)
+  Pool.run ~jobs:4 4 (fun _ -> Ltc_util.Mem.Tracker.add_words tracker 1000)
+  |> ignore;
+  Alcotest.(check (float 1e-12))
+    "merged peak = total added"
+    (Ltc_util.Mem.words_to_mb 4000)
+    (Ltc_util.Mem.Tracker.high_water_mb tracker)
+
+(* ------------------------------------------------------ rep-seed splitting *)
+
+let test_rep_seeds_deterministic () =
+  let seeds () =
+    let root = Ltc_util.Rng.create ~seed:99 in
+    List.init 8 (fun _ -> Ltc_util.Rng.split_seed root)
+  in
+  Alcotest.(check (list int)) "same base seed, same rep seeds" (seeds ())
+    (seeds ());
+  Alcotest.(check int) "rep seeds distinct" 8
+    (List.length (List.sort_uniq compare (seeds ())))
+
+(* ------------------------------------------------- sweep determinism *)
+
+(* Latency + memory CSVs of a figure entry; the runtime table is wall-clock
+   and excluded from the determinism contract. *)
+let figure_csvs ~jobs ~seed =
+  match Figures.find "fig3-K" with
+  | None -> Alcotest.fail "fig3-K missing"
+  | Some e ->
+    e.Figures.run ~jobs ~scale:0.004 ~reps:2 ~seed
+    |> List.filter_map (fun o ->
+           if Astring.String.is_infix ~affix:"runtime" o.Runner.title then
+             None
+           else Some (Runner.to_csv o))
+
+let prop_sweep_identical_across_jobs =
+  QCheck2.Test.make ~name:"figure CSV rows identical at jobs 1/2/4" ~count:4
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let reference = figure_csvs ~jobs:1 ~seed in
+      List.for_all (fun jobs -> figure_csvs ~jobs ~seed = reference) [ 2; 4 ])
+
+let suite =
+  [
+    ( "parallel.pool",
+      [
+        Alcotest.test_case "map ordering" `Quick test_pool_map_order;
+        Alcotest.test_case "empty + reuse" `Quick test_pool_empty_and_reuse;
+        Alcotest.test_case "exception of lowest index" `Quick
+          test_pool_exception_lowest_index;
+        Alcotest.test_case "survives failed batch" `Quick
+          test_pool_survives_failed_batch;
+        Alcotest.test_case "invalid args" `Quick test_pool_invalid_args;
+        Alcotest.test_case "shutdown idempotent" `Quick
+          test_pool_shutdown_idempotent;
+      ] );
+    ( "parallel.observability",
+      [
+        Alcotest.test_case "metrics sum exactly across domains" `Quick
+          test_metrics_concurrent_sum_exact;
+        Alcotest.test_case "trace spans from domains" `Quick
+          test_trace_concurrent_spans;
+        Alcotest.test_case "mem tracker merged peak" `Quick
+          test_mem_tracker_merged_peak;
+      ] );
+    ( "parallel.determinism",
+      [
+        Alcotest.test_case "rep seeds deterministic" `Quick
+          test_rep_seeds_deterministic;
+        qcheck prop_sweep_identical_across_jobs;
+      ] );
+  ]
