@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow fmt check clean
 
 all: build
 
@@ -20,6 +20,12 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- fig3-K ablation-batch \
 	  --scale 0.05 --reps 2 --jobs 2 --json bench-smoke.json
+
+# Min-cost-flow hot path: cold per-batch solves vs the reused
+# arena/workspace with DAG-layer and warm-started potentials.  Refreshes
+# the committed BENCH_flow_batch.json snapshot.
+bench-flow:
+	dune exec bench/main.exe -- flow-batch-reuse --json BENCH_flow_batch.json
 
 fmt:
 	dune build @fmt --auto-promote

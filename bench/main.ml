@@ -22,23 +22,26 @@ type figure_stat = {
   j_runs : int;  (** algorithm executions (Runner.runs_executed delta) *)
 }
 
-let write_json ~path stats =
+(* --json entries: (key, rendered JSON object body) pairs, so figure stats
+   and standalone benches (flow-batch-reuse) share one writer. *)
+let render_figure_stat s =
+  let rps =
+    if s.j_wall_s > 0.0 then float_of_int s.j_runs /. s.j_wall_s else 0.0
+  in
+  ( Printf.sprintf "BENCH_%s" s.j_id,
+    Printf.sprintf
+      "{\"id\": %S, \"scale\": %g, \"reps\": %d, \"jobs\": %d, \"seed\": %d, \
+       \"wall_s\": %.6f, \"runs\": %d, \"runs_per_sec\": %.3f}"
+      s.j_id s.j_scale s.j_reps s.j_jobs s.j_seed s.j_wall_s s.j_runs rps )
+
+let write_json ~path entries =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
   List.iteri
-    (fun i s ->
+    (fun i (key, body) ->
       if i > 0 then Buffer.add_string b ",\n";
-      let rps =
-        if s.j_wall_s > 0.0 then float_of_int s.j_runs /. s.j_wall_s else 0.0
-      in
-      Buffer.add_string b
-        (Printf.sprintf
-           "  \"BENCH_%s\": {\"id\": %S, \"scale\": %g, \"reps\": %d, \
-            \"jobs\": %d, \"seed\": %d, \"wall_s\": %.6f, \"runs\": %d, \
-            \"runs_per_sec\": %.3f}"
-           s.j_id s.j_id s.j_scale s.j_reps s.j_jobs s.j_seed s.j_wall_s
-           s.j_runs rps))
-    stats;
+      Buffer.add_string b (Printf.sprintf "  %S: %s" key body))
+    entries;
   Buffer.add_string b "\n}\n";
   let oc = open_out path in
   Fun.protect
@@ -79,6 +82,142 @@ let run_figure ~jobs ~scale ~reps ~seed ~csv ~plot (e : Figures.t) =
     j_runs = runs;
   }
 
+(* ------------------------------------------------- flow batch-reuse bench *)
+
+(* Contrast the three {!Ltc_flow.Mcmf} hot-path regimes on one identical
+   batch sequence (the buffered-MCF shape: a handful of arriving workers
+   against thousands of open tasks, so per-batch setup cost dominates the
+   tiny flow):
+
+     cold        fresh graph + fresh workspace + Bellman-Ford per batch
+                 (the pre-arena behaviour)
+     reuse-dag   one arena + one workspace, [`Dag_topo] potentials
+     reuse-warm  as reuse-dag, plus warm-started potentials from the
+                 previous batch's finals
+
+   All variants solve byte-for-byte identical networks; the checksum
+   asserts they agree (exactly for reuse-dag, within float tolerance for
+   accepted warm starts, which may resolve sub-epsilon ties differently). *)
+let flow_batch_id = "flow-batch-reuse"
+
+let run_flow_batch () =
+  print_endline
+    "### flow-batch-reuse — arena + workspace reuse on the MCF hot path\n";
+  let n_tasks = 6000 and batch_workers = 8 and degree = 64 and batches = 48 in
+  let capacity = 1 in
+  let source = 0 in
+  let first_task = 1 + batch_workers in
+  let sink = first_task + n_tasks in
+  let nodes = sink + 1 in
+  let arcs = batch_workers + (batch_workers * degree) + n_tasks in
+  (* Every variant rebuilds the identical arc sequence for batch [b]. *)
+  let build g b =
+    let rng = Ltc_util.Rng.create ~seed:(1000 + b) in
+    for w = 0 to batch_workers - 1 do
+      ignore
+        (Ltc_flow.Graph.add_arc g ~src:source ~dst:(1 + w) ~cap:capacity
+           ~cost:0.0)
+    done;
+    for w = 0 to batch_workers - 1 do
+      for _ = 1 to degree do
+        let t = Ltc_util.Rng.int rng n_tasks in
+        ignore
+          (Ltc_flow.Graph.add_arc g ~src:(1 + w) ~dst:(first_task + t) ~cap:1
+             ~cost:(-.Ltc_util.Rng.float rng 1.0))
+      done
+    done;
+    for t = 0 to n_tasks - 1 do
+      ignore
+        (Ltc_flow.Graph.add_arc g ~src:(first_task + t) ~dst:sink ~cap:1
+           ~cost:0.0)
+    done
+  in
+  let cold () =
+    let flow = ref 0 and cost = ref 0.0 in
+    for b = 0 to batches - 1 do
+      let g = Ltc_flow.Graph.create ~n:nodes in
+      build g b;
+      let r = Ltc_flow.Mcmf.run g ~source ~sink in
+      flow := !flow + r.Ltc_flow.Mcmf.flow;
+      cost := !cost +. r.Ltc_flow.Mcmf.cost
+    done;
+    (!flow, !cost)
+  in
+  let reused ~init ~after () =
+    let g = Ltc_flow.Graph.create ~n:1 in
+    let ws = Ltc_flow.Mcmf.create_workspace () in
+    let flow = ref 0 and cost = ref 0.0 in
+    for b = 0 to batches - 1 do
+      Ltc_flow.Graph.clear g ~n:nodes;
+      build g b;
+      let r = Ltc_flow.Mcmf.run g ~workspace:ws ~init:(init b) ~source ~sink in
+      after ws;
+      flow := !flow + r.Ltc_flow.Mcmf.flow;
+      cost := !cost +. r.Ltc_flow.Mcmf.cost
+    done;
+    (!flow, !cost)
+  in
+  let reuse_dag =
+    reused ~init:(fun _ -> `Dag_topo) ~after:(fun _ -> ())
+  in
+  let reuse_warm =
+    let warm = Array.make nodes 0.0 in
+    let have = ref false in
+    reused
+      ~init:(fun _ -> if !have then `Warm_start warm else `Dag_topo)
+      ~after:(fun ws ->
+        Array.blit (Ltc_flow.Mcmf.potentials ws) 0 warm 0 nodes;
+        have := true)
+  in
+  let time_variant f =
+    ignore (f ());
+    (* warmup: page faults, arena growth *)
+    let reps = 3 in
+    let result = ref (0, 0.0) in
+    let (), dt =
+      Ltc_util.Timer.time (fun () ->
+          for _ = 1 to reps do
+            result := f ()
+          done)
+    in
+    (!result, dt /. float_of_int reps)
+  in
+  let (cold_flow, cold_cost), cold_s = time_variant cold in
+  let (dag_flow, dag_cost), dag_s = time_variant reuse_dag in
+  let (warm_flow, warm_cost), warm_s = time_variant reuse_warm in
+  let checksum_ok =
+    dag_flow = cold_flow
+    && dag_cost = cold_cost (* `Dag_topo is bit-identical to Bellman-Ford *)
+    && warm_flow = cold_flow
+    && Float.abs (warm_cost -. cold_cost) < 1e-6
+  in
+  let speedup t = if t > 0.0 then cold_s /. t else 0.0 in
+  let row name t =
+    [
+      Ltc_util.Table.Str name;
+      Ltc_util.Table.Float (1000.0 *. t);
+      Ltc_util.Table.Float (speedup t);
+    ]
+  in
+  Printf.printf "%d batches/pass, %d nodes, %d arcs each; flow %d, cost %.3f\n"
+    batches nodes arcs cold_flow cold_cost;
+  Printf.printf "checksum: %s\n\n"
+    (if checksum_ok then "all variants agree" else "VARIANTS DISAGREE");
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "variant"; "time/pass (ms)"; "speedup vs cold" ]
+    [ row "cold (fresh + Bellman-Ford)" cold_s;
+      row "reused arena + `Dag_topo" dag_s;
+      row "reused arena + warm start" warm_s ];
+  print_newline ();
+  ( "BENCH_flow_batch",
+    Printf.sprintf
+      "{\"batches\": %d, \"nodes\": %d, \"arcs\": %d, \"flow_units\": %d, \
+       \"cold_bf_s\": %.6f, \"reuse_dag_s\": %.6f, \"reuse_warm_s\": %.6f, \
+       \"speedup_dag\": %.3f, \"speedup_warm\": %.3f, \"checksum_ok\": %d}"
+      batches nodes arcs cold_flow cold_s dag_s warm_s (speedup dag_s)
+      (speedup warm_s)
+      (if checksum_ok then 1 else 0) )
+
 (* ------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -100,9 +239,8 @@ let micro_tests () =
   let random_decide =
     Ltc_algo.Random_assign.policy ~seed:7 instance tracker progress
   in
-  let mcmf_input () =
-    (* A representative single-batch LTC network: 60 workers x 40 tasks. *)
-    let g = Ltc_flow.Graph.create ~n:102 in
+  (* A representative single-batch LTC network: 60 workers x 40 tasks. *)
+  let fill_mcmf_input g =
     let rng = Ltc_util.Rng.create ~seed:3 in
     for w = 1 to 60 do
       ignore (Ltc_flow.Graph.add_arc g ~src:0 ~dst:w ~cap:6 ~cost:0.0);
@@ -115,9 +253,15 @@ let micro_tests () =
     done;
     for t = 61 to 100 do
       ignore (Ltc_flow.Graph.add_arc g ~src:t ~dst:101 ~cap:4 ~cost:0.0)
-    done;
+    done
+  in
+  let mcmf_input () =
+    let g = Ltc_flow.Graph.create ~n:102 in
+    fill_mcmf_input g;
     g
   in
+  let reuse_g = Ltc_flow.Graph.create ~n:1 in
+  let reuse_ws = Ltc_flow.Mcmf.create_workspace () in
   [
     Test.make ~name:"laf-arrival"
       (Staged.stage (fun () -> ignore (laf_decide worker)));
@@ -141,6 +285,15 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let g = mcmf_input () in
            ignore (Ltc_flow.Mcmf.run g ~source:0 ~sink:101)));
+    Test.make ~name:"mcmf-batch-60x40-reused"
+      (Staged.stage (fun () ->
+           (* Same solve on the allocation-free path: cleared arena, shared
+              workspace, single-sweep DAG potentials. *)
+           Ltc_flow.Graph.clear reuse_g ~n:102;
+           fill_mcmf_input reuse_g;
+           ignore
+             (Ltc_flow.Mcmf.run reuse_g ~workspace:reuse_ws ~init:`Dag_topo
+                ~source:0 ~sink:101)));
   ]
 
 let run_micro () =
@@ -204,6 +357,11 @@ let list_experiments () =
           Ltc_util.Table.Str "per-arrival decision costs (bechamel)";
           Ltc_util.Table.Float 1.0;
         ];
+        [
+          Ltc_util.Table.Str flow_batch_id;
+          Ltc_util.Table.Str "MCF arena/workspace reuse vs cold solves";
+          Ltc_util.Table.Float 1.0;
+        ];
       ]
   in
   Ltc_util.Table.print ~float_digits:2
@@ -230,10 +388,13 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
   else begin
     let scale = if full then Some 1.0 else scale in
     let reps = if full && reps = 3 then 30 else reps in
-    let ids = if ids = [] then Figures.ids () @ [ "micro" ] else ids in
+    let ids =
+      if ids = [] then Figures.ids () @ [ "micro"; flow_batch_id ] else ids
+    in
     let unknown =
       List.filter
-        (fun id -> id <> "micro" && Figures.find id = None)
+        (fun id ->
+          id <> "micro" && id <> flow_batch_id && Figures.find id = None)
         ids
     in
     match unknown with
@@ -245,22 +406,26 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
       Printf.printf
         "LTC benchmark harness — reproduction of ICDE'18 \
          \"Latency-oriented Task Completion via Spatial Crowdsourcing\"\n\n%!";
-      let stats =
+      let entries =
         List.filter_map
           (fun id ->
             if id = "micro" then begin
               run_micro ();
               None
             end
+            else if id = flow_batch_id then Some (run_flow_batch ())
             else
               match Figures.find id with
-              | Some e -> Some (run_figure ~jobs ~scale ~reps ~seed ~csv ~plot e)
+              | Some e ->
+                Some
+                  (render_figure_stat
+                     (run_figure ~jobs ~scale ~reps ~seed ~csv ~plot e))
               | None -> assert false)
           ids
       in
       Option.iter
         (fun path ->
-          write_json ~path stats;
+          write_json ~path entries;
           Printf.printf "(bench json: %s)\n%!" path)
         json;
       Option.iter

@@ -113,6 +113,11 @@ let run ~strategy ~release:releases (instance : Instance.t) =
   let consumed = ref 0 in
   let workers = instance.Instance.workers in
   let n_workers = Array.length workers in
+  (* Reusable candidate scratch: refilled per arrival in ascending task-id
+     order ([iter_candidates_sorted]), matching the sorted list
+     [Instance.candidates] used to allocate — same iteration order, same
+     RNG draw sequence for [Random_d], zero per-arrival allocation. *)
+  let cand = Array.make (max n_tasks 1) 0 in
   let all_done () = st.open_released = 0 && st.unreleased = 0 in
   let i = ref 0 in
   while (not (all_done ())) && !i < n_workers do
@@ -123,48 +128,48 @@ let run ~strategy ~release:releases (instance : Instance.t) =
     Array.iteri
       (fun task r -> if r = w.Worker.index then release st task)
       releases;
-    let candidates =
-      List.filter
-        (fun task -> is_released st task && not (is_complete st task))
-        (Instance.candidates instance w)
-    in
+    let n_cand = ref 0 in
+    Instance.iter_candidates_sorted instance w (fun task ->
+        if is_released st task && not (is_complete st task) then begin
+          cand.(!n_cand) <- task;
+          incr n_cand
+        end);
+    let n_cand = !n_cand in
     let chosen =
       match strategy with
       | Laf_d ->
         let heap = Ltc_util.Bounded_heap.create ~k:w.Worker.capacity () in
-        List.iter
-          (fun task ->
-            Ltc_util.Bounded_heap.push heap
-              ~score:(Instance.score instance w task)
-              task)
-          candidates;
+        for c = 0 to n_cand - 1 do
+          let task = cand.(c) in
+          Ltc_util.Bounded_heap.push heap
+            ~score:(Instance.score instance w task)
+            task
+        done;
         List.map snd (Ltc_util.Bounded_heap.pop_all heap)
       | Aam_d ->
         let avg = st.sum_remaining /. float_of_int w.Worker.capacity in
         let use_lgf = avg >= max_remaining st in
         let heap = Ltc_util.Bounded_heap.create ~k:w.Worker.capacity () in
-        List.iter
-          (fun task ->
-            let score =
-              if use_lgf then
-                Float.min (Instance.score instance w task) (remaining st task)
-              else remaining st task
-            in
-            Ltc_util.Bounded_heap.push heap ~score task)
-          candidates;
+        for c = 0 to n_cand - 1 do
+          let task = cand.(c) in
+          let score =
+            if use_lgf then
+              Float.min (Instance.score instance w task) (remaining st task)
+            else remaining st task
+          in
+          Ltc_util.Bounded_heap.push heap ~score task
+        done;
         List.map snd (Ltc_util.Bounded_heap.pop_all heap)
       | Random_d _ ->
         let rng = Option.get rng in
-        let pool = Array.of_list candidates in
-        let n = Array.length pool in
-        let k = min w.Worker.capacity n in
+        let k = min w.Worker.capacity n_cand in
         for slot = 0 to k - 1 do
-          let j = slot + Ltc_util.Rng.int rng (n - slot) in
-          let tmp = pool.(slot) in
-          pool.(slot) <- pool.(j);
-          pool.(j) <- tmp
+          let j = slot + Ltc_util.Rng.int rng (n_cand - slot) in
+          let tmp = cand.(slot) in
+          cand.(slot) <- cand.(j);
+          cand.(j) <- tmp
         done;
-        Array.to_list (Array.sub pool 0 k)
+        List.init k (fun slot -> cand.(slot))
     in
     List.iter
       (fun task ->

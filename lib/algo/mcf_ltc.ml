@@ -5,9 +5,11 @@ let name = "MCF-LTC"
 type config = {
   first_batch_factor : float;
   batch_factor : float;
+  warm_start : bool;
 }
 
-let default_config = { first_batch_factor = 1.5; batch_factor = 1.0 }
+let default_config =
+  { first_batch_factor = 1.5; batch_factor = 1.0; warm_start = false }
 
 let m_batches =
   Ltc_util.Metrics.counter ~help:"MCF-LTC batches solved"
@@ -26,25 +28,106 @@ let m_batch_seconds =
 let tie_cost ~n_workers (w : Worker.t) =
   5e-8 *. float_of_int w.index /. float_of_int (max 1 n_workers)
 
-(* Solve one batch: build the flow network over incomplete tasks, run SSPA,
-   record the resulting assignments, then greedily spend leftover capacity.
-   Returns the updated arrangement. *)
-let solve_batch instance tracker progress arrangement batch =
+(* Per-run scratch shared by every batch of one [run_batches] call: the
+   flow-graph arena, the solver workspace, and the task-indexed maps that
+   replace the per-batch hashtables.  Everything here is allocated once
+   (or grows monotonically); after the first batch the hot path allocates
+   only the per-worker assignment lists. *)
+type scratch = {
+  g : Ltc_flow.Graph.t;            (* arena, [Graph.clear]ed per batch *)
+  ws : Ltc_flow.Mcmf.workspace;
+  node_of : int array;             (* task -> flow node, valid iff stamped *)
+  node_stamp : int array;
+  mark : int array;                (* task -> epoch of per-worker marks *)
+  task_ids : int array;            (* prefix [0, n_inc): incomplete ids *)
+  (* Worker->task arcs as parallel growable arrays (was a cons list). *)
+  mutable wt_arc : int array;
+  mutable wt_bi : int array;
+  mutable wt_task : int array;
+  mutable wt_score : float array;
+  mutable wt_len : int;
+  mutable epoch : int;             (* stamp source for node_stamp / mark *)
+  (* Warm-start state: final potentials of the previous batch, keyed by
+     task id (the only nodes whose identity is stable across batches). *)
+  task_pot : float array;
+  mutable sink_pot : float;
+  mutable have_warm : bool;
+  mutable cand : float array;      (* node-indexed candidate, grown on demand *)
+  mutable accounted : int;         (* arena words currently charged *)
+}
+
+let create_scratch ~n_tasks =
+  let n = max n_tasks 1 in
+  {
+    g = Ltc_flow.Graph.create ~n:1;
+    ws = Ltc_flow.Mcmf.create_workspace ();
+    node_of = Array.make n (-1);
+    node_stamp = Array.make n 0;
+    mark = Array.make n 0;
+    task_ids = Array.make n 0;
+    wt_arc = Array.make 16 0;
+    wt_bi = Array.make 16 0;
+    wt_task = Array.make 16 0;
+    wt_score = Array.make 16 0.0;
+    wt_len = 0;
+    epoch = 0;
+    task_pot = Array.make n 0.0;
+    sink_pot = 0.0;
+    have_warm = false;
+    cand = [||];
+    accounted = 0;
+  }
+
+let push_wt scratch ~arc ~bi ~task ~score =
+  let len = scratch.wt_len in
+  if len = Array.length scratch.wt_arc then begin
+    let cap = 2 * len in
+    let grow_i a = let b = Array.make cap 0 in Array.blit a 0 b 0 len; b in
+    scratch.wt_arc <- grow_i scratch.wt_arc;
+    scratch.wt_bi <- grow_i scratch.wt_bi;
+    scratch.wt_task <- grow_i scratch.wt_task;
+    let b = Array.make cap 0.0 in
+    Array.blit scratch.wt_score 0 b 0 len;
+    scratch.wt_score <- b
+  end;
+  scratch.wt_arc.(len) <- arc;
+  scratch.wt_bi.(len) <- bi;
+  scratch.wt_task.(len) <- task;
+  scratch.wt_score.(len) <- score;
+  scratch.wt_len <- len + 1
+
+(* Solve one batch: build the flow network over incomplete tasks in the
+   reused arena, run SSPA with the shared workspace, record the resulting
+   assignments, then greedily spend leftover capacity.  Returns the updated
+   arrangement. *)
+let solve_batch instance tracker progress arrangement ~warm_start scratch
+    batch =
   Ltc_util.Trace.with_span "mcf-ltc.batch" @@ fun () ->
   let t_batch = Ltc_util.Timer.start () in
   let n_workers = Instance.worker_count instance in
   let n_batch = Array.length batch in
-  (* Incomplete tasks get contiguous node ids after the worker nodes. *)
-  let task_ids =
-    Progress.fold_incomplete progress ~init:[] ~f:(fun acc task -> task :: acc)
-  in
-  let task_ids = Array.of_list (List.sort compare task_ids) in
-  let n_inc = Array.length task_ids in
-  let node_of_task = Hashtbl.create (2 * max n_inc 1) in
-  Array.iteri (fun i task -> Hashtbl.add node_of_task task (1 + n_batch + i)) task_ids;
+  (* Incomplete tasks get contiguous node ids after the worker nodes.
+     [Progress.iter_incomplete] enumerates ascending task ids, so the
+     numbering — and with it the arc layout and solver tie-breaking — is
+     deterministic. *)
+  let task_ids = scratch.task_ids in
+  let n_inc = Progress.incomplete_count progress in
+  let fill = ref 0 in
+  Progress.iter_incomplete progress (fun task ->
+      task_ids.(!fill) <- task;
+      incr fill);
+  assert (!fill = n_inc);
+  scratch.epoch <- scratch.epoch + 1;
+  let batch_ep = scratch.epoch in
+  for i = 0 to n_inc - 1 do
+    let task = task_ids.(i) in
+    scratch.node_of.(task) <- 1 + n_batch + i;
+    scratch.node_stamp.(task) <- batch_ep
+  done;
   let source = 0 in
   let sink = 1 + n_batch + n_inc in
-  let g = Ltc_flow.Graph.create ~n:(sink + 1) in
+  let g = scratch.g in
+  Ltc_flow.Graph.clear g ~n:(sink + 1);
   Array.iteri
     (fun bi (w : Worker.t) ->
       ignore
@@ -54,35 +137,68 @@ let solve_batch instance tracker progress arrangement batch =
   (* Worker->task arcs; each entry remembers (batch slot, task, score) per
      arc so the extraction below never recomputes Instance.score — each
      (worker, task) score is evaluated exactly once per batch. *)
-  let worker_task_arcs = ref [] in
+  scratch.wt_len <- 0;
   Array.iteri
     (fun bi (w : Worker.t) ->
       Instance.iter_candidates instance w (fun task ->
-          match Hashtbl.find_opt node_of_task task with
-          | None -> ()
-          | Some node ->
+          if scratch.node_stamp.(task) = batch_ep then begin
+            let node = scratch.node_of.(task) in
             let score = Instance.score instance w task in
             let cost = -.score +. tie_cost ~n_workers w in
             let arc =
               Ltc_flow.Graph.add_arc g ~src:(1 + bi) ~dst:node ~cap:1 ~cost
             in
-            worker_task_arcs := (arc, bi, task, score) :: !worker_task_arcs))
+            push_wt scratch ~arc ~bi ~task ~score
+          end))
     batch;
-  Array.iteri
-    (fun i task ->
-      let cap = int_of_float (Float.ceil (Progress.remaining progress task)) in
-      ignore
-        (Ltc_flow.Graph.add_arc g ~src:(1 + n_batch + i) ~dst:sink
-           ~cap:(max cap 1) ~cost:0.0))
-    task_ids;
-  let graph_words =
+  for i = 0 to n_inc - 1 do
+    let task = task_ids.(i) in
+    let cap = int_of_float (Float.ceil (Progress.remaining progress task)) in
+    ignore
+      (Ltc_flow.Graph.add_arc g ~src:(1 + n_batch + i) ~dst:sink
+         ~cap:(max cap 1) ~cost:0.0)
+  done;
+  (* The arena is shared across batches, so charge the tracker for its
+     growth only: the high-water mark counts the reservation once per run,
+     not once per batch. *)
+  let now =
     Ltc_flow.Graph.memory_words g + (8 * Ltc_flow.Graph.node_count g)
   in
-  Ltc_util.Mem.Tracker.add_words tracker graph_words;
+  if now > scratch.accounted then begin
+    Ltc_util.Mem.Tracker.add_words tracker (now - scratch.accounted);
+    scratch.accounted <- now
+  end;
+  let init =
+    if warm_start && scratch.have_warm then begin
+      let nodes = sink + 1 in
+      if Array.length scratch.cand < nodes then
+        scratch.cand <-
+          Array.make (max nodes (2 * Array.length scratch.cand)) 0.0;
+      let cand = scratch.cand in
+      cand.(source) <- 0.0;
+      for bi = 0 to n_batch - 1 do
+        cand.(1 + bi) <- 0.0
+      done;
+      for i = 0 to n_inc - 1 do
+        cand.(1 + n_batch + i) <- scratch.task_pot.(task_ids.(i))
+      done;
+      cand.(sink) <- scratch.sink_pot;
+      `Warm_start cand
+    end
+    else `Dag_topo
+  in
   let flow_result =
     Ltc_util.Trace.with_span "mcmf.solve" (fun () ->
-        Ltc_flow.Mcmf.run g ~source ~sink)
+        Ltc_flow.Mcmf.run g ~workspace:scratch.ws ~init ~source ~sink)
   in
+  if warm_start then begin
+    let pot = Ltc_flow.Mcmf.potentials scratch.ws in
+    for i = 0 to n_inc - 1 do
+      scratch.task_pot.(task_ids.(i)) <- pot.(1 + n_batch + i)
+    done;
+    scratch.sink_pot <- pot.(sink);
+    scratch.have_warm <- true
+  end;
   Logs.debug ~src:Ltc_util.Log.algo (fun m ->
       m "MCF-LTC batch: %d workers, %d open tasks, %d arcs -> flow %d, cost %.3f (%d rounds)"
         n_batch n_inc
@@ -90,17 +206,16 @@ let solve_batch instance tracker progress arrangement batch =
         flow_result.Ltc_flow.Mcmf.flow flow_result.Ltc_flow.Mcmf.cost
         flow_result.Ltc_flow.Mcmf.rounds);
   (* Extract the arrangement M' of this batch, per worker. *)
-  let performed = Hashtbl.create 64 in
   let assigned = Array.make n_batch 0 in
   let per_worker = Array.make n_batch [] in
-  List.iter
-    (fun (arc, bi, task, score) ->
-      if Ltc_flow.Graph.flow g arc = 1 then begin
-        per_worker.(bi) <- (task, score) :: per_worker.(bi);
-        assigned.(bi) <- assigned.(bi) + 1;
-        Hashtbl.add performed (bi, task) ()
-      end)
-    !worker_task_arcs;
+  for k = 0 to scratch.wt_len - 1 do
+    if Ltc_flow.Graph.flow g scratch.wt_arc.(k) = 1 then begin
+      let bi = scratch.wt_bi.(k) in
+      per_worker.(bi) <-
+        (scratch.wt_task.(k), scratch.wt_score.(k)) :: per_worker.(bi);
+      assigned.(bi) <- assigned.(bi) + 1
+    end
+  done;
   let arrangement = ref arrangement in
   Array.iteri
     (fun bi (w : Worker.t) ->
@@ -116,11 +231,14 @@ let solve_batch instance tracker progress arrangement batch =
     (fun bi (w : Worker.t) ->
       let leftover = w.capacity - assigned.(bi) in
       if leftover > 0 && not (Progress.all_complete progress) then begin
+        scratch.epoch <- scratch.epoch + 1;
+        let ep = scratch.epoch in
+        List.iter (fun (task, _) -> scratch.mark.(task) <- ep) per_worker.(bi);
         let heap = Ltc_util.Bounded_heap.create ~k:leftover () in
         Instance.iter_candidates_sorted instance w (fun task ->
             if
               (not (Progress.is_complete progress task))
-              && not (Hashtbl.mem performed (bi, task))
+              && scratch.mark.(task) <> ep
             then
               Ltc_util.Bounded_heap.push heap
                 ~score:(Instance.score instance w task)
@@ -132,7 +250,6 @@ let solve_batch instance tracker progress arrangement batch =
           (Ltc_util.Bounded_heap.pop_all heap)
       end)
     batch;
-  Ltc_util.Mem.Tracker.remove_words tracker graph_words;
   Ltc_util.Metrics.Counter.incr m_batches;
   Ltc_util.Metrics.Histogram.observe m_batch_workers (float_of_int n_batch);
   Ltc_util.Metrics.Histogram.observe m_batch_seconds
@@ -140,7 +257,7 @@ let solve_batch instance tracker progress arrangement batch =
   !arrangement
 
 (* Shared batch loop: [batch_size ~first] gives each batch's width. *)
-let run_batches ~name ~batch_size instance =
+let run_batches ~name ~batch_size ?(warm_start = false) instance =
   Ltc_util.Trace.with_span ("engine:" ^ name) @@ fun () ->
   let n_tasks = Instance.task_count instance in
   let workers = instance.Instance.workers in
@@ -155,6 +272,7 @@ let run_batches ~name ~batch_size instance =
     in
     Ltc_util.Mem.Tracker.set_baseline_words tracker
       (Progress.memory_words progress);
+    let scratch = create_scratch ~n_tasks in
     let arrangement = ref Arrangement.empty in
     let cursor = ref 0 in
     let first = ref true in
@@ -163,8 +281,11 @@ let run_batches ~name ~batch_size instance =
       first := false;
       let batch = Array.sub workers !cursor size in
       cursor := !cursor + size;
-      arrangement := solve_batch instance tracker progress !arrangement batch
+      arrangement :=
+        solve_batch instance tracker progress !arrangement ~warm_start scratch
+          batch
     done;
+    Ltc_util.Mem.Tracker.remove_words tracker scratch.accounted;
     Engine.of_arrangement ~name ~workers_consumed:!cursor ~tracker instance
       !arrangement
   end
@@ -191,7 +312,7 @@ let run ?(config = default_config) instance =
     in
     max 1 (int_of_float (factor *. m))
   in
-  run_batches ~name ~batch_size instance
+  run_batches ~name ~batch_size ~warm_start:config.warm_start instance
 
 let run_buffered ~buffer instance =
   if buffer < 1 then invalid_arg "Mcf_ltc.run_buffered: buffer must be >= 1";

@@ -13,6 +13,15 @@
     arc costs prefers earlier workers among equally accurate ones — it can
     only lower the latency objective and pins down Example 2's answer (6).
 
+    {b Hot path.}  All per-batch state lives in one per-run scratch: the
+    flow graph is an arena ({!Ltc_flow.Graph.clear}ed, never reallocated),
+    the solver reuses one {!Ltc_flow.Mcmf.workspace}, task-id-indexed int
+    arrays replace the old per-batch hashtables, and potentials are seeded
+    by the single-sweep [`Dag_topo] initialiser (bit-identical to
+    Bellman-Ford on these layered networks).  After the first batch the
+    loop is allocation-free up to the per-worker assignment lists.  See
+    DESIGN.md §9.
+
     The batch factors are exposed for the [ablation-batch] bench, which
     reproduces the paper's observation that large batches can make MCF-LTC
     lose to AAM (Sec. V-B1). *)
@@ -22,9 +31,34 @@ val name : string
 type config = {
   first_batch_factor : float;  (** paper: 1.5 *)
   batch_factor : float;        (** paper: 1.0 *)
+  warm_start : bool;
+      (** Seed each batch's potentials from the previous batch's finals
+          (task nodes are the stable identities; validated and fallen back
+          to Bellman-Ford by {!Ltc_flow.Mcmf.run}).  Default [false]: an
+          {e accepted} warm start can legitimately resolve sub-epsilon
+          cost ties along a different path, and for [|W| > 50] the
+          {!tie_cost} gap between adjacent workers is below the solver
+          epsilon — so warm starts trade exact tie-break reproducibility
+          for speed.  The [flow-batch-reuse] bench prices that trade. *)
 }
 
 val default_config : config
+
+val tie_cost : n_workers:int -> Ltc_core.Worker.t -> float
+(** The deterministic tie-break perturbation added to worker [w]'s arc
+    costs: [5e-8 * w.index / max 1 n_workers].
+
+    Interplay with the solver tolerance ({!Ltc_flow.Mcmf}'s
+    [epsilon = 1e-9]): for the perturbation to steer the solver, the cost
+    gap between two workers must exceed the reduced-cost tolerance, i.e.
+    [5e-8 * (i - j) / |W| > 1e-9], which holds between {e adjacent} workers
+    only while [|W| < 50].  Above that the preference still orders distant
+    workers ([i - j > |W| / 50]) and keeps the objective deterministic for
+    a fixed arc layout, but adjacent ties fall below epsilon and are
+    resolved by path-search order instead.  The scale 5e-8 is deliberately
+    tiny so that summed over a worker's capacity it can never outweigh a
+    genuine accuracy difference (scores are O(1)); tests pin both bounds
+    ([test_algo]'s tie-cost suite). *)
 
 val run : ?config:config -> Ltc_core.Instance.t -> Engine.outcome
 (** @raise Invalid_argument when a batch factor is not positive. *)

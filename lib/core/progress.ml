@@ -2,7 +2,10 @@ type t = {
   thresholds : float array;
   s : float array;
   version : int array;  (* bumped on every record; invalidates heap entries *)
-  (* Swap-remove set of incomplete task ids. *)
+  (* Order-preserving set of incomplete task ids: the live prefix is kept
+     sorted ascending (removal shifts the tail left), which is the
+     ordering guarantee [iter_incomplete] documents — MCF-LTC builds its
+     batch node numbering straight off this iteration. *)
   incomplete : int array;      (* first [n_incomplete] entries are live *)
   position : int array;        (* position.(task) in [incomplete], -1 if done *)
   mutable n_incomplete : int;
@@ -54,9 +57,10 @@ let remove_incomplete t task =
   let pos = t.position.(task) in
   if pos >= 0 then begin
     let last = t.n_incomplete - 1 in
-    let moved = t.incomplete.(last) in
-    t.incomplete.(pos) <- moved;
-    t.position.(moved) <- pos;
+    Array.blit t.incomplete (pos + 1) t.incomplete pos (last - pos);
+    for i = pos to last - 1 do
+      t.position.(t.incomplete.(i)) <- i
+    done;
     t.position.(task) <- -1;
     t.n_incomplete <- last
   end

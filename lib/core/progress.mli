@@ -48,9 +48,13 @@ val max_remaining : t -> float
     complete. *)
 
 val iter_incomplete : t -> (int -> unit) -> unit
-(** Every incomplete task id, in unspecified order.  The callback must not
+(** Every incomplete task id, in {b ascending id order} — a guarantee, not
+    an accident: MCF-LTC numbers its batch network's task nodes straight
+    off this iteration, so the ordering pins down the arc layout (and with
+    it the solver's tie-breaking) deterministically.  The callback must not
     call {!record}. *)
 
 val fold_incomplete : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over {!iter_incomplete}, same ascending-id order. *)
 
 val memory_words : t -> int

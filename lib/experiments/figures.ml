@@ -203,6 +203,7 @@ let ablation_batch =
                     {
                       Ltc_algo.Mcf_ltc.first_batch_factor = 1.5 *. factor;
                       batch_factor = factor;
+                      warm_start = false;
                     };
             };
             Ltc_algo.Algorithm.aam;

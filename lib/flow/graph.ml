@@ -1,14 +1,14 @@
 type arc = int
 
 type t = {
-  n : int;
+  mutable n : int;
   mutable len : int;  (* number of arc slots in use (2 per forward arc) *)
   mutable heads : int array;  (* heads.(a): node arc [a] points to *)
   mutable tails : int array;
   mutable caps : int array;   (* caps.(a): residual capacity of [a] *)
   mutable costs : float array;
   mutable next : int array;   (* intrusive adjacency list: next arc at tail *)
-  first : int array;          (* first.(v): latest arc added at node v, -1 if none *)
+  mutable first : int array;  (* first.(v): latest arc added at node v, -1 *)
 }
 
 let create ~n =
@@ -27,20 +27,43 @@ let create ~n =
 let node_count t = t.n
 let arc_count t = t.len / 2
 
-let grow t =
-  let cap = 2 * Array.length t.heads in
-  let extend a fill =
-    let b = Array.make cap fill in
-    Array.blit a 0 b 0 t.len;
-    b
-  in
-  t.heads <- extend t.heads 0;
-  t.tails <- extend t.tails 0;
-  t.caps <- extend t.caps 0;
-  t.next <- extend t.next (-1);
-  let costs = Array.make cap 0.0 in
-  Array.blit t.costs 0 costs 0 t.len;
-  t.costs <- costs
+let ensure_arc_slots t cap =
+  if cap > Array.length t.heads then begin
+    let extend a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 t.len;
+      b
+    in
+    t.heads <- extend t.heads 0;
+    t.tails <- extend t.tails 0;
+    t.caps <- extend t.caps 0;
+    t.next <- extend t.next (-1);
+    let costs = Array.make cap 0.0 in
+    Array.blit t.costs 0 costs 0 t.len;
+    t.costs <- costs
+  end
+
+let ensure_nodes t nodes =
+  if nodes > Array.length t.first then begin
+    let first = Array.make nodes (-1) in
+    Array.blit t.first 0 first 0 (Array.length t.first);
+    t.first <- first
+  end
+
+let grow t = ensure_arc_slots t (2 * Array.length t.heads)
+
+let reserve t ~nodes ~arcs =
+  if nodes < 0 || arcs < 0 then invalid_arg "Graph.reserve: negative size";
+  ensure_nodes t nodes;
+  ensure_arc_slots t (2 * arcs)
+
+let clear t ~n =
+  if n <= 0 then invalid_arg "Graph.clear: n must be positive";
+  (* Only nodes < t.n can hold stale adjacency heads. *)
+  Array.fill t.first 0 t.n (-1);
+  ensure_nodes t n;
+  t.n <- n;
+  t.len <- 0
 
 let append t ~src ~dst ~cap ~cost =
   if t.len = Array.length t.heads then grow t;
@@ -112,7 +135,9 @@ let iter_forward_arcs t f =
   go 0
 
 let memory_words t =
-  (* Five int arrays + one float array sized by capacity, plus [first]. *)
+  (* Five int arrays + one float array sized by the reserved arc capacity,
+     plus the reserved node array — [clear] keeps the arena, so the reserved
+     sizes (not the live prefix) are what the process actually holds. *)
   (6 * Array.length t.heads) + Array.length t.first
 
 type raw = {

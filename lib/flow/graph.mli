@@ -17,6 +17,19 @@ val create : n:int -> t
 (** A network with nodes [0 .. n-1] and no arcs.
     @raise Invalid_argument when [n <= 0]. *)
 
+val clear : t -> n:int -> unit
+(** [clear t ~n] empties the graph and re-dimensions it to nodes
+    [0 .. n-1], {e keeping the underlying arc and node arrays} so the next
+    batch of {!add_arc} calls runs allocation-free in the already-reserved
+    arena.  Arc ids restart at 0.  Previously returned arc ids and {!raw}
+    views are invalidated.  @raise Invalid_argument when [n <= 0]. *)
+
+val reserve : t -> nodes:int -> arcs:int -> unit
+(** Pre-sizes the arena for at least [nodes] nodes and [arcs] {e forward}
+    arcs (2 slots each), so subsequent {!add_arc}/{!clear} calls within
+    those bounds never reallocate.  Never shrinks.  Invalidates {!raw}
+    views.  @raise Invalid_argument on negative sizes. *)
+
 val node_count : t -> int
 
 val arc_count : t -> int
@@ -49,7 +62,10 @@ val iter_forward_arcs : t -> (arc -> unit) -> unit
 (** All forward arcs in insertion order. *)
 
 val memory_words : t -> int
-(** Approximate heap footprint, for the memory panels of Figs. 3-4. *)
+(** Approximate heap footprint, for the memory panels of Figs. 3-4.
+    Reports the {e reserved} arena (array capacities, which {!clear} keeps
+    and {!reserve} grows), not merely the live arc prefix — that is what
+    the process actually holds when the graph is reused across batches. *)
 
 (** {2 Solver access}
 
@@ -57,8 +73,9 @@ val memory_words : t -> int
     ({!Mcmf}'s inner loops run millions of arc inspections; going through
     the checked accessors above costs ~4x).  Slots [0 .. r_len - 1] are
     valid; even slots are forward arcs, [a lxor 1] is the reverse of [a].
-    The view is invalidated by the next {!add_arc} (the arrays may be
-    reallocated); capacities must only be mutated through {!push}. *)
+    The view is invalidated by the next {!add_arc}, {!clear} or {!reserve}
+    (the arrays may be reallocated); capacities must only be mutated
+    through {!push}. *)
 
 type raw = private {
   r_heads : int array;  (** destination node per arc *)

@@ -31,6 +31,108 @@ let m_dijkstra =
     ~labels:[ ("solver", "sspa") ]
     "ltc_flow_mcmf_dijkstra_passes_total"
 
+let m_dag_inits =
+  Ltc_util.Metrics.counter
+    ~help:"single-pass topological potential initialisations"
+    ~labels:[ ("solver", "sspa") ]
+    "ltc_flow_mcmf_dag_inits_total"
+
+let m_warm_accepted =
+  Ltc_util.Metrics.counter
+    ~help:"warm-start potential candidates accepted after validation"
+    ~labels:[ ("solver", "sspa") ]
+    "ltc_flow_mcmf_warm_accepted_total"
+
+let m_warm_rejected =
+  Ltc_util.Metrics.counter
+    ~help:"warm-start potential candidates rejected (fell back to fresh init)"
+    ~labels:[ ("solver", "sspa") ]
+    "ltc_flow_mcmf_warm_rejected_total"
+
+(* ------------------------------------------------------ reusable workspace *)
+
+(* Per-solve scratch: potentials, Dijkstra labels and heap, plus the SPFA
+   ring/counters {!Mcmf_spfa} borrows.  Labels are validated by an epoch
+   stamp instead of O(n) fills, so a shortest-path pass touching few nodes
+   costs what it touches, not the node count. *)
+type workspace = {
+  mutable pot : float array;
+  mutable dist : float array;
+  mutable pred : int array;
+  mutable stamp : int array;   (* dist/pred/flag valid iff stamp.(v) = epoch *)
+  mutable flag : Bytes.t;      (* Dijkstra: settled; SPFA: in-queue *)
+  mutable epoch : int;
+  heap : Node_heap.t;
+  mutable ring : int array;    (* SPFA FIFO ring buffer *)
+  mutable counts : int array;  (* SPFA relaxation counters *)
+}
+
+let create_workspace ?(hint = 16) () =
+  let hint = max hint 1 in
+  {
+    pot = Array.make hint 0.0;
+    dist = Array.make hint infinity;
+    pred = Array.make hint (-1);
+    stamp = Array.make hint 0;
+    flag = Bytes.make hint '\000';
+    epoch = 0;
+    heap = Node_heap.create ~n:hint;
+    ring = [||];
+    counts = [||];
+  }
+
+let workspace_capacity ws = Array.length ws.pot
+
+let ensure_workspace ws ~n =
+  let old = Array.length ws.pot in
+  if n > old then begin
+    let cap = max n (2 * old) in
+    let pot = Array.make cap 0.0 in
+    Array.blit ws.pot 0 pot 0 old;
+    ws.pot <- pot;
+    let dist = Array.make cap infinity in
+    Array.blit ws.dist 0 dist 0 old;
+    ws.dist <- dist;
+    let pred = Array.make cap (-1) in
+    Array.blit ws.pred 0 pred 0 old;
+    ws.pred <- pred;
+    (* Fresh stamps are 0 and the epoch only grows from 0, so grown slots
+       can never masquerade as currently-valid labels. *)
+    let stamp = Array.make cap 0 in
+    Array.blit ws.stamp 0 stamp 0 old;
+    ws.stamp <- stamp;
+    let flag = Bytes.make cap '\000' in
+    Bytes.blit ws.flag 0 flag 0 old;
+    ws.flag <- flag;
+    Node_heap.ensure_capacity ws.heap ~n:cap
+  end
+
+let potentials ws = ws.pot
+
+(* SPFA-side scratch (ring + relax counters); stale contents are masked by
+   the epoch stamp, so growth can drop old values. *)
+let ensure_spfa_scratch ws ~n =
+  ensure_workspace ws ~n;
+  if Array.length ws.ring < n then begin
+    let cap = Array.length ws.pot in
+    ws.ring <- Array.make cap 0;
+    ws.counts <- Array.make cap 0
+  end
+
+let ws_dist ws = ws.dist
+let ws_pred ws = ws.pred
+let ws_stamp ws = ws.stamp
+let ws_flag ws = ws.flag
+let ws_ring ws = ws.ring
+let ws_counts ws = ws.counts
+let ws_epoch ws = ws.epoch
+let ws_set_epoch ws e = ws.epoch <- e
+
+(* ---------------------------------------------------- potential initialisers *)
+
+type potential_init =
+  [ `Bellman_ford | `Dag_topo | `Warm_start of float array ]
+
 (* Bellman-Ford over residual arcs; fills [pot] with shortest-path distances
    from [source] (unreachable nodes keep 0, which is safe: they can only be
    reached later through reachable nodes, whose potentials are exact). *)
@@ -63,7 +165,69 @@ let bellman_ford (raw : Graph.raw) ~n ~source pot =
     if pot.(v) = infinity then pot.(v) <- 0.0
   done
 
-let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
+(* Single relaxation sweep in arc-insertion order.  When arcs were appended
+   in topological order of their tails — true of every LTC batch network:
+   source -> workers -> tasks -> sink — one sweep reaches the exact
+   Bellman-Ford fixpoint (BF's first round performs this identical
+   relaxation sequence and its second round only verifies convergence), so
+   the potentials are bit-for-bit the Bellman-Ford ones at half the cost
+   and without the convergence re-scan. *)
+let dag_topo_init (raw : Graph.raw) ~n ~source pot =
+  Ltc_util.Metrics.Counter.incr m_dag_inits;
+  Array.fill pot 0 n infinity;
+  pot.(source) <- 0.0;
+  for a = 0 to raw.Graph.r_len - 1 do
+    if raw.Graph.r_caps.(a) > 0 then begin
+      let u = raw.Graph.r_heads.(a lxor 1) in
+      let v = raw.Graph.r_heads.(a) in
+      if pot.(u) < infinity then begin
+        let d = pot.(u) +. raw.Graph.r_costs.(a) in
+        if d < pot.(v) -. epsilon then pot.(v) <- d
+      end
+    end
+  done;
+  for v = 0 to n - 1 do
+    if pot.(v) = infinity then pot.(v) <- 0.0
+  done
+
+(* A candidate potential vector is usable iff every residual arc has
+   non-negative reduced cost (within epsilon) — the invariant Dijkstra on
+   reduced costs needs.  One O(E) scan decides. *)
+let warm_candidate_valid (raw : Graph.raw) cand =
+  let ok = ref true in
+  let a = ref 0 in
+  while !ok && !a < raw.Graph.r_len do
+    let arc = !a in
+    incr a;
+    if raw.Graph.r_caps.(arc) > 0 then begin
+      let u = raw.Graph.r_heads.(arc lxor 1) in
+      let v = raw.Graph.r_heads.(arc) in
+      if raw.Graph.r_costs.(arc) +. cand.(u) -. cand.(v) < -.epsilon then
+        ok := false
+    end
+  done;
+  !ok
+
+let init_potentials (raw : Graph.raw) ~n ~source ~init pot =
+  match init with
+  | `Bellman_ford -> bellman_ford raw ~n ~source pot
+  | `Dag_topo -> dag_topo_init raw ~n ~source pot
+  | `Warm_start cand ->
+    if Array.length cand < n then
+      invalid_arg "Mcmf.run: warm-start potentials shorter than node count";
+    if warm_candidate_valid raw cand then begin
+      Ltc_util.Metrics.Counter.incr m_warm_accepted;
+      if cand != pot then Array.blit cand 0 pot 0 n
+    end
+    else begin
+      Ltc_util.Metrics.Counter.incr m_warm_rejected;
+      bellman_ford raw ~n ~source pot
+    end
+
+(* --------------------------------------------------------------------- run *)
+
+let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
+    ?(init = `Bellman_ford) g ~source ~sink =
   let n = Graph.node_count g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
     invalid_arg "Mcmf.run: node out of range";
@@ -74,20 +238,33 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
   and costs = raw.Graph.r_costs
   and next = raw.Graph.r_next
   and first = raw.Graph.r_first in
-  let pot = Array.make n 0.0 in
-  bellman_ford raw ~n ~source pot;
-  let dist = Array.make n infinity in
-  let settled = Bytes.make n '\000' in
-  let pred = Array.make n (-1) in
-  let heap = Node_heap.create ~n in
+  let ws =
+    match workspace with
+    | Some ws ->
+      ensure_workspace ws ~n;
+      ws
+    | None -> create_workspace ~hint:n ()
+  in
+  let pot = ws.pot
+  and dist = ws.dist
+  and pred = ws.pred
+  and stamp = ws.stamp
+  and settled = ws.flag
+  and heap = ws.heap in
+  init_potentials raw ~n ~source ~init pot;
   (* Dijkstra on reduced costs, stopping as soon as the sink settles.
+     Labels are valid only where [stamp.(v)] equals this pass's epoch —
+     unstamped nodes read as dist = infinity, unsettled, which replaces the
+     three O(n) fills the allocation-per-run solver paid per pass.
      Returns true when the sink is reachable. *)
+  let epoch = ref ws.epoch in
   let dijkstra () =
-    Array.fill dist 0 n infinity;
-    Bytes.fill settled 0 n '\000';
-    Array.fill pred 0 n (-1);
+    incr epoch;
+    let ep = !epoch in
     Node_heap.clear heap;
-    dist.(source) <- 0.0;
+    Array.unsafe_set dist source 0.0;
+    Array.unsafe_set stamp source ep;
+    Bytes.unsafe_set settled source '\000';
     Node_heap.push_or_decrease heap source 0.0;
     let reached_sink = ref false in
     let continue = ref true in
@@ -108,7 +285,10 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
             a := Array.unsafe_get next arc;
             if Array.unsafe_get caps arc > 0 then begin
               let v = Array.unsafe_get heads arc in
-              if Bytes.unsafe_get settled v = '\000' then begin
+              let stamped = Array.unsafe_get stamp v = ep in
+              if
+                (not stamped) || Bytes.unsafe_get settled v = '\000'
+              then begin
                 let reduced =
                   Array.unsafe_get costs arc
                   +. pot_u
@@ -116,9 +296,16 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
                 in
                 let reduced = if reduced < 0.0 then 0.0 else reduced in
                 let nd = d +. reduced in
-                if nd < Array.unsafe_get dist v -. epsilon then begin
+                let dv =
+                  if stamped then Array.unsafe_get dist v else infinity
+                in
+                if nd < dv -. epsilon then begin
                   Array.unsafe_set dist v nd;
                   Array.unsafe_set pred v arc;
+                  if not stamped then begin
+                    Array.unsafe_set stamp v ep;
+                    Bytes.unsafe_set settled v '\000'
+                  end;
                   Node_heap.push_or_decrease heap v nd
                 end
               end
@@ -139,6 +326,7 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
     (Ltc_util.Metrics.Counter.incr m_dijkstra;
      dijkstra ())
   do
+    let ep = !epoch in
     (* True (unreduced) cost of the found path. *)
     let path_cost = dist.(sink) +. pot.(sink) -. pot.(source) in
     if stop_on_nonnegative && path_cost >= -.epsilon then continue := false
@@ -148,7 +336,11 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
          distance, settled ones by their own distance. *)
       let d_sink = dist.(sink) in
       for v = 0 to n - 1 do
-        pot.(v) <- pot.(v) +. Float.min dist.(v) d_sink
+        let dv =
+          if Array.unsafe_get stamp v = ep then Array.unsafe_get dist v
+          else infinity
+        in
+        pot.(v) <- pot.(v) +. Float.min dv d_sink
       done;
       (* Bottleneck along the predecessor chain. *)
       let rec bottleneck v acc =
@@ -171,6 +363,7 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
       total_cost := !total_cost +. (float_of_int amount *. path_cost)
     end
   done;
+  ws.epoch <- !epoch;
   Ltc_util.Metrics.Counter.add m_rounds !rounds;
   Ltc_util.Metrics.Counter.add m_flow !total_flow;
   { flow = !total_flow; cost = !total_cost; rounds = !rounds }

@@ -6,12 +6,21 @@
     matching with real-valued arc costs".
 
     Implementation: node potentials initialised by Bellman-Ford (the LTC
-    networks carry negative arc costs [-Acc*]), then repeated Dijkstra on
-    reduced costs with a binary heap, augmenting one shortest path per
-    round.  Dijkstra stops as soon as the sink settles; potentials of
-    unsettled nodes advance by the sink distance (Goldberg's early-exit
-    variant), preserving reduced-cost non-negativity.  A small epsilon
-    absorbs floating-point drift in the reduced costs. *)
+    networks carry negative arc costs [-Acc*]) — or, for layered batch
+    networks, by a single topological relaxation sweep ({!potential_init}) —
+    then repeated Dijkstra on reduced costs with a binary heap, augmenting
+    one shortest path per round.  Dijkstra stops as soon as the sink
+    settles; potentials of unsettled nodes advance by the sink distance
+    (Goldberg's early-exit variant), preserving reduced-cost
+    non-negativity.  A small epsilon absorbs floating-point drift in the
+    reduced costs.
+
+    {b Hot path.}  All per-solve scratch (potential, distance, predecessor
+    and settled labels, the Dijkstra heap) lives in a {!workspace} that can
+    be reused across solves, and distance labels are validated by an epoch
+    stamp rather than O(V) fills per shortest-path pass — a caller that
+    solves one batch after another (MCF-LTC's [run_batches]) allocates
+    nothing after the first batch.  See DESIGN.md §9. *)
 
 type result = {
   flow : int;      (** total units routed from source to sink *)
@@ -19,9 +28,61 @@ type result = {
   rounds : int;    (** number of augmenting iterations *)
 }
 
+(** {2 Reusable workspace} *)
+
+type workspace
+(** Solver scratch: potentials, labels, heap, and the queue/counter arrays
+    {!Mcmf_spfa} shares.  One workspace serves any sequence of solves (its
+    arrays grow on demand and never shrink); it must not be shared between
+    concurrently running solves. *)
+
+val create_workspace : ?hint:int -> unit -> workspace
+(** An empty workspace, pre-sized for graphs of [hint] nodes (default 16;
+    it grows transparently). *)
+
+val workspace_capacity : workspace -> int
+(** Current node capacity of the workspace arrays. *)
+
+val potentials : workspace -> float array
+(** The workspace's node-potential array.  After {!run} returns, entries
+    [0 .. node_count - 1] hold the final potentials of that solve — the
+    exact shortest-path distances the next solve may try to reuse via
+    [`Warm_start].  The array is the live workspace storage: it is
+    overwritten by the next solve and may be replaced (grown) by it, so
+    read or copy what you need before solving again. *)
+
+(** {2 Potential initialisation} *)
+
+type potential_init =
+  [ `Bellman_ford
+    (** Iterated relaxation over all residual arcs; correct on any input
+        without negative cycles.  The default. *)
+  | `Dag_topo
+    (** One relaxation sweep in arc-insertion order.  {b Precondition}:
+        arcs were added in topological order of their source nodes (true of
+        every LTC batch network: source -> workers -> tasks -> sink).  On
+        such graphs the sweep performs exactly Bellman-Ford's first-round
+        relaxation sequence and lands on the same fixpoint bit-for-bit,
+        skipping only the convergence re-scan — half the initialisation
+        cost, same potentials, same flow, same cost.  On a graph violating
+        the precondition the potentials are silently non-optimal and the
+        min-cost guarantee is lost. *)
+  | `Warm_start of float array
+    (** Candidate potentials (length >= node count), e.g. {!potentials} of
+        a structurally similar previous solve.  Validated in one O(E)
+        reduced-cost scan: accepted when every residual arc keeps
+        non-negative reduced cost (within epsilon), otherwise the solver
+        falls back to [`Bellman_ford].  Results are min-cost either way,
+        but an accepted warm start may resolve sub-epsilon cost ties along
+        a different shortest path than the fresh-init solve would.
+        @raise Invalid_argument when the array is shorter than the node
+        count. *) ]
+
 val run :
   ?max_flow:int ->
   ?stop_on_nonnegative:bool ->
+  ?workspace:workspace ->
+  ?init:potential_init ->
   Graph.t ->
   source:int ->
   sink:int ->
@@ -35,5 +96,27 @@ val run :
     [>= 0], yielding a {e minimum-cost} flow instead (never routes
     cost-increasing flow).
 
+    [workspace] supplies the per-solve scratch; without it a fresh one is
+    allocated for this call.  [init] selects the potential initialiser
+    (default [`Bellman_ford]); see {!potential_init}.
+
     @raise Invalid_argument when [source = sink] or nodes are out of
     range. *)
+
+(**/**)
+
+(* Solver-internal plumbing: {!Mcmf_spfa} shares this workspace (distance /
+   predecessor / stamp labels, its FIFO ring and relaxation counters).  Not
+   part of the public API. *)
+
+val ensure_spfa_scratch : workspace -> n:int -> unit
+val ws_dist : workspace -> float array
+val ws_pred : workspace -> int array
+val ws_stamp : workspace -> int array
+val ws_flag : workspace -> Bytes.t
+val ws_ring : workspace -> int array
+val ws_counts : workspace -> int array
+val ws_epoch : workspace -> int
+val ws_set_epoch : workspace -> int -> unit
+
+(**/**)

@@ -19,7 +19,8 @@ let m_spfa =
   Ltc_util.Metrics.counter ~help:"SPFA shortest-path passes" ~labels
     "ltc_flow_mcmf_spfa_passes_total"
 
-let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
+let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace g
+    ~source ~sink =
   let n = Graph.node_count g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
     invalid_arg "Mcmf_spfa.run: node out of range";
@@ -30,24 +31,47 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
   and costs = raw.Graph.r_costs
   and next = raw.Graph.r_next
   and first = raw.Graph.r_first in
-  let dist = Array.make n infinity in
-  let in_queue = Bytes.make n '\000' in
-  let pred = Array.make n (-1) in
-  let queue = Queue.create () in
-  let relax_count = Array.make n 0 in
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None -> Mcmf.create_workspace ~hint:n ()
+  in
+  Mcmf.ensure_spfa_scratch ws ~n;
+  let dist = Mcmf.ws_dist ws
+  and pred = Mcmf.ws_pred ws
+  and stamp = Mcmf.ws_stamp ws
+  and in_queue = Mcmf.ws_flag ws
+  and ring = Mcmf.ws_ring ws
+  and relax_count = Mcmf.ws_counts ws in
+  let cap_ring = Array.length ring in
+  let epoch = ref (Mcmf.ws_epoch ws) in
   (* Shortest path by SPFA; handles negative arcs, detects negative cycles
-     by the n-relaxations rule. *)
+     by the n-relaxations rule.  FIFO order matches the previous
+     Queue-based implementation; the ring never overflows because
+     [in_queue] admits each node at most once at a time (occupancy <= n
+     <= cap_ring). *)
   let spfa () =
-    Array.fill dist 0 n infinity;
-    Array.fill pred 0 n (-1);
-    Bytes.fill in_queue 0 n '\000';
-    Array.fill relax_count 0 n 0;
-    Queue.clear queue;
+    incr epoch;
+    let ep = !epoch in
+    let head = ref 0 and size = ref 0 in
+    let push v =
+      ring.((!head + !size) mod cap_ring) <- v;
+      incr size
+    in
+    let pop () =
+      let v = ring.(!head) in
+      head := (!head + 1) mod cap_ring;
+      decr size;
+      v
+    in
     dist.(source) <- 0.0;
-    Queue.push source queue;
+    pred.(source) <- -1;
+    stamp.(source) <- ep;
+    relax_count.(source) <- 0;
+    push source;
     Bytes.set in_queue source '\001';
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
+    while !size > 0 do
+      let u = pop () in
       Bytes.set in_queue u '\000';
       let du = dist.(u) in
       let a = ref first.(u) in
@@ -57,21 +81,28 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
         if caps.(arc) > 0 then begin
           let v = heads.(arc) in
           let nd = du +. costs.(arc) in
-          if nd < dist.(v) -. epsilon then begin
+          let stamped = stamp.(v) = ep in
+          let dv = if stamped then dist.(v) else infinity in
+          if nd < dv -. epsilon then begin
+            if not stamped then begin
+              stamp.(v) <- ep;
+              relax_count.(v) <- 0;
+              Bytes.set in_queue v '\000'
+            end;
             dist.(v) <- nd;
             pred.(v) <- arc;
             if Bytes.get in_queue v = '\000' then begin
               relax_count.(v) <- relax_count.(v) + 1;
               if relax_count.(v) > n then
                 invalid_arg "Mcmf_spfa: negative-cost cycle in input";
-              Queue.push v queue;
+              push v;
               Bytes.set in_queue v '\001'
             end
           end
         end
       done
     done;
-    dist.(sink) < infinity
+    stamp.(sink) = ep && dist.(sink) < infinity
   in
   Ltc_util.Metrics.Counter.incr m_runs;
   let total_flow = ref 0 in
@@ -108,6 +139,7 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) g ~source ~sink =
       total_cost := !total_cost +. (float_of_int amount *. path_cost)
     end
   done;
+  Mcmf.ws_set_epoch ws !epoch;
   Ltc_util.Metrics.Counter.add m_rounds !rounds;
   Ltc_util.Metrics.Counter.add m_flow !total_flow;
   { Mcmf.flow = !total_flow; cost = !total_cost; rounds = !rounds }

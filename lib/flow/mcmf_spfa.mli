@@ -5,13 +5,19 @@
     independent from it: no potential maintenance, no float-epsilon
     subtleties in reduced costs.  The test-suite cross-checks both solvers
     on random instances, and the [ablation-solver] bench measures the gap.
-    Results are interchangeable with {!Mcmf.run}'s. *)
+    Results are interchangeable with {!Mcmf.run}'s.
+
+    The optional [workspace] is {!Mcmf}'s: both solvers draw their labels,
+    FIFO ring and relaxation counters from the same reusable scratch, so a
+    caller that switches backends still allocates one workspace per run. *)
 
 val run :
   ?max_flow:int ->
   ?stop_on_nonnegative:bool ->
+  ?workspace:Mcmf.workspace ->
   Graph.t ->
   source:int ->
   sink:int ->
   Mcmf.result
-(** Same contract as {!Mcmf.run}. *)
+(** Same contract as {!Mcmf.run} (modulo [init]: SPFA needs no
+    potentials). *)

@@ -1,7 +1,7 @@
 type t = {
-  keys : float array;   (* keys.(node): current key, valid when queued *)
-  nodes : int array;    (* heap slots -> node id *)
-  pos : int array;      (* node id -> heap slot, -1 when not queued *)
+  mutable keys : float array;  (* keys.(node): current key, valid when queued *)
+  mutable nodes : int array;   (* heap slots -> node id *)
+  mutable pos : int array;     (* node id -> heap slot, -1 when not queued *)
   mutable size : int;
 }
 
@@ -13,6 +13,22 @@ let create ~n =
     pos = Array.make n (-1);
     size = 0;
   }
+
+let capacity t = Array.length t.pos
+
+let ensure_capacity t ~n =
+  let old = Array.length t.pos in
+  if n > old then begin
+    let keys = Array.make n infinity in
+    Array.blit t.keys 0 keys 0 old;
+    t.keys <- keys;
+    let nodes = Array.make n 0 in
+    Array.blit t.nodes 0 nodes 0 old;
+    t.nodes <- nodes;
+    let pos = Array.make n (-1) in
+    Array.blit t.pos 0 pos 0 old;
+    t.pos <- pos
+  end
 
 let clear t =
   for i = 0 to t.size - 1 do

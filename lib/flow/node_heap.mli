@@ -10,6 +10,14 @@ type t
 val create : n:int -> t
 (** Heap over node ids [0 .. n-1], initially empty. *)
 
+val capacity : t -> int
+(** Current node-id bound (the [n] of {!create}, possibly grown). *)
+
+val ensure_capacity : t -> n:int -> unit
+(** Grows the heap to accept node ids [0 .. n-1], preserving queued
+    entries.  Never shrinks.  Lets one heap serve a whole run of solves
+    over graphs of varying node counts ({!Mcmf}'s reusable workspace). *)
+
 val clear : t -> unit
 (** O(size): empties the heap for reuse. *)
 

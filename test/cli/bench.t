@@ -34,3 +34,17 @@ sweep (5 x 1 x 5 for fig3-K):
 
   $ grep -o '"runs": 25' bench.json
   "runs": 25
+
+flow-batch-reuse races the min-cost-flow hot-path regimes (cold solves vs
+reused arena + DAG/warm potentials) on identical batch sequences.  Its
+JSON entry is numeric-only; timings and speedups vary, the schema and the
+cross-variant checksum do not:
+
+  $ ltc-bench flow-batch-reuse --json flow.json > /dev/null
+  $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' flow.json
+  {
+    "BENCH_flow_batch": {"batches": _, "nodes": _, "arcs": _, "flow_units": _, "cold_bf_s": _, "reuse_dag_s": _, "reuse_warm_s": _, "speedup_dag": _, "speedup_warm": _, "checksum_ok": _}
+  }
+
+  $ grep -o '"checksum_ok": 1' flow.json
+  "checksum_ok": 1

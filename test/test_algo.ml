@@ -300,14 +300,22 @@ let test_mcf_batch_config () =
   let i = Fixtures.small_random ~seed:8 () in
   let o =
     Mcf_ltc.run
-      ~config:{ Mcf_ltc.first_batch_factor = 0.5; batch_factor = 0.5 }
+      ~config:
+        { Mcf_ltc.first_batch_factor = 0.5; batch_factor = 0.5; warm_start = false }
       i
   in
   Alcotest.(check bool) "small batches still complete" true o.Engine.completed;
   Alcotest.check_raises "invalid factor"
     (Invalid_argument "Mcf_ltc.run: batch factors must be positive") (fun () ->
       ignore
-        (Mcf_ltc.run ~config:{ Mcf_ltc.first_batch_factor = 0.0; batch_factor = 1.0 } i))
+        (Mcf_ltc.run
+           ~config:
+             {
+               Mcf_ltc.first_batch_factor = 0.0;
+               batch_factor = 1.0;
+               warm_start = false;
+             }
+           i))
 
 let test_mcf_empty_instance () =
   let i =
@@ -320,6 +328,57 @@ let test_mcf_empty_instance () =
   let o = Mcf_ltc.run i in
   Alcotest.(check bool) "trivially complete" true o.Engine.completed;
   Alcotest.(check int) "latency 0" 0 o.Engine.latency
+
+(* ------------------------------------------------------------ tie_cost *)
+
+(* Pins the documented interplay between the tie perturbation and the flow
+   solver's reduced-cost tolerance (Ltc_flow.Mcmf's epsilon = 1e-9): the
+   perturbation steers adjacent-worker ties only while |W| < 50, always
+   separates workers more than |W|/50 indices apart, and stays far too
+   small to outweigh a genuine accuracy difference. *)
+let test_tie_cost_epsilon () =
+  let mk index =
+    Worker.make ~index ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) ~accuracy:0.9
+      ~capacity:1
+  in
+  let epsilon = 1e-9 in
+  for n_workers = 1 to 49 do
+    let gap =
+      Mcf_ltc.tie_cost ~n_workers (mk 2) -. Mcf_ltc.tie_cost ~n_workers (mk 1)
+    in
+    Alcotest.(check bool) "adjacent gap above epsilon while |W| < 50" true
+      (gap > epsilon)
+  done;
+  let n_workers = 100 in
+  let adjacent =
+    Mcf_ltc.tie_cost ~n_workers (mk 8) -. Mcf_ltc.tie_cost ~n_workers (mk 7)
+  in
+  Alcotest.(check bool) "adjacent gap below epsilon at |W| = 100" true
+    (adjacent < epsilon);
+  let distant =
+    Mcf_ltc.tie_cost ~n_workers (mk 10) -. Mcf_ltc.tie_cost ~n_workers (mk 7)
+  in
+  Alcotest.(check bool) "3-index gap above epsilon at |W| = 100" true
+    (distant > epsilon);
+  Alcotest.(check bool) "perturbation bounded by 5e-8" true
+    (Mcf_ltc.tie_cost ~n_workers (mk n_workers) <= 5e-8)
+
+let test_tie_prefers_earlier_worker () =
+  let tasks =
+    [| Task.make ~id:0 ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) () |]
+  in
+  let mk index =
+    Worker.make ~index ~loc:(Ltc_geo.Point.make ~x:0.0 ~y:0.0) ~accuracy:0.9
+      ~capacity:2
+  in
+  (* epsilon 0.9: Hoeffding threshold 2 ln(1/0.9) ~ 0.21 < Acc* ~ 0.64, so a
+     single answer completes the task and the flow routes exactly one unit. *)
+  let i = Instance.create ~tasks ~workers:[| mk 1; mk 2 |] ~epsilon:0.9 () in
+  (* One buffer holding both (identical) workers: the flow alone decides who
+     performs the task, and the tie perturbation must pick worker 1. *)
+  let o = Mcf_ltc.run_buffered ~buffer:2 i in
+  Alcotest.(check bool) "completed" true o.Engine.completed;
+  Alcotest.(check int) "earlier worker preferred" 1 o.Engine.latency
 
 (* ------------------------------------------------------------- optimal *)
 
@@ -861,6 +920,10 @@ let suite =
           test_random_seed_changes_runs;
         Alcotest.test_case "MCF batch config" `Quick test_mcf_batch_config;
         Alcotest.test_case "MCF empty instance" `Quick test_mcf_empty_instance;
+        Alcotest.test_case "tie cost vs solver epsilon" `Quick
+          test_tie_cost_epsilon;
+        Alcotest.test_case "tie prefers earlier worker" `Quick
+          test_tie_prefers_earlier_worker;
       ] );
     ( "algo.optimal",
       [

@@ -396,6 +396,153 @@ let prop_dinic_agrees_with_mcmf_flow =
       let r = Mcmf.run g1 ~source ~sink in
       Dinic.max_flow g2 ~source ~sink = r.Mcmf.flow)
 
+(* -------------------------------------------- arena / workspace reuse *)
+
+let test_graph_clear_reuse () =
+  let g = Graph.create ~n:3 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:5 ~cost:1.0 in
+  Graph.push g a 2;
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:0.0);
+  Graph.clear g ~n:2;
+  Alcotest.(check int) "nodes" 2 (Graph.node_count g);
+  Alcotest.(check int) "no arcs" 0 (Graph.arc_count g);
+  let seen = ref [] in
+  Graph.iter_arcs_from g 0 (fun arc -> seen := arc :: !seen);
+  Alcotest.(check (list int)) "adjacency reset" [] !seen;
+  let b = Graph.add_arc g ~src:0 ~dst:1 ~cap:3 ~cost:0.0 in
+  Alcotest.(check int) "arc ids restart at 0" 0 b;
+  Alcotest.(check int) "fresh residual" 3 (Graph.residual g b);
+  Alcotest.(check int) "fresh reverse residual" 0 (Graph.residual g (b lxor 1));
+  (* Growing clear: nodes beyond the old count start with empty adjacency. *)
+  Graph.clear g ~n:5;
+  let seen = ref [] in
+  Graph.iter_arcs_from g 4 (fun arc -> seen := arc :: !seen);
+  Alcotest.(check (list int)) "new nodes empty" [] !seen;
+  Alcotest.check_raises "bad n"
+    (Invalid_argument "Graph.clear: n must be positive") (fun () ->
+      Graph.clear g ~n:0)
+
+let test_graph_reserve () =
+  let g = Graph.create ~n:2 in
+  let before = Graph.memory_words g in
+  Graph.reserve g ~nodes:64 ~arcs:100;
+  let after = Graph.memory_words g in
+  Alcotest.(check bool) "memory_words reports the reservation" true
+    (after > before);
+  Graph.clear g ~n:64;
+  let words = Graph.memory_words g in
+  for i = 0 to 99 do
+    ignore (Graph.add_arc g ~src:(i mod 63) ~dst:63 ~cap:1 ~cost:0.0)
+  done;
+  Alcotest.(check int) "no growth within the reservation" words
+    (Graph.memory_words g);
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Graph.reserve: negative size") (fun () ->
+      Graph.reserve g ~nodes:(-1) ~arcs:0)
+
+let test_node_heap_grow () =
+  let h = Node_heap.create ~n:2 in
+  Node_heap.push_or_decrease h 1 3.0;
+  Node_heap.ensure_capacity h ~n:10;
+  Alcotest.(check bool) "capacity grew" true (Node_heap.capacity h >= 10);
+  Node_heap.push_or_decrease h 7 1.0;
+  Alcotest.(check bool) "new node usable" true
+    (Node_heap.pop_min h = Some (7, 1.0));
+  Alcotest.(check bool) "old entry intact" true
+    (Node_heap.pop_min h = Some (1, 3.0))
+
+let test_workspace_growth () =
+  let ws = Mcmf.create_workspace ~hint:2 () in
+  Alcotest.(check bool) "hint respected" true (Mcmf.workspace_capacity ws >= 2);
+  let input =
+    (3, 3, 2, 2, [| [| -0.5; -0.2; -0.9 |];
+                    [| -0.1; -0.8; -0.3 |];
+                    [| -0.7; -0.4; -0.6 |] |])
+  in
+  let g1, source, sink = build_bipartite input in
+  let r1 = Mcmf.run g1 ~workspace:ws ~source ~sink in
+  Alcotest.(check bool) "grew to the graph" true
+    (Mcmf.workspace_capacity ws >= Graph.node_count g1);
+  (* Same solve on the same workspace must be oblivious to stale labels. *)
+  let g2, _, _ = build_bipartite input in
+  let r2 = Mcmf.run g2 ~workspace:ws ~source ~sink in
+  Alcotest.(check int) "flow stable across reuse" r1.Mcmf.flow r2.Mcmf.flow;
+  check_float "cost stable across reuse" r1.Mcmf.cost r2.Mcmf.cost
+
+let test_warm_start_invalid () =
+  let g = Graph.create ~n:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:0.0);
+  Alcotest.check_raises "short candidate"
+    (Invalid_argument "Mcmf.run: warm-start potentials shorter than node count")
+    (fun () ->
+      ignore (Mcmf.run g ~init:(`Warm_start [| 0.0 |]) ~source:0 ~sink:2))
+
+(* One workspace shared across every generated case: reuse itself is under
+   test.  Exact (=) float comparisons are deliberate — the reused/DAG path
+   must be bit-identical to the cold Bellman-Ford path on batch-shaped
+   (layered, arcs-in-topological-order) graphs. *)
+let prop_dag_init_matches_bf =
+  let ws = Mcmf.create_workspace () in
+  QCheck2.Test.make
+    ~name:"reused workspace + `Dag_topo = fresh Bellman-Ford, exactly"
+    ~count:300 random_bipartite_gen (fun input ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let r1 = Mcmf.run g1 ~source ~sink in
+      let r2 = Mcmf.run g2 ~workspace:ws ~init:`Dag_topo ~source ~sink in
+      r1.Mcmf.flow = r2.Mcmf.flow
+      && r1.Mcmf.cost = r2.Mcmf.cost
+      && r1.Mcmf.rounds = r2.Mcmf.rounds)
+
+let prop_dag_init_same_potentials =
+  QCheck2.Test.make ~name:"`Dag_topo potentials = Bellman-Ford potentials"
+    ~count:300 random_bipartite_gen (fun input ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let ws1 = Mcmf.create_workspace () in
+      let ws2 = Mcmf.create_workspace () in
+      (* max_flow:0 runs the initialiser and nothing else, exposing the raw
+         initial potentials through the workspace. *)
+      ignore (Mcmf.run g1 ~workspace:ws1 ~max_flow:0 ~source ~sink);
+      ignore
+        (Mcmf.run g2 ~workspace:ws2 ~max_flow:0 ~init:`Dag_topo ~source ~sink);
+      let p1 = Mcmf.potentials ws1 and p2 = Mcmf.potentials ws2 in
+      let ok = ref true in
+      for v = 0 to Graph.node_count g1 - 1 do
+        if p1.(v) <> p2.(v) then ok := false
+      done;
+      !ok)
+
+let prop_warm_start_agrees =
+  QCheck2.Test.make
+    ~name:"warm-started solve = fresh solve (accept or fallback)" ~count:300
+    random_bipartite_gen (fun input ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let g3, _, _ = build_bipartite input in
+      let n = Graph.node_count g1 in
+      let ws = Mcmf.create_workspace () in
+      (* Final potentials of a completed identical solve: valid on the
+         solved residual, not necessarily on the fresh graph — exercises
+         both the accept and the reject-and-fall-back paths. *)
+      ignore (Mcmf.run g3 ~workspace:ws ~source ~sink);
+      let cand = Array.sub (Mcmf.potentials ws) 0 n in
+      let r1 = Mcmf.run g1 ~source ~sink in
+      let r2 = Mcmf.run g2 ~workspace:ws ~init:(`Warm_start cand) ~source ~sink in
+      r1.Mcmf.flow = r2.Mcmf.flow
+      && Float.abs (r1.Mcmf.cost -. r2.Mcmf.cost) < 1e-6)
+
+let prop_spfa_workspace_reuse =
+  let ws = Mcmf.create_workspace () in
+  QCheck2.Test.make ~name:"SPFA with reused workspace = fresh SPFA, exactly"
+    ~count:300 random_bipartite_gen (fun input ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let r1 = Mcmf_spfa.run g1 ~source ~sink in
+      let r2 = Mcmf_spfa.run g2 ~workspace:ws ~source ~sink in
+      r1.Mcmf.flow = r2.Mcmf.flow && r1.Mcmf.cost = r2.Mcmf.cost)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -441,5 +588,18 @@ let suite =
         Alcotest.test_case "disconnected" `Quick test_dinic_disconnected;
         qcheck prop_dinic_agrees_with_mcmf_flow;
         qcheck prop_dinic_on_general_graphs;
+      ] );
+    ( "flow.reuse",
+      [
+        Alcotest.test_case "graph clear" `Quick test_graph_clear_reuse;
+        Alcotest.test_case "graph reserve" `Quick test_graph_reserve;
+        Alcotest.test_case "node heap growth" `Quick test_node_heap_grow;
+        Alcotest.test_case "workspace growth" `Quick test_workspace_growth;
+        Alcotest.test_case "warm start validation" `Quick
+          test_warm_start_invalid;
+        qcheck prop_dag_init_matches_bf;
+        qcheck prop_dag_init_same_potentials;
+        qcheck prop_warm_start_agrees;
+        qcheck prop_spfa_workspace_reuse;
       ] );
   ]
