@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve serve-smoke fmt check clean
 
 all: build
 
@@ -21,11 +21,23 @@ bench-smoke:
 	dune exec bench/main.exe -- fig3-K ablation-batch \
 	  --scale 0.05 --reps 2 --jobs 2 --json bench-smoke.json
 
+# Streaming pipeline pin: the cram test test/cli/serve.t pipes an NDJSON
+# arrival stream through `ltc serve`, kills it mid-stream, resumes from
+# the journal and diffs the concatenated decisions against the
+# uninterrupted run.  Runs under `dune runtest` (and thus @check) too.
+serve-smoke:
+	dune build @serve-smoke
+
 # Min-cost-flow hot path: cold per-batch solves vs the reused
 # arena/workspace with DAG-layer and warm-started potentials.  Refreshes
 # the committed BENCH_flow_batch.json snapshot.
 bench-flow:
 	dune exec bench/main.exe -- flow-batch-reuse --json BENCH_flow_batch.json
+
+# Streaming service: plain feed vs journaled feed vs checkpoint/restore.
+# Refreshes the committed BENCH_serve_replay.json snapshot.
+bench-serve:
+	dune exec bench/main.exe -- serve-replay --json BENCH_serve_replay.json
 
 fmt:
 	dune build @fmt --auto-promote

@@ -218,6 +218,152 @@ let run_flow_batch () =
       (speedup warm_s)
       (if checksum_ok then 1 else 0) )
 
+(* --------------------------------------------------- serve-replay micro *)
+
+(* Streaming-service costs: plain feed, journaled feed (append + flush per
+   arrival, periodic compaction) and checkpoint/restore — snapshot load
+   plus policy replay of the journal tail.  The identical flag asserts
+   that the journaled run and a session restored from a mid-stream kill
+   both finish with exactly the plain run's arrangement, latency and RNG
+   states. *)
+let serve_replay_id = "serve-replay"
+
+let copy_file ~src ~dst =
+  let body = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc body)
+
+let run_serve_replay () =
+  print_endline
+    "### serve-replay — journaled feed and checkpoint/restore costs\n";
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      Ltc_workload.Spec.n_tasks = 2000;
+      n_workers = 3000;
+      capacity = 2;
+    }
+  in
+  let instance =
+    Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed:11) spec
+  in
+  let ws = Array.to_list instance.Ltc_core.Instance.workers in
+  let n_events = List.length ws in
+  let algorithm = Ltc_algo.Algorithm.laf in
+  let seed = 42 in
+  let checkpoint_every = 256 in
+  (* one full tail pending: restore replays checkpoint_every - 1 events *)
+  let kill_at = (2 * checkpoint_every) - 1 in
+  let tail_events = kill_at mod checkpoint_every in
+  let feed_all s =
+    List.iter (fun w -> ignore (Ltc_service.Session.feed s w)) ws
+  in
+  let fingerprint s =
+    ( Ltc_core.Arrangement.to_list (Ltc_service.Session.arrangement s),
+      Ltc_service.Session.latency s,
+      Ltc_service.Session.consumed s,
+      Ltc_service.Session.rng_states s )
+  in
+  let time_variant f =
+    ignore (f ());
+    (* warmup *)
+    let reps = 3 in
+    let result = ref (f ()) in
+    let (), dt =
+      Ltc_util.Timer.time (fun () ->
+          for _ = 1 to reps do
+            result := f ()
+          done)
+    in
+    (!result, dt /. float_of_int reps)
+  in
+  let journal = Filename.temp_file "ltc_bench_serve" ".journal" in
+  let pristine = Filename.temp_file "ltc_bench_serve" ".pristine" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ journal; pristine ])
+  @@ fun () ->
+  let plain () =
+    let s = Ltc_service.Session.create ~algorithm ~seed instance in
+    feed_all s;
+    fingerprint s
+  in
+  let journaled () =
+    let s =
+      Ltc_service.Session.create ~journal ~checkpoint_every ~algorithm ~seed
+        instance
+    in
+    feed_all s;
+    Ltc_service.Session.close s;
+    fingerprint s
+  in
+  (* Crash fixture: kill_at events journaled, session abandoned unclosed. *)
+  let s =
+    Ltc_service.Session.create ~journal:pristine ~checkpoint_every ~algorithm
+      ~seed instance
+  in
+  List.iteri
+    (fun j w -> if j < kill_at then ignore (Ltc_service.Session.feed s w))
+    ws;
+  let restore_once () =
+    copy_file ~src:pristine ~dst:journal;
+    let s = Ltc_service.Session.restore ~path:journal () in
+    Ltc_service.Session.close s;
+    Ltc_service.Session.consumed s
+  in
+  let plain_fp, plain_s = time_variant plain in
+  let journal_fp, journal_s = time_variant journaled in
+  let restored_consumed, restore_s = time_variant restore_once in
+  (* Finish one restored session and compare against the plain run. *)
+  let resumed_fp =
+    copy_file ~src:pristine ~dst:journal;
+    let s = Ltc_service.Session.restore ~path:journal () in
+    List.iteri
+      (fun j w -> if j >= kill_at then ignore (Ltc_service.Session.feed s w))
+      ws;
+    Ltc_service.Session.close s;
+    fingerprint s
+  in
+  let identical =
+    journal_fp = plain_fp && resumed_fp = plain_fp
+    && restored_consumed = kill_at
+  in
+  let per_s events t = if t > 0.0 then float_of_int events /. t else 0.0 in
+  Printf.printf
+    "%d arrivals, checkpoint every %d, killed at %d (%d-event tail); \
+     restored consumed %d\n"
+    n_events checkpoint_every kill_at tail_events restored_consumed;
+  Printf.printf "checksum: %s\n\n"
+    (if identical then "journaled and restored runs match the plain run"
+     else "RUNS DISAGREE");
+  let row name events t =
+    [
+      Ltc_util.Table.Str name;
+      Ltc_util.Table.Float (1000.0 *. t);
+      Ltc_util.Table.Float (per_s events t);
+    ]
+  in
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "variant"; "time/pass (ms)"; "events/s" ]
+    [
+      row "feed (no journal)" n_events plain_s;
+      row "feed + journal" n_events journal_s;
+      row "restore (snapshot + replay)" tail_events restore_s;
+    ];
+  print_newline ();
+  ( "BENCH_serve_replay",
+    Printf.sprintf
+      "{\"events\": %d, \"tail_events\": %d, \"checkpoint_every\": %d, \
+       \"feed_s\": %.6f, \"feed_journal_s\": %.6f, \"restore_s\": %.6f, \
+       \"feed_per_s\": %.1f, \"feed_journal_per_s\": %.1f, \
+       \"replay_per_s\": %.1f, \"identical\": %d}"
+      n_events tail_events checkpoint_every plain_s journal_s restore_s
+      (per_s n_events plain_s)
+      (per_s n_events journal_s)
+      (per_s tail_events restore_s)
+      (if identical then 1 else 0) )
+
 (* ------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -362,6 +508,11 @@ let list_experiments () =
           Ltc_util.Table.Str "MCF arena/workspace reuse vs cold solves";
           Ltc_util.Table.Float 1.0;
         ];
+        [
+          Ltc_util.Table.Str serve_replay_id;
+          Ltc_util.Table.Str "journaled feed and checkpoint/restore costs";
+          Ltc_util.Table.Float 1.0;
+        ];
       ]
   in
   Ltc_util.Table.print ~float_digits:2
@@ -389,12 +540,14 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
     let scale = if full then Some 1.0 else scale in
     let reps = if full && reps = 3 then 30 else reps in
     let ids =
-      if ids = [] then Figures.ids () @ [ "micro"; flow_batch_id ] else ids
+      if ids = [] then Figures.ids () @ [ "micro"; flow_batch_id; serve_replay_id ]
+      else ids
     in
     let unknown =
       List.filter
         (fun id ->
-          id <> "micro" && id <> flow_batch_id && Figures.find id = None)
+          id <> "micro" && id <> flow_batch_id && id <> serve_replay_id
+          && Figures.find id = None)
         ids
     in
     match unknown with
@@ -414,6 +567,7 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
               None
             end
             else if id = flow_batch_id then Some (run_flow_batch ())
+            else if id = serve_replay_id then Some (run_serve_replay ())
             else
               match Figures.find id with
               | Some e ->

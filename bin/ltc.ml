@@ -154,18 +154,18 @@ let run_cmd_impl workload scale tasks workers capacity epsilon seed algo
   end;
   let algorithms =
     match algo with
-    | None -> Ltc_algo.Algorithm.all ~seed
+    | None -> Ltc_algo.Algorithm.paper
     | Some name -> (
-      match Ltc_algo.Algorithm.find ~seed name with
+      match Ltc_algo.Algorithm.find_opt name with
       | Some a -> [ a ]
       | None ->
-        Format.eprintf "unknown algorithm %S (try: Base-off, MCF-LTC, \
-                        Random, LAF, AAM)@." name;
+        Format.eprintf "unknown algorithm %S (try: %s)@." name
+          (String.concat ", " (Ltc_algo.Algorithm.names ()));
         exit 1)
   in
   List.iter
     (fun (a : Ltc_algo.Algorithm.t) ->
-      let outcome, dt = Ltc_util.Timer.time (fun () -> a.run instance) in
+      let outcome, dt = Ltc_util.Timer.time (fun () -> a.run ~seed instance) in
       Format.printf "%a  (%.3f s)@." Ltc_algo.Engine.pp_outcome outcome dt;
       if validate then begin
         match
@@ -585,20 +585,150 @@ let example_cmd =
     let i = fixture Ltc_core.Quality.Hoeffding 0.2 in
     List.iter
       (fun (a : Ltc_algo.Algorithm.t) ->
-        let o = a.run i in
+        let o = a.run ~seed:1 i in
         Format.printf "  %-8s latency = %d@." a.name o.Ltc_algo.Engine.latency)
-      (Ltc_algo.Algorithm.all ~seed:1);
+      Ltc_algo.Algorithm.paper;
     0
   in
   Cmd.v
     (Cmd.info "example" ~doc:"replay the paper's running example")
     Term.(const impl $ const ())
 
+(* ---------------------------------------------------------- serve command *)
+
+(* NDJSON arrivals on stdin, one NDJSON decision per processed arrival on
+   stdout (flushed line by line, so the command composes with pipes and
+   survives kill -9 mid-stream).  Arrivals at or below the session's
+   consumed index are skipped silently, which makes resumption idempotent:
+   re-piping the whole stream after `--resume` emits exactly the decisions
+   the interrupted run still owed. *)
+let serve_stream session =
+  let consumed_at_start = Ltc_service.Session.consumed session in
+  let skipped = ref 0 in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      let w = Ltc_service.Ndjson.arrival_of_line line in
+      if w.Ltc_core.Worker.index <= Ltc_service.Session.consumed session then begin
+        incr skipped;
+        loop ()
+      end
+      else begin
+        let d = Ltc_service.Session.feed session w in
+        print_string
+          (Ltc_service.Ndjson.decision_to_line
+             ~worker:d.Ltc_service.Session.worker
+             ~assigned:d.Ltc_service.Session.assigned
+             ~answered:d.Ltc_service.Session.answered
+             ~completed:d.Ltc_service.Session.completed
+             ~latency:d.Ltc_service.Session.latency);
+        print_newline ();
+        flush stdout;
+        (* Stop at completion: the batch loop consumes nothing past it, so
+           acknowledging further arrivals would only differ between an
+           uninterrupted run and a resumed one. *)
+        if not d.Ltc_service.Session.completed then loop ()
+      end
+  in
+  loop ();
+  Format.eprintf "serve: algorithm=%s consumed=%d (resumed at %d, skipped \
+                  %d) latency=%d completed=%b@."
+    (Ltc_service.Session.algorithm_name session)
+    (Ltc_service.Session.consumed session)
+    consumed_at_start !skipped
+    (Ltc_service.Session.latency session)
+    (Ltc_service.Session.completed session)
+
+let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
+    resume log_levels metrics metrics_format =
+  setup_observability ~verbose:false ~log_levels ~metrics;
+  let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt in
+  let session =
+    match resume with
+    | Some path ->
+      if load <> None || algo_name <> None then
+        fail "--resume restores the instance and algorithm from the journal; \
+              drop --load/--algorithm";
+      Ltc_service.Session.restore ?journal ~path ()
+    | None ->
+      let load =
+        match load with
+        | Some p -> p
+        | None -> fail "serve needs --load FILE (or --resume PATH)"
+      in
+      let algorithm =
+        match algo_name with
+        | None -> fail "serve needs --algorithm NAME (or --resume PATH)"
+        | Some name -> (
+          match Ltc_algo.Algorithm.find_opt name with
+          | Some a -> a
+          | None ->
+            fail "unknown algorithm %S (try: %s)" name
+              (String.concat ", " (Ltc_algo.Algorithm.names ())))
+      in
+      let instance = Ltc_core.Serialize.load_instance ~path:load in
+      Ltc_service.Session.create ?accept_rate ?journal
+        ~checkpoint_every ~algorithm ~seed instance
+  in
+  serve_stream session;
+  Ltc_service.Session.close session;
+  write_snapshot ~metrics ~metrics_format;
+  0
+
+let serve_cmd =
+  let load =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Instance file written by $(b,ltc generate); its embedded \
+                   workers are ignored — arrivals come from stdin.")
+  in
+  let algo =
+    Arg.(value & opt (some string) None
+         & info [ "algorithm"; "a" ] ~docv:"NAME"
+             ~doc:"Online algorithm serving the stream (one with a \
+                   per-arrival policy: LAF, AAM, Random, LGF-only, \
+                   LRF-only, Nearest).")
+  in
+  let accept_rate =
+    Arg.(value & opt (some float) None
+         & info [ "accept-rate" ] ~docv:"Q"
+             ~doc:"Simulate no-shows: each assignment is honoured with \
+                   probability $(docv) in (0, 1].")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Append every arrival and decision to $(docv), with \
+                   periodic snapshots, so the session survives a crash.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 256
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Compact the journal to a snapshot every $(docv) events.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"PATH"
+             ~doc:"Restore the session from a journal before reading \
+                   stdin; arrivals already journaled are skipped.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"serve an NDJSON arrival stream with a resumable session")
+    Term.(
+      const serve_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
+      $ checkpoint_every $ resume $ log_arg $ metrics_arg $ metrics_format_arg)
+
 let main =
   let doc = "latency-oriented task completion via spatial crowdsourcing" in
   Cmd.group
     (Cmd.info "ltc" ~doc ~version:"1.0.0")
-    [ run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd ]
+    [
+      run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd;
+      serve_cmd;
+    ]
 
 (* Turn expected failures (missing files, corrupt inputs, bad parameters)
    into clean error messages instead of backtraces. *)
@@ -610,6 +740,12 @@ let () =
     exit 2
   | exception Ltc_core.Serialize.Parse_error { line; message } ->
     Format.eprintf "ltc: parse error at line %d: %s@." line message;
+    exit 2
+  | exception Ltc_service.Ndjson.Malformed message ->
+    Format.eprintf "ltc: bad NDJSON event: %s@." message;
+    exit 2
+  | exception Ltc_service.Session.Corrupt_journal { path; message } ->
+    Format.eprintf "ltc: corrupt journal %s: %s@." path message;
     exit 2
   | exception Invalid_argument message ->
     Format.eprintf "ltc: invalid argument: %s@." message;

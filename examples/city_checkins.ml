@@ -41,13 +41,15 @@ let () =
   print_endline "---------   -------  -------  -----------  ---------  ---------";
   List.iter
     (fun (algo : Ltc_algo.Algorithm.t) ->
-      let outcome, dt = Ltc_util.Timer.time (fun () -> algo.run instance) in
+      let outcome, dt =
+        Ltc_util.Timer.time (fun () -> algo.run ~seed:5 instance)
+      in
       Format.printf "%-11s %-8s %7d  %11d  %7.3f s  %b@." algo.name
         (Format.asprintf "%a" Ltc_algo.Algorithm.pp_kind algo.kind)
         outcome.Ltc_algo.Engine.latency
         (Ltc_core.Arrangement.size outcome.Ltc_algo.Engine.arrangement)
         dt outcome.Ltc_algo.Engine.completed)
-    (Ltc_algo.Algorithm.all ~seed:5);
+    Ltc_algo.Algorithm.paper;
 
   print_newline ();
   print_endline

@@ -45,7 +45,7 @@ let () =
       chosen
   in
   let outcome =
-    Ltc_algo.Engine.run_policy ~name:"AAM (narrated)" narrating_policy instance
+    Ltc_algo.Engine.run ~name:"AAM (narrated)" narrating_policy instance
   in
   Format.printf "@.%a@." Ltc_algo.Engine.pp_outcome outcome;
 

@@ -29,4 +29,4 @@ let policy instance tracker progress =
     Ltc_util.Mem.Tracker.remove_words tracker (heap_budget w);
     chosen
 
-let run instance = Engine.run_policy ~name policy instance
+let run instance = Engine.run ~name policy instance

@@ -3,27 +3,117 @@ type kind = Offline | Online
 type t = {
   name : string;
   kind : kind;
-  run : Ltc_core.Instance.t -> Engine.outcome;
+  run : seed:int -> Ltc_core.Instance.t -> Engine.outcome;
+  policy : (Ltc_util.Rng.t -> Engine.policy) option;
 }
 
-let base_off = { name = Base_off.name; kind = Offline; run = Base_off.run }
+(* Deterministic algorithms ignore the seed; keeping it in the signature
+   lets one dispatch surface drive both them and the seeded baselines with
+   the caller's per-repetition seed (Runner threads it through every
+   sweep cell). *)
+
+let base_off =
+  {
+    name = Base_off.name;
+    kind = Offline;
+    run = (fun ~seed:_ i -> Base_off.run i);
+    policy = None;
+  }
 
 let mcf_ltc =
-  { name = Mcf_ltc.name; kind = Offline; run = (fun i -> Mcf_ltc.run i) }
+  {
+    name = Mcf_ltc.name;
+    kind = Offline;
+    run = (fun ~seed:_ i -> Mcf_ltc.run i);
+    policy = None;
+  }
 
-let random ~seed =
-  { name = Random_assign.name; kind = Online; run = Random_assign.run ~seed }
+let random =
+  {
+    name = Random_assign.name;
+    kind = Online;
+    run = (fun ~seed i -> Random_assign.run ~seed i);
+    policy = Some Random_assign.policy_with_rng;
+  }
 
-let laf = { name = Laf.name; kind = Online; run = Laf.run }
-let aam = { name = Aam.name; kind = Online; run = Aam.run }
+let laf =
+  {
+    name = Laf.name;
+    kind = Online;
+    run = (fun ~seed:_ i -> Laf.run i);
+    policy = Some (fun _rng -> Laf.policy);
+  }
 
-let all ~seed = [ base_off; mcf_ltc; random ~seed; laf; aam ]
+let aam =
+  {
+    name = Aam.name;
+    kind = Online;
+    run = (fun ~seed:_ i -> Aam.run i);
+    policy = Some (fun _rng -> Aam.policy);
+  }
 
-let find ~seed name =
+let lgf =
+  {
+    name = "LGF-only";
+    kind = Online;
+    run = (fun ~seed:_ i -> Strategies.lgf i);
+    policy = Some (fun _rng -> Strategies.lgf_policy);
+  }
+
+let lrf =
+  {
+    name = "LRF-only";
+    kind = Online;
+    run = (fun ~seed:_ i -> Strategies.lrf i);
+    policy = Some (fun _rng -> Strategies.lrf_policy);
+  }
+
+let nearest_first =
+  {
+    name = "Nearest";
+    kind = Online;
+    run = (fun ~seed:_ i -> Strategies.nearest_first i);
+    policy = Some (fun _rng -> Strategies.nearest_policy);
+  }
+
+(* Dynamic-arrival variants run the online strategies with every task
+   released upfront when invoked through the registry (release vector all
+   zero); their full release-schedule form stays on {!Dynamic.run}.  No
+   [policy]: the service's session protocol has no release events yet. *)
+let dynamic name strategy_of =
+  {
+    name;
+    kind = Online;
+    run =
+      (fun ~seed i ->
+        let n = Array.length i.Ltc_core.Instance.tasks in
+        (Dynamic.run ~strategy:(strategy_of ~seed) ~release:(Array.make n 0) i)
+          .Dynamic.engine);
+    policy = None;
+  }
+
+let laf_dyn = dynamic "LAF-dyn" (fun ~seed:_ -> Dynamic.Laf_d)
+let aam_dyn = dynamic "AAM-dyn" (fun ~seed:_ -> Dynamic.Aam_d)
+let random_dyn = dynamic "Random-dyn" (fun ~seed -> Dynamic.Random_d seed)
+
+let paper = [ base_off; mcf_ltc; random; laf; aam ]
+
+let all =
+  paper @ [ lgf; lrf; nearest_first; laf_dyn; aam_dyn; random_dyn ]
+
+let names () = List.map (fun t -> t.name) all
+
+let find_opt name =
   let target = String.lowercase_ascii name in
-  List.find_opt
-    (fun t -> String.lowercase_ascii t.name = target)
-    (all ~seed)
+  List.find_opt (fun t -> String.lowercase_ascii t.name = target) all
+
+let find name =
+  match find_opt name with
+  | Some t -> t
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown algorithm %S (try: %s)" name
+         (String.concat ", " (names ())))
 
 let pp_kind fmt = function
   | Offline -> Format.fprintf fmt "offline"

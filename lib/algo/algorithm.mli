@@ -1,27 +1,57 @@
-(** Registry of the five algorithms compared in the paper's evaluation.
+(** The algorithm registry — the one dispatch surface over every
+    assignment algorithm in the repo.
 
-    The list order matches the legends of Figs. 3-4: Base-off, MCF-LTC,
-    Random, LAF, AAM. *)
+    The CLI ([ltc run]/[ltc serve]), the sweep {!Runner} and the streaming
+    service all resolve algorithms by name through {!find}; per-algorithm
+    modules export bare [policy]/[run] values and register here.
+    {!paper} lists the five algorithms of the paper's evaluation in the
+    legend order of Figs. 3-4: Base-off, MCF-LTC, Random, LAF, AAM. *)
 
 type kind = Offline | Online
 
 type t = {
   name : string;
   kind : kind;
-  run : Ltc_core.Instance.t -> Engine.outcome;
+  run : seed:int -> Ltc_core.Instance.t -> Engine.outcome;
+      (** One-shot batch run.  Deterministic algorithms ignore [seed];
+          seeded baselines (Random, Random-dyn) derive their stream from
+          it, so a sweep's per-repetition seed reaches them uniformly. *)
+  policy : (Ltc_util.Rng.t -> Engine.policy) option;
+      (** Arrival-at-a-time form for the streaming service: the service
+          owns the generator (journaled and restored across crashes) and
+          the policy draws from it.  [None] for algorithms that need the
+          whole arrival sequence upfront (offline ones, dynamic-release
+          wrappers) — those cannot serve a live stream. *)
 }
 
 val base_off : t
 val mcf_ltc : t
-val random : seed:int -> t
+val random : t
 val laf : t
 val aam : t
+val lgf : t
+val lrf : t
+val nearest_first : t
+val laf_dyn : t
+val aam_dyn : t
+val random_dyn : t
 
-val all : seed:int -> t list
-(** All five, in the paper's plot order.  [seed] feeds the Random
-    baseline. *)
+val paper : t list
+(** The paper's five, in plot order.  Default algorithm set of [ltc run]
+    and {!Runner.sweep}. *)
 
-val find : seed:int -> string -> t option
-(** Case-insensitive lookup by name. *)
+val all : t list
+(** Every registered algorithm: {!paper} then the strategy ablations
+    (LGF-only, LRF-only, Nearest) and the dynamic-arrival variants
+    (LAF-dyn, AAM-dyn, Random-dyn with an all-zero release vector). *)
+
+val names : unit -> string list
+(** Registry names in {!all} order (for error messages and [--help]). *)
+
+val find : string -> t
+(** Case-insensitive lookup.  @raise Invalid_argument with the known-name
+    list on a miss. *)
+
+val find_opt : string -> t option
 
 val pp_kind : Format.formatter -> kind -> unit

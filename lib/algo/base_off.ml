@@ -54,4 +54,4 @@ let policy instance tracker progress =
       (Instance.candidates instance w);
     List.map snd (Ltc_util.Bounded_heap.pop_all heap)
 
-let run instance = Engine.run_policy ~name policy instance
+let run instance = Engine.run ~name policy instance

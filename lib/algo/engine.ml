@@ -71,7 +71,7 @@ let stop_counter name reason =
 
 (* Shared driver: [answered w task] decides whether an assignment actually
    produces an answer (always true in the paper's model). *)
-let drive ~name ~answered policy instance =
+let drive ~name ~answered ?tracker policy instance =
   Ltc_util.Trace.with_span ("engine:" ^ name) @@ fun () ->
   let m_arrivals, m_assignments, m_decision, m_per_arrival =
     engine_metrics name
@@ -79,7 +79,11 @@ let drive ~name ~answered policy instance =
   let progress =
     Progress.create_per_task ~thresholds:(Instance.thresholds instance)
   in
-  let tracker = Ltc_util.Mem.Tracker.create () in
+  let tracker =
+    match tracker with
+    | Some tracker -> tracker
+    | None -> Ltc_util.Mem.Tracker.create ()
+  in
   Ltc_util.Mem.Tracker.set_baseline_words tracker (Progress.memory_words progress);
   let decide = policy instance tracker progress in
   let arrangement = ref Arrangement.empty in
@@ -152,15 +156,40 @@ let drive ~name ~answered policy instance =
       };
   }
 
-let run_policy ~name policy instance =
-  drive ~name ~answered:(fun _ _ -> true) policy instance
+type config = {
+  accept_rate : float option;
+  rng : Ltc_util.Rng.t option;
+  tracker : Ltc_util.Mem.Tracker.t option;
+}
+
+let default_config = { accept_rate = None; rng = None; tracker = None }
+
+(* Shared with the streaming service (Ltc_service.Session), which applies
+   the same answer-gating per fed arrival: one bernoulli draw per assigned
+   task, in assignment order. *)
+let answered_of ~accept_rate ~rng =
+  match accept_rate with
+  | None -> fun _ _ -> true
+  | Some q ->
+    if q <= 0.0 || q > 1.0 then
+      invalid_arg "Engine.run: accept_rate must be in (0, 1]";
+    (match rng with
+    | None -> invalid_arg "Engine.run: accept_rate requires an rng"
+    | Some rng -> fun _ _ -> Ltc_util.Rng.bernoulli rng q)
+
+let run ?(config = default_config) ~name policy instance =
+  drive ~name
+    ~answered:(answered_of ~accept_rate:config.accept_rate ~rng:config.rng)
+    ?tracker:config.tracker policy instance
+
+let run_policy ~name policy instance = run ~name policy instance
 
 let run_policy_with_noshow ~name ~accept_rate ~rng policy instance =
   if accept_rate <= 0.0 || accept_rate > 1.0 then
     invalid_arg "Engine.run_policy_with_noshow: accept_rate must be in (0, 1]";
-  drive ~name
-    ~answered:(fun _ _ -> Ltc_util.Rng.bernoulli rng accept_rate)
-    policy instance
+  run
+    ~config:{ accept_rate = Some accept_rate; rng = Some rng; tracker = None }
+    ~name policy instance
 
 let of_arrangement ~name ?workers_consumed ?tracker instance arrangement =
   let progress =

@@ -55,7 +55,44 @@ exception Invalid_decision of string
 (** Raised when a policy over-assigns, repeats a task or picks a
     non-candidate. *)
 
+val check_decisions : Instance.t -> Worker.t -> int list -> unit
+(** Validate one arrival's decisions against the capacity / no-repeat /
+    candidate-radius constraints the engine enforces; the streaming service
+    applies the same check per fed arrival.  @raise Invalid_decision on a
+    violation. *)
+
+type config = {
+  accept_rate : float option;
+      (** [Some q] simulates no-show noise: each assignment is actually
+          answered only with probability [q].  Unanswered assignments still
+          consume the worker's capacity (the question was sent) but
+          contribute no score, do not enter the returned arrangement, and
+          are invisible to the policy — the platform only observes answers.
+          Requires [rng]; even [q = 1.0] draws once per assignment, so the
+          consumed RNG stream is a function of the assignment sequence
+          alone, not of [q]. *)
+  rng : Ltc_util.Rng.t option;
+      (** Source for the no-show draws (one bernoulli per assigned task, in
+          assignment order).  Advanced in place. *)
+  tracker : Ltc_util.Mem.Tracker.t option;
+      (** Memory tracker to charge; the engine creates a private one when
+          absent.  Either way its baseline is (re)set to the progress
+          array's footprint at run start. *)
+}
+(** Execution options for {!run}.  {!default_config} is the paper's model:
+    every assignment answered, no injected RNG, private tracker. *)
+
+val default_config : config
+
+val run : ?config:config -> name:string -> policy -> Instance.t -> outcome
+(** The single entry point for arrival-stream execution: feeds
+    [instance]'s workers to [policy] in arrival order until every task is
+    complete or the stream is exhausted.  @raise Invalid_argument when
+    [config.accept_rate] is outside (0, 1] or set without an [rng]. *)
+
 val run_policy : name:string -> policy -> Instance.t -> outcome
+[@@deprecated "use Engine.run"]
+(** @deprecated [run_policy ~name p i] is [run ~name p i]. *)
 
 val run_policy_with_noshow :
   name:string ->
@@ -64,14 +101,11 @@ val run_policy_with_noshow :
   policy ->
   Instance.t ->
   outcome
-(** Robustness extension (not in the paper, which assumes every assigned
-    question is answered): each assignment is actually {e answered} only
-    with probability [accept_rate].  Unanswered assignments still consume
-    the worker's capacity (the question was sent) but contribute no score,
-    do not enter the returned arrangement, and are invisible to the policy
-    — the platform only observes answers.  With [accept_rate = 1.0] this is
-    exactly {!run_policy}.  @raise Invalid_argument when [accept_rate] is
-    outside (0, 1]. *)
+[@@deprecated "use Engine.run with an accept_rate/rng config"]
+(** @deprecated Equivalent to {!run} with
+    [{ accept_rate = Some accept_rate; rng = Some rng; tracker = None }];
+    retains its historical [Invalid_argument] message for out-of-range
+    rates. *)
 
 val of_arrangement :
   name:string ->

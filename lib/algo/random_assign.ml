@@ -2,8 +2,7 @@ open Ltc_core
 
 let name = "Random"
 
-let policy ~seed instance _tracker progress =
-  let rng = Ltc_util.Rng.create ~seed in
+let policy_with_rng rng instance _tracker progress =
   fun (w : Worker.t) ->
     let unfinished =
       List.filter
@@ -22,4 +21,8 @@ let policy ~seed instance _tracker progress =
     done;
     Array.to_list (Array.sub pool 0 k)
 
-let run ~seed instance = Engine.run_policy ~name (policy ~seed) instance
+(* The generator is created at full application, once per run, so a
+   partially-applied [policy ~seed] yields identical runs every time. *)
+let policy ~seed instance tracker progress =
+  policy_with_rng (Ltc_util.Rng.create ~seed) instance tracker progress
+let run ~seed instance = Engine.run ~name (policy ~seed) instance

@@ -6,8 +6,13 @@
 
 val name : string
 
+val policy_with_rng : Ltc_util.Rng.t -> Engine.policy
+(** Draw the samples from a caller-owned generator — the streaming service
+    journals that generator's state so a restored session resumes the exact
+    sample sequence. *)
+
 val policy : seed:int -> Engine.policy
-(** Each run seeds its own {!Ltc_util.Rng.t}; identical seeds reproduce the
+(** [policy_with_rng] over a fresh generator: identical seeds reproduce the
     run exactly. *)
 
 val run : seed:int -> Ltc_core.Instance.t -> Engine.outcome

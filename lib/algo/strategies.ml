@@ -17,25 +17,19 @@ let lgf_score instance progress w task =
 
 let lrf_score _instance progress _w task = Progress.remaining progress task
 
-let lgf instance =
-  Engine.run_policy ~name:"LGF-only" (greedy_policy ~score:lgf_score) instance
-
-let lrf instance =
-  Engine.run_policy ~name:"LRF-only" (greedy_policy ~score:lrf_score) instance
-
 let nearest_score (instance : Instance.t) _progress (w : Worker.t) task =
   (* Bounded heap keeps the largest scores; negate so nearest wins. *)
   -.Ltc_geo.Point.distance w.loc instance.Instance.tasks.(task).Task.loc
 
-let nearest_first instance =
-  Engine.run_policy ~name:"Nearest" (greedy_policy ~score:nearest_score)
-    instance
+let lgf_policy instance tracker progress =
+  greedy_policy ~score:lgf_score instance tracker progress
 
-let lgf_algorithm =
-  { Algorithm.name = "LGF-only"; kind = Algorithm.Online; run = lgf }
+let lrf_policy instance tracker progress =
+  greedy_policy ~score:lrf_score instance tracker progress
 
-let lrf_algorithm =
-  { Algorithm.name = "LRF-only"; kind = Algorithm.Online; run = lrf }
+let nearest_policy instance tracker progress =
+  greedy_policy ~score:nearest_score instance tracker progress
 
-let nearest_first_algorithm =
-  { Algorithm.name = "Nearest"; kind = Algorithm.Online; run = nearest_first }
+let lgf instance = Engine.run ~name:"LGF-only" lgf_policy instance
+let lrf instance = Engine.run ~name:"LRF-only" lrf_policy instance
+let nearest_first instance = Engine.run ~name:"Nearest" nearest_policy instance

@@ -7,21 +7,23 @@
     easy tasks early.  The [ablation-strategy] bench compares LGF-only,
     LRF-only, AAM and LAF on the default workload. *)
 
-val lgf : Ltc_core.Instance.t -> Engine.outcome
+val lgf_policy : Engine.policy
 (** Largest Gain First only: rank unfinished candidates by
     [min (Acc*(w,t), remaining t)]. *)
 
-val lrf : Ltc_core.Instance.t -> Engine.outcome
+val lrf_policy : Engine.policy
 (** Largest Remaining First only: rank unfinished candidates by
     [remaining t]. *)
 
-val nearest_first : Ltc_core.Instance.t -> Engine.outcome
+val nearest_policy : Engine.policy
 (** Nearest First: assign the [K] spatially closest unfinished candidate
     tasks.  Not from the paper — a natural spatial-crowdsourcing heuristic
     (distance is the dominant accuracy factor under Eq. 1) included as an
     extra baseline; under the sigmoid model it behaves like LAF with ties
     broken by distance instead of historical accuracy. *)
 
-val lgf_algorithm : Algorithm.t
-val lrf_algorithm : Algorithm.t
-val nearest_first_algorithm : Algorithm.t
+val lgf : Ltc_core.Instance.t -> Engine.outcome
+val lrf : Ltc_core.Instance.t -> Engine.outcome
+val nearest_first : Ltc_core.Instance.t -> Engine.outcome
+(** One-shot runs of the corresponding policy.  The registry entries for
+    these strategies live in {!Algorithm}. *)

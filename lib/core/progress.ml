@@ -102,3 +102,37 @@ let memory_words t =
   (* thresholds + s (floats) + version + incomplete + position + heap
      triples (~6 words each including the tuple block). *)
   (5 * Array.length t.s) + (6 * Ltc_util.Heap.length t.heap)
+
+type snapshot = {
+  thresholds : float array;
+  scores : float array;
+  sum_remaining : float;
+}
+
+let snapshot (t : t) =
+  (* [t.s] is padded to [max n 1]; the thresholds array carries the true
+     task count. *)
+  let n = Array.length t.thresholds in
+  {
+    thresholds = Array.copy t.thresholds;
+    scores = Array.sub t.s 0 n;
+    sum_remaining = t.sum_remaining;
+  }
+
+let of_snapshot (snap : snapshot) =
+  let n = Array.length snap.thresholds in
+  if Array.length snap.scores <> n then
+    invalid_arg "Progress.of_snapshot: scores/thresholds length mismatch";
+  Array.iter
+    (fun s ->
+      if s < 0.0 then invalid_arg "Progress.of_snapshot: negative score")
+    snap.scores;
+  let t = create_per_task ~thresholds:snap.thresholds in
+  for task = 0 to n - 1 do
+    record t ~task ~score:snap.scores.(task)
+  done;
+  (* [record] re-derived the running total from a zero base; the live run
+     accumulated it one arrival at a time, and AAM's average is sensitive
+     to that float summation order, so restore the captured value. *)
+  t.sum_remaining <- snap.sum_remaining;
+  t

@@ -58,3 +58,26 @@ val fold_incomplete : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** Fold over {!iter_incomplete}, same ascending-id order. *)
 
 val memory_words : t -> int
+
+(** {2 Snapshots}
+
+    The service layer checkpoints progress state into its journal and must
+    rebuild it bit-for-bit: the snapshot therefore carries the {e raw}
+    running [sum_remaining] (accumulated one arrival at a time, so float
+    summation order matters to AAM) rather than recomputing it from the
+    accumulator array. *)
+
+type snapshot = {
+  thresholds : float array;
+  scores : float array;  (** the accumulator array [S], one slot per task *)
+  sum_remaining : float;  (** raw running total, not clamped at 0 *)
+}
+
+val snapshot : t -> snapshot
+(** Immutable copy of the observable state (arrays are fresh). *)
+
+val of_snapshot : snapshot -> t
+(** Rebuild a progress tracker equivalent to the one {!snapshot} captured:
+    same accumulators, same incomplete set in ascending-id order, same
+    [sum_remaining] and [max_remaining] answers.  @raise Invalid_argument
+    on length mismatch, non-positive thresholds or negative scores. *)

@@ -5,6 +5,8 @@ let parse_error ~line fmt =
 
 let fp = Printf.sprintf "%.17g"
 
+type sink = string -> unit
+
 (* ------------------------------------------------------------- writing *)
 
 (* All writers emit through a string sink so channels and buffers share the
@@ -84,9 +86,9 @@ let source_of_string s =
   in
   { next_raw; line_no = 0 }
 
-let rec next_line src =
+let rec next_line_opt src =
   match src.next_raw () with
-  | None -> parse_error ~line:src.line_no "unexpected end of input"
+  | None -> None
   | Some line ->
     src.line_no <- src.line_no + 1;
     let line =
@@ -95,7 +97,14 @@ let rec next_line src =
       | Some i -> String.sub line 0 i
     in
     let line = String.trim line in
-    if line = "" then next_line src else line
+    if line = "" then next_line_opt src else Some line
+
+let next_line src =
+  match next_line_opt src with
+  | None -> parse_error ~line:src.line_no "unexpected end of input"
+  | Some line -> line
+
+let line_number src = src.line_no
 
 let fields line = String.split_on_char ' ' line |> List.filter (( <> ) "")
 
@@ -219,9 +228,79 @@ let save_arrangement ~path arrangement =
 
 let load_arrangement ~path = with_file_in path read_arrangement
 
-let instance_to_string instance =
+let to_string_with emit x =
   let buf = Buffer.create 4096 in
-  emit_instance (Buffer.add_string buf) instance;
+  emit (Buffer.add_string buf) x;
   Buffer.contents buf
 
+let instance_to_string instance = to_string_with emit_instance instance
 let instance_of_string s = parse_instance (source_of_string s)
+let arrangement_to_string a = to_string_with emit_arrangement a
+let arrangement_of_string s = parse_arrangement (source_of_string s)
+
+(* ---------------------------------------------------- snapshot payloads *)
+
+(* Progress and Rng state are the mutable halves of a streaming session;
+   the service layer embeds these blocks in its journal snapshots.  Both
+   use the same round-trip float precision as instances, so a restored
+   tracker answers [sum_remaining]/[max_remaining] bit-identically. *)
+
+let emit_progress sink progress =
+  let snap = Progress.snapshot progress in
+  let pf fmt = Printf.ksprintf sink fmt in
+  let n = Array.length snap.Progress.thresholds in
+  pf "ltc-progress v1\n";
+  pf "tasks %d\n" n;
+  pf "sum_remaining %s\n" (fp snap.Progress.sum_remaining);
+  for task = 0 to n - 1 do
+    pf "p %s %s\n"
+      (fp snap.Progress.thresholds.(task))
+      (fp snap.Progress.scores.(task))
+  done
+
+let parse_progress src =
+  (match next_line src with
+  | "ltc-progress v1" -> ()
+  | other -> parse_error ~line:src.line_no "bad header %S" other);
+  let n =
+    match fields (next_line src) with
+    | [ "tasks"; n ] -> int_field src n
+    | _ -> parse_error ~line:src.line_no "expected 'tasks <count>'"
+  in
+  let sum_remaining =
+    match fields (next_line src) with
+    | [ "sum_remaining"; x ] -> float_field src x
+    | _ -> parse_error ~line:src.line_no "expected 'sum_remaining <float>'"
+  in
+  let thresholds = Array.make n 0.0 in
+  let scores = Array.make n 0.0 in
+  for task = 0 to n - 1 do
+    match fields (next_line src) with
+    | [ "p"; threshold; score ] ->
+      thresholds.(task) <- float_field src threshold;
+      scores.(task) <- float_field src score
+    | _ -> parse_error ~line:src.line_no "expected a progress line"
+  done;
+  match Progress.of_snapshot { Progress.thresholds; scores; sum_remaining } with
+  | progress -> progress
+  | exception Invalid_argument message ->
+    parse_error ~line:src.line_no "invalid progress snapshot: %s" message
+
+let emit_rng sink rng =
+  Printf.ksprintf sink "ltc-rng v1\nstate %Ld\n" (Ltc_util.Rng.state rng)
+
+let parse_rng src =
+  (match next_line src with
+  | "ltc-rng v1" -> ()
+  | other -> parse_error ~line:src.line_no "bad header %S" other);
+  match fields (next_line src) with
+  | [ "state"; s ] -> (
+    match Int64.of_string_opt s with
+    | Some state -> Ltc_util.Rng.of_state state
+    | None -> parse_error ~line:src.line_no "expected an int64, got %S" s)
+  | _ -> parse_error ~line:src.line_no "expected 'state <int64>'"
+
+let progress_to_string p = to_string_with emit_progress p
+let progress_of_string s = parse_progress (source_of_string s)
+let rng_to_string rng = to_string_with emit_rng rng
+let rng_of_string s = parse_rng (source_of_string s)

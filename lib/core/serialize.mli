@@ -39,3 +39,59 @@ val load_arrangement : path:string -> Arrangement.t
 
 val instance_to_string : Instance.t -> string
 val instance_of_string : string -> Instance.t
+val arrangement_to_string : Arrangement.t -> string
+val arrangement_of_string : string -> Arrangement.t
+
+(** {2 Snapshot payloads}
+
+    The streaming service ({!Ltc_service}) journals session state as
+    embedded blocks in the same line-oriented format: [Progress] snapshots
+    (thresholds, accumulators and the raw running [sum_remaining]) and
+    [Rng] state.  Floats round-trip exactly, so a restored session answers
+    every aggregate query bit-identically. *)
+
+val progress_to_string : Progress.t -> string
+val progress_of_string : string -> Progress.t
+val rng_to_string : Ltc_util.Rng.t -> string
+val rng_of_string : string -> Ltc_util.Rng.t
+
+(** {2 Low-level emit/parse}
+
+    Composable building blocks for formats that embed instances,
+    arrangements or snapshot payloads inside a larger stream (the service
+    journal).  A [sink] receives output chunks; a [source] yields
+    significant lines (comments and blanks stripped) and tracks line
+    numbers for {!Parse_error} reports. *)
+
+type sink = string -> unit
+
+type source
+
+val source_of_channel : in_channel -> source
+val source_of_string : string -> source
+
+val next_line : source -> string
+(** Next significant line.  @raise Parse_error at end of input. *)
+
+val next_line_opt : source -> string option
+(** Next significant line, or [None] at end of input. *)
+
+val line_number : source -> int
+(** Line number of the last line returned (for error reports). *)
+
+val fields : string -> string list
+(** Whitespace-split, empty fields dropped. *)
+
+val float_field : source -> string -> float
+val int_field : source -> string -> int
+(** Parse one field; @raise Parse_error with the source's current line on
+    malformed input. *)
+
+val emit_instance : sink -> Instance.t -> unit
+val parse_instance : source -> Instance.t
+val emit_arrangement : sink -> Arrangement.t -> unit
+val parse_arrangement : source -> Arrangement.t
+val emit_progress : sink -> Progress.t -> unit
+val parse_progress : source -> Progress.t
+val emit_rng : sink -> Ltc_util.Rng.t -> unit
+val parse_rng : source -> Ltc_util.Rng.t

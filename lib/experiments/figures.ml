@@ -192,19 +192,21 @@ let ablation_batch =
       (fun ~jobs ~scale ~reps ~seed ->
         let factors = [ 0.5; 1.0; 1.5; 2.0 ] in
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
-        let algorithms factor ~seed:_ =
+        let algorithms factor =
           [
             {
               Ltc_algo.Algorithm.name = "MCF-LTC";
               kind = Ltc_algo.Algorithm.Offline;
               run =
-                Ltc_algo.Mcf_ltc.run
-                  ~config:
-                    {
-                      Ltc_algo.Mcf_ltc.first_batch_factor = 1.5 *. factor;
-                      batch_factor = factor;
-                      warm_start = false;
-                    };
+                (fun ~seed:_ ->
+                  Ltc_algo.Mcf_ltc.run
+                    ~config:
+                      {
+                        Ltc_algo.Mcf_ltc.first_batch_factor = 1.5 *. factor;
+                        batch_factor = factor;
+                        warm_start = false;
+                      });
+              policy = None;
             };
             Ltc_algo.Algorithm.aam;
           ]
@@ -239,11 +241,11 @@ let ablation_strategy =
     default_scale = 0.2;
     run =
       (fun ~jobs ~scale ~reps ~seed ->
-        let algorithms ~seed:_ =
+        let algorithms =
           [
-            Ltc_algo.Strategies.lgf_algorithm;
-            Ltc_algo.Strategies.lrf_algorithm;
-            Ltc_algo.Strategies.nearest_first_algorithm;
+            Ltc_algo.Algorithm.lgf;
+            Ltc_algo.Algorithm.lrf;
+            Ltc_algo.Algorithm.nearest_first;
             Ltc_algo.Algorithm.laf;
             Ltc_algo.Algorithm.aam;
           ]
@@ -282,7 +284,7 @@ let ablation_approx =
           | "AAM" -> Some 7.738
           | _ -> None
         in
-        let algos = Ltc_algo.Algorithm.all ~seed in
+        let algos = Ltc_algo.Algorithm.paper in
         let spec =
           {
             Spec.default_synthetic with
@@ -310,7 +312,7 @@ let ablation_approx =
                 let ratios =
                   List.filter_map
                     (fun (algo : Ltc_algo.Algorithm.t) ->
-                      let o = algo.run instance in
+                      let o = algo.run ~seed instance in
                       if o.Ltc_algo.Engine.completed then
                         Some
                           ( algo.name,
@@ -570,23 +572,30 @@ let ext_noshow =
       (fun ~jobs ~scale ~reps ~seed ->
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
         let rates = [ 1.0; 0.9; 0.8; 0.7; 0.6 ] in
-        let noshow name policy rate ~seed =
+        let noshow name policy_of rate =
           {
             Ltc_algo.Algorithm.name;
             kind = Ltc_algo.Algorithm.Online;
             run =
-              (fun instance ->
-                Ltc_algo.Engine.run_policy_with_noshow ~name
-                  ~accept_rate:rate
-                  ~rng:(Ltc_util.Rng.create ~seed:(seed + 17))
-                  policy instance);
+              (fun ~seed instance ->
+                Ltc_algo.Engine.run
+                  ~config:
+                    {
+                      Ltc_algo.Engine.accept_rate = Some rate;
+                      rng = Some (Ltc_util.Rng.create ~seed:(seed + 17));
+                      tracker = None;
+                    }
+                  ~name (policy_of ~seed) instance);
+            policy = None;
           }
         in
-        let algorithms rate ~seed =
+        let algorithms rate =
           [
-            noshow "Random" (Ltc_algo.Random_assign.policy ~seed) rate ~seed;
-            noshow "LAF" Ltc_algo.Laf.policy rate ~seed;
-            noshow "AAM" Ltc_algo.Aam.policy rate ~seed;
+            noshow "Random"
+              (fun ~seed -> Ltc_algo.Random_assign.policy ~seed)
+              rate;
+            noshow "LAF" (fun ~seed:_ -> Ltc_algo.Laf.policy) rate;
+            noshow "AAM" (fun ~seed:_ -> Ltc_algo.Aam.policy) rate;
           ]
         in
         let points =
@@ -619,12 +628,13 @@ let ext_buffer =
       (fun ~jobs ~scale ~reps ~seed ->
         let spec = Spec.scale_synthetic scale Spec.default_synthetic in
         let buffers = [ 1; 10; 50; 200; 1000 ] in
-        let algorithms buffer ~seed:_ =
+        let algorithms buffer =
           [
             {
               Ltc_algo.Algorithm.name = Printf.sprintf "Buffered";
               kind = Ltc_algo.Algorithm.Online;
-              run = Ltc_algo.Mcf_ltc.run_buffered ~buffer;
+              run = (fun ~seed:_ -> Ltc_algo.Mcf_ltc.run_buffered ~buffer);
+              policy = None;
             };
             Ltc_algo.Algorithm.aam;
             Ltc_algo.Algorithm.mcf_ltc;

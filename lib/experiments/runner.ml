@@ -52,8 +52,8 @@ type run_result = {
   r_completed : bool;
 }
 
-let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed)
-    ?(jobs = 1) ~reps ~seed ~xs ~label ~instance_of () =
+let sweep ?(algorithms = Ltc_algo.Algorithm.paper) ?(jobs = 1) ~reps ~seed ~xs
+    ~label ~instance_of () =
   if reps <= 0 then invalid_arg "Runner.sweep: reps must be positive";
   let xs = Array.of_list xs in
   let seeds = rep_seeds ~seed ~reps in
@@ -73,7 +73,7 @@ let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed)
         let outcome, runtime =
           Ltc_util.Timer.time (fun () ->
               Ltc_util.Trace.with_span ("sweep:" ^ algo.name) (fun () ->
-                  algo.run instance))
+                  algo.run ~seed:rseed instance))
         in
         count_run ();
         let m_runs, m_runtime = run_metrics algo.name in
@@ -86,7 +86,7 @@ let sweep ?(algorithms = fun ~seed -> Ltc_algo.Algorithm.all ~seed)
           r_memory = instance_mb +. outcome.Ltc_algo.Engine.peak_memory_mb;
           r_completed = outcome.Ltc_algo.Engine.completed;
         })
-      (algorithms ~seed:rseed)
+      algorithms
   in
   let cells = Ltc_util.Pool.run ~jobs (Array.length xs * reps) cell in
   (* Aggregate sequentially in (x, rep, algorithm) order — the float

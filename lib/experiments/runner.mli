@@ -32,7 +32,7 @@ type output = {
 (** One printable table (one paper panel). *)
 
 val sweep :
-  ?algorithms:(seed:int -> Ltc_algo.Algorithm.t list) ->
+  ?algorithms:Ltc_algo.Algorithm.t list ->
   ?jobs:int ->
   reps:int ->
   seed:int ->
@@ -43,7 +43,9 @@ val sweep :
   point list
 (** [instance_of ~seed x] must generate the instance for x-value [x] from
     the given per-repetition seed.  [algorithms] defaults to
-    {!Ltc_algo.Algorithm.all}.
+    {!Ltc_algo.Algorithm.paper}; each entry's [run] receives the
+    per-repetition seed, so seeded baselines stay a pure function of
+    [(seed, rep)].
 
     [jobs] (default [1]) fans the (x value, repetition) cells over an
     {!Ltc_util.Pool} of that many domains.  Per-repetition seeds are split

@@ -1,0 +1,38 @@
+(** The serve wire format: newline-delimited flat JSON objects.
+
+    Arrivals in (one worker per line), decisions out (one per processed
+    arrival):
+
+    {v
+    {"index":1,"x":3.5,"y":4.0,"accuracy":0.86,"capacity":6}
+    {"index":1,"assigned":[0,2],"answered":[0],"completed":false,"latency":1}
+    v}
+
+    Floats are printed at round-trip precision ([%.17g]).  The codec is
+    deliberately minimal — flat objects of numbers, booleans and integer
+    arrays; no nesting, no string escapes. *)
+
+exception Malformed of string
+
+val arrival_of_line : string -> Ltc_core.Worker.t
+(** Parse one arrival event.  Requires keys [index], [x], [y], [accuracy],
+    [capacity]; integer-valued fields must be whole numbers.
+    @raise Malformed on syntax or schema violations, [Invalid_argument]
+    when the field values violate {!Ltc_core.Worker.make}'s contract. *)
+
+val arrival_to_line : Ltc_core.Worker.t -> string
+(** Inverse of {!arrival_of_line} (no trailing newline). *)
+
+val decision_to_line :
+  worker:int ->
+  assigned:int list ->
+  answered:int list ->
+  completed:bool ->
+  latency:int ->
+  string
+(** One decision line (no trailing newline). *)
+
+val decision_of_line : string -> int * int list * int list * bool * int
+(** Parse a decision line back into
+    [(index, assigned, answered, completed, latency)] — the cram/test side
+    of the codec.  @raise Malformed on syntax or schema violations. *)

@@ -1,0 +1,540 @@
+open Ltc_core
+
+exception Corrupt_journal of { path : string; message : string }
+
+let corrupt ~path fmt =
+  Format.kasprintf
+    (fun message -> raise (Corrupt_journal { path; message }))
+    fmt
+
+type decision = {
+  worker : int;
+  assigned : int list;
+  answered : int list;
+  completed : bool;
+  latency : int;
+}
+
+type journal = {
+  path : string;
+  mutable oc : out_channel;
+  mutable events_since_snapshot : int;
+  checkpoint_every : int;
+}
+
+type t = {
+  instance : Instance.t;  (* task side only: workers stripped *)
+  algorithm : Ltc_algo.Algorithm.t;
+  seed : int;
+  accept_rate : float option;
+  policy_rng : Ltc_util.Rng.t;
+  noshow_rng : Ltc_util.Rng.t;
+  tracker : Ltc_util.Mem.Tracker.t;
+  progress : Progress.t;
+  decide : Worker.t -> int list;
+  mutable arrangement : Arrangement.t;
+  mutable consumed : int;
+  mutable journal : journal option;
+  mutable closed : bool;
+  m_feed : Ltc_util.Metrics.Histogram.t;
+  m_bytes : Ltc_util.Metrics.Gauge.t;
+  m_snapshots : Ltc_util.Metrics.Counter.t;
+}
+
+let fp = Printf.sprintf "%.17g"
+
+let service_metrics name =
+  let labels = [ ("algo", name) ] in
+  ( Ltc_util.Metrics.histogram ~help:"per-arrival feed latency (s)" ~labels
+      "ltc_service_feed_seconds",
+    Ltc_util.Metrics.gauge ~help:"journal file size (bytes)" ~labels
+      "ltc_service_journal_bytes",
+    Ltc_util.Metrics.counter ~help:"journal snapshots written" ~labels
+      "ltc_service_snapshots_total" )
+
+(* The session never reads [instance.workers] (arrivals come from the
+   stream), so it holds — and journals — the task side only.  Using the
+   stripped instance for the live run too keeps live and restored sessions
+   structurally identical. *)
+let strip_workers (i : Instance.t) =
+  if Array.length i.Instance.workers = 0 then i
+  else
+    Instance.create ~accuracy:i.Instance.accuracy ~scoring:i.Instance.scoring
+      ~candidate_radius:i.Instance.candidate_radius ~tasks:i.Instance.tasks
+      ~workers:[||] ~epsilon:i.Instance.epsilon ()
+
+(* Both generators fork off one root so a session is a pure function of
+   [seed]: the policy stream feeds seeded policies (Random), the no-show
+   stream feeds the accept-rate draws.  Separate streams keep the two
+   concerns independent: turning noise on or off never perturbs the
+   policy's samples. *)
+let derive_rngs ~seed =
+  let root = Ltc_util.Rng.create ~seed in
+  let policy_rng = Ltc_util.Rng.split root in
+  let noshow_rng = Ltc_util.Rng.split root in
+  (policy_rng, noshow_rng)
+
+(* ------------------------------------------------------- journal format *)
+
+let write_header oc t checkpoint_every =
+  let sink = output_string oc in
+  let pf fmt = Printf.ksprintf sink fmt in
+  pf "ltc-journal v1\n";
+  pf "algorithm %s\n" t.algorithm.Ltc_algo.Algorithm.name;
+  pf "seed %d\n" t.seed;
+  (match t.accept_rate with
+  | None -> pf "accept_rate none\n"
+  | Some q -> pf "accept_rate %s\n" (fp q));
+  pf "checkpoint_every %d\n" checkpoint_every;
+  Serialize.emit_instance sink t.instance
+
+let write_snapshot oc t =
+  let sink = output_string oc in
+  let pf fmt = Printf.ksprintf sink fmt in
+  pf "snapshot\n";
+  pf "consumed %d\n" t.consumed;
+  pf "rng %Ld %Ld\n"
+    (Ltc_util.Rng.state t.policy_rng)
+    (Ltc_util.Rng.state t.noshow_rng);
+  Serialize.emit_progress sink t.progress;
+  Serialize.emit_arrangement sink t.arrangement;
+  pf "end-snapshot\n"
+
+let journal_size j =
+  flush j.oc;
+  out_channel_length j.oc
+
+(* Compaction: atomically replace the journal with header + one snapshot
+   of the current state.  Recovery work is thereby bounded by
+   [checkpoint_every] replayed arrivals regardless of session age. *)
+let checkpoint t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    Ltc_util.Trace.with_span "service:checkpoint" @@ fun () ->
+    close_out j.oc;
+    let tmp = j.path ^ ".tmp" in
+    let oc = open_out tmp in
+    (try
+       write_header oc t j.checkpoint_every;
+       write_snapshot oc t;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp j.path;
+    j.oc <- open_out_gen [ Open_wronly; Open_append ] 0o644 j.path;
+    j.events_since_snapshot <- 0;
+    Ltc_util.Metrics.Counter.incr t.m_snapshots;
+    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j))
+
+let journal_event t (w : Worker.t) d =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    let sink = output_string j.oc in
+    let pf fmt = Printf.ksprintf sink fmt in
+    pf "w %d %s %s %s %d\n" w.index
+      (fp w.loc.Ltc_geo.Point.x)
+      (fp w.loc.Ltc_geo.Point.y)
+      (fp w.accuracy) w.capacity;
+    (* The trailing "." terminates the record: a torn append never parses
+       as a complete decision, so restore re-feeds the arrival instead of
+       trusting half a line. *)
+    pf "d %d %d%s %d%s .\n" d.worker
+      (List.length d.assigned)
+      (String.concat "" (List.map (Printf.sprintf " %d") d.assigned))
+      (List.length d.answered)
+      (String.concat "" (List.map (Printf.sprintf " %d") d.answered));
+    flush j.oc;
+    j.events_since_snapshot <- j.events_since_snapshot + 1;
+    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j));
+    if j.events_since_snapshot >= j.checkpoint_every then checkpoint t
+
+(* ---------------------------------------------------------- construction *)
+
+let make_session ~instance ~algorithm ~seed ~accept_rate ~policy_rng
+    ~noshow_rng ~progress ~arrangement ~consumed =
+  let policy_of =
+    match algorithm.Ltc_algo.Algorithm.policy with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Session: %s cannot serve an arrival stream (offline or \
+            release-scheduled algorithm)"
+           algorithm.Ltc_algo.Algorithm.name)
+  in
+  let tracker = Ltc_util.Mem.Tracker.create () in
+  Ltc_util.Mem.Tracker.set_baseline_words tracker
+    (Progress.memory_words progress);
+  let decide = policy_of policy_rng instance tracker progress in
+  let m_feed, m_bytes, m_snapshots =
+    service_metrics algorithm.Ltc_algo.Algorithm.name
+  in
+  {
+    instance;
+    algorithm;
+    seed;
+    accept_rate;
+    policy_rng;
+    noshow_rng;
+    tracker;
+    progress;
+    decide;
+    arrangement;
+    consumed;
+    journal = None;
+    closed = false;
+    m_feed;
+    m_bytes;
+    m_snapshots;
+  }
+
+let validate_accept_rate = function
+  | Some q when q <= 0.0 || q > 1.0 ->
+    invalid_arg "Session.create: accept_rate must be in (0, 1]"
+  | _ -> ()
+
+let create ?accept_rate ?journal ?(checkpoint_every = 256) ~algorithm ~seed
+    instance =
+  validate_accept_rate accept_rate;
+  if checkpoint_every < 1 then
+    invalid_arg "Session.create: checkpoint_every must be >= 1";
+  let instance = strip_workers instance in
+  let policy_rng, noshow_rng = derive_rngs ~seed in
+  let progress =
+    Progress.create_per_task ~thresholds:(Instance.thresholds instance)
+  in
+  let t =
+    make_session ~instance ~algorithm ~seed ~accept_rate ~policy_rng
+      ~noshow_rng ~progress ~arrangement:Arrangement.empty ~consumed:0
+  in
+  (match journal with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    write_header oc t checkpoint_every;
+    flush oc;
+    let j = { path; oc; events_since_snapshot = 0; checkpoint_every } in
+    t.journal <- Some j;
+    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j)));
+  t
+
+(* ----------------------------------------------------------------- feed *)
+
+let completed t = Progress.all_complete t.progress
+let consumed t = t.consumed
+let latency t = Arrangement.latency t.arrangement
+let arrangement t = t.arrangement
+let algorithm_name t = t.algorithm.Ltc_algo.Algorithm.name
+
+let rng_states t =
+  (Ltc_util.Rng.state t.policy_rng, Ltc_util.Rng.state t.noshow_rng)
+
+let peak_memory_mb t = Ltc_util.Mem.Tracker.high_water_mb t.tracker
+
+let feed t (w : Worker.t) =
+  if t.closed then invalid_arg "Session.feed: session is closed";
+  if completed t then
+    (* Engine parity: the batch loop stops before consuming the arrival
+       that follows completion, so a finished session acknowledges further
+       workers without consuming capacity, RNG draws or journal space. *)
+    {
+      worker = w.index;
+      assigned = [];
+      answered = [];
+      completed = true;
+      latency = latency t;
+    }
+  else begin
+    if w.index <> t.consumed + 1 then
+      invalid_arg
+        (Printf.sprintf "Session.feed: expected arrival %d, got %d"
+           (t.consumed + 1) w.index);
+    let timing = Ltc_util.Metrics.enabled () in
+    let t0 = if timing then Some (Ltc_util.Timer.start ()) else None in
+    let assigned = t.decide w in
+    Ltc_algo.Engine.check_decisions t.instance w assigned;
+    t.consumed <- t.consumed + 1;
+    let answered_rev = ref [] in
+    (* Same gating as Engine.run: one bernoulli draw per assigned task, in
+       assignment order, whether or not earlier draws failed. *)
+    List.iter
+      (fun task ->
+        let ok =
+          match t.accept_rate with
+          | None -> true
+          | Some q -> Ltc_util.Rng.bernoulli t.noshow_rng q
+        in
+        if ok then begin
+          Progress.record t.progress ~task
+            ~score:(Instance.score t.instance w task);
+          t.arrangement <- Arrangement.add t.arrangement ~worker:w.index ~task;
+          answered_rev := task :: !answered_rev
+        end)
+      assigned;
+    let d =
+      {
+        worker = w.index;
+        assigned;
+        answered = List.rev !answered_rev;
+        completed = completed t;
+        latency = latency t;
+      }
+    in
+    journal_event t w d;
+    (match t0 with
+    | Some t0 ->
+      Ltc_util.Metrics.Histogram.observe t.m_feed (Ltc_util.Timer.elapsed_s t0)
+    | None -> ());
+    d
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.journal with
+    | None -> ()
+    | Some j ->
+      flush j.oc;
+      close_out j.oc
+  end
+
+(* -------------------------------------------------------------- restore *)
+
+type parsed_snapshot = {
+  s_consumed : int;
+  s_policy : int64;
+  s_noshow : int64;
+  s_progress : Progress.t;
+  s_arrangement : Arrangement.t;
+}
+
+type parsed_header = {
+  h_algorithm : string;
+  h_seed : int;
+  h_accept_rate : float option;
+  h_checkpoint_every : int;
+  h_instance : Instance.t;
+}
+
+let parse_header ~path src =
+  let line_no () = Serialize.line_number src in
+  let expect what =
+    match Serialize.next_line_opt src with
+    | Some line -> line
+    | None -> corrupt ~path "truncated header: expected %s" what
+  in
+  (match expect "the journal magic" with
+  | "ltc-journal v1" -> ()
+  | other -> corrupt ~path "bad journal header %S" other);
+  let h_algorithm =
+    match Serialize.fields (expect "an algorithm line") with
+    | [ "algorithm"; name ] -> name
+    | _ -> corrupt ~path "line %d: expected 'algorithm <name>'" (line_no ())
+  in
+  let h_seed =
+    match Serialize.fields (expect "a seed line") with
+    | [ "seed"; s ] -> Serialize.int_field src s
+    | _ -> corrupt ~path "line %d: expected 'seed <int>'" (line_no ())
+  in
+  let h_accept_rate =
+    match Serialize.fields (expect "an accept_rate line") with
+    | [ "accept_rate"; "none" ] -> None
+    | [ "accept_rate"; q ] -> Some (Serialize.float_field src q)
+    | _ ->
+      corrupt ~path "line %d: expected 'accept_rate none|<float>'" (line_no ())
+  in
+  let h_checkpoint_every =
+    match Serialize.fields (expect "a checkpoint_every line") with
+    | [ "checkpoint_every"; n ] -> Serialize.int_field src n
+    | _ ->
+      corrupt ~path "line %d: expected 'checkpoint_every <int>'" (line_no ())
+  in
+  let h_instance = Serialize.parse_instance src in
+  { h_algorithm; h_seed; h_accept_rate; h_checkpoint_every; h_instance }
+
+(* Scan the event tail.  Anything after the last complete record —
+   a torn arrival or decision line, a half-written snapshot — is treated
+   as lost to the crash and dropped; the stream replays it on resume. *)
+exception Torn_tail
+
+let parse_snapshot src =
+  let fail () = raise Torn_tail in
+  let next () =
+    match Serialize.next_line_opt src with Some l -> l | None -> fail ()
+  in
+  let s_consumed =
+    match Serialize.fields (next ()) with
+    | [ "consumed"; n ] -> (
+      match int_of_string_opt n with Some n -> n | None -> fail ())
+    | _ -> fail ()
+  in
+  let s_policy, s_noshow =
+    match Serialize.fields (next ()) with
+    | [ "rng"; p; q ] -> (
+      match (Int64.of_string_opt p, Int64.of_string_opt q) with
+      | Some p, Some q -> (p, q)
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  let s_progress =
+    try Serialize.parse_progress src
+    with Serialize.Parse_error _ -> fail ()
+  in
+  let s_arrangement =
+    try Serialize.parse_arrangement src
+    with Serialize.Parse_error _ -> fail ()
+  in
+  (match Serialize.next_line_opt src with
+  | Some "end-snapshot" -> ()
+  | Some _ | None -> fail ());
+  { s_consumed; s_policy; s_noshow; s_progress; s_arrangement }
+
+let parse_arrival_fields src rest =
+  match rest with
+  | [ index; x; y; accuracy; capacity ] -> (
+    try
+      Worker.make
+        ~index:(Serialize.int_field src index)
+        ~loc:
+          (Ltc_geo.Point.make
+             ~x:(Serialize.float_field src x)
+             ~y:(Serialize.float_field src y))
+        ~accuracy:(Serialize.float_field src accuracy)
+        ~capacity:(Serialize.int_field src capacity)
+    with Serialize.Parse_error _ | Invalid_argument _ -> raise Torn_tail)
+  | _ -> raise Torn_tail
+
+let parse_decision_fields (w : Worker.t) rest =
+  let int s =
+    match int_of_string_opt s with Some i -> i | None -> raise Torn_tail
+  in
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (k - 1) (int x :: acc) rest
+    | [] -> raise Torn_tail
+  in
+  match rest with
+  | index :: k :: rest ->
+    if int index <> w.index then raise Torn_tail;
+    let assigned, rest = take (int k) [] rest in
+    (match rest with
+    | m :: rest ->
+      let answered, rest = take (int m) [] rest in
+      if rest <> [ "." ] then raise Torn_tail;
+      (assigned, answered)
+    | [] -> raise Torn_tail)
+  | _ -> raise Torn_tail
+
+let scan_events src =
+  let best = ref None in
+  let tail = ref [] in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Serialize.next_line_opt src with
+       | None -> continue := false
+       | Some line -> (
+         match Serialize.fields line with
+         | [ "snapshot" ] ->
+           let s = parse_snapshot src in
+           best := Some s;
+           tail := []
+         | "w" :: rest -> (
+           let w = parse_arrival_fields src rest in
+           match Serialize.next_line_opt src with
+           | Some dline -> (
+             match Serialize.fields dline with
+             | "d" :: drest ->
+               let assigned, answered = parse_decision_fields w drest in
+               tail := (w, assigned, answered) :: !tail
+             | _ -> raise Torn_tail)
+           | None ->
+             (* Arrival journaled, decision lost: the arrival was never
+                fully processed — drop it, the stream re-feeds it. *)
+             raise Torn_tail)
+         | _ -> raise Torn_tail)
+     done
+   with Torn_tail -> ());
+  (!best, List.rev !tail)
+
+let restore ?journal ~path () =
+  Ltc_util.Trace.with_span "service:restore" @@ fun () ->
+  let header, snapshot, tail =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let src = Serialize.source_of_channel ic in
+        let header =
+          try parse_header ~path src
+          with Serialize.Parse_error { line; message } ->
+            corrupt ~path "line %d: %s" line message
+        in
+        let snapshot, tail = scan_events src in
+        (header, snapshot, tail))
+  in
+  let algorithm =
+    match Ltc_algo.Algorithm.find_opt header.h_algorithm with
+    | Some a -> a
+    | None -> corrupt ~path "unknown algorithm %S" header.h_algorithm
+  in
+  let instance = header.h_instance in
+  let policy_rng, noshow_rng, progress, arrangement, consumed =
+    match snapshot with
+    | None ->
+      let policy_rng, noshow_rng = derive_rngs ~seed:header.h_seed in
+      let progress =
+        Progress.create_per_task ~thresholds:(Instance.thresholds instance)
+      in
+      (policy_rng, noshow_rng, progress, Arrangement.empty, 0)
+    | Some s ->
+      if Progress.n_tasks s.s_progress <> Instance.task_count instance then
+        corrupt ~path "snapshot progress does not match the instance";
+      ( Ltc_util.Rng.of_state s.s_policy,
+        Ltc_util.Rng.of_state s.s_noshow,
+        s.s_progress,
+        s.s_arrangement,
+        s.s_consumed )
+  in
+  let t =
+    try
+      make_session ~instance ~algorithm ~seed:header.h_seed
+        ~accept_rate:header.h_accept_rate ~policy_rng ~noshow_rng ~progress
+        ~arrangement ~consumed
+    with Invalid_argument m -> corrupt ~path "%s" m
+  in
+  (* Replay the tail by re-running the policy — required to advance the
+     policy/no-show streams exactly as the original run did — and verify
+     the recomputed decisions against the journaled ones: a divergence
+     means the journal does not describe this code/instance and silently
+     continuing would corrupt the run. *)
+  List.iter
+    (fun ((w : Worker.t), assigned, answered) ->
+      let d =
+        try feed t w
+        with
+        | Invalid_argument m | Ltc_algo.Engine.Invalid_decision m ->
+          corrupt ~path "replaying arrival %d: %s" w.index m
+      in
+      if d.assigned <> assigned || d.answered <> answered then
+        corrupt ~path
+          "replayed decision for arrival %d diverges from the journal"
+          w.index)
+    tail;
+  (* Re-attach the journal (same file unless redirected) and compact
+     immediately: torn tail bytes vanish and recovery stays bounded. *)
+  let journal_path = Option.value journal ~default:path in
+  let j =
+    {
+      path = journal_path;
+      oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path;
+      events_since_snapshot = 0;
+      checkpoint_every = max 1 header.h_checkpoint_every;
+    }
+  in
+  t.journal <- Some j;
+  checkpoint t;
+  t

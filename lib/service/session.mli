@@ -1,0 +1,109 @@
+(** A resumable streaming session over the batch engine.
+
+    A session holds the task side of an instance plus one online algorithm
+    from {!Ltc_algo.Algorithm} and consumes worker arrivals one at a time
+    via {!feed}, returning the assignment decision for each.  Feeding the
+    same arrival stream into a session reproduces {!Ltc_algo.Engine.run}
+    byte for byte: the same arrangement, the same latency, the same RNG
+    draws — including under [accept_rate < 1] no-show noise.
+
+    When created with [~journal:path], every processed arrival is appended
+    to an on-disk journal together with its decision, and a full snapshot
+    (progress, arrangement, both RNG states) is folded in every
+    [checkpoint_every] events by atomically compacting the file down to
+    header + snapshot.  {!restore} rebuilds a session from such a journal:
+    it loads the latest snapshot, replays the event tail by re-running the
+    policy (verifying the recomputed decisions against the journaled
+    ones), drops any torn record at the end of the file, and compacts.
+    Recovery work is therefore bounded by [checkpoint_every] arrivals no
+    matter how long the session has run. *)
+
+type t
+
+type decision = {
+  worker : int;  (** arrival index the decision answers *)
+  assigned : int list;  (** tasks the policy assigned, in policy order *)
+  answered : int list;
+      (** subset of [assigned] that showed up (all of it when
+          [accept_rate] is [None]) *)
+  completed : bool;  (** all tasks complete after this arrival *)
+  latency : int;  (** current latency: largest recruited arrival index *)
+}
+
+exception Corrupt_journal of { path : string; message : string }
+(** Raised by {!restore} when the journal's prefix is unreadable or the
+    replayed decisions diverge from the journaled ones.  (A torn suffix —
+    an interrupted append — is expected crash damage and is silently
+    dropped instead.) *)
+
+val create :
+  ?accept_rate:float ->
+  ?journal:string ->
+  ?checkpoint_every:int ->
+  algorithm:Ltc_algo.Algorithm.t ->
+  seed:int ->
+  Ltc_core.Instance.t ->
+  t
+(** [create ~algorithm ~seed instance] starts a fresh session.  Workers
+    embedded in [instance] are ignored (arrivals come from {!feed});
+    internally the session keeps a worker-stripped copy.
+
+    [accept_rate] enables per-assignment no-show noise exactly as
+    {!Ltc_algo.Engine.run} does — one Bernoulli draw per assigned task, in
+    assignment order.  [journal] starts an on-disk journal at that path
+    (truncating any existing file); [checkpoint_every] (default [256])
+    sets the compaction period in events.
+
+    @raise Invalid_argument if [algorithm] has no online policy
+    ([policy = None]: Base-off, MCF-LTC, the dynamic variants), if
+    [accept_rate] is outside (0, 1], or if [checkpoint_every < 1]. *)
+
+val feed : t -> Ltc_core.Worker.t -> decision
+(** Process the next arrival.  Arrival indices must be consecutive from 1:
+    feeding worker [k] when [consumed t <> k - 1] raises
+    [Invalid_argument].  Once the session is complete, further arrivals
+    are acknowledged with [assigned = []] without being consumed,
+    journaled, or drawing RNG — mirroring the batch loop, which stops
+    before the arrival that follows completion.
+
+    @raise Invalid_argument on a closed session or a gap in the stream.
+    @raise Ltc_algo.Engine.Invalid_decision if the policy misbehaves. *)
+
+val restore : ?journal:string -> path:string -> unit -> t
+(** [restore ~path ()] rebuilds a session from a journal file and
+    compacts it immediately.  The restored session continues journaling
+    to [journal] when given, else to [path].
+
+    @raise Corrupt_journal as documented above.
+    @raise Sys_error if [path] cannot be read. *)
+
+val checkpoint : t -> unit
+(** Force a snapshot + compaction now (no-op without a journal). *)
+
+val close : t -> unit
+(** Flush and close the journal; further {!feed} calls raise.
+    Idempotent. *)
+
+(** {1 Observers} *)
+
+val consumed : t -> int
+(** Arrivals consumed so far (= index of the last processed arrival). *)
+
+val completed : t -> bool
+(** All tasks complete? *)
+
+val latency : t -> int
+(** Largest recruited arrival index so far ([0] before any recruitment). *)
+
+val arrangement : t -> Ltc_core.Arrangement.t
+(** The arrangement built so far. *)
+
+val algorithm_name : t -> string
+
+val rng_states : t -> int64 * int64
+(** [(policy, no-show)] generator states — the determinism fingerprint
+    used by the kill/restore tests. *)
+
+val peak_memory_mb : t -> float
+(** Policy scratch high-water mark, as tracked for {!Ltc_algo.Engine}
+    outcomes. *)

@@ -6,6 +6,10 @@ let create ~seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+let of_state state = { state }
+let set_state t state = t.state <- state
+
 (* Finalizer of splitmix64: two xor-shift-multiply rounds. *)
 let mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in

@@ -16,6 +16,18 @@ val create : seed:int -> t
 val copy : t -> t
 (** Independent copy at the current position of the stream. *)
 
+val state : t -> int64
+(** The full internal state.  Splitmix64 carries exactly one 64-bit word,
+    so [state]/{!of_state} capture and resume a stream losslessly — the
+    checkpoint/restore path of {!Ltc_service} journals this word and
+    reproduces the remaining draws bit-for-bit. *)
+
+val of_state : int64 -> t
+(** A generator resuming exactly at [state] (inverse of {!state}). *)
+
+val set_state : t -> int64 -> unit
+(** Rewind/advance an existing generator to a captured [state]. *)
+
 val split : t -> t
 (** [split rng] advances [rng] and returns a generator whose stream is
     statistically independent from the remainder of [rng]'s stream.  Use it to

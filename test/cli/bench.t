@@ -48,3 +48,16 @@ cross-variant checksum do not:
 
   $ grep -o '"checksum_ok": 1' flow.json
   "checksum_ok": 1
+
+serve-replay races the streaming service's three regimes — plain feed,
+journaled feed and checkpoint/restore — on one arrival stream.  Timings
+vary; the schema and the cross-run identity checksum do not:
+
+  $ ltc-bench serve-replay --json serve.json > /dev/null
+  $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' serve.json
+  {
+    "BENCH_serve_replay": {"events": _, "tail_events": _, "checkpoint_every": _, "feed_s": _, "feed_journal_s": _, "restore_s": _, "feed_per_s": _, "feed_journal_per_s": _, "replay_per_s": _, "identical": _}
+  }
+
+  $ grep -o '"identical": 1' serve.json
+  "identical": 1

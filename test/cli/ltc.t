@@ -105,7 +105,7 @@ Unknown algorithms are rejected with a helpful message:
   $ ltc run --load wl.inst --algo Astar
   instance{|T|=10, |W|=1000, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
   
-  unknown algorithm "Astar" (try: Base-off, MCF-LTC, Random, LAF, AAM)
+  unknown algorithm "Astar" (try: Base-off, MCF-LTC, Random, LAF, AAM, LGF-only, LRF-only, Nearest, LAF-dyn, AAM-dyn, Random-dyn)
   [1]
 
 Missing and corrupt input files fail cleanly (no backtrace):

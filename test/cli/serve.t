@@ -1,0 +1,69 @@
+Resumable serving: stream a workload's workers as NDJSON arrivals and
+check that a killed-and-resumed session emits exactly the decisions the
+uninterrupted run does.
+
+  $ ltc generate -T 200 -W 20000 --scale 0.05 --seed 3 -o wl.inst
+  instance{|T|=10, |W|=1000, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  saved to wl.inst
+
+The instance file's own worker lines double as the arrival stream (the
+serve command ignores embedded workers; arrivals come from stdin):
+
+  $ awk '/^w /{printf "{\"index\":%d,\"x\":%s,\"y\":%s,\"accuracy\":%s,\"capacity\":%d}\n",$2,$3,$4,$5,$6}' wl.inst > arrivals.ndjson
+  $ wc -l < arrivals.ndjson
+  1000
+
+The uninterrupted run completes at arrival 269 — same point as the batch
+engine in ltc.t — and stops emitting there:
+
+  $ ltc serve --load wl.inst -a LAF --journal full.j --checkpoint-every 64 < arrivals.ndjson > full.out
+  serve: algorithm=LAF consumed=269 (resumed at 0, skipped 0) latency=269 completed=true
+  $ wc -l < full.out
+  269
+  $ tail -1 full.out
+  {"index":269,"assigned":[4],"answered":[4],"completed":true,"latency":269}
+
+Kill the session after 100 arrivals, resume from the journal, and re-pipe
+the whole stream: already-journaled arrivals are skipped, so the two
+outputs concatenate to exactly the uninterrupted run's decisions:
+
+  $ head -100 arrivals.ndjson | ltc serve --load wl.inst -a LAF --journal part.j --checkpoint-every 64 > part1.out
+  serve: algorithm=LAF consumed=100 (resumed at 0, skipped 0) latency=100 completed=false
+  $ ltc serve --resume part.j < arrivals.ndjson > part2.out
+  serve: algorithm=LAF consumed=269 (resumed at 100, skipped 100) latency=269 completed=true
+  $ cat part1.out part2.out | cmp - full.out && echo identical
+  identical
+
+Compaction keeps the journal bounded: after 269 events with snapshots
+every 64, the file holds one snapshot and only the post-snapshot tail:
+
+  $ grep -c '^snapshot$' full.j
+  1
+  $ grep -c '^w ' full.j
+  13
+
+ltc_service_* metrics flow through the shared registry (5 compactions of
+50 events at --checkpoint-every 10):
+
+  $ head -50 arrivals.ndjson | ltc serve --load wl.inst -a LAF --journal m.j --checkpoint-every 10 --metrics m.prom --metrics-format prom > /dev/null
+  serve: algorithm=LAF consumed=50 (resumed at 0, skipped 0) latency=48 completed=false
+  $ grep -o '^ltc_service_[a-z_]*' m.prom | sort -u
+  ltc_service_feed_seconds_bucket
+  ltc_service_feed_seconds_count
+  ltc_service_feed_seconds_sum
+  ltc_service_journal_bytes
+  ltc_service_snapshots_total
+  $ grep '^ltc_service_snapshots_total' m.prom
+  ltc_service_snapshots_total{algo="LAF"} 5
+
+Errors are reported cleanly — serving needs an online policy:
+
+  $ ltc serve --load wl.inst -a NOPE < /dev/null
+  unknown algorithm "NOPE" (try: Base-off, MCF-LTC, Random, LAF, AAM, LGF-only, LRF-only, Nearest, LAF-dyn, AAM-dyn, Random-dyn)
+  [1]
+  $ ltc serve --load wl.inst -a MCF-LTC < /dev/null
+  ltc: invalid argument: Session: MCF-LTC cannot serve an arrival stream (offline or release-scheduled algorithm)
+  [2]
+  $ ltc serve < /dev/null
+  serve needs --load FILE (or --resume PATH)
+  [1]

@@ -146,7 +146,7 @@ let test_engine_presents_workers_in_arrival_order () =
     seen := w.Worker.index :: !seen;
     []
   in
-  let o = Engine.run_policy ~name:"spy" spy_policy i in
+  let o = Engine.run ~name:"spy" spy_policy i in
   let seen = List.rev !seen in
   Alcotest.(check int) "consumed everything (policy never assigns)"
     (Instance.worker_count i) o.Engine.workers_consumed;
@@ -161,7 +161,7 @@ let test_engine_rejects_over_capacity () =
   in
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Engine.run_policy ~name:"bad" greedy_policy i);
+       ignore (Engine.run ~name:"bad" greedy_policy i);
        false
      with Engine.Invalid_decision _ -> true)
 
@@ -170,7 +170,7 @@ let test_engine_rejects_duplicates () =
   let dup_policy _ _ _ _ = [ 0; 0 ] in
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Engine.run_policy ~name:"dup" dup_policy i);
+       ignore (Engine.run ~name:"dup" dup_policy i);
        false
      with Engine.Invalid_decision _ -> true)
 
@@ -187,7 +187,7 @@ let test_engine_rejects_non_candidates () =
   let far_policy _ _ _ _ = [ 1 ] in
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Engine.run_policy ~name:"far" far_policy i_spatial);
+       ignore (Engine.run ~name:"far" far_policy i_spatial);
        false
      with Engine.Invalid_decision _ -> true)
 
@@ -207,7 +207,11 @@ let test_engine_incomplete_when_starved () =
 
 (* -------------------------------------- validity across all algorithms *)
 
-let all_algorithms = Algorithm.all ~seed:4242
+let all_algorithms = Algorithm.paper
+
+(* Registry runs in these suites share one fixed seed; only the Random
+   baselines consume it. *)
+let run_fixed (algo : Algorithm.t) i = algo.run ~seed:4242 i
 
 let test_all_valid_on_random_instances () =
   List.iter
@@ -215,7 +219,7 @@ let test_all_valid_on_random_instances () =
       let i = Fixtures.small_random ~seed () in
       List.iter
         (fun (algo : Algorithm.t) ->
-          let o = algo.run i in
+          let o = run_fixed algo i in
           if not o.Engine.completed then
             Alcotest.failf "%s did not complete (seed %d)" algo.name seed;
           match Arrangement.validate i o.Engine.arrangement with
@@ -236,7 +240,7 @@ let test_latency_never_below_optimal () =
       | Some (opt, _) ->
         List.iter
           (fun (algo : Algorithm.t) ->
-            let o = algo.run i in
+            let o = run_fixed algo i in
             if o.Engine.completed then
               Alcotest.(check bool)
                 (Printf.sprintf "%s >= OPT (seed %d)" algo.name seed)
@@ -254,7 +258,7 @@ let test_theorem2_lower_bound () =
       let low, _ = Bounds.of_instance i in
       List.iter
         (fun (algo : Algorithm.t) ->
-          let o = algo.run i in
+          let o = run_fixed algo i in
           if o.Engine.completed then
             Alcotest.(check bool)
               (Printf.sprintf "%s above Theorem-2 lower bound" algo.name)
@@ -283,8 +287,8 @@ let test_runs_deterministic () =
   let i = Fixtures.small_random ~seed:6 () in
   List.iter
     (fun (algo : Algorithm.t) ->
-      let a = (algo.run i).Engine.latency in
-      let b = (algo.run i).Engine.latency in
+      let a = (run_fixed algo i).Engine.latency in
+      let b = (run_fixed algo i).Engine.latency in
       Alcotest.(check int) (algo.name ^ " deterministic") a b)
     all_algorithms
 
@@ -407,12 +411,12 @@ let test_strategies_complete_and_validate () =
   let i = Fixtures.small_random ~seed:51 () in
   List.iter
     (fun (algo : Algorithm.t) ->
-      let o = algo.run i in
+      let o = run_fixed algo i in
       Alcotest.(check bool) (algo.name ^ " completes") true o.Engine.completed;
       match Arrangement.validate i o.Engine.arrangement with
       | Ok () -> ()
       | Error _ -> Alcotest.failf "%s produced an invalid arrangement" algo.name)
-    [ Strategies.lgf_algorithm; Strategies.lrf_algorithm ]
+    [ Algorithm.lgf; Algorithm.lrf ]
 
 let test_aam_equals_lgf_before_switch () =
   (* While avg >= maxRemain, AAM must make exactly LGF's choices: on the
@@ -507,13 +511,20 @@ let test_flow_lower_bound_empty () =
 
 (* ---------------------------------------------------------------- noshow *)
 
+let noshow_config ~accept_rate ~seed =
+  {
+    Engine.accept_rate = Some accept_rate;
+    rng = Some (Ltc_util.Rng.create ~seed);
+    tracker = None;
+  }
+
 let test_noshow_full_rate_equals_run_policy () =
   let i = Fixtures.small_random ~seed:91 () in
   let a = Laf.run i in
   let b =
-    Engine.run_policy_with_noshow ~name:"LAF" ~accept_rate:1.0
-      ~rng:(Ltc_util.Rng.create ~seed:1)
-      Laf.policy i
+    Engine.run
+      ~config:(noshow_config ~accept_rate:1.0 ~seed:1)
+      ~name:"LAF" Laf.policy i
   in
   Alcotest.(check int) "same latency at q=1" a.Engine.latency b.Engine.latency;
   Alcotest.(check int) "same size" (Arrangement.size a.Engine.arrangement)
@@ -522,9 +533,9 @@ let test_noshow_full_rate_equals_run_policy () =
 let test_noshow_costs_latency () =
   let i = Fixtures.small_random ~seed:92 () in
   let run rate =
-    (Engine.run_policy_with_noshow ~name:"AAM" ~accept_rate:rate
-       ~rng:(Ltc_util.Rng.create ~seed:5)
-       Aam.policy i)
+    (Engine.run
+       ~config:(noshow_config ~accept_rate:rate ~seed:5)
+       ~name:"AAM" Aam.policy i)
       .Engine
       .latency
   in
@@ -535,9 +546,9 @@ let test_noshow_costs_latency () =
 let test_noshow_validates () =
   let i = Fixtures.small_random ~seed:93 () in
   let o =
-    Engine.run_policy_with_noshow ~name:"AAM" ~accept_rate:0.7
-      ~rng:(Ltc_util.Rng.create ~seed:3)
-      Aam.policy i
+    Engine.run
+      ~config:(noshow_config ~accept_rate:0.7 ~seed:3)
+      ~name:"AAM" Aam.policy i
   in
   Alcotest.(check bool) "completed" true o.Engine.completed;
   match Arrangement.validate i o.Engine.arrangement with
@@ -547,13 +558,18 @@ let test_noshow_validates () =
 let test_noshow_invalid_rate () =
   let i = Fixtures.small_random ~seed:94 () in
   Alcotest.check_raises "rate 0"
-    (Invalid_argument
-       "Engine.run_policy_with_noshow: accept_rate must be in (0, 1]")
-    (fun () ->
+    (Invalid_argument "Engine.run: accept_rate must be in (0, 1]") (fun () ->
       ignore
-        (Engine.run_policy_with_noshow ~name:"x" ~accept_rate:0.0
-           ~rng:(Ltc_util.Rng.create ~seed:1)
-           Laf.policy i))
+        (Engine.run
+           ~config:(noshow_config ~accept_rate:0.0 ~seed:1)
+           ~name:"x" Laf.policy i));
+  Alcotest.check_raises "rate without rng"
+    (Invalid_argument "Engine.run: accept_rate requires an rng") (fun () ->
+      ignore
+        (Engine.run
+           ~config:
+             { Engine.accept_rate = Some 0.5; rng = None; tracker = None }
+           ~name:"x" Laf.policy i))
 
 (* --------------------------------------------------- qcheck: whole-stack *)
 
@@ -585,7 +601,7 @@ let prop_algorithms_sound =
       let flow_bound = Feasibility.latency_lower_bound i in
       List.for_all
         (fun (algo : Algorithm.t) ->
-          let o = algo.run i in
+          let o = algo.run ~seed:(seed + 1) i in
           if not o.Engine.completed then true
           else begin
             let valid = Arrangement.validate i o.Engine.arrangement = Ok () in
@@ -600,9 +616,7 @@ let prop_algorithms_sound =
             in
             valid && above_flow_bound && theorem2
           end)
-        (Algorithm.all ~seed:(seed + 1)
-        @ [ Strategies.lgf_algorithm; Strategies.lrf_algorithm;
-            Strategies.nearest_first_algorithm ]))
+        Algorithm.all)
 
 (* ---------------------------------------------------------------- buffered *)
 
@@ -834,7 +848,7 @@ let test_per_task_epsilon_respected_by_algorithms () =
   in
   List.iter
     (fun (algo : Algorithm.t) ->
-      let o = algo.run i in
+      let o = run_fixed algo i in
       Alcotest.(check bool) (algo.name ^ " completes") true o.Engine.completed;
       (match Arrangement.validate i o.Engine.arrangement with
       | Ok () -> ()
@@ -862,14 +876,39 @@ let test_task_epsilon_validation () =
 (* Algorithm registry *)
 
 let test_registry () =
-  Alcotest.(check int) "five algorithms" 5 (List.length all_algorithms);
+  Alcotest.(check int) "five paper algorithms" 5 (List.length Algorithm.paper);
   Alcotest.(check (list string)) "paper order"
     [ "Base-off"; "MCF-LTC"; "Random"; "LAF"; "AAM" ]
-    (List.map (fun (a : Algorithm.t) -> a.name) all_algorithms);
+    (List.map (fun (a : Algorithm.t) -> a.name) Algorithm.paper);
+  Alcotest.(check (list string)) "full registry"
+    [ "Base-off"; "MCF-LTC"; "Random"; "LAF"; "AAM"; "LGF-only"; "LRF-only";
+      "Nearest"; "LAF-dyn"; "AAM-dyn"; "Random-dyn" ]
+    (Algorithm.names ());
   Alcotest.(check bool) "find is case-insensitive" true
-    (match Algorithm.find ~seed:1 "aam" with
+    (match Algorithm.find_opt "aam" with
     | Some a -> a.Algorithm.name = "AAM"
-    | None -> false)
+    | None -> false);
+  Alcotest.(check bool) "find raises with the known names" true
+    (try
+       ignore (Algorithm.find "Astar");
+       false
+     with Invalid_argument msg ->
+       String.length msg > 0
+       && msg.[String.length msg - 1] = ')'
+       && Astring.String.is_infix ~affix:"Nearest" msg);
+  (* Online strategies expose a policy for the streaming service; offline
+     and dynamic-release entries do not. *)
+  List.iter
+    (fun (name, streamable) ->
+      Alcotest.(check bool)
+        (name ^ " streamable")
+        streamable
+        (Option.is_some (Algorithm.find name).Algorithm.policy))
+    [
+      ("Base-off", false); ("MCF-LTC", false); ("Random", true);
+      ("LAF", true); ("AAM", true); ("LGF-only", true); ("LRF-only", true);
+      ("Nearest", true); ("LAF-dyn", false);
+    ]
 
 let suite =
   [

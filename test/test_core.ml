@@ -851,6 +851,69 @@ let prop_serialize_roundtrip =
       && i.Instance.candidate_radius = j.Instance.candidate_radius
       && i.Instance.scoring = j.Instance.scoring)
 
+(* State blocks (progress / arrangement / RNG) must round-trip exactly —
+   the service journal's correctness rests on parse being a left inverse
+   of emit for each of them, bit-for-bit on floats. *)
+
+let prop_progress_roundtrip =
+  QCheck2.Test.make ~name:"progress state round-trips exactly" ~count:200
+    QCheck2.Gen.(
+      let* n_tasks = int_range 1 20 in
+      let* records = list_size (int_range 0 60) (pair (int_range 0 100) (int_range 1 500)) in
+      let* complete_all = bool in
+      return (n_tasks, records, complete_all))
+    (fun (n_tasks, records, complete_all) ->
+      let thresholds =
+        Array.init n_tasks (fun t -> 1.0 +. (float_of_int t /. 7.0))
+      in
+      let p = Progress.create_per_task ~thresholds in
+      List.iter
+        (fun (task, centi) ->
+          Progress.record p ~task:(task mod n_tasks)
+            ~score:(float_of_int centi /. 100.0))
+        records;
+      if complete_all then
+        (* all-tasks-complete edge: sum_remaining pinned at 0 *)
+        for task = 0 to n_tasks - 1 do
+          Progress.record p ~task ~score:10.0
+        done;
+      let q = Serialize.progress_of_string (Serialize.progress_to_string p) in
+      let sp = Progress.snapshot p and sq = Progress.snapshot q in
+      sp.Progress.thresholds = sq.Progress.thresholds
+      && sp.Progress.scores = sq.Progress.scores
+      && sp.Progress.sum_remaining = sq.Progress.sum_remaining
+      && Progress.all_complete p = Progress.all_complete q
+      && (not complete_all || Progress.all_complete q))
+
+let prop_arrangement_roundtrip =
+  QCheck2.Test.make ~name:"arrangement round-trips exactly (incl. empty)"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 80) (pair (int_range 1 50) (int_range 0 30)))
+    (fun pairs ->
+      (* duplicates collapse on add, so compare via to_list *)
+      let a =
+        List.fold_left
+          (fun a (worker, task) -> Arrangement.add a ~worker ~task)
+          Arrangement.empty pairs
+      in
+      let b = Serialize.arrangement_of_string (Serialize.arrangement_to_string a) in
+      Arrangement.to_list a = Arrangement.to_list b
+      && Arrangement.latency a = Arrangement.latency b
+      && Arrangement.size a = Arrangement.size b)
+
+let prop_rng_roundtrip =
+  QCheck2.Test.make ~name:"rng state round-trips and streams agree" ~count:200
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 64))
+    (fun (seed, burn) ->
+      let rng = Ltc_util.Rng.create ~seed in
+      for _ = 1 to burn do
+        ignore (Ltc_util.Rng.bits64 rng)
+      done;
+      let copy = Serialize.rng_of_string (Serialize.rng_to_string rng) in
+      Ltc_util.Rng.state copy = Ltc_util.Rng.state rng
+      && Array.init 8 (fun _ -> Ltc_util.Rng.bits64 copy)
+         = Array.init 8 (fun _ -> Ltc_util.Rng.bits64 rng))
+
 let prop_analysis_invariants =
   QCheck2.Test.make ~name:"analysis invariants on random arrangements"
     ~count:100
@@ -990,6 +1053,9 @@ let suite =
           test_serialize_comments_and_blanks;
         qcheck prop_serialize_roundtrip;
         qcheck prop_serialize_rejects_garbage_without_crashing;
+        qcheck prop_progress_roundtrip;
+        qcheck prop_arrangement_roundtrip;
+        qcheck prop_rng_roundtrip;
       ] );
     ( "core.svg",
       [

@@ -201,7 +201,7 @@ let test_engine_records_metrics () =
   Metrics.reset ();
   let outcome =
     with_obs ~trace:true (fun () ->
-        (Ltc_algo.Algorithm.laf).Ltc_algo.Algorithm.run instance)
+        (Ltc_algo.Algorithm.laf).Ltc_algo.Algorithm.run ~seed:1 instance)
   in
   let arrivals =
     Metrics.counter ~labels:[ ("algo", "LAF") ] "ltc_engine_arrivals_total"

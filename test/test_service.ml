@@ -1,0 +1,340 @@
+(* Ltc_service.Session: engine parity, kill/restore determinism, journal
+   robustness.  The bar is byte-identity — a restored session must be
+   indistinguishable from one that never stopped: same arrangement, same
+   latency, same consumed count, same RNG states. *)
+
+open Ltc_service
+
+let small_instance ?(n_tasks = 8) ?(n_workers = 25) ?(capacity = 3)
+    ?(epsilon = 0.25) ~seed () =
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      Ltc_workload.Spec.n_tasks;
+      n_workers;
+      capacity;
+      epsilon;
+      world_side = 120.0;
+    }
+  in
+  Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed) spec
+
+let arrivals (i : Ltc_core.Instance.t) = Array.to_list i.Ltc_core.Instance.workers
+
+(* Mirror of the session's seed -> (policy, no-show) stream derivation,
+   used to build the Engine.run reference. *)
+let reference_rngs ~seed =
+  let root = Ltc_util.Rng.create ~seed in
+  let policy_rng = Ltc_util.Rng.split root in
+  let noshow_rng = Ltc_util.Rng.split root in
+  (policy_rng, noshow_rng)
+
+let feed_all session ws = List.map (Session.feed session) ws
+
+let fingerprint session =
+  ( Ltc_core.Arrangement.to_list (Session.arrangement session),
+    Session.latency session,
+    Session.consumed session,
+    Session.completed session,
+    Session.rng_states session )
+
+let online_algorithms =
+  [
+    Ltc_algo.Algorithm.laf;
+    Ltc_algo.Algorithm.aam;
+    Ltc_algo.Algorithm.random;
+    Ltc_algo.Algorithm.lgf;
+    Ltc_algo.Algorithm.nearest_first;
+  ]
+
+(* ------------------------------------------------------- engine parity *)
+
+let check_engine_parity ~accept_rate (algo : Ltc_algo.Algorithm.t) =
+  let seed = 1234 in
+  let instance = small_instance ~seed:11 () in
+  let policy_rng, noshow_rng = reference_rngs ~seed in
+  let reference =
+    Ltc_algo.Engine.run
+      ~config:
+        {
+          Ltc_algo.Engine.accept_rate;
+          rng = (if accept_rate = None then None else Some noshow_rng);
+          tracker = None;
+        }
+      ~name:algo.Ltc_algo.Algorithm.name
+      ((Option.get algo.Ltc_algo.Algorithm.policy) policy_rng)
+      instance
+  in
+  let session =
+    Session.create ?accept_rate ~algorithm:algo ~seed instance
+  in
+  ignore (feed_all session (arrivals instance));
+  let label what = Printf.sprintf "%s %s" algo.Ltc_algo.Algorithm.name what in
+  Alcotest.(check (list (pair int int)))
+    (label "arrangement")
+    (Ltc_core.Arrangement.to_list reference.Ltc_algo.Engine.arrangement
+      |> List.map (fun a ->
+             (a.Ltc_core.Arrangement.worker, a.Ltc_core.Arrangement.task)))
+    (Ltc_core.Arrangement.to_list (Session.arrangement session)
+      |> List.map (fun a ->
+             (a.Ltc_core.Arrangement.worker, a.Ltc_core.Arrangement.task)));
+  Alcotest.(check int)
+    (label "latency") reference.Ltc_algo.Engine.latency (Session.latency session);
+  Alcotest.(check int)
+    (label "consumed") reference.Ltc_algo.Engine.workers_consumed
+    (Session.consumed session);
+  Alcotest.(check bool)
+    (label "completed") reference.Ltc_algo.Engine.completed
+    (Session.completed session)
+
+let test_feed_matches_engine () =
+  List.iter (check_engine_parity ~accept_rate:None) online_algorithms
+
+let test_feed_matches_engine_noshow () =
+  List.iter (check_engine_parity ~accept_rate:(Some 0.7)) online_algorithms
+
+(* --------------------------------------------- kill/restore determinism *)
+
+let with_tmp_journal f =
+  let path = Filename.temp_file "ltc_service_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Kill at EVERY arrival index: run k events into a journal, abandon the
+   session (no close — crash semantics), restore, feed the rest, and
+   demand the full fingerprint of the uninterrupted run. *)
+let check_kill_restore_everywhere ~accept_rate ~checkpoint_every algo =
+  let seed = 77 in
+  let instance = small_instance ~seed:23 () in
+  let ws = arrivals instance in
+  let uninterrupted =
+    let s = Session.create ?accept_rate ~algorithm:algo ~seed instance in
+    ignore (feed_all s ws);
+    fingerprint s
+  in
+  let n = List.length ws in
+  for k = 0 to n do
+    with_tmp_journal @@ fun path ->
+    let s =
+      Session.create ?accept_rate ~journal:path ~checkpoint_every
+        ~algorithm:algo ~seed instance
+    in
+    List.iteri (fun j w -> if j < k then ignore (Session.feed s w)) ws;
+    (* no close: the journal must already be complete on disk *)
+    let s' = Session.restore ~path () in
+    Alcotest.(check int)
+      (Printf.sprintf "consumed after restore at %d" k)
+      k (Session.consumed s');
+    List.iteri (fun j w -> if j >= k then ignore (Session.feed s' w)) ws;
+    Session.close s';
+    if fingerprint s' <> uninterrupted then
+      Alcotest.failf "%s: restore at arrival %d diverges from the \
+                      uninterrupted run"
+        algo.Ltc_algo.Algorithm.name k
+  done
+
+let test_kill_restore_everywhere () =
+  check_kill_restore_everywhere ~accept_rate:None ~checkpoint_every:4
+    Ltc_algo.Algorithm.laf;
+  check_kill_restore_everywhere ~accept_rate:None ~checkpoint_every:4
+    Ltc_algo.Algorithm.random
+
+let test_kill_restore_everywhere_noshow () =
+  check_kill_restore_everywhere ~accept_rate:(Some 0.6) ~checkpoint_every:4
+    Ltc_algo.Algorithm.laf;
+  check_kill_restore_everywhere ~accept_rate:(Some 0.6) ~checkpoint_every:4
+    Ltc_algo.Algorithm.random
+
+let prop_kill_restore =
+  QCheck2.Test.make ~name:"kill/restore reproduces the uninterrupted run"
+    ~count:60
+    QCheck2.Gen.(
+      let* iseed = int_range 0 10_000 in
+      let* seed = int_range 0 10_000 in
+      let* algo = int_range 0 (List.length online_algorithms - 1) in
+      let* kill = int_range 0 25 in
+      let* checkpoint_every = int_range 1 9 in
+      let* noshow = bool in
+      return (iseed, seed, algo, kill, checkpoint_every, noshow))
+    (fun (iseed, seed, algo, kill, checkpoint_every, noshow) ->
+      let algo = List.nth online_algorithms algo in
+      let accept_rate = if noshow then Some 0.65 else None in
+      let instance = small_instance ~seed:iseed () in
+      let ws = arrivals instance in
+      let uninterrupted =
+        let s = Session.create ?accept_rate ~algorithm:algo ~seed instance in
+        ignore (feed_all s ws);
+        fingerprint s
+      in
+      with_tmp_journal @@ fun path ->
+      let s =
+        Session.create ?accept_rate ~journal:path ~checkpoint_every
+          ~algorithm:algo ~seed instance
+      in
+      List.iteri (fun j w -> if j < kill then ignore (Session.feed s w)) ws;
+      let s' = Session.restore ~path () in
+      List.iteri (fun j w -> if j >= kill then ignore (Session.feed s' w)) ws;
+      Session.close s';
+      fingerprint s' = uninterrupted)
+
+(* A torn tail — the file cut off mid-record, as a crash during an append
+   would leave it — must never lose acknowledged prefix state silently:
+   restore succeeds at some consumed <= k and re-feeding the stream from
+   the start converges to the uninterrupted fingerprint. *)
+let test_truncated_journal_recovers () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let seed = 5 in
+  let instance = small_instance ~seed:31 () in
+  let ws = arrivals instance in
+  let uninterrupted =
+    let s = Session.create ~algorithm:algo ~seed instance in
+    ignore (feed_all s ws);
+    fingerprint s
+  in
+  with_tmp_journal @@ fun path ->
+  let s =
+    Session.create ~journal:path ~checkpoint_every:6 ~algorithm:algo ~seed
+      instance
+  in
+  let k = 17 in
+  List.iteri (fun j w -> if j < k then ignore (Session.feed s w)) ws;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  (* Header size = a journal with zero events. *)
+  let header_len =
+    with_tmp_journal @@ fun p ->
+    Session.close (Session.create ~journal:p ~algorithm:algo ~seed instance);
+    String.length (In_channel.with_open_bin p In_channel.input_all)
+  in
+  let cuts = [ 1; 5; 13; 40; 120; String.length full - header_len ] in
+  List.iter
+    (fun cut ->
+      if cut >= 1 && String.length full - cut >= header_len then begin
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc
+              (String.sub full 0 (String.length full - cut)));
+        let s' = Session.restore ~path () in
+        if Session.consumed s' > k then
+          Alcotest.failf "restore invented arrivals (cut=%d)" cut;
+        List.iteri
+          (fun j w ->
+            if j >= Session.consumed s' then ignore (Session.feed s' w))
+          ws;
+        Session.close s';
+        Alcotest.(check bool)
+          (Printf.sprintf "fingerprint after cut=%d" cut)
+          true
+          (fingerprint s' = uninterrupted)
+      end)
+    cuts
+
+(* Compaction keeps recovery bounded: the on-disk journal never holds more
+   than checkpoint_every events, however many were fed. *)
+let test_compaction_bounds_journal () =
+  let algo = Ltc_algo.Algorithm.random in
+  let instance = small_instance ~n_tasks:40 ~n_workers:120 ~seed:3 () in
+  with_tmp_journal @@ fun path ->
+  let s =
+    Session.create ~journal:path ~checkpoint_every:8 ~algorithm:algo ~seed:1
+      instance
+  in
+  ignore (feed_all s (arrivals instance));
+  Session.close s;
+  let events = ref 0 and snapshots = ref 0 in
+  In_channel.with_open_text path (fun ic ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.length line >= 2 && String.sub line 0 2 = "w " then
+            incr events
+          else if line = "snapshot" then incr snapshots
+        done
+      with End_of_file -> ());
+  Alcotest.(check bool) "at most checkpoint_every events on disk" true
+    (!events <= 8);
+  Alcotest.(check int) "exactly one snapshot after compaction" 1 !snapshots
+
+(* ------------------------------------------------------------ contracts *)
+
+let test_create_validation () =
+  let instance = small_instance ~seed:2 () in
+  Alcotest.check_raises "offline algorithm rejected"
+    (Invalid_argument
+       "Session: MCF-LTC cannot serve an arrival stream (offline or \
+        release-scheduled algorithm)") (fun () ->
+      ignore
+        (Session.create ~algorithm:Ltc_algo.Algorithm.mcf_ltc ~seed:1 instance));
+  Alcotest.check_raises "accept_rate 0 rejected"
+    (Invalid_argument "Session.create: accept_rate must be in (0, 1]")
+    (fun () ->
+      ignore
+        (Session.create ~accept_rate:0.0 ~algorithm:Ltc_algo.Algorithm.laf
+           ~seed:1 instance));
+  Alcotest.check_raises "checkpoint_every 0 rejected"
+    (Invalid_argument "Session.create: checkpoint_every must be >= 1")
+    (fun () ->
+      ignore
+        (Session.create ~checkpoint_every:0 ~algorithm:Ltc_algo.Algorithm.laf
+           ~seed:1 instance))
+
+let test_feed_contracts () =
+  let instance = small_instance ~seed:2 () in
+  let s = Session.create ~algorithm:Ltc_algo.Algorithm.laf ~seed:1 instance in
+  let w3 = instance.Ltc_core.Instance.workers.(2) in
+  Alcotest.check_raises "gap rejected"
+    (Invalid_argument "Session.feed: expected arrival 1, got 3") (fun () ->
+      ignore (Session.feed s w3));
+  (* drive to completion on an easy instance, then keep feeding *)
+  let easy = small_instance ~n_tasks:2 ~n_workers:40 ~epsilon:0.4 ~seed:9 () in
+  let s = Session.create ~algorithm:Ltc_algo.Algorithm.laf ~seed:1 easy in
+  ignore (feed_all s (arrivals easy));
+  Alcotest.(check bool) "completed" true (Session.completed s);
+  let consumed = Session.consumed s in
+  let states = Session.rng_states s in
+  let extra =
+    Ltc_core.Worker.make ~index:999
+      ~loc:(Ltc_geo.Point.make ~x:1.0 ~y:1.0)
+      ~accuracy:0.9 ~capacity:2
+  in
+  let d = Session.feed s extra in
+  Alcotest.(check (list int)) "post-completion assigns nothing" []
+    d.Session.assigned;
+  Alcotest.(check bool) "post-completion ack is completed" true
+    d.Session.completed;
+  Alcotest.(check int) "post-completion consumes nothing" consumed
+    (Session.consumed s);
+  Alcotest.(check bool) "post-completion draws no rng" true
+    (states = Session.rng_states s);
+  Session.close s;
+  Alcotest.check_raises "feed after close"
+    (Invalid_argument "Session.feed: session is closed") (fun () ->
+      ignore (Session.feed s extra))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "service.parity",
+      [
+        Alcotest.test_case "feed == Engine.run" `Quick test_feed_matches_engine;
+        Alcotest.test_case "feed == Engine.run under no-show" `Quick
+          test_feed_matches_engine_noshow;
+      ] );
+    ( "service.restore",
+      [
+        Alcotest.test_case "kill/restore at every arrival" `Slow
+          test_kill_restore_everywhere;
+        Alcotest.test_case "kill/restore at every arrival (no-show)" `Slow
+          test_kill_restore_everywhere_noshow;
+        qcheck prop_kill_restore;
+        Alcotest.test_case "torn tail recovers" `Quick
+          test_truncated_journal_recovers;
+        Alcotest.test_case "compaction bounds the journal" `Quick
+          test_compaction_bounds_journal;
+      ] );
+    ( "service.contracts",
+      [
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "feed contracts" `Quick test_feed_contracts;
+      ] );
+  ]
