@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow bench-serve serve-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve serve-smoke chaos-smoke fmt check clean
 
 all: build
 
@@ -27,6 +27,9 @@ bench-smoke:
 # uninterrupted run.  Runs under `dune runtest` (and thus @check) too.
 serve-smoke:
 	dune build @serve-smoke
+
+chaos-smoke:
+	dune build @chaos-smoke
 
 # Min-cost-flow hot path: cold per-batch solves vs the reused
 # arena/workspace with DAG-layer and warm-started potentials.  Refreshes

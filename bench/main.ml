@@ -364,6 +364,94 @@ let run_serve_replay () =
       (per_s tail_events restore_s)
       (if identical then 1 else 0) )
 
+(* --------------------------------------------------- chaos-replay micro *)
+
+(* Fault-tolerance overhead: one full Chaos.run pass — baseline, then the
+   same stream under a scripted fault plan with kill/restore at every
+   injected crash — timed end to end.  The identical flag asserts the
+   surviving stream matched the baseline; a 0 here is a correctness
+   regression, not a performance one. *)
+let chaos_replay_id = "chaos-replay"
+
+let run_chaos_replay () =
+  print_endline "### chaos-replay — kill/restore survival cost\n";
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      Ltc_workload.Spec.n_tasks = 500;
+      n_workers = 1500;
+      capacity = 2;
+    }
+  in
+  let instance =
+    Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed:11) spec
+  in
+  let n_events = Array.length instance.Ltc_core.Instance.workers in
+  let algorithm = Ltc_algo.Algorithm.laf in
+  let seed = 42 in
+  let checkpoint_every = 64 in
+  let plan =
+    Ltc_util.Fault.plan ~crashes:6 ~io_errors:4 ~torn_writes:4 ~delays:4
+      ~horizon:300 ~seed:29
+      ~sites:
+        [
+          "journal.header"; "journal.append.fsync";
+          "journal.checkpoint.fsync"; "journal.checkpoint.rename";
+          "journal.checkpoint.dir";
+        ]
+      ~write_sites:[ "journal.append"; "journal.checkpoint.write" ]
+      ~delay_sites:[ "session.decide" ] ()
+  in
+  let journal = Filename.temp_file "ltc_bench_chaos" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+  @@ fun () ->
+  let pass () =
+    Ltc_service.Chaos.run ~checkpoint_every ~plan ~algorithm ~seed ~journal
+      instance
+  in
+  ignore (pass ());
+  (* warmup *)
+  let reps = 3 in
+  let report = ref (pass ()) in
+  let (), dt =
+    Ltc_util.Timer.time (fun () ->
+        for _ = 1 to reps do
+          report := pass ()
+        done)
+  in
+  let chaos_s = dt /. float_of_int reps in
+  let r = !report in
+  let per_s = if chaos_s > 0.0 then float_of_int n_events /. chaos_s else 0.0 in
+  Printf.printf
+    "%d arrivals, checkpoint every %d, %d scripted faults; kills %d, \
+     restores %d\n"
+    n_events checkpoint_every (List.length plan) r.Ltc_service.Chaos.crashes
+    r.Ltc_service.Chaos.restores;
+  Printf.printf "checksum: %s\n\n"
+    (if r.Ltc_service.Chaos.identical then
+       "surviving stream identical to fault-free baseline"
+     else "STREAMS DIVERGED");
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "variant"; "time/pass (ms)"; "arrivals/s" ]
+    [
+      [
+        Ltc_util.Table.Str "chaos (baseline + faulted + restores)";
+        Ltc_util.Table.Float (1000.0 *. chaos_s);
+        Ltc_util.Table.Float per_s;
+      ];
+    ];
+  print_newline ();
+  ( "BENCH_chaos_replay",
+    Printf.sprintf
+      "{\"arrivals\": %d, \"checkpoint_every\": %d, \"plan_faults\": %d, \
+       \"kills\": %d, \"restores\": %d, \"degraded\": %d, \"chaos_s\": \
+       %.6f, \"arrivals_per_s\": %.1f, \"identical\": %d}"
+      n_events checkpoint_every (List.length plan)
+      r.Ltc_service.Chaos.crashes r.Ltc_service.Chaos.restores
+      r.Ltc_service.Chaos.degraded chaos_s per_s
+      (if r.Ltc_service.Chaos.identical then 1 else 0) )
+
 (* ------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -513,6 +601,11 @@ let list_experiments () =
           Ltc_util.Table.Str "journaled feed and checkpoint/restore costs";
           Ltc_util.Table.Float 1.0;
         ];
+        [
+          Ltc_util.Table.Str chaos_replay_id;
+          Ltc_util.Table.Str "kill/restore survival under scripted faults";
+          Ltc_util.Table.Float 1.0;
+        ];
       ]
   in
   Ltc_util.Table.print ~float_digits:2
@@ -540,13 +633,16 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
     let scale = if full then Some 1.0 else scale in
     let reps = if full && reps = 3 then 30 else reps in
     let ids =
-      if ids = [] then Figures.ids () @ [ "micro"; flow_batch_id; serve_replay_id ]
+      if ids = [] then
+        Figures.ids ()
+        @ [ "micro"; flow_batch_id; serve_replay_id; chaos_replay_id ]
       else ids
     in
     let unknown =
       List.filter
         (fun id ->
           id <> "micro" && id <> flow_batch_id && id <> serve_replay_id
+          && id <> chaos_replay_id
           && Figures.find id = None)
         ids
     in
@@ -568,6 +664,7 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
             end
             else if id = flow_batch_id then Some (run_flow_batch ())
             else if id = serve_replay_id then Some (run_serve_replay ())
+            else if id = chaos_replay_id then Some (run_chaos_replay ())
             else
               match Figures.find id with
               | Some e ->

@@ -602,77 +602,126 @@ let example_cmd =
    consumed index are skipped silently, which makes resumption idempotent:
    re-piping the whole stream after `--resume` emits exactly the decisions
    the interrupted run still owed. *)
-let serve_stream session =
+let serve_stream ~on_bad_input session =
   let consumed_at_start = Ltc_service.Session.consumed session in
   let skipped = ref 0 in
+  let bad = ref 0 in
+  let m_bad =
+    Ltc_util.Metrics.counter
+      ~help:"malformed arrival lines dropped by --on-bad-input=skip"
+      ~labels:[ ("algo", Ltc_service.Session.algorithm_name session) ]
+      "ltc_service_bad_input_total"
+  in
+  (* Raw input position (blank lines included), so diagnostics point at
+     the line an operator would find with sed -n '<N>p'. *)
+  let line_no = ref 0 in
   let rec loop () =
     match input_line stdin with
     | exception End_of_file -> ()
-    | line when String.trim line = "" -> loop ()
     | line ->
-      let w = Ltc_service.Ndjson.arrival_of_line line in
-      if w.Ltc_core.Worker.index <= Ltc_service.Session.consumed session then begin
-        incr skipped;
-        loop ()
-      end
+      incr line_no;
+      if String.trim line = "" then loop ()
       else begin
-        let d = Ltc_service.Session.feed session w in
-        print_string
-          (Ltc_service.Ndjson.decision_to_line
-             ~worker:d.Ltc_service.Session.worker
-             ~assigned:d.Ltc_service.Session.assigned
-             ~answered:d.Ltc_service.Session.answered
-             ~completed:d.Ltc_service.Session.completed
-             ~latency:d.Ltc_service.Session.latency);
-        print_newline ();
-        flush stdout;
-        (* Stop at completion: the batch loop consumes nothing past it, so
-           acknowledging further arrivals would only differ between an
-           uninterrupted run and a resumed one. *)
-        if not d.Ltc_service.Session.completed then loop ()
+        match Ltc_service.Ndjson.arrival_exn ~line:!line_no line with
+        | exception Ltc_service.Ndjson.Bad_input { line; text; reason }
+          when on_bad_input = `Skip ->
+          incr bad;
+          Ltc_util.Metrics.Counter.incr m_bad;
+          Format.eprintf "serve: dropping bad input at line %d: %s: %S@."
+            line reason text;
+          loop ()
+        | w ->
+          if w.Ltc_core.Worker.index <= Ltc_service.Session.consumed session
+          then begin
+            incr skipped;
+            loop ()
+          end
+          else begin
+            let d = Ltc_service.Session.feed session w in
+            print_string
+              (Ltc_service.Ndjson.decision_to_line
+                 ~degraded:d.Ltc_service.Session.degraded
+                 ~worker:d.Ltc_service.Session.worker
+                 ~assigned:d.Ltc_service.Session.assigned
+                 ~answered:d.Ltc_service.Session.answered
+                 ~completed:d.Ltc_service.Session.completed
+                 ~latency:d.Ltc_service.Session.latency ());
+            print_newline ();
+            flush stdout;
+            (* Stop at completion: the batch loop consumes nothing past
+               it, so acknowledging further arrivals would only differ
+               between an uninterrupted run and a resumed one. *)
+            if not d.Ltc_service.Session.completed then loop ()
+          end
       end
   in
   loop ();
   Format.eprintf "serve: algorithm=%s consumed=%d (resumed at %d, skipped \
-                  %d) latency=%d completed=%b@."
+                  %d, bad %d) latency=%d completed=%b@."
     (Ltc_service.Session.algorithm_name session)
     (Ltc_service.Session.consumed session)
-    consumed_at_start !skipped
+    consumed_at_start !skipped !bad
     (Ltc_service.Session.latency session)
     (Ltc_service.Session.completed session)
 
+let die fmt =
+  Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt
+
+let resolve_algorithm name =
+  match Ltc_algo.Algorithm.find_opt name with
+  | Some a -> a
+  | None ->
+    die "unknown algorithm %S (try: %s)" name
+      (String.concat ", " (Ltc_algo.Algorithm.names ()))
+
+let resolve_deadline deadline_s fallback_name =
+  match (deadline_s, fallback_name) with
+  | None, None -> None
+  | None, Some _ -> die "--fallback only makes sense with --deadline"
+  | Some budget_s, name ->
+    let fallback = resolve_algorithm (Option.value name ~default:"Nearest") in
+    Some { Ltc_service.Session.budget_s; fallback }
+
 let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    resume log_levels metrics metrics_format =
+    resume fsync deadline_s fallback_name on_bad_input log_levels metrics
+    metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
   let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt in
+  let fresh ~journal () =
+    let load =
+      match load with
+      | Some p -> p
+      | None -> fail "serve needs --load FILE (or --resume PATH)"
+    in
+    let algorithm =
+      match algo_name with
+      | None -> fail "serve needs --algorithm NAME (or --resume PATH)"
+      | Some name -> resolve_algorithm name
+    in
+    let deadline = resolve_deadline deadline_s fallback_name in
+    let instance = Ltc_core.Serialize.load_instance ~path:load in
+    Ltc_service.Session.create ?accept_rate ?deadline ?journal
+      ~checkpoint_every ~fsync ~algorithm ~seed instance
+  in
   let session =
     match resume with
+    | Some path when Ltc_service.Session.is_empty_journal path ->
+      (* The journaled run died before its header became durable, so there
+         is nothing to restore — start over into the same file. *)
+      Format.eprintf "serve: journal %s is empty; starting a fresh session@."
+        path;
+      fresh ~journal:(Some (Option.value journal ~default:path)) ()
     | Some path ->
       if load <> None || algo_name <> None then
         fail "--resume restores the instance and algorithm from the journal; \
               drop --load/--algorithm";
-      Ltc_service.Session.restore ?journal ~path ()
-    | None ->
-      let load =
-        match load with
-        | Some p -> p
-        | None -> fail "serve needs --load FILE (or --resume PATH)"
-      in
-      let algorithm =
-        match algo_name with
-        | None -> fail "serve needs --algorithm NAME (or --resume PATH)"
-        | Some name -> (
-          match Ltc_algo.Algorithm.find_opt name with
-          | Some a -> a
-          | None ->
-            fail "unknown algorithm %S (try: %s)" name
-              (String.concat ", " (Ltc_algo.Algorithm.names ())))
-      in
-      let instance = Ltc_core.Serialize.load_instance ~path:load in
-      Ltc_service.Session.create ?accept_rate ?journal
-        ~checkpoint_every ~algorithm ~seed instance
+      if deadline_s <> None || fallback_name <> None then
+        fail "--resume restores the deadline from the journal; drop \
+              --deadline/--fallback";
+      Ltc_service.Session.restore ?journal ~fsync ~path ()
+    | None -> fresh ~journal ()
   in
-  serve_stream session;
+  serve_stream ~on_bad_input session;
   Ltc_service.Session.close session;
   write_snapshot ~metrics ~metrics_format;
   0
@@ -712,14 +761,180 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "resume" ] ~docv:"PATH"
              ~doc:"Restore the session from a journal before reading \
-                   stdin; arrivals already journaled are skipped.")
+                   stdin; arrivals already journaled are skipped.  An \
+                   empty (zero-byte) journal starts a fresh session \
+                   instead — supply --load/--algorithm for that case.")
+  in
+  let fsync =
+    Arg.(value & flag
+         & info [ "fsync" ]
+             ~doc:"fsync the journal after every event, not only at \
+                   checkpoints — survives power loss, not just crashes.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-arrival solve budget; an arrival whose decision \
+                   takes longer is re-decided by the fallback algorithm \
+                   and marked \"degraded\" on the wire.")
+  in
+  let fallback =
+    Arg.(value & opt (some string) None
+         & info [ "fallback" ] ~docv:"NAME"
+             ~doc:"Algorithm that decides deadline-missing arrivals \
+                   (default Nearest).  Requires --deadline.")
+  in
+  let on_bad_input =
+    Arg.(value
+         & opt (enum [ ("fail", `Fail); ("skip", `Skip) ]) `Fail
+         & info [ "on-bad-input" ] ~docv:"fail|skip"
+             ~doc:"What a malformed arrival line does: $(b,fail) (default) \
+                   stops the stream with a structured error naming the \
+                   line; $(b,skip) drops the line, warns on stderr and \
+                   bumps ltc_service_bad_input_total.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"serve an NDJSON arrival stream with a resumable session")
     Term.(
       const serve_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
-      $ checkpoint_every $ resume $ log_arg $ metrics_arg $ metrics_format_arg)
+      $ checkpoint_every $ resume $ fsync $ deadline $ fallback
+      $ on_bad_input $ log_arg $ metrics_arg $ metrics_format_arg)
+
+(* ---------------------------------------------------------- chaos command *)
+
+(* Replay a workload under a seeded fault plan, killing and restoring the
+   session at every injected crash, and diff the surviving decision stream
+   against the fault-free baseline (Ltc_service.Chaos).  Exit 0 iff the
+   streams are identical. *)
+let chaos_cmd =
+  let impl load algo_name seed accept_rate fault_seed crashes io_errors
+      torn_writes delays horizon checkpoint_every journal deadline_s
+      fallback_name log_levels =
+    setup_observability ~verbose:false ~log_levels ~metrics:None;
+    let algorithm = resolve_algorithm algo_name in
+    let deadline = resolve_deadline deadline_s fallback_name in
+    let instance = Ltc_core.Serialize.load_instance ~path:load in
+    let plan =
+      Ltc_util.Fault.plan ~crashes ~io_errors ~torn_writes ~delays ~horizon
+        ~seed:fault_seed
+        ~sites:
+          [
+            "journal.header"; "journal.append.fsync";
+            "journal.checkpoint.fsync"; "journal.checkpoint.rename";
+            "journal.checkpoint.dir";
+          ]
+        ~write_sites:[ "journal.append"; "journal.checkpoint.write" ]
+        ~delay_sites:[ "session.decide" ] ()
+    in
+    let journal_path, cleanup =
+      match journal with
+      | Some p -> (p, fun () -> ())
+      | None ->
+        let p = Filename.temp_file "ltc-chaos" ".journal" in
+        (p, fun () -> try Sys.remove p with Sys_error _ -> ())
+    in
+    let report =
+      Fun.protect ~finally:cleanup (fun () ->
+          Ltc_service.Chaos.run ?accept_rate ?deadline ~checkpoint_every
+            ~plan ~algorithm ~seed ~journal:journal_path instance)
+    in
+    let open Ltc_service.Chaos in
+    Format.printf "chaos: algorithm=%s arrivals=%d seed=%d fault-seed=%d@."
+      algorithm.Ltc_algo.Algorithm.name report.arrivals seed fault_seed;
+    Format.printf
+      "chaos: plan: %d crashes, %d io-errors, %d torn-writes, %d delays \
+       (horizon %d)@."
+      crashes io_errors torn_writes delays horizon;
+    Format.printf
+      "chaos: fired: crashes=%d io-errors=%d torn-writes=%d delays=%d@."
+      report.stats.Ltc_util.Fault.crashes
+      report.stats.Ltc_util.Fault.io_errors
+      report.stats.Ltc_util.Fault.torn_writes
+      report.stats.Ltc_util.Fault.delays;
+    Format.printf "chaos: kills=%d restores=%d degraded=%d@." report.crashes
+      report.restores report.degraded;
+    if report.identical then begin
+      Format.printf "chaos: decision stream identical to fault-free \
+                     baseline@.";
+      0
+    end
+    else begin
+      Format.printf "chaos: DIVERGED: %s@."
+        (Option.value report.divergence ~default:"(no detail)");
+      1
+    end
+  in
+  let load =
+    Arg.(required & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Instance file written by $(b,ltc generate); its \
+                   embedded workers are the arrival stream.")
+  in
+  let algo =
+    Arg.(required & opt (some string) None
+         & info [ "algorithm"; "a" ] ~docv:"NAME"
+             ~doc:"Online algorithm under test.")
+  in
+  let accept_rate =
+    Arg.(value & opt (some float) None
+         & info [ "accept-rate" ] ~docv:"Q"
+             ~doc:"Simulate no-shows with probability 1-$(docv), exactly \
+                   as $(b,ltc serve).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 11
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed for the fault plan (independent of the session \
+                   seed).")
+  in
+  let n_of name ~default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let crashes = n_of "crashes" ~default:3 "Scripted crash faults." in
+  let io_errors =
+    n_of "io-errors" ~default:2 "Scripted transient I/O faults."
+  in
+  let torn_writes =
+    n_of "torn-writes" ~default:2 "Scripted torn (partial) writes."
+  in
+  let delays = n_of "delays" ~default:2 "Scripted solver slowdowns." in
+  let horizon =
+    n_of "horizon" ~default:30
+      "Faults fire within the first N visits of their site."
+  in
+  let checkpoint_every =
+    n_of "checkpoint-every" ~default:8
+      "Compact the journal every N events (small values exercise the \
+       compaction fault sites)."
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Journal path for the chaos run (default: a temp file, \
+                   deleted afterwards).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Enable deadline degradation during the runs.  Injected \
+                   delays then change decisions (in both runs alike), and \
+                   byte-identity is only guaranteed while no crash forces \
+                   an arrival to be re-decided.")
+  in
+  let fallback =
+    Arg.(value & opt (some string) None
+         & info [ "fallback" ] ~docv:"NAME"
+             ~doc:"Deadline fallback algorithm (default Nearest).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"replay a workload under scripted faults and verify the \
+             decision stream survives kill/restore byte-identically")
+    Term.(
+      const impl $ load $ algo $ seed_arg $ accept_rate $ fault_seed
+      $ crashes $ io_errors $ torn_writes $ delays $ horizon
+      $ checkpoint_every $ journal $ deadline $ fallback $ log_arg)
 
 let main =
   let doc = "latency-oriented task completion via spatial crowdsourcing" in
@@ -727,7 +942,7 @@ let main =
     (Cmd.info "ltc" ~doc ~version:"1.0.0")
     [
       run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd;
-      serve_cmd;
+      serve_cmd; chaos_cmd;
     ]
 
 (* Turn expected failures (missing files, corrupt inputs, bad parameters)
@@ -743,6 +958,9 @@ let () =
     exit 2
   | exception Ltc_service.Ndjson.Malformed message ->
     Format.eprintf "ltc: bad NDJSON event: %s@." message;
+    exit 2
+  | exception Ltc_service.Ndjson.Bad_input { line; text; reason } ->
+    Format.eprintf "ltc: bad input at line %d: %s: %S@." line reason text;
     exit 2
   | exception Ltc_service.Session.Corrupt_journal { path; message } ->
     Format.eprintf "ltc: corrupt journal %s: %s@." path message;

@@ -4,10 +4,16 @@ type telemetry = {
   decisions : int;
   decision_seconds_total : float;
   decision_seconds_max : float;
+  degraded : int;
 }
 
 let no_telemetry =
-  { decisions = 0; decision_seconds_total = 0.0; decision_seconds_max = 0.0 }
+  {
+    decisions = 0;
+    decision_seconds_total = 0.0;
+    decision_seconds_max = 0.0;
+    degraded = 0;
+  }
 
 type outcome = {
   name : string;
@@ -69,9 +75,21 @@ let stop_counter name reason =
     ~labels:[ ("algo", name); ("reason", reason) ]
     "ltc_engine_stops_total"
 
+type degrade = {
+  budget_s : float;
+  fallback_name : string;
+  fallback : policy;
+}
+
+let degraded_counter name fallback_name =
+  Ltc_util.Metrics.counter
+    ~help:"arrivals decided by the fallback after a deadline miss"
+    ~labels:[ ("algo", name); ("fallback", fallback_name) ]
+    "ltc_engine_degraded_total"
+
 (* Shared driver: [answered w task] decides whether an assignment actually
    produces an answer (always true in the paper's model). *)
-let drive ~name ~answered ?tracker policy instance =
+let drive ~name ~answered ?tracker ?degrade policy instance =
   Ltc_util.Trace.with_span ("engine:" ^ name) @@ fun () ->
   let m_arrivals, m_assignments, m_decision, m_per_arrival =
     engine_metrics name
@@ -86,16 +104,41 @@ let drive ~name ~answered ?tracker policy instance =
   in
   Ltc_util.Mem.Tracker.set_baseline_words tracker (Progress.memory_words progress);
   let decide = policy instance tracker progress in
+  (* The deadline machinery is instantiated once per run: the fallback
+     policy shares the engine-owned progress/tracker, so a degraded
+     arrival sees exactly the state the fallback algorithm would see had
+     it been running standalone up to the same progress. *)
+  let degrade =
+    Option.map
+      (fun d ->
+        if d.budget_s <= 0.0 then
+          invalid_arg "Engine.run: deadline budget must be > 0";
+        (d, d.fallback instance tracker progress,
+         degraded_counter name d.fallback_name))
+      degrade
+  in
   let arrangement = ref Arrangement.empty in
   let consumed = ref 0 in
   let workers = instance.Instance.workers in
   let n = Array.length workers in
   (* Clock reads are gated on the registry switch: two gettimeofday calls
-     per arrival would be measurable against sub-microsecond decisions. *)
+     per arrival would be measurable against sub-microsecond decisions.
+     A configured deadline needs the clock unconditionally — but then the
+     caller opted into per-arrival measurement anyway.  Deadline reads go
+     through Fault.Clock so tests and the chaos harness can virtualise
+     time (and inject solver slowdowns) deterministically. *)
   let timing = Ltc_util.Metrics.enabled () in
   let decisions = ref 0 in
   let dt_total = ref 0.0 in
   let dt_max = ref 0.0 in
+  let n_degraded = ref 0 in
+  let observe dt =
+    if timing then begin
+      dt_total := !dt_total +. dt;
+      if dt > !dt_max then dt_max := dt;
+      Ltc_util.Metrics.Histogram.observe m_decision dt
+    end
+  in
   let i = ref 0 in
   while (not (Progress.all_complete progress)) && !i < n do
     let w = workers.(!i) in
@@ -103,16 +146,33 @@ let drive ~name ~answered ?tracker policy instance =
     incr consumed;
     incr decisions;
     let tasks =
-      if not timing then decide w
-      else begin
-        let t0 = Ltc_util.Timer.start () in
+      match degrade with
+      | None ->
+        if not timing then decide w
+        else begin
+          let t0 = Ltc_util.Timer.start () in
+          let tasks = decide w in
+          observe (Ltc_util.Timer.elapsed_s t0);
+          tasks
+        end
+      | Some (d, fallback_decide, m_degraded) ->
+        let t0 = Ltc_util.Fault.Clock.now_s () in
         let tasks = decide w in
-        let dt = Ltc_util.Timer.elapsed_s t0 in
-        dt_total := !dt_total +. dt;
-        if dt > !dt_max then dt_max := dt;
-        Ltc_util.Metrics.Histogram.observe m_decision dt;
-        tasks
-      end
+        Ltc_util.Fault.check "engine.decide";
+        let dt = Float.max 0.0 (Ltc_util.Fault.Clock.now_s () -. t0) in
+        observe dt;
+        if dt > d.budget_s then begin
+          (* The primary's answer arrived past the budget: an online
+             platform has already moved on, so the cheap fallback decides
+             this arrival and the stream keeps flowing. *)
+          incr n_degraded;
+          Ltc_util.Metrics.Counter.incr m_degraded;
+          Logs.debug ~src:Ltc_util.Log.algo (fun m ->
+              m "%s: arrival %d blew the %.6fs budget (%.6fs); %s decides"
+                name w.Worker.index d.budget_s dt d.fallback_name);
+          fallback_decide w
+        end
+        else tasks
     in
     Ltc_util.Metrics.Counter.incr m_arrivals;
     check_decisions instance w tasks;
@@ -153,6 +213,7 @@ let drive ~name ~answered ?tracker policy instance =
         decisions = !decisions;
         decision_seconds_total = !dt_total;
         decision_seconds_max = !dt_max;
+        degraded = !n_degraded;
       };
   }
 
@@ -160,9 +221,11 @@ type config = {
   accept_rate : float option;
   rng : Ltc_util.Rng.t option;
   tracker : Ltc_util.Mem.Tracker.t option;
+  degrade : degrade option;
 }
 
-let default_config = { accept_rate = None; rng = None; tracker = None }
+let default_config =
+  { accept_rate = None; rng = None; tracker = None; degrade = None }
 
 (* Shared with the streaming service (Ltc_service.Session), which applies
    the same answer-gating per fed arrival: one bernoulli draw per assigned
@@ -180,7 +243,7 @@ let answered_of ~accept_rate ~rng =
 let run ?(config = default_config) ~name policy instance =
   drive ~name
     ~answered:(answered_of ~accept_rate:config.accept_rate ~rng:config.rng)
-    ?tracker:config.tracker policy instance
+    ?tracker:config.tracker ?degrade:config.degrade policy instance
 
 let run_policy ~name policy instance = run ~name policy instance
 
@@ -188,7 +251,8 @@ let run_policy_with_noshow ~name ~accept_rate ~rng policy instance =
   if accept_rate <= 0.0 || accept_rate > 1.0 then
     invalid_arg "Engine.run_policy_with_noshow: accept_rate must be in (0, 1]";
   run
-    ~config:{ accept_rate = Some accept_rate; rng = Some rng; tracker = None }
+    ~config:
+      { default_config with accept_rate = Some accept_rate; rng = Some rng }
     ~name policy instance
 
 let of_arrangement ~name ?workers_consumed ?tracker instance arrangement =

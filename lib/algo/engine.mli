@@ -19,6 +19,9 @@ type telemetry = {
   decision_seconds_total : float;
       (** summed per-arrival decision wall time *)
   decision_seconds_max : float;  (** slowest single decision *)
+  degraded : int;
+      (** arrivals decided by the fallback because the primary blew its
+          deadline (0 without a [degrade] config) *)
 }
 (** Per-run decision-cost summary from {!run_policy} /
     {!run_policy_with_noshow}.  [decisions] is always counted; the two
@@ -61,6 +64,33 @@ val check_decisions : Instance.t -> Worker.t -> int list -> unit
     applies the same check per fed arrival.  @raise Invalid_decision on a
     violation. *)
 
+type degrade = {
+  budget_s : float;
+      (** per-arrival decision budget in seconds (> 0).  Elapsed time is
+          measured with {!Ltc_util.Fault.Clock}, so tests and the chaos
+          harness can virtualise it; production reads the real clock. *)
+  fallback_name : string;  (** for telemetry, metric labels and logs *)
+  fallback : policy;
+      (** the cheap policy that decides an arrival whose primary decision
+          arrived late (e.g. greedy LAF or Nearest from the
+          {!Algorithm} registry).  It is partially applied over the same
+          engine-owned progress/tracker as the primary, so a degraded
+          decision equals what the fallback algorithm would have produced
+          standalone given the same progress state. *)
+}
+(** Graceful degradation under a per-arrival solve deadline.  The primary
+    policy always runs (it cannot be interrupted mid-decision); when its
+    answer arrives past [budget_s], the answer is discarded, the fallback
+    decides instead, and the miss is recorded in [telemetry.degraded] and
+    the [ltc_engine_degraded_total] metric.  Note the primary still
+    consumed its RNG draws — replay/restore paths must preserve that. *)
+
+val degraded_counter : string -> string -> Ltc_util.Metrics.Counter.t
+(** [degraded_counter algo fallback] is the [ltc_engine_degraded_total]
+    counter labelled for that (primary, fallback) pair — shared with the
+    streaming service so batch and serve deadline misses land in one
+    metric family. *)
+
 type config = {
   accept_rate : float option;
       (** [Some q] simulates no-show noise: each assignment is actually
@@ -78,9 +108,13 @@ type config = {
       (** Memory tracker to charge; the engine creates a private one when
           absent.  Either way its baseline is (re)set to the progress
           array's footprint at run start. *)
+  degrade : degrade option;
+      (** Per-arrival deadline with fallback; [None] (the default) never
+          degrades. *)
 }
 (** Execution options for {!run}.  {!default_config} is the paper's model:
-    every assignment answered, no injected RNG, private tracker. *)
+    every assignment answered, no injected RNG, private tracker, no
+    deadline. *)
 
 val default_config : config
 
@@ -88,7 +122,8 @@ val run : ?config:config -> name:string -> policy -> Instance.t -> outcome
 (** The single entry point for arrival-stream execution: feeds
     [instance]'s workers to [policy] in arrival order until every task is
     complete or the stream is exhausted.  @raise Invalid_argument when
-    [config.accept_rate] is outside (0, 1] or set without an [rng]. *)
+    [config.accept_rate] is outside (0, 1] or set without an [rng], or
+    when [config.degrade] carries a non-positive budget. *)
 
 val run_policy : name:string -> policy -> Instance.t -> outcome
 [@@deprecated "use Engine.run"]

@@ -66,31 +66,43 @@ let write_arrangement oc a = emit_arrangement (output_string oc) a
 (* ------------------------------------------------------------- reading *)
 
 (* A source of significant lines (comments and blanks stripped), tracking
-   line numbers for error reporting. *)
+   line numbers and byte offsets for error reporting.  [next_raw] returns
+   each raw line together with the byte offset of its first character, so
+   consumers embedded in binary-ish streams (the service journal) can
+   report corruption positions exactly. *)
 type source = {
-  next_raw : unit -> string option;
+  next_raw : unit -> (string * int) option;
   mutable line_no : int;
+  mutable line_offset : int;
 }
 
 let source_of_channel ic =
-  { next_raw = (fun () -> In_channel.input_line ic); line_no = 0 }
+  let next_raw () =
+    let off = pos_in ic in
+    Option.map (fun l -> (l, off)) (In_channel.input_line ic)
+  in
+  { next_raw; line_no = 0; line_offset = 0 }
 
 let source_of_string s =
   let lines = ref (String.split_on_char '\n' s) in
+  let offset = ref 0 in
   let next_raw () =
     match !lines with
     | [] -> None
     | l :: rest ->
       lines := rest;
-      Some l
+      let off = !offset in
+      offset := off + String.length l + 1;
+      Some (l, off)
   in
-  { next_raw; line_no = 0 }
+  { next_raw; line_no = 0; line_offset = 0 }
 
 let rec next_line_opt src =
   match src.next_raw () with
   | None -> None
-  | Some line ->
+  | Some (line, offset) ->
     src.line_no <- src.line_no + 1;
+    src.line_offset <- offset;
     let line =
       match String.index_opt line '#' with
       | None -> line
@@ -105,6 +117,7 @@ let next_line src =
   | Some line -> line
 
 let line_number src = src.line_no
+let line_offset src = src.line_offset
 
 let fields line = String.split_on_char ' ' line |> List.filter (( <> ) "")
 

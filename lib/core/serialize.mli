@@ -79,6 +79,11 @@ val next_line_opt : source -> string option
 val line_number : source -> int
 (** Line number of the last line returned (for error reports). *)
 
+val line_offset : source -> int
+(** Byte offset of the first character of the last line returned ([0]
+    before any read).  The service journal's corruption diagnostics name
+    this offset, so operators can inspect the damage with [dd]/[xxd]. *)
+
 val fields : string -> string list
 (** Whitespace-split, empty fields dropped. *)
 

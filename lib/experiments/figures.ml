@@ -581,9 +581,9 @@ let ext_noshow =
                 Ltc_algo.Engine.run
                   ~config:
                     {
-                      Ltc_algo.Engine.accept_rate = Some rate;
+                      Ltc_algo.Engine.default_config with
+                      accept_rate = Some rate;
                       rng = Some (Ltc_util.Rng.create ~seed:(seed + 17));
-                      tracker = None;
                     }
                   ~name (policy_of ~seed) instance);
             policy = None;

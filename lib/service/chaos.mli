@@ -1,0 +1,66 @@
+(** Crash-recovery verification: replay a workload under a scripted
+    {!Ltc_util.Fault} plan, killing and restoring the session at every
+    injected crash, and diff the surviving decision stream against a
+    fault-free baseline.
+
+    The harness runs the same arrival stream twice over the virtual
+    {!Ltc_util.Fault.Clock}:
+
+    + {b baseline} — journal-less session, armed with only the plan's
+      [Delay] faults (the one class that is {e allowed} to influence
+      decisions, via a deadline);
+    + {b chaos} — journaled session armed with the full plan.  Every
+      {!Ltc_util.Fault.Injected_crash} (and any transient error that
+      outlives its retry budget) kills the session; the harness restores
+      from the journal and resumes the stream from the last durable
+      arrival.
+
+    Decisions are captured through the session's [on_decision] hook, which
+    fires before the journal append — so even a decision whose append
+    crashed is accounted for, re-made deterministically after the restore,
+    and verified to come out the same.
+
+    Without a deadline the two streams must be byte-identical: crashes,
+    torn writes, I/O errors and delays all have {e zero} effect on the
+    decision stream.  With a deadline and [Delay] faults, degradation is
+    part of the decision stream; identity then additionally requires that
+    no crash re-decides an arrival (re-deciding shifts the
+    ["session.decide"] hit counter the delays are keyed on).  [ltc chaos]
+    therefore runs without a deadline unless explicitly asked. *)
+
+type report = {
+  identical : bool;
+      (** surviving stream and final state match the baseline exactly *)
+  divergence : string option;  (** first difference, when not identical *)
+  arrivals : int;  (** workers fed (same for both runs) *)
+  crashes : int;  (** session kills the harness recovered from *)
+  restores : int;  (** successful {!Session.restore} calls *)
+  degraded : int;  (** surviving decisions made by the deadline fallback *)
+  stats : Ltc_util.Fault.stats;  (** faults that actually fired *)
+  baseline : Session.decision array;  (** by arrival, fault-free *)
+  survived : Session.decision array;  (** by arrival, under the plan *)
+}
+
+val run :
+  ?accept_rate:float ->
+  ?deadline:Session.deadline ->
+  ?checkpoint_every:int ->
+  ?max_restores:int ->
+  plan:Ltc_util.Fault.plan ->
+  algorithm:Ltc_algo.Algorithm.t ->
+  seed:int ->
+  journal:string ->
+  Ltc_core.Instance.t ->
+  report
+(** [run ~plan ~algorithm ~seed ~journal instance] feeds
+    [instance.workers] (which must be non-empty) through both runs and
+    reports.  [journal] is the chaos run's journal path (truncated at
+    start).  [max_restores] (default [10 + 4 ×] plan size) bounds the
+    kill/restore loop; exceeding it raises [Failure] — a correctly
+    one-shot plan cannot reach it.  Always leaves the fault plan
+    disarmed and the virtual clock cleared, even on exceptions.
+
+    @raise Invalid_argument on an empty worker array or an offline
+    [algorithm]/fallback.
+    @raise Session.Corrupt_journal if a restore finds real corruption —
+    under injected faults alone this indicates a journal-layer bug. *)

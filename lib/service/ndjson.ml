@@ -4,6 +4,8 @@
 
 exception Malformed of string
 
+exception Bad_input of { line : int; text : string; reason : string }
+
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
 (* ---------------------------------------------------------------- lexer *)
@@ -128,6 +130,19 @@ let arrival_of_line line =
     ~accuracy:(num fields "accuracy")
     ~capacity:(int fields "capacity")
 
+(* Truncate the offending bytes for error messages: a malformed "line"
+   could be megabytes of binary garbage. *)
+let excerpt ?(max = 60) s =
+  if String.length s <= max then s else String.sub s 0 max ^ "..."
+
+let arrival_exn ~line:line_no text =
+  Ltc_util.Fault.check "ndjson.parse";
+  try arrival_of_line text with
+  | Malformed reason ->
+    raise (Bad_input { line = line_no; text = excerpt text; reason })
+  | Invalid_argument reason ->
+    raise (Bad_input { line = line_no; text = excerpt text; reason })
+
 let arrival_to_line (w : Ltc_core.Worker.t) =
   Printf.sprintf
     "{\"index\":%d,\"x\":%.17g,\"y\":%.17g,\"accuracy\":%.17g,\"capacity\":%d}"
@@ -138,11 +153,15 @@ let arrival_to_line (w : Ltc_core.Worker.t) =
 let int_list_to_json tasks =
   "[" ^ String.concat "," (List.map string_of_int tasks) ^ "]"
 
-let decision_to_line ~worker ~assigned ~answered ~completed ~latency =
+(* [degraded] is emitted only when true, so the common fault-free wire
+   format is unchanged. *)
+let decision_to_line ?(degraded = false) ~worker ~assigned ~answered
+    ~completed ~latency () =
   Printf.sprintf
-    "{\"index\":%d,\"assigned\":%s,\"answered\":%s,\"completed\":%b,\"latency\":%d}"
+    "{\"index\":%d,\"assigned\":%s,\"answered\":%s,\"completed\":%b,\"latency\":%d%s}"
     worker (int_list_to_json assigned) (int_list_to_json answered) completed
     latency
+    (if degraded then ",\"degraded\":true" else "")
 
 let decision_of_line line =
   let fields = parse_object line in
@@ -151,13 +170,16 @@ let decision_of_line line =
     | Nums fs -> List.map (int_of_float_field ~key) fs
     | Num _ | Bool _ -> malformed "%S must be an array of integers" key
   in
-  let completed =
-    match get fields "completed" with
-    | Bool b -> b
-    | Num _ | Nums _ -> malformed "\"completed\" must be a boolean"
+  let bool ?default key =
+    match (List.assoc_opt key fields, default) with
+    | Some (Bool b), _ -> b
+    | Some (Num _ | Nums _), _ -> malformed "%S must be a boolean" key
+    | None, Some d -> d
+    | None, None -> malformed "missing key %S" key
   in
   ( int fields "index",
     int_list "assigned",
     int_list "answered",
-    completed,
-    int fields "latency" )
+    bool "completed",
+    int fields "latency",
+    bool ~default:false "degraded" )

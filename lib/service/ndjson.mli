@@ -14,25 +14,43 @@
 
 exception Malformed of string
 
+exception Bad_input of { line : int; text : string; reason : string }
+(** One arrival line the stream could not use, with its 1-based position
+    in the input and the offending bytes (truncated to an excerpt).
+    Raised by {!arrival_exn}; [ltc serve --on-bad-input] decides whether
+    it kills the stream or skips the line. *)
+
 val arrival_of_line : string -> Ltc_core.Worker.t
 (** Parse one arrival event.  Requires keys [index], [x], [y], [accuracy],
     [capacity]; integer-valued fields must be whole numbers.
     @raise Malformed on syntax or schema violations, [Invalid_argument]
     when the field values violate {!Ltc_core.Worker.make}'s contract. *)
 
+val arrival_exn : line:int -> string -> Ltc_core.Worker.t
+(** {!arrival_of_line} with structured errors: syntax, schema and
+    field-contract violations all surface as {!Bad_input} carrying [line]
+    and the offending bytes.  Probes the ["ndjson.parse"]
+    {!Ltc_util.Fault} site first.  @raise Bad_input as described. *)
+
 val arrival_to_line : Ltc_core.Worker.t -> string
 (** Inverse of {!arrival_of_line} (no trailing newline). *)
 
 val decision_to_line :
+  ?degraded:bool ->
   worker:int ->
   assigned:int list ->
   answered:int list ->
   completed:bool ->
   latency:int ->
+  unit ->
   string
-(** One decision line (no trailing newline). *)
+(** One decision line (no trailing newline).  [degraded] (default
+    [false]) marks a deadline-degraded decision and is emitted only when
+    true, keeping the fault-free wire format unchanged. *)
 
-val decision_of_line : string -> int * int list * int list * bool * int
+val decision_of_line :
+  string -> int * int list * int list * bool * int * bool
 (** Parse a decision line back into
-    [(index, assigned, answered, completed, latency)] — the cram/test side
-    of the codec.  @raise Malformed on syntax or schema violations. *)
+    [(index, assigned, answered, completed, latency, degraded)] — the
+    cram/test side of the codec; [degraded] defaults to [false] when
+    absent.  @raise Malformed on syntax or schema violations. *)

@@ -1,4 +1,5 @@
 open Ltc_core
+module Fault = Ltc_util.Fault
 
 exception Corrupt_journal of { path : string; message : string }
 
@@ -13,13 +14,17 @@ type decision = {
   answered : int list;
   completed : bool;
   latency : int;
+  degraded : bool;
 }
+
+type deadline = { budget_s : float; fallback : Ltc_algo.Algorithm.t }
 
 type journal = {
   path : string;
   mutable oc : out_channel;
   mutable events_since_snapshot : int;
   checkpoint_every : int;
+  fsync_every_event : bool;
 }
 
 type t = {
@@ -27,18 +32,24 @@ type t = {
   algorithm : Ltc_algo.Algorithm.t;
   seed : int;
   accept_rate : float option;
+  deadline : deadline option;
   policy_rng : Ltc_util.Rng.t;
   noshow_rng : Ltc_util.Rng.t;
   tracker : Ltc_util.Mem.Tracker.t;
   progress : Progress.t;
   decide : Worker.t -> int list;
+  fallback_decide : (Worker.t -> int list) option;
+  on_decision : decision -> unit;
   mutable arrangement : Arrangement.t;
   mutable consumed : int;
+  mutable degraded_total : int;
   mutable journal : journal option;
   mutable closed : bool;
   m_feed : Ltc_util.Metrics.Histogram.t;
   m_bytes : Ltc_util.Metrics.Gauge.t;
   m_snapshots : Ltc_util.Metrics.Counter.t;
+  m_retries : Ltc_util.Metrics.Counter.t;
+  m_degraded : Ltc_util.Metrics.Counter.t option;
 }
 
 let fp = Printf.sprintf "%.17g"
@@ -50,7 +61,10 @@ let service_metrics name =
     Ltc_util.Metrics.gauge ~help:"journal file size (bytes)" ~labels
       "ltc_service_journal_bytes",
     Ltc_util.Metrics.counter ~help:"journal snapshots written" ~labels
-      "ltc_service_snapshots_total" )
+      "ltc_service_snapshots_total",
+    Ltc_util.Metrics.counter
+      ~help:"transient journal I/O failures retried" ~labels
+      "ltc_service_io_retries_total" )
 
 (* The session never reads [instance.workers] (arrivals come from the
    stream), so it holds — and journals — the task side only.  Using the
@@ -74,22 +88,63 @@ let derive_rngs ~seed =
   let noshow_rng = Ltc_util.Rng.split root in
   (policy_rng, noshow_rng)
 
+(* ----------------------------------------------------- crash-safe I/O *)
+
+(* All journal writes funnel through here: a named fault site (so the
+   chaos harness can tear or fail the write), wrapped in bounded-backoff
+   retries for transient errors.  A retried attempt re-probes the site —
+   consecutive scripted [Io_error]s therefore exercise multi-retry — and
+   is assumed to have written nothing (true for injected faults; the
+   torn-suffix/diagnostic paths of [restore] cover real partial
+   writes). *)
+let guarded_write ~site ~retries oc payload =
+  Fault.Retry.with_backoff
+    ~on_retry:(fun ~attempt:_ _ -> Ltc_util.Metrics.Counter.incr retries)
+    (fun () ->
+      match Fault.check_write site ~len:(String.length payload) with
+      | None -> output_string oc payload
+      | Some n ->
+        (* A torn write: persist a strict prefix, make it visible, die. *)
+        output_substring oc payload 0 n;
+        flush oc;
+        Fault.crash site)
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Durability of the rename itself: without flushing the directory entry a
+   power cut can forget the compaction, resurrecting the pre-compaction
+   journal.  Best-effort — not every filesystem lets you fsync a
+   directory fd, and a failure here only widens the crash window, it
+   never corrupts. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 (* ------------------------------------------------------- journal format *)
 
-let write_header oc t checkpoint_every =
-  let sink = output_string oc in
+let write_header sink t checkpoint_every =
   let pf fmt = Printf.ksprintf sink fmt in
-  pf "ltc-journal v1\n";
+  pf "ltc-journal v2\n";
   pf "algorithm %s\n" t.algorithm.Ltc_algo.Algorithm.name;
   pf "seed %d\n" t.seed;
   (match t.accept_rate with
   | None -> pf "accept_rate none\n"
   | Some q -> pf "accept_rate %s\n" (fp q));
   pf "checkpoint_every %d\n" checkpoint_every;
+  (match t.deadline with
+  | None -> pf "deadline none\n"
+  | Some d ->
+    pf "deadline %s %s\n" (fp d.budget_s)
+      d.fallback.Ltc_algo.Algorithm.name);
   Serialize.emit_instance sink t.instance
 
-let write_snapshot oc t =
-  let sink = output_string oc in
+let write_snapshot sink t =
   let pf fmt = Printf.ksprintf sink fmt in
   pf "snapshot\n";
   pf "consumed %d\n" t.consumed;
@@ -106,7 +161,14 @@ let journal_size j =
 
 (* Compaction: atomically replace the journal with header + one snapshot
    of the current state.  Recovery work is thereby bounded by
-   [checkpoint_every] replayed arrivals regardless of session age. *)
+   [checkpoint_every] replayed arrivals regardless of session age.
+
+   Crash safety: the replacement is rendered into a temp file, fsynced,
+   renamed over the journal, and the directory entry is fsynced.  A crash
+   at any fault site leaves exactly one journal visible — the old one
+   (before the rename) or the compacted one (after) — never both, and a
+   torn temp file is invisible to [restore] (it opens [path], and stale
+   [.tmp] debris is deleted on the next restore). *)
 let checkpoint t =
   match t.journal with
   | None -> ()
@@ -114,15 +176,30 @@ let checkpoint t =
     Ltc_util.Trace.with_span "service:checkpoint" @@ fun () ->
     close_out j.oc;
     let tmp = j.path ^ ".tmp" in
-    let oc = open_out tmp in
-    (try
-       write_header oc t j.checkpoint_every;
-       write_snapshot oc t;
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       raise e);
+    let buf = Buffer.create 4096 in
+    write_header (Buffer.add_string buf) t j.checkpoint_every;
+    write_snapshot (Buffer.add_string buf) t;
+    let payload = Buffer.contents buf in
+    Fault.Retry.with_backoff
+      ~on_retry:(fun ~attempt:_ _ -> Ltc_util.Metrics.Counter.incr t.m_retries)
+      (fun () ->
+        (* Each attempt rewrites the temp file from scratch ([open_out]
+           truncates), so a failed try never leaves half an attempt in
+           front of a fresh one. *)
+        let oc = open_out tmp in
+        try
+          guarded_write ~site:"journal.checkpoint.write"
+            ~retries:t.m_retries oc payload;
+          Fault.check "journal.checkpoint.fsync";
+          fsync_channel oc;
+          close_out oc
+        with e ->
+          close_out_noerr oc;
+          raise e);
+    Fault.check "journal.checkpoint.rename";
     Sys.rename tmp j.path;
+    Fault.check "journal.checkpoint.dir";
+    fsync_dir j.path;
     j.oc <- open_out_gen [ Open_wronly; Open_append ] 0o644 j.path;
     j.events_since_snapshot <- 0;
     Ltc_util.Metrics.Counter.incr t.m_snapshots;
@@ -132,63 +209,109 @@ let journal_event t (w : Worker.t) d =
   match t.journal with
   | None -> ()
   | Some j ->
-    let sink = output_string j.oc in
-    let pf fmt = Printf.ksprintf sink fmt in
+    let buf = Buffer.create 128 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     pf "w %d %s %s %s %d\n" w.index
       (fp w.loc.Ltc_geo.Point.x)
       (fp w.loc.Ltc_geo.Point.y)
       (fp w.accuracy) w.capacity;
     (* The trailing "." terminates the record: a torn append never parses
        as a complete decision, so restore re-feeds the arrival instead of
-       trusting half a line. *)
-    pf "d %d %d%s %d%s .\n" d.worker
+       trusting half a line.  Degraded decisions are tagged "D" so replay
+       can force the fallback instead of consulting the (gone) clock. *)
+    pf "%s %d %d%s %d%s .\n"
+      (if d.degraded then "D" else "d")
+      d.worker
       (List.length d.assigned)
       (String.concat "" (List.map (Printf.sprintf " %d") d.assigned))
       (List.length d.answered)
       (String.concat "" (List.map (Printf.sprintf " %d") d.answered));
+    guarded_write ~site:"journal.append" ~retries:t.m_retries j.oc
+      (Buffer.contents buf);
     flush j.oc;
+    if j.fsync_every_event then begin
+      Fault.check "journal.append.fsync";
+      Fault.Retry.with_backoff
+        ~on_retry:(fun ~attempt:_ _ ->
+          Ltc_util.Metrics.Counter.incr t.m_retries)
+        (fun () -> fsync_channel j.oc)
+    end;
     j.events_since_snapshot <- j.events_since_snapshot + 1;
     Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j));
     if j.events_since_snapshot >= j.checkpoint_every then checkpoint t
 
 (* ---------------------------------------------------------- construction *)
 
-let make_session ~instance ~algorithm ~seed ~accept_rate ~policy_rng
-    ~noshow_rng ~progress ~arrangement ~consumed =
-  let policy_of =
-    match algorithm.Ltc_algo.Algorithm.policy with
+let make_session ~instance ~algorithm ~seed ~accept_rate ~deadline
+    ~on_decision ~policy_rng ~noshow_rng ~progress ~arrangement ~consumed =
+  let policy_of (a : Ltc_algo.Algorithm.t) what =
+    match a.Ltc_algo.Algorithm.policy with
     | Some p -> p
     | None ->
       invalid_arg
         (Printf.sprintf
-           "Session: %s cannot serve an arrival stream (offline or \
-            release-scheduled algorithm)"
-           algorithm.Ltc_algo.Algorithm.name)
+           "Session: %s cannot serve %s (offline or release-scheduled \
+            algorithm)"
+           a.Ltc_algo.Algorithm.name what)
   in
+  let policy = policy_of algorithm "an arrival stream" in
+  (match deadline with
+  | None -> ()
+  | Some d ->
+    if d.budget_s <= 0.0 then
+      invalid_arg "Session: deadline budget must be > 0";
+    let (_ : Ltc_util.Rng.t -> Ltc_algo.Engine.policy) =
+      policy_of d.fallback "as a deadline fallback"
+    in
+    ());
   let tracker = Ltc_util.Mem.Tracker.create () in
   Ltc_util.Mem.Tracker.set_baseline_words tracker
     (Progress.memory_words progress);
-  let decide = policy_of policy_rng instance tracker progress in
-  let m_feed, m_bytes, m_snapshots =
+  let decide = policy policy_rng instance tracker progress in
+  (* The fallback shares progress/tracker and the policy stream, so a
+     degraded decision is exactly what the fallback algorithm would have
+     produced standalone given the same progress state. *)
+  let fallback_decide =
+    Option.map
+      (fun d ->
+        (policy_of d.fallback "as a deadline fallback") policy_rng instance
+          tracker progress)
+      deadline
+  in
+  let m_feed, m_bytes, m_snapshots, m_retries =
     service_metrics algorithm.Ltc_algo.Algorithm.name
+  in
+  let m_degraded =
+    Option.map
+      (fun d ->
+        Ltc_algo.Engine.degraded_counter
+          algorithm.Ltc_algo.Algorithm.name
+          d.fallback.Ltc_algo.Algorithm.name)
+      deadline
   in
   {
     instance;
     algorithm;
     seed;
     accept_rate;
+    deadline;
     policy_rng;
     noshow_rng;
     tracker;
     progress;
     decide;
+    fallback_decide;
+    on_decision;
     arrangement;
     consumed;
+    degraded_total = 0;
     journal = None;
     closed = false;
     m_feed;
     m_bytes;
     m_snapshots;
+    m_retries;
+    m_degraded;
   }
 
 let validate_accept_rate = function
@@ -196,8 +319,32 @@ let validate_accept_rate = function
     invalid_arg "Session.create: accept_rate must be in (0, 1]"
   | _ -> ()
 
-let create ?accept_rate ?journal ?(checkpoint_every = 256) ~algorithm ~seed
-    instance =
+let attach_journal t ~path ~checkpoint_every ~fsync =
+  let oc = open_out path in
+  let buf = Buffer.create 1024 in
+  write_header (Buffer.add_string buf) t checkpoint_every;
+  let j =
+    {
+      path;
+      oc;
+      events_since_snapshot = 0;
+      checkpoint_every;
+      fsync_every_event = fsync;
+    }
+  in
+  t.journal <- Some j;
+  (* A plain (never torn) site: a crash here leaves the freshly-truncated
+     file empty, which {!is_empty_journal} classifies as "no session yet"
+     — so create-time crashes need no header-recovery logic anywhere. *)
+  Fault.Retry.with_backoff
+    ~on_retry:(fun ~attempt:_ _ -> Ltc_util.Metrics.Counter.incr t.m_retries)
+    (fun () -> Fault.check "journal.header");
+  output_string oc (Buffer.contents buf);
+  flush oc;
+  Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j))
+
+let create ?accept_rate ?deadline ?(on_decision = fun _ -> ()) ?journal
+    ?(checkpoint_every = 256) ?(fsync = false) ~algorithm ~seed instance =
   validate_accept_rate accept_rate;
   if checkpoint_every < 1 then
     invalid_arg "Session.create: checkpoint_every must be >= 1";
@@ -207,18 +354,13 @@ let create ?accept_rate ?journal ?(checkpoint_every = 256) ~algorithm ~seed
     Progress.create_per_task ~thresholds:(Instance.thresholds instance)
   in
   let t =
-    make_session ~instance ~algorithm ~seed ~accept_rate ~policy_rng
-      ~noshow_rng ~progress ~arrangement:Arrangement.empty ~consumed:0
+    make_session ~instance ~algorithm ~seed ~accept_rate ~deadline
+      ~on_decision ~policy_rng ~noshow_rng ~progress
+      ~arrangement:Arrangement.empty ~consumed:0
   in
   (match journal with
   | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    write_header oc t checkpoint_every;
-    flush oc;
-    let j = { path; oc; events_since_snapshot = 0; checkpoint_every } in
-    t.journal <- Some j;
-    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j)));
+  | Some path -> attach_journal t ~path ~checkpoint_every ~fsync);
   t
 
 (* ----------------------------------------------------------------- feed *)
@@ -228,13 +370,18 @@ let consumed t = t.consumed
 let latency t = Arrangement.latency t.arrangement
 let arrangement t = t.arrangement
 let algorithm_name t = t.algorithm.Ltc_algo.Algorithm.name
+let degraded_total t = t.degraded_total
 
 let rng_states t =
   (Ltc_util.Rng.state t.policy_rng, Ltc_util.Rng.state t.noshow_rng)
 
 let peak_memory_mb t = Ltc_util.Mem.Tracker.high_water_mb t.tracker
 
-let feed t (w : Worker.t) =
+(* [replay = Some degraded] re-executes a journaled event: the primary
+   always runs (it consumed its RNG draws in the original timeline), and
+   the journal — not the clock — decides whether the fallback overrode
+   it.  [replay = None] is a live arrival deciding against the clock. *)
+let feed_mode t ~replay (w : Worker.t) =
   if t.closed then invalid_arg "Session.feed: session is closed";
   if completed t then
     (* Engine parity: the batch loop stops before consuming the arrival
@@ -246,6 +393,7 @@ let feed t (w : Worker.t) =
       answered = [];
       completed = true;
       latency = latency t;
+      degraded = false;
     }
   else begin
     if w.index <> t.consumed + 1 then
@@ -254,7 +402,39 @@ let feed t (w : Worker.t) =
            (t.consumed + 1) w.index);
     let timing = Ltc_util.Metrics.enabled () in
     let t0 = if timing then Some (Ltc_util.Timer.start ()) else None in
-    let assigned = t.decide w in
+    let assigned, degraded =
+      match t.deadline with
+      | None ->
+        let tasks = t.decide w in
+        (* Probed even without a deadline so a scripted [Delay] merely
+           advances the virtual clock: the fault is observed (and counted)
+           but cannot change the decision stream. *)
+        if replay = None then Fault.check "session.decide";
+        (tasks, false)
+      | Some dl -> (
+        match replay with
+        | Some forced ->
+          let primary = t.decide w in
+          if forced then ((Option.get t.fallback_decide) w, true)
+          else (primary, false)
+        | None ->
+          let c0 = Fault.Clock.now_s () in
+          let primary = t.decide w in
+          Fault.check "session.decide";
+          let dt = Float.max 0.0 (Fault.Clock.now_s () -. c0) in
+          if dt > dl.budget_s then begin
+            Logs.debug ~src:Ltc_util.Log.obs (fun m ->
+                m "%s: arrival %d blew the %.6fs budget (%.6fs); %s decides"
+                  t.algorithm.Ltc_algo.Algorithm.name w.index dl.budget_s dt
+                  dl.fallback.Ltc_algo.Algorithm.name);
+            ((Option.get t.fallback_decide) w, true)
+          end
+          else (primary, false))
+    in
+    if degraded then begin
+      t.degraded_total <- t.degraded_total + 1;
+      Option.iter Ltc_util.Metrics.Counter.incr t.m_degraded
+    end;
     Ltc_algo.Engine.check_decisions t.instance w assigned;
     t.consumed <- t.consumed + 1;
     let answered_rev = ref [] in
@@ -281,8 +461,14 @@ let feed t (w : Worker.t) =
         answered = List.rev !answered_rev;
         completed = completed t;
         latency = latency t;
+        degraded;
       }
     in
+    (* The hook fires before the journal write on purpose: a crash inside
+       the append then loses the record but not the (deterministically
+       reproducible) decision, which is how the chaos harness accounts
+       for every arrival across incarnations. *)
+    t.on_decision d;
     journal_event t w d;
     (match t0 with
     | Some t0 ->
@@ -290,6 +476,8 @@ let feed t (w : Worker.t) =
     | None -> ());
     d
   end
+
+let feed t w = feed_mode t ~replay:None w
 
 let close t =
   if not t.closed then begin
@@ -316,6 +504,7 @@ type parsed_header = {
   h_seed : int;
   h_accept_rate : float option;
   h_checkpoint_every : int;
+  h_deadline : (float * string) option;
   h_instance : Instance.t;
 }
 
@@ -326,9 +515,12 @@ let parse_header ~path src =
     | Some line -> line
     | None -> corrupt ~path "truncated header: expected %s" what
   in
-  (match expect "the journal magic" with
-  | "ltc-journal v1" -> ()
-  | other -> corrupt ~path "bad journal header %S" other);
+  let version =
+    match expect "the journal magic" with
+    | "ltc-journal v1" -> 1
+    | "ltc-journal v2" -> 2
+    | other -> corrupt ~path "bad journal header %S" other
+  in
   let h_algorithm =
     match Serialize.fields (expect "an algorithm line") with
     | [ "algorithm"; name ] -> name
@@ -352,12 +544,36 @@ let parse_header ~path src =
     | _ ->
       corrupt ~path "line %d: expected 'checkpoint_every <int>'" (line_no ())
   in
+  let h_deadline =
+    (* v1 journals predate deadlines; their sessions never degrade. *)
+    if version < 2 then None
+    else
+      match Serialize.fields (expect "a deadline line") with
+      | [ "deadline"; "none" ] -> None
+      | [ "deadline"; budget; fallback ] ->
+        Some (Serialize.float_field src budget, fallback)
+      | _ ->
+        corrupt ~path "line %d: expected 'deadline none|<float> <name>'"
+          (line_no ())
+  in
   let h_instance = Serialize.parse_instance src in
-  { h_algorithm; h_seed; h_accept_rate; h_checkpoint_every; h_instance }
+  {
+    h_algorithm;
+    h_seed;
+    h_accept_rate;
+    h_checkpoint_every;
+    h_deadline;
+    h_instance;
+  }
 
 (* Scan the event tail.  Anything after the last complete record —
    a torn arrival or decision line, a half-written snapshot — is treated
-   as lost to the crash and dropped; the stream replays it on resume. *)
+   as lost to the crash and dropped; the stream replays it on resume.
+   A broken record with intact records *after* it is a different story:
+   that is interior corruption (bit rot, concurrent writers, manual
+   edits), and silently dropping everything from the damage onwards would
+   amputate acknowledged state — so it fails loudly, naming the byte
+   offset, line and record index of the damage. *)
 exception Torn_tail
 
 let parse_snapshot src =
@@ -428,40 +644,89 @@ let parse_decision_fields (w : Worker.t) rest =
     | [] -> raise Torn_tail)
   | _ -> raise Torn_tail
 
-let scan_events src =
+(* The offending bytes for an interior-corruption report, re-read from
+   disk by offset (the scanning source cannot rewind). *)
+let excerpt_at ~path ~offset =
+  try
+    In_channel.with_open_bin path (fun ic ->
+        In_channel.seek ic (Int64.of_int offset);
+        let buf = Bytes.create 60 in
+        let n = In_channel.input ic buf 0 60 in
+        let s = Bytes.sub_string buf 0 (max 0 n) in
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> s)
+  with Sys_error _ -> "<unreadable>"
+
+let scan_events ~path src =
   let best = ref None in
   let tail = ref [] in
+  let records = ref 0 in
   (try
      let continue = ref true in
      while !continue do
        match Serialize.next_line_opt src with
        | None -> continue := false
        | Some line -> (
-         match Serialize.fields line with
-         | [ "snapshot" ] ->
-           let s = parse_snapshot src in
-           best := Some s;
-           tail := []
-         | "w" :: rest -> (
-           let w = parse_arrival_fields src rest in
-           match Serialize.next_line_opt src with
-           | Some dline -> (
-             match Serialize.fields dline with
-             | "d" :: drest ->
-               let assigned, answered = parse_decision_fields w drest in
-               tail := (w, assigned, answered) :: !tail
-             | _ -> raise Torn_tail)
-           | None ->
-             (* Arrival journaled, decision lost: the arrival was never
-                fully processed — drop it, the stream re-feeds it. *)
-             raise Torn_tail)
-         | _ -> raise Torn_tail)
+         incr records;
+         match
+           match Serialize.fields line with
+           | [ "snapshot" ] ->
+             let s = parse_snapshot src in
+             best := Some s;
+             tail := []
+           | "w" :: rest -> (
+             let w = parse_arrival_fields src rest in
+             match Serialize.next_line_opt src with
+             | Some dline -> (
+               match Serialize.fields dline with
+               | ("d" | "D") :: drest ->
+                 let degraded = String.length dline > 0 && dline.[0] = 'D' in
+                 let assigned, answered = parse_decision_fields w drest in
+                 tail := (w, assigned, answered, degraded) :: !tail
+               | _ -> raise Torn_tail)
+             | None ->
+               (* Arrival journaled, decision lost: the arrival was never
+                  fully processed — drop it, the stream re-feeds it. *)
+               raise Torn_tail)
+           | _ -> raise Torn_tail
+         with
+         | () -> ()
+         | exception Torn_tail ->
+           (* Where did the record break?  If intact content follows, the
+              damage is interior, not a torn suffix. *)
+           let fail_line = Serialize.line_number src in
+           let fail_offset = Serialize.line_offset src in
+           (match Serialize.next_line_opt src with
+           | None -> raise Torn_tail
+           | Some _ ->
+             corrupt ~path
+               "corrupted record %d at byte %d (line %d): unparseable %S \
+                followed by intact records — refusing to drop acknowledged \
+                state"
+               !records fail_offset fail_line
+               (excerpt_at ~path ~offset:fail_offset)))
      done
    with Torn_tail -> ());
   (!best, List.rev !tail)
 
-let restore ?journal ~path () =
+let is_empty_journal path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> in_channel_length ic = 0)
+
+let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
+    =
   Ltc_util.Trace.with_span "service:restore" @@ fun () ->
+  (* Stale compaction debris: a crash between writing [path.tmp] and the
+     rename leaves the temp file next to the journal.  It is dead weight —
+     possibly torn — and deleting it up front guarantees no later step can
+     confuse the two. *)
+  (let tmp = path ^ ".tmp" in
+   if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
   let header, snapshot, tail =
     let ic = open_in path in
     Fun.protect
@@ -473,7 +738,7 @@ let restore ?journal ~path () =
           with Serialize.Parse_error { line; message } ->
             corrupt ~path "line %d: %s" line message
         in
-        let snapshot, tail = scan_events src in
+        let snapshot, tail = scan_events ~path src in
         (header, snapshot, tail))
   in
   let algorithm =
@@ -481,6 +746,22 @@ let restore ?journal ~path () =
     | Some a -> a
     | None -> corrupt ~path "unknown algorithm %S" header.h_algorithm
   in
+  let deadline =
+    Option.map
+      (fun (budget_s, name) ->
+        match Ltc_algo.Algorithm.find_opt name with
+        | Some fallback -> { budget_s; fallback }
+        | None -> corrupt ~path "unknown fallback algorithm %S" name)
+      header.h_deadline
+  in
+  (if deadline = None then
+     match List.find_opt (fun (_, _, _, degraded) -> degraded) tail with
+     | Some ((w : Worker.t), _, _, _) ->
+       corrupt ~path
+         "arrival %d was decided by a deadline fallback but the header \
+          configures no deadline"
+         w.index
+     | None -> ());
   let instance = header.h_instance in
   let policy_rng, noshow_rng, progress, arrangement, consumed =
     match snapshot with
@@ -502,19 +783,21 @@ let restore ?journal ~path () =
   let t =
     try
       make_session ~instance ~algorithm ~seed:header.h_seed
-        ~accept_rate:header.h_accept_rate ~policy_rng ~noshow_rng ~progress
-        ~arrangement ~consumed
+        ~accept_rate:header.h_accept_rate ~deadline ~on_decision ~policy_rng
+        ~noshow_rng ~progress ~arrangement ~consumed
     with Invalid_argument m -> corrupt ~path "%s" m
   in
   (* Replay the tail by re-running the policy — required to advance the
      policy/no-show streams exactly as the original run did — and verify
      the recomputed decisions against the journaled ones: a divergence
      means the journal does not describe this code/instance and silently
-     continuing would corrupt the run. *)
+     continuing would corrupt the run.  Degraded events force the
+     fallback (the journal, not the clock, is the record of what
+     happened). *)
   List.iter
-    (fun ((w : Worker.t), assigned, answered) ->
+    (fun ((w : Worker.t), assigned, answered, degraded) ->
       let d =
-        try feed t w
+        try feed_mode t ~replay:(Some degraded) w
         with
         | Invalid_argument m | Ltc_algo.Engine.Invalid_decision m ->
           corrupt ~path "replaying arrival %d: %s" w.index m
@@ -533,6 +816,7 @@ let restore ?journal ~path () =
       oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path;
       events_since_snapshot = 0;
       checkpoint_every = max 1 header.h_checkpoint_every;
+      fsync_every_event = fsync;
     }
   in
   t.journal <- Some j;

@@ -16,7 +16,30 @@
     policy (verifying the recomputed decisions against the journaled
     ones), drops any torn record at the end of the file, and compacts.
     Recovery work is therefore bounded by [checkpoint_every] arrivals no
-    matter how long the session has run. *)
+    matter how long the session has run.
+
+    {2 Crash safety}
+
+    All journal writes pass through named {!Ltc_util.Fault} sites and
+    bounded-backoff retries ({!Ltc_util.Fault.Retry}), so the chaos
+    harness can tear, fail or crash any of them deterministically:
+
+    - ["journal.header"] — the header written by {!create}
+    - ["journal.append"] — the per-arrival event record
+    - ["journal.append.fsync"] — per-event fsync (only with [~fsync:true])
+    - ["journal.checkpoint.write"] — the compacted image into [path.tmp]
+    - ["journal.checkpoint.fsync"] — fsync of the temp file
+    - ["journal.checkpoint.rename"] — just before the atomic rename
+    - ["journal.checkpoint.dir"] — just before the directory fsync
+    - ["session.decide"] — after the primary policy decides (the [Delay]
+      fault site that triggers deadline degradation)
+
+    Compaction writes the replacement image to [path.tmp], fsyncs it,
+    renames it over [path] and fsyncs the directory entry: a crash between
+    any two sites leaves exactly one journal visible, and {!restore}
+    deletes stale [.tmp] debris before reading.  The decision stream of a
+    crashed-and-restored session is byte-identical to the uninterrupted
+    run up to the last durable event. *)
 
 type t
 
@@ -28,18 +51,42 @@ type decision = {
           [accept_rate] is [None]) *)
   completed : bool;  (** all tasks complete after this arrival *)
   latency : int;  (** current latency: largest recruited arrival index *)
+  degraded : bool;
+      (** the deadline fallback, not the primary policy, made this
+          decision *)
 }
 
+type deadline = {
+  budget_s : float;  (** per-arrival decision budget in seconds (> 0) *)
+  fallback : Ltc_algo.Algorithm.t;
+      (** cheap online algorithm that decides an arrival whose primary
+          decision arrived late *)
+}
+(** Per-arrival solve deadline, measured with {!Ltc_util.Fault.Clock} so
+    tests can virtualise time.  Semantics match
+    {!Ltc_algo.Engine.config}[.degrade]: the primary always runs (and
+    consumes its RNG draws); on a budget overrun its answer is discarded
+    and the fallback — sharing the session's progress state — decides
+    instead.  Degraded decisions are journaled distinctly, so replay and
+    {!restore} reproduce them from the journal without consulting any
+    clock. *)
+
 exception Corrupt_journal of { path : string; message : string }
-(** Raised by {!restore} when the journal's prefix is unreadable or the
-    replayed decisions diverge from the journaled ones.  (A torn suffix —
+(** Raised by {!restore} when the journal's prefix is unreadable, an
+    {e interior} record is damaged (intact records follow it), or the
+    replayed decisions diverge from the journaled ones.  Interior damage
+    is reported with the byte offset, line and record index of the broken
+    record plus an excerpt of the offending bytes.  (A torn {e suffix} —
     an interrupted append — is expected crash damage and is silently
     dropped instead.) *)
 
 val create :
   ?accept_rate:float ->
+  ?deadline:deadline ->
+  ?on_decision:(decision -> unit) ->
   ?journal:string ->
   ?checkpoint_every:int ->
+  ?fsync:bool ->
   algorithm:Ltc_algo.Algorithm.t ->
   seed:int ->
   Ltc_core.Instance.t ->
@@ -50,13 +97,19 @@ val create :
 
     [accept_rate] enables per-assignment no-show noise exactly as
     {!Ltc_algo.Engine.run} does — one Bernoulli draw per assigned task, in
-    assignment order.  [journal] starts an on-disk journal at that path
-    (truncating any existing file); [checkpoint_every] (default [256])
-    sets the compaction period in events.
+    assignment order.  [deadline] enables graceful degradation (recorded
+    in the journal header, so restored sessions keep degrading).
+    [on_decision] is invoked for every consuming decision {e before} it is
+    journaled — the chaos harness uses this to account for decisions whose
+    journal append crashed.  [journal] starts an on-disk journal at that
+    path (truncating any existing file); [checkpoint_every] (default
+    [256]) sets the compaction period in events; [fsync] (default
+    [false]) additionally fsyncs after every event append.
 
-    @raise Invalid_argument if [algorithm] has no online policy
-    ([policy = None]: Base-off, MCF-LTC, the dynamic variants), if
-    [accept_rate] is outside (0, 1], or if [checkpoint_every < 1]. *)
+    @raise Invalid_argument if [algorithm] (or the deadline fallback) has
+    no online policy ([policy = None]: Base-off, MCF-LTC, the dynamic
+    variants), if [accept_rate] is outside (0, 1], if the deadline budget
+    is [<= 0], or if [checkpoint_every < 1]. *)
 
 val feed : t -> Ltc_core.Worker.t -> decision
 (** Process the next arrival.  Arrival indices must be consecutive from 1:
@@ -69,13 +122,27 @@ val feed : t -> Ltc_core.Worker.t -> decision
     @raise Invalid_argument on a closed session or a gap in the stream.
     @raise Ltc_algo.Engine.Invalid_decision if the policy misbehaves. *)
 
-val restore : ?journal:string -> path:string -> unit -> t
+val restore :
+  ?on_decision:(decision -> unit) ->
+  ?journal:string ->
+  ?fsync:bool ->
+  path:string ->
+  unit ->
+  t
 (** [restore ~path ()] rebuilds a session from a journal file and
     compacts it immediately.  The restored session continues journaling
-    to [journal] when given, else to [path].
+    to [journal] when given, else to [path].  Replayed tail events do
+    {e not} fire [on_decision] visibly different from live ones — the
+    hook sees every decision the restored session makes from now on, and
+    replayed decisions are verified against the journal instead.
 
     @raise Corrupt_journal as documented above.
     @raise Sys_error if [path] cannot be read. *)
+
+val is_empty_journal : string -> bool
+(** [true] iff the file exists and is zero bytes — a journal that crashed
+    before its header hit the disk.  The CLI treats resuming such a file
+    as starting a fresh session rather than an error. *)
 
 val checkpoint : t -> unit
 (** Force a snapshot + compaction now (no-op without a journal). *)
@@ -99,6 +166,10 @@ val arrangement : t -> Ltc_core.Arrangement.t
 (** The arrangement built so far. *)
 
 val algorithm_name : t -> string
+
+val degraded_total : t -> int
+(** Arrivals decided by the deadline fallback in {e this} incarnation
+    (restore replays do count, matching the original timeline). *)
 
 val rng_states : t -> int64 * int64
 (** [(policy, no-show)] generator states — the determinism fingerprint

@@ -1,0 +1,207 @@
+type action = Crash | Io_error | Torn_write of int | Delay of float
+
+type fault = { site : string; hit : int; action : action }
+type plan = fault list
+
+exception Injected_crash of { site : string; hit : int }
+exception Injected_io of { site : string; hit : int }
+
+type stats = {
+  crashes : int;
+  io_errors : int;
+  torn_writes : int;
+  delays : int;
+}
+
+let no_stats = { crashes = 0; io_errors = 0; torn_writes = 0; delays = 0 }
+
+(* One mutable cell per pending fault so firing is O(matching faults) per
+   probe and a fault can never fire twice. *)
+type armed_fault = { f : fault; mutable fired : bool }
+
+type state = {
+  mutable faults : armed_fault list;
+  counters : (string, int ref) Hashtbl.t;
+  mutable stats : stats;
+}
+
+let state = { faults = []; counters = Hashtbl.create 16; stats = no_stats }
+
+(* The hot-path switch: a single load + branch while disarmed. *)
+let is_armed = ref false
+
+let arm plan =
+  state.faults <- List.map (fun f -> { f; fired = false }) plan;
+  Hashtbl.reset state.counters;
+  state.stats <- no_stats;
+  is_armed := true
+
+let disarm () = is_armed := false
+let armed () = !is_armed
+
+let hits site =
+  match Hashtbl.find_opt state.counters site with
+  | Some r -> !r
+  | None -> 0
+
+let stats () = state.stats
+
+(* ----------------------------------------------------------- the probes *)
+
+let bump site =
+  match Hashtbl.find_opt state.counters site with
+  | Some r ->
+    incr r;
+    !r
+  | None ->
+    Hashtbl.add state.counters site (ref 1);
+    1
+
+let pending site hit =
+  List.find_opt
+    (fun af -> (not af.fired) && af.f.site = site && af.f.hit = hit)
+    state.faults
+
+module Clock = struct
+  (* [None]: real time.  [Some cell]: virtual time, advanced explicitly. *)
+  let virtual_now = ref None
+
+  let now_s () =
+    match !virtual_now with
+    | Some t -> !t
+    | None -> Unix.gettimeofday ()
+
+  let set_virtual t = virtual_now := Some (ref t)
+
+  let advance dt =
+    if dt < 0.0 then invalid_arg "Fault.Clock.advance: negative amount";
+    match !virtual_now with None -> () | Some t -> t := !t +. dt
+
+  let clear () = virtual_now := None
+  let is_virtual () = !virtual_now <> None
+end
+
+let sleep dt = if Clock.is_virtual () then Clock.advance dt else Unix.sleepf dt
+
+let fire af ~hit =
+  let site = af.f.site in
+  af.fired <- true;
+  let s = state.stats in
+  match af.f.action with
+  | Crash ->
+    state.stats <- { s with crashes = s.crashes + 1 };
+    raise (Injected_crash { site; hit })
+  | Io_error ->
+    state.stats <- { s with io_errors = s.io_errors + 1 };
+    raise (Injected_io { site; hit })
+  | Delay dt ->
+    state.stats <- { s with delays = s.delays + 1 };
+    Clock.advance dt
+  | Torn_write _ ->
+    (* Only [check_write] can honour a torn write; a plain site leaves it
+       pending (it will never fire — the counter passes [hit] once). *)
+    af.fired <- false
+
+let check site =
+  if !is_armed then begin
+    let hit = bump site in
+    match pending site hit with None -> () | Some af -> fire af ~hit
+  end
+
+let check_write site ~len =
+  if not !is_armed then None
+  else begin
+    let hit = bump site in
+    match pending site hit with
+    | None -> None
+    | Some af -> (
+      match af.f.action with
+      | Torn_write n ->
+        af.fired <- true;
+        let s = state.stats in
+        state.stats <- { s with torn_writes = s.torn_writes + 1 };
+        (* Keep a strict prefix so the record on disk is genuinely torn. *)
+        Some (min n (max 0 (len - 1)))
+      | Crash | Io_error | Delay _ ->
+        fire af ~hit;
+        None)
+  end
+
+let crash site = raise (Injected_crash { site; hit = hits site })
+
+(* ------------------------------------------------------ plan generation *)
+
+let pp_action fmt = function
+  | Crash -> Format.fprintf fmt "crash"
+  | Io_error -> Format.fprintf fmt "io-error"
+  | Torn_write n -> Format.fprintf fmt "torn-write(%d)" n
+  | Delay s -> Format.fprintf fmt "delay(%gs)" s
+
+let pp_fault fmt f =
+  Format.fprintf fmt "%s@%d %a" f.site f.hit pp_action f.action
+
+let plan ?(crashes = 0) ?(io_errors = 0) ?(torn_writes = 0) ?(delays = 0)
+    ?(horizon = 100) ?(delay_s = 0.25) ~seed ~sites ~write_sites ~delay_sites
+    () =
+  if horizon < 1 then invalid_arg "Fault.plan: horizon must be >= 1";
+  let rng = Rng.create ~seed in
+  let taken = Hashtbl.create 16 in
+  let pick_slot pool =
+    (* Distinct (site, hit) pairs so no fault shadows another; the pool is
+       small and horizon large, so the rejection loop terminates fast. *)
+    let rec go budget =
+      let site = List.nth pool (Rng.int rng (List.length pool)) in
+      let hit = 1 + Rng.int rng horizon in
+      if Hashtbl.mem taken (site, hit) && budget > 0 then go (budget - 1)
+      else begin
+        Hashtbl.replace taken (site, hit) ();
+        (site, hit)
+      end
+    in
+    go 1000
+  in
+  let gen n pool action_of =
+    if pool = [] then []
+    else
+      List.init n (fun _ ->
+          let site, hit = pick_slot pool in
+          { site; hit; action = action_of () })
+  in
+  let faults =
+    gen crashes (sites @ write_sites) (fun () -> Crash)
+    @ gen io_errors (sites @ write_sites) (fun () -> Io_error)
+    @ gen torn_writes write_sites (fun () -> Torn_write (Rng.int rng 80))
+    @ gen delays delay_sites (fun () -> Delay delay_s)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.site b.site with 0 -> compare a.hit b.hit | c -> c)
+    faults
+
+(* ---------------------------------------------------------------- retry *)
+
+module Retry = struct
+  type spec = { attempts : int; base_s : float; factor : float; max_s : float }
+
+  let default = { attempts = 5; base_s = 0.001; factor = 2.0; max_s = 0.016 }
+
+  let backoff_s spec k =
+    Float.min spec.max_s (spec.base_s *. (spec.factor ** float_of_int (k - 1)))
+
+  let is_transient = function
+    | Injected_io _ -> true
+    | Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK | ENOSPC), _, _) -> true
+    | _ -> false
+
+  let with_backoff ?(spec = default) ?(on_retry = fun ~attempt:_ _ -> ()) f =
+    if spec.attempts < 1 then
+      invalid_arg "Fault.Retry.with_backoff: attempts must be >= 1";
+    let rec go attempt =
+      try f ()
+      with e when is_transient e && attempt < spec.attempts ->
+        on_retry ~attempt e;
+        sleep (backoff_s spec attempt);
+        go (attempt + 1)
+    in
+    go 1
+end

@@ -1,0 +1,184 @@
+(** Deterministic fault injection for crash/recovery testing.
+
+    A {!plan} scripts faults against named sites: code under test calls
+    {!check} (or {!check_write} around a write) at each site, and the
+    armed plan decides — purely from the per-site hit counter, never from
+    wall time or real randomness — whether that particular visit crashes,
+    fails transiently, tears the write or slows the solver down.  The
+    same plan against the same workload therefore replays the exact same
+    failure history, which is what the chaos harness
+    ({!Ltc_service.Chaos}, [ltc chaos]) and the service test suite build
+    on.
+
+    While disarmed (the default) every probe is a single load of a
+    [bool ref] and a branch — safe to leave compiled into hot paths.
+
+    The module also owns the two clocks that make failure handling
+    deterministic under test: a {!Clock} that the engine's per-arrival
+    deadline reads (virtualisable, advanced by [Delay] faults) and a
+    {!sleep} used by {!Retry.with_backoff} (a virtual clock advance when
+    the clock is virtual, so backoff schedules cost no real time in
+    tests).
+
+    State is process-global and meant for single-domain use: arm a plan,
+    run the scenario, disarm.  Do not arm plans from concurrent
+    domains. *)
+
+(** {1 Fault plans} *)
+
+type action =
+  | Crash  (** raise {!Injected_crash} at the site — simulated process death *)
+  | Io_error
+      (** raise {!Injected_io} — a transient I/O failure
+          ([EINTR]/[ENOSPC]-style) that {!Retry.with_backoff} retries *)
+  | Torn_write of int
+      (** at a write site: persist only the first [n] bytes of the
+          payload, then crash.  Ignored by plain {!check} sites. *)
+  | Delay of float
+      (** advance the virtual {!Clock} by this many seconds — an injected
+          solver slowdown.  Ignored when the clock is real. *)
+
+type fault = {
+  site : string;  (** site name, e.g. ["journal.append"] *)
+  hit : int;  (** 1-based visit number of [site] at which to fire *)
+  action : action;
+}
+(** One scripted fault.  Each fault fires at most once: when [site]'s hit
+    counter reaches [hit] while the fault is still pending.  Two faults on
+    the same [(site, hit)] pair would shadow each other, so {!plan}
+    generates distinct pairs. *)
+
+type plan = fault list
+
+exception Injected_crash of { site : string; hit : int }
+(** Simulated process death.  Callers that survive it (the chaos harness)
+    must treat all in-memory state as lost and recover from disk. *)
+
+exception Injected_io of { site : string; hit : int }
+(** Simulated transient I/O error; {!Retry.is_transient} recognises it. *)
+
+val arm : plan -> unit
+(** Install [plan] and zero all hit counters and fired-fault statistics.
+    Arming an empty plan still enables counting (useful to trace site
+    traffic). *)
+
+val disarm : unit -> unit
+(** Back to zero-overhead pass-through.  Counters and {!stats} keep their
+    final values until the next {!arm}. *)
+
+val armed : unit -> bool
+
+val check : string -> unit
+(** Probe a named site.  Disarmed: free.  Armed: bump the site's hit
+    counter and fire the pending fault scheduled for this visit, if any.
+    [Torn_write] faults do not fire here (they need a write payload).
+    @raise Injected_crash / Injected_io as scripted. *)
+
+val check_write : string -> len:int -> int option
+(** Probe a write site about to persist [len] bytes.  [None]: write all
+    of it.  [Some n] ([n < len]): a torn write fired — the caller must
+    persist exactly the first [n] bytes, make them visible (flush), and
+    then call {!crash} on the same site.
+    @raise Injected_crash / Injected_io as scripted for non-torn
+    faults. *)
+
+val crash : string -> 'a
+(** Raise {!Injected_crash} for [site] at its current hit count — the
+    second half of the torn-write protocol. *)
+
+val hits : string -> int
+(** Current hit counter of a site (0 when never probed since {!arm}). *)
+
+type stats = {
+  crashes : int;
+  io_errors : int;
+  torn_writes : int;
+  delays : int;
+}
+(** Faults actually fired since the last {!arm} (a plan can script more
+    than the workload reaches). *)
+
+val stats : unit -> stats
+val no_stats : stats
+
+val plan :
+  ?crashes:int ->
+  ?io_errors:int ->
+  ?torn_writes:int ->
+  ?delays:int ->
+  ?horizon:int ->
+  ?delay_s:float ->
+  seed:int ->
+  sites:string list ->
+  write_sites:string list ->
+  delay_sites:string list ->
+  unit ->
+  plan
+(** Generate a seeded scenario: [crashes]+[io_errors] faults over
+    [sites @ write_sites], [torn_writes] over [write_sites] (torn length
+    uniform in 0..79 bytes) and [delays] of [delay_s] seconds (default
+    [0.25]) over [delay_sites], each at a distinct [(site, hit)] pair
+    with hits uniform in [1..horizon] (default [100]).  Equal seeds yield
+    equal plans; faults are returned sorted by site then hit.  Classes
+    whose site list is empty generate nothing. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+(** [site@hit action], e.g. [journal.append@17 torn-write(23)]. *)
+
+(** {1 Deterministic time} *)
+
+(** The clock behind per-arrival solve deadlines.  Real mode reads
+    [Unix.gettimeofday]; virtual mode reads a counter advanced only by
+    {!Clock.advance}, [Delay] faults and virtual {!sleep}s, making
+    deadline tests and chaos runs time-independent. *)
+module Clock : sig
+  val now_s : unit -> float
+
+  val set_virtual : float -> unit
+  (** Enter virtual mode at this time. *)
+
+  val advance : float -> unit
+  (** Move a virtual clock forward; no-op in real mode.
+      @raise Invalid_argument on a negative amount. *)
+
+  val clear : unit -> unit
+  (** Back to the real clock. *)
+
+  val is_virtual : unit -> bool
+end
+
+val sleep : float -> unit
+(** Back-off sleep: [Unix.sleepf] in real mode, {!Clock.advance} in
+    virtual mode (deterministic and instantaneous). *)
+
+(** {1 Bounded-backoff retries} *)
+
+module Retry : sig
+  type spec = {
+    attempts : int;  (** total tries, including the first (>= 1) *)
+    base_s : float;  (** delay before the first retry *)
+    factor : float;  (** exponential growth per retry *)
+    max_s : float;  (** per-retry delay cap *)
+  }
+
+  val default : spec
+  (** 5 attempts, 1 ms base, doubling, 16 ms cap: worst case adds 15 ms
+      of (virtual or real) sleep to one journal operation. *)
+
+  val backoff_s : spec -> int -> float
+  (** Delay before retry [k] (1-based):
+      [min max_s (base_s *. factor ^ (k-1))].  Pure — the schedule is a
+      function of the spec alone, which the determinism test pins. *)
+
+  val is_transient : exn -> bool
+  (** [Injected_io], and real [Unix.Unix_error] with [EINTR], [EAGAIN],
+      [EWOULDBLOCK] or [ENOSPC] (a filling disk may drain). *)
+
+  val with_backoff :
+    ?spec:spec -> ?on_retry:(attempt:int -> exn -> unit) -> (unit -> 'a) -> 'a
+  (** Run the thunk, retrying transient failures up to
+      [spec.attempts - 1] times with {!backoff_s} sleeps between tries;
+      [on_retry ~attempt exn] fires before each sleep ([attempt] is the
+      1-based try that just failed).  Non-transient exceptions and the
+      final transient failure propagate unchanged. *)
+end

@@ -61,3 +61,16 @@ vary; the schema and the cross-run identity checksum do not:
 
   $ grep -o '"identical": 1' serve.json
   "identical": 1
+
+chaos-replay times a full Chaos.run pass — fault-free baseline, then the
+same stream under scripted faults with kill/restore at every injected
+crash.  Timings vary; the schema and the survival checksum do not:
+
+  $ ltc-bench chaos-replay --json chaos.json > /dev/null
+  $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' chaos.json
+  {
+    "BENCH_chaos_replay": {"arrivals": _, "checkpoint_every": _, "plan_faults": _, "kills": _, "restores": _, "degraded": _, "chaos_s": _, "arrivals_per_s": _, "identical": _}
+  }
+
+  $ grep -o '"identical": 1' chaos.json
+  "identical": 1

@@ -1,0 +1,41 @@
+Chaos replay: run a workload under a seeded fault plan — crashes, torn
+writes, transient I/O errors, injected solver slowdowns — killing and
+restoring the journaled session at every injected crash, and verify the
+surviving decision stream is byte-identical to the fault-free baseline.
+
+  $ ltc generate -T 6 -W 40 --scale 1.0 --seed 3 -o wl.inst
+  instance{|T|=6, |W|=40, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  saved to wl.inst
+
+All four fault classes fire with this plan; the journal survives every
+kill (exit 0 = identical stream):
+
+  $ ltc chaos --load wl.inst -a LAF --seed 7 --fault-seed 7 --journal chaos.j
+  chaos: algorithm=LAF arrivals=40 seed=7 fault-seed=7
+  chaos: plan: 3 crashes, 2 io-errors, 2 torn-writes, 2 delays (horizon 30)
+  chaos: fired: crashes=2 io-errors=2 torn-writes=1 delays=2
+  chaos: kills=4 restores=4 degraded=0
+  chaos: decision stream identical to fault-free baseline
+
+The journal left behind is a valid compacted session:
+
+  $ head -1 chaos.j
+  ltc-journal v2
+
+A crash-free plan of pure delays plus a deadline exercises graceful
+degradation: the injected slowdowns blow the budget, the fallback
+decides those arrivals (identically in baseline and chaos runs), and
+the stream still matches:
+
+  $ ltc chaos --load wl.inst -a LAF --seed 7 --fault-seed 7 --crashes 0 --io-errors 0 --torn-writes 0 --delays 4 --deadline 0.05 --fallback Nearest
+  chaos: algorithm=LAF arrivals=40 seed=7 fault-seed=7
+  chaos: plan: 0 crashes, 0 io-errors, 0 torn-writes, 4 delays (horizon 30)
+  chaos: fired: crashes=0 io-errors=0 torn-writes=0 delays=4
+  chaos: kills=0 restores=0 degraded=4
+  chaos: decision stream identical to fault-free baseline
+
+Other algorithms ride the same harness:
+
+  $ ltc chaos --load wl.inst -a AAM --seed 9 --fault-seed 13 | tail -2
+  chaos: kills=4 restores=3 degraded=0
+  chaos: decision stream identical to fault-free baseline

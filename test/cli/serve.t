@@ -17,7 +17,7 @@ The uninterrupted run completes at arrival 269 — same point as the batch
 engine in ltc.t — and stops emitting there:
 
   $ ltc serve --load wl.inst -a LAF --journal full.j --checkpoint-every 64 < arrivals.ndjson > full.out
-  serve: algorithm=LAF consumed=269 (resumed at 0, skipped 0) latency=269 completed=true
+  serve: algorithm=LAF consumed=269 (resumed at 0, skipped 0, bad 0) latency=269 completed=true
   $ wc -l < full.out
   269
   $ tail -1 full.out
@@ -28,9 +28,9 @@ the whole stream: already-journaled arrivals are skipped, so the two
 outputs concatenate to exactly the uninterrupted run's decisions:
 
   $ head -100 arrivals.ndjson | ltc serve --load wl.inst -a LAF --journal part.j --checkpoint-every 64 > part1.out
-  serve: algorithm=LAF consumed=100 (resumed at 0, skipped 0) latency=100 completed=false
+  serve: algorithm=LAF consumed=100 (resumed at 0, skipped 0, bad 0) latency=100 completed=false
   $ ltc serve --resume part.j < arrivals.ndjson > part2.out
-  serve: algorithm=LAF consumed=269 (resumed at 100, skipped 100) latency=269 completed=true
+  serve: algorithm=LAF consumed=269 (resumed at 100, skipped 100, bad 0) latency=269 completed=true
   $ cat part1.out part2.out | cmp - full.out && echo identical
   identical
 
@@ -46,11 +46,13 @@ ltc_service_* metrics flow through the shared registry (5 compactions of
 50 events at --checkpoint-every 10):
 
   $ head -50 arrivals.ndjson | ltc serve --load wl.inst -a LAF --journal m.j --checkpoint-every 10 --metrics m.prom --metrics-format prom > /dev/null
-  serve: algorithm=LAF consumed=50 (resumed at 0, skipped 0) latency=48 completed=false
+  serve: algorithm=LAF consumed=50 (resumed at 0, skipped 0, bad 0) latency=48 completed=false
   $ grep -o '^ltc_service_[a-z_]*' m.prom | sort -u
+  ltc_service_bad_input_total
   ltc_service_feed_seconds_bucket
   ltc_service_feed_seconds_count
   ltc_service_feed_seconds_sum
+  ltc_service_io_retries_total
   ltc_service_journal_bytes
   ltc_service_snapshots_total
   $ grep '^ltc_service_snapshots_total' m.prom
@@ -66,4 +68,46 @@ Errors are reported cleanly — serving needs an online policy:
   [2]
   $ ltc serve < /dev/null
   serve needs --load FILE (or --resume PATH)
+  [1]
+
+Malformed arrival lines: the default (--on-bad-input fail) stops the
+stream with a structured error naming the raw input line; skip drops the
+line with a stderr warning, keeps serving, and counts it in
+ltc_service_bad_input_total:
+
+  $ { head -3 arrivals.ndjson; echo '{"index":4,"x":oops}'; } | ltc serve --load wl.inst -a LAF > bad.out
+  ltc: bad input at line 4: unexpected character 'o' in "{\"index\":4,\"x\":oops}": "{\"index\":4,\"x\":oops}"
+  [2]
+  $ { head -3 arrivals.ndjson; echo 'not json at all'; sed -n '4,5p' arrivals.ndjson; } | ltc serve --load wl.inst -a LAF --on-bad-input skip --metrics bad.prom --metrics-format prom > skip.out
+  serve: dropping bad input at line 4: unexpected character 'n' in "not json at all": "not json at all"
+  serve: algorithm=LAF consumed=5 (resumed at 0, skipped 0, bad 1) latency=5 completed=false
+  $ wc -l < skip.out
+  5
+  $ grep '^ltc_service_bad_input_total' bad.prom
+  ltc_service_bad_input_total{algo="LAF"} 1
+
+Resuming an empty (zero-byte) journal is a fresh start, not an error —
+the previous run died before the header became durable:
+
+  $ touch empty.j
+  $ head -5 arrivals.ndjson | ltc serve --resume empty.j --load wl.inst -a LAF > fresh.out
+  serve: journal empty.j is empty; starting a fresh session
+  serve: algorithm=LAF consumed=5 (resumed at 0, skipped 0, bad 0) latency=5 completed=false
+  $ grep -c '^w ' empty.j
+  5
+
+A per-arrival deadline is recorded in the journal header (v2) and
+restored on resume; with a generous budget the stream is untouched:
+
+  $ head -100 arrivals.ndjson | ltc serve --load wl.inst -a LAF --journal dl.j --deadline 100 > dl1.out
+  serve: algorithm=LAF consumed=100 (resumed at 0, skipped 0, bad 0) latency=100 completed=false
+  $ ltc serve --resume dl.j < arrivals.ndjson > dl2.out
+  serve: algorithm=LAF consumed=269 (resumed at 100, skipped 100, bad 0) latency=269 completed=true
+  $ cat dl1.out dl2.out | cmp - full.out && echo identical
+  identical
+  $ ltc serve --resume dl.j --deadline 5 < /dev/null
+  --resume restores the deadline from the journal; drop --deadline/--fallback
+  [1]
+  $ ltc serve --load wl.inst -a LAF --fallback Nearest < /dev/null
+  --fallback only makes sense with --deadline
   [1]

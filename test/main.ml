@@ -1,5 +1,5 @@
 let () =
   Alcotest.run "ltc"
-    (Test_util.suite @ Test_obs.suite @ Test_geo.suite @ Test_flow.suite
+    (Test_util.suite @ Test_fault.suite @ Test_obs.suite @ Test_geo.suite @ Test_flow.suite
    @ Test_core.suite @ Test_algo.suite @ Test_service.suite
    @ Test_workload.suite @ Test_experiments.suite @ Test_parallel.suite)

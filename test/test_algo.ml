@@ -516,6 +516,7 @@ let noshow_config ~accept_rate ~seed =
     Engine.accept_rate = Some accept_rate;
     rng = Some (Ltc_util.Rng.create ~seed);
     tracker = None;
+    degrade = None;
   }
 
 let test_noshow_full_rate_equals_run_policy () =
@@ -568,7 +569,12 @@ let test_noshow_invalid_rate () =
       ignore
         (Engine.run
            ~config:
-             { Engine.accept_rate = Some 0.5; rng = None; tracker = None }
+             {
+               Engine.accept_rate = Some 0.5;
+               rng = None;
+               tracker = None;
+               degrade = None;
+             }
            ~name:"x" Laf.policy i))
 
 (* --------------------------------------------------- qcheck: whole-stack *)

@@ -60,6 +60,7 @@ let check_engine_parity ~accept_rate (algo : Ltc_algo.Algorithm.t) =
           Ltc_algo.Engine.accept_rate;
           rng = (if accept_rate = None then None else Some noshow_rng);
           tracker = None;
+          degrade = None;
         }
       ~name:algo.Ltc_algo.Algorithm.name
       ((Option.get algo.Ltc_algo.Algorithm.policy) policy_rng)
@@ -310,6 +311,212 @@ let test_feed_contracts () =
     (Invalid_argument "Session.feed: session is closed") (fun () ->
       ignore (Session.feed s extra))
 
+(* --------------------------------------------------- corruption triage *)
+
+(* A torn tail is forgiven (crash mid-append), but corruption in the
+   interior — an unparseable record followed by intact ones — must be
+   refused loudly, naming the damage. *)
+let test_interior_corruption_diagnosed () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let instance = small_instance ~seed:31 () in
+  with_tmp_journal @@ fun path ->
+  let s =
+    Session.create ~journal:path ~checkpoint_every:100 ~algorithm:algo ~seed:5
+      instance
+  in
+  List.iteri
+    (fun j w -> if j < 12 then ignore (Session.feed s w))
+    (arrivals instance);
+  Session.close s;
+  let lines =
+    In_channel.with_open_text path (fun ic -> In_channel.input_lines ic)
+  in
+  let is_decision l = String.length l >= 2 && (l.[0] = 'd' || l.[0] = 'D') in
+  (* index (into [lines]) of the 4th decision record *)
+  let decision_idx =
+    let rec go i seen = function
+      | [] -> Alcotest.fail "journal holds fewer than 4 decisions"
+      | l :: rest ->
+        if is_decision l then
+          if seen = 3 then i else go (i + 1) (seen + 1) rest
+        else go (i + 1) seen rest
+    in
+    go 0 0 lines
+  in
+  let mangled =
+    List.mapi (fun i l -> if i = decision_idx then "d ?!corrupt" else l) lines
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) mangled);
+  (match Session.restore ~path () with
+  | (_ : Session.t) -> Alcotest.fail "interior corruption must be refused"
+  | exception Session.Corrupt_journal { path = p; message } ->
+    Alcotest.(check string) "names the file" path p;
+    let has affix = Astring.String.is_infix ~affix message in
+    Alcotest.(check bool)
+      (Printf.sprintf "message locates the damage: %s" message)
+      true
+      (has "corrupted record" && has "at byte" && has "?!corrupt"
+     && has "followed by intact records"));
+  (* The same damage at the very end of the file is a torn tail: dropped,
+     and the session restores at a smaller consumed count. *)
+  let n_lines = List.length lines in
+  let tail_mangled =
+    List.mapi (fun i l -> if i = n_lines - 1 then "d ?!corrupt" else l) lines
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) tail_mangled);
+  let s' = Session.restore ~path () in
+  Alcotest.(check int) "torn tail drops exactly the last record" 11
+    (Session.consumed s');
+  Session.close s'
+
+(* ------------------------------------------------ deadline degradation *)
+
+let delay_at hits =
+  List.map
+    (fun hit ->
+      {
+        Ltc_util.Fault.site = "session.decide";
+        hit;
+        action = Ltc_util.Fault.Delay 0.2;
+      })
+    hits
+
+let with_faults plan f =
+  Fun.protect
+    ~finally:(fun () ->
+      Ltc_util.Fault.disarm ();
+      Ltc_util.Fault.Clock.clear ())
+    (fun () ->
+      Ltc_util.Fault.arm plan;
+      Ltc_util.Fault.Clock.set_virtual 0.0;
+      f ())
+
+let nearest_deadline = { Session.budget_s = 0.05; fallback = Ltc_algo.Algorithm.nearest_first }
+
+(* An unexceeded deadline is invisible: same decisions, same fingerprint
+   as a session that never had one. *)
+let test_deadline_unexceeded_parity () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let instance = small_instance ~seed:41 () in
+  let ws = arrivals instance in
+  let plain =
+    let s = Session.create ~algorithm:algo ~seed:6 instance in
+    let ds = feed_all s ws in
+    (ds, fingerprint s)
+  in
+  with_faults [] @@ fun () ->
+  let s =
+    Session.create ~deadline:nearest_deadline ~algorithm:algo ~seed:6 instance
+  in
+  let ds = feed_all s ws in
+  Alcotest.(check bool) "same decisions" true (ds = fst plain);
+  Alcotest.(check bool) "same fingerprint" true (fingerprint s = snd plain);
+  Alcotest.(check int) "nothing degraded" 0 (Session.degraded_total s)
+
+(* Injected slowdowns blow the budget at scripted arrivals: exactly those
+   decisions are degraded, the stream stays valid, and a kill/restore of
+   the D-tagged journal reproduces the uninterrupted degraded run. *)
+let test_deadline_degradation_deterministic () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let instance = small_instance ~seed:41 () in
+  let ws = arrivals instance in
+  let slow_hits = [ 3; 7; 11 ] in
+  let uninterrupted =
+    with_faults (delay_at slow_hits) @@ fun () ->
+    let s =
+      Session.create ~deadline:nearest_deadline ~algorithm:algo ~seed:6
+        instance
+    in
+    let ds = feed_all s ws in
+    Alcotest.(check int) "degraded_total counts the slow arrivals" 3
+      (Session.degraded_total s);
+    List.iteri
+      (fun j (d : Session.decision) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "arrival %d degraded flag" (j + 1))
+          (List.mem (j + 1) slow_hits)
+          d.Session.degraded;
+        List.iter
+          (fun t ->
+            Alcotest.(check bool) "assigned task ids valid" true
+              (t >= 0 && t < Array.length instance.Ltc_core.Instance.tasks))
+          d.Session.assigned)
+      ds;
+    (ds, fingerprint s)
+  in
+  (* Same plan, fresh clock: kill after arrival 12 (past every degraded
+     decision) and restore.  Replay is journal-driven — the D tags force
+     the fallback without consulting the clock — so the surviving run is
+     bit-identical. *)
+  with_tmp_journal @@ fun path ->
+  with_faults (delay_at slow_hits) @@ fun () ->
+  let s =
+    Session.create ~journal:path ~checkpoint_every:100
+      ~deadline:nearest_deadline ~algorithm:algo ~seed:6 instance
+  in
+  List.iteri (fun j w -> if j < 12 then ignore (Session.feed s w)) ws;
+  let s' = Session.restore ~path () in
+  Alcotest.(check int) "restore replays to the kill point" 12
+    (Session.consumed s');
+  List.iteri (fun j w -> if j >= 12 then ignore (Session.feed s' w)) ws;
+  Session.close s';
+  Alcotest.(check bool) "degraded run survives kill/restore" true
+    (fingerprint s' = snd uninterrupted)
+
+(* ------------------------------------------------------- chaos property *)
+
+let chaos_sites =
+  [
+    "journal.header";
+    "journal.append.fsync";
+    "journal.checkpoint.fsync";
+    "journal.checkpoint.rename";
+    "journal.checkpoint.dir";
+  ]
+
+let chaos_write_sites = [ "journal.append"; "journal.checkpoint.write" ]
+
+(* Crash-everywhere, seeded: whatever mix of crashes, torn writes,
+   transient I/O errors and delays a random plan scripts, the surviving
+   decision stream equals the fault-free baseline. *)
+let prop_chaos_identical =
+  QCheck2.Test.make
+    ~name:"chaos: survived stream == fault-free baseline under random plans"
+    ~count:25
+    QCheck2.Gen.(
+      let* iseed = int_range 0 10_000 in
+      let* seed = int_range 0 10_000 in
+      let* fault_seed = int_range 0 10_000 in
+      let* crashes = int_range 0 4 in
+      let* io_errors = int_range 0 3 in
+      let* torn_writes = int_range 0 3 in
+      let* delays = int_range 0 3 in
+      let* checkpoint_every = int_range 1 9 in
+      return
+        (iseed, seed, fault_seed, crashes, io_errors, torn_writes, delays,
+         checkpoint_every))
+    (fun
+      (iseed, seed, fault_seed, crashes, io_errors, torn_writes, delays,
+       checkpoint_every)
+    ->
+      let instance = small_instance ~seed:iseed () in
+      let plan =
+        Ltc_util.Fault.plan ~crashes ~io_errors ~torn_writes ~delays
+          ~horizon:30 ~seed:fault_seed ~sites:chaos_sites
+          ~write_sites:chaos_write_sites ~delay_sites:[ "session.decide" ] ()
+      in
+      with_tmp_journal @@ fun journal ->
+      let r =
+        Chaos.run ~checkpoint_every ~plan
+          ~algorithm:Ltc_algo.Algorithm.laf ~seed ~journal instance
+      in
+      if not r.Chaos.identical then
+        QCheck2.Test.fail_reportf "diverged: %s"
+          (Option.value r.Chaos.divergence ~default:"?");
+      true)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -329,9 +536,20 @@ let suite =
         qcheck prop_kill_restore;
         Alcotest.test_case "torn tail recovers" `Quick
           test_truncated_journal_recovers;
+        Alcotest.test_case "interior corruption diagnosed" `Quick
+          test_interior_corruption_diagnosed;
         Alcotest.test_case "compaction bounds the journal" `Quick
           test_compaction_bounds_journal;
       ] );
+    ( "service.deadline",
+      [
+        Alcotest.test_case "unexceeded deadline is invisible" `Quick
+          test_deadline_unexceeded_parity;
+        Alcotest.test_case "degradation is deterministic and restorable"
+          `Quick test_deadline_degradation_deterministic;
+      ] );
+    ( "service.chaos",
+      [ qcheck prop_chaos_identical ] );
     ( "service.contracts",
       [
         Alcotest.test_case "create validation" `Quick test_create_validation;
