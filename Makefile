@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow bench-serve serve-smoke chaos-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-loadgen serve-smoke chaos-smoke loadgen-smoke fmt check clean
 
 all: build
 
@@ -31,6 +31,12 @@ serve-smoke:
 chaos-smoke:
 	dune build @chaos-smoke
 
+# Load-generation pin: the cram test test/cli/loadgen.t drives `ltc
+# loadgen` over shaped virtual-clock traffic and pins the report, the
+# flight-record schema and the Chrome-trace shape.  Also in @runtest.
+loadgen-smoke:
+	dune build @loadgen-smoke
+
 # Min-cost-flow hot path: cold per-batch solves vs the reused
 # arena/workspace with DAG-layer and warm-started potentials.  Refreshes
 # the committed BENCH_flow_batch.json snapshot.
@@ -41,6 +47,11 @@ bench-flow:
 # Refreshes the committed BENCH_serve_replay.json snapshot.
 bench-serve:
 	dune exec bench/main.exe -- serve-replay --json BENCH_serve_replay.json
+
+# Open-loop SLO measurement: one deterministic Loadgen flash-crowd pass,
+# timed.  Refreshes the committed BENCH_loadgen.json snapshot.
+bench-loadgen:
+	dune exec bench/main.exe -- loadgen --json BENCH_loadgen.json
 
 fmt:
 	dune build @fmt --auto-promote

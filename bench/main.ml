@@ -452,6 +452,104 @@ let run_chaos_replay () =
       r.Ltc_service.Chaos.degraded chaos_s per_s
       (if r.Ltc_service.Chaos.identical then 1 else 0) )
 
+(* ------------------------------------------------------ loadgen micro *)
+
+(* Open-loop SLO measurement cost and output: one Loadgen pass — flash
+   crowd over a deadline session with exponential service times — timed
+   end to end.  The latency stats run on the virtual clock, so every pass
+   reproduces them exactly; the identical flag asserts that (a 0 is a
+   determinism regression).  Only loadgen_s/arrivals_per_s are
+   machine-dependent. *)
+let loadgen_id = "loadgen"
+
+let run_loadgen () =
+  print_endline "### loadgen — open-loop SLO latency under a flash crowd\n";
+  let spec =
+    {
+      Ltc_workload.Spec.default_synthetic with
+      Ltc_workload.Spec.n_tasks = 500;
+      n_workers = 1500;
+      capacity = 2;
+    }
+  in
+  let instance =
+    Ltc_workload.Synthetic.generate (Ltc_util.Rng.create ~seed:11) spec
+  in
+  let workers = instance.Ltc_core.Instance.workers in
+  let algorithm = Ltc_algo.Algorithm.laf in
+  let fallback =
+    match Ltc_algo.Algorithm.find_opt "Nearest" with
+    | Some a -> a
+    | None -> assert false
+  in
+  let seed = 42 in
+  let shape =
+    Ltc_workload.Shape.make ~rate:2000.0
+      (Ltc_workload.Shape.Burst { factor = 8.0; at_s = 0.25; dur_s = 0.25 })
+  in
+  let config =
+    {
+      (Ltc_service.Loadgen.default_config ~shape) with
+      Ltc_service.Loadgen.arrivals = Array.length workers;
+      service = Ltc_service.Loadgen.Exponential 4e-4;
+      seed;
+      slo_s = Some 0.002;
+    }
+  in
+  let pass () =
+    let session =
+      Ltc_service.Session.create
+        ~deadline:{ Ltc_service.Session.budget_s = 0.002; fallback }
+        ~algorithm ~seed instance
+    in
+    let report = Ltc_service.Loadgen.run ~session ~workers config in
+    Ltc_service.Session.close session;
+    report
+  in
+  ignore (pass ());
+  (* warmup *)
+  let reps = 3 in
+  let report = ref (pass ()) in
+  let (), dt =
+    Ltc_util.Timer.time (fun () ->
+        for _ = 1 to reps do
+          report := pass ()
+        done)
+  in
+  let loadgen_s = dt /. float_of_int reps in
+  let r = !report in
+  let open Ltc_service.Loadgen in
+  let fingerprint (r : report) =
+    ( r.r_offered, r.r_consumed, r.r_degraded, r.r_breaches, r.r_makespan_s,
+      r.r_p50_s, r.r_p99_s, r.r_p999_s, r.r_max_s )
+  in
+  let identical = fingerprint (pass ()) = fingerprint r in
+  let per_s = if loadgen_s > 0.0 then float_of_int r.r_offered /. loadgen_s else 0.0 in
+  Format.printf "%a" pp_report r;
+  Printf.printf "checksum: %s\n\n"
+    (if identical then "virtual-clock stats identical across passes"
+     else "PASSES DISAGREE");
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "variant"; "time/pass (ms)"; "arrivals/s" ]
+    [
+      [
+        Ltc_util.Table.Str "loadgen (flash crowd, exp service)";
+        Ltc_util.Table.Float (1000.0 *. loadgen_s);
+        Ltc_util.Table.Float per_s;
+      ];
+    ];
+  print_newline ();
+  ( "BENCH_loadgen",
+    Printf.sprintf
+      "{\"arrivals\": %d, \"consumed\": %d, \"degraded\": %d, \"breaches\": \
+       %d, \"offered_per_s\": %.1f, \"achieved_per_s\": %.1f, \"p50_s\": \
+       %.6f, \"p99_s\": %.6f, \"p999_s\": %.6f, \"max_s\": %.6f, \
+       \"loadgen_s\": %.6f, \"arrivals_per_s\": %.1f, \"identical\": %d}"
+      r.r_offered r.r_consumed r.r_degraded r.r_breaches r.r_offered_per_s
+      r.r_achieved_per_s r.r_p50_s r.r_p99_s r.r_p999_s r.r_max_s loadgen_s
+      per_s
+      (if identical then 1 else 0) )
+
 (* ------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -606,6 +704,11 @@ let list_experiments () =
           Ltc_util.Table.Str "kill/restore survival under scripted faults";
           Ltc_util.Table.Float 1.0;
         ];
+        [
+          Ltc_util.Table.Str loadgen_id;
+          Ltc_util.Table.Str "open-loop SLO latency under a flash crowd";
+          Ltc_util.Table.Float 1.0;
+        ];
       ]
   in
   Ltc_util.Table.print ~float_digits:2
@@ -635,14 +738,14 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
     let ids =
       if ids = [] then
         Figures.ids ()
-        @ [ "micro"; flow_batch_id; serve_replay_id; chaos_replay_id ]
+        @ [ "micro"; flow_batch_id; serve_replay_id; chaos_replay_id; loadgen_id ]
       else ids
     in
     let unknown =
       List.filter
         (fun id ->
           id <> "micro" && id <> flow_batch_id && id <> serve_replay_id
-          && id <> chaos_replay_id
+          && id <> chaos_replay_id && id <> loadgen_id
           && Figures.find id = None)
         ids
     in
@@ -665,6 +768,7 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
             else if id = flow_batch_id then Some (run_flow_batch ())
             else if id = serve_replay_id then Some (run_serve_replay ())
             else if id = chaos_replay_id then Some (run_chaos_replay ())
+            else if id = loadgen_id then Some (run_loadgen ())
             else
               match Figures.find id with
               | Some e ->

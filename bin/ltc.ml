@@ -801,6 +801,217 @@ let serve_cmd =
       $ checkpoint_every $ resume $ fsync $ deadline $ fallback
       $ on_bad_input $ log_arg $ metrics_arg $ metrics_format_arg)
 
+(* -------------------------------------------------------- loadgen command *)
+
+(* Open-loop SLO measurement: drive a session with a shaped arrival
+   schedule (Ltc_service.Loadgen), report coordinated-omission-corrected
+   latency quantiles, and optionally dump the flight recorder as NDJSON
+   and as a Perfetto-loadable Chrome trace.  The default virtual timing
+   makes the whole report a pure function of the flags. *)
+let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
+    deadline_s fallback_name shape_spec rate arrivals service_mean
+    service_dist timing poisson slo flight_out flight_capacity trace_out
+    log_levels metrics metrics_format =
+  setup_observability ~verbose:false ~log_levels ~metrics;
+  let algorithm = resolve_algorithm algo_name in
+  let deadline = resolve_deadline deadline_s fallback_name in
+  let instance = Ltc_core.Serialize.load_instance ~path:load in
+  let workers = instance.Ltc_core.Instance.workers in
+  if Array.length workers = 0 then
+    die "loadgen: instance %s embeds no workers to offer" load;
+  let shape_spec =
+    if not poisson then shape_spec
+    else
+      shape_spec
+      ^ (if String.contains shape_spec ':' then "," else ":")
+      ^ "poisson=true"
+  in
+  let shape =
+    match Ltc_workload.Shape.of_string ~rate shape_spec with
+    | Ok s -> s
+    | Error m -> die "bad --shape %S: %s" shape_spec m
+  in
+  let config =
+    {
+      Ltc_service.Loadgen.shape;
+      arrivals = Option.value arrivals ~default:(Array.length workers);
+      service =
+        (match service_dist with
+        | `Fixed -> Ltc_service.Loadgen.Fixed service_mean
+        | `Exp -> Ltc_service.Loadgen.Exponential service_mean);
+      seed;
+      timing =
+        (match timing with
+        | `Virtual -> Ltc_service.Loadgen.Virtual
+        | `Wall -> Ltc_service.Loadgen.Wall);
+      slo_s = slo;
+      recorder_capacity = flight_capacity;
+    }
+  in
+  let session =
+    Ltc_service.Session.create ?accept_rate ?deadline ?journal
+      ~checkpoint_every ~algorithm ~seed instance
+  in
+  (* On the first breach the ring is dumped immediately — the black-box
+     snapshot of what led up to it — and overwritten at the end of the run
+     with the final state. *)
+  let on_breach =
+    Option.map
+      (fun path ~seq recorder ->
+        Ltc_service.Flight_recorder.dump recorder ~path;
+        Format.eprintf
+          "loadgen: SLO breached at arrival %d; flight record in %s@." seq
+          path)
+      flight_out
+  in
+  let report = Ltc_service.Loadgen.run ?on_breach ~session ~workers config in
+  Ltc_service.Session.close session;
+  Format.printf "%a" Ltc_service.Loadgen.pp_report report;
+  Option.iter
+    (fun path ->
+      Ltc_service.Flight_recorder.dump report.Ltc_service.Loadgen.r_recorder
+        ~path;
+      Format.printf "flight record: %s@." path)
+    flight_out;
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Ltc_service.Flight_recorder.to_chrome_json
+               report.Ltc_service.Loadgen.r_recorder));
+      Format.printf "chrome trace: %s@." path)
+    trace_out;
+  write_snapshot ~metrics ~metrics_format;
+  0
+
+let loadgen_cmd =
+  let load =
+    Arg.(required & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Instance file written by $(b,ltc generate); its embedded \
+                   workers are the arrival stream, in index order.")
+  in
+  let algo =
+    Arg.(required & opt (some string) None
+         & info [ "algorithm"; "a" ] ~docv:"NAME"
+             ~doc:"Online algorithm under load.")
+  in
+  let accept_rate =
+    Arg.(value & opt (some float) None
+         & info [ "accept-rate" ] ~docv:"Q"
+             ~doc:"Simulate no-shows with probability 1-$(docv), exactly as \
+                   $(b,ltc serve).")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Journal the session to $(docv) while under load, so the \
+                   report includes journal I/O and per-arrival journal \
+                   bytes.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 256
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Compact the journal every $(docv) events.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-arrival solve budget; decisions whose (injected) \
+                   service time overruns it degrade to the fallback.")
+  in
+  let fallback =
+    Arg.(value & opt (some string) None
+         & info [ "fallback" ] ~docv:"NAME"
+             ~doc:"Deadline fallback algorithm (default Nearest).  \
+                   Requires --deadline.")
+  in
+  let shape =
+    Arg.(value & opt string "constant"
+         & info [ "shape" ] ~docv:"SPEC"
+             ~doc:"Arrival shape: $(b,constant), \
+                   $(b,rampup)[:from=R,over=S], \
+                   $(b,diurnal)[:amp=A,period=S], \
+                   $(b,burst)[:factor=F,at=S,dur=S] or \
+                   $(b,pausing)[:on=S,off=S]; any shape also accepts \
+                   $(b,poisson=true).")
+  in
+  let rate =
+    Arg.(value & opt float 1000.0
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Base offered rate in arrivals per second.")
+  in
+  let arrivals =
+    Arg.(value & opt (some int) None
+         & info [ "arrivals"; "n" ] ~docv:"N"
+             ~doc:"Arrivals to offer (default: all embedded workers).")
+  in
+  let service_mean =
+    Arg.(value & opt float 1e-4
+         & info [ "service-mean" ] ~docv:"S"
+             ~doc:"Synthetic per-decision service time in seconds \
+                   (virtual timing only).")
+  in
+  let service_dist =
+    Arg.(value
+         & opt (enum [ ("fixed", `Fixed); ("exp", `Exp) ]) `Fixed
+         & info [ "service-dist" ] ~docv:"fixed|exp"
+             ~doc:"Service-time distribution: $(b,fixed) (deterministic) \
+                   or $(b,exp) (i.i.d. exponential with the given mean).")
+  in
+  let timing =
+    Arg.(value
+         & opt (enum [ ("virtual", `Virtual); ("wall", `Wall) ]) `Virtual
+         & info [ "timing" ] ~docv:"virtual|wall"
+             ~doc:"$(b,virtual) (default) runs on the deterministic fault \
+                   clock with injected service times; $(b,wall) paces \
+                   real time and measures actual policy latency \
+                   (non-deterministic).")
+  in
+  let poisson =
+    Arg.(value & flag
+         & info [ "poisson" ]
+             ~doc:"Jitter the schedule into a non-homogeneous Poisson \
+                   process (same as $(b,poisson=true) in --shape).")
+  in
+  let slo =
+    Arg.(value & opt (some float) None
+         & info [ "slo" ] ~docv:"SECONDS"
+             ~doc:"Corrected-latency SLO; breaches are counted and the \
+                   first one dumps the flight recorder (with \
+                   --flight-out).")
+  in
+  let flight_out =
+    Arg.(value & opt (some string) None
+         & info [ "flight-out" ] ~docv:"FILE"
+             ~doc:"Dump the flight-recorder ring as NDJSON to $(docv) \
+                   (immediately on the first SLO breach, and at the end \
+                   of the run).")
+  in
+  let flight_capacity =
+    Arg.(value & opt int 4096
+         & info [ "flight-capacity" ] ~docv:"N"
+             ~doc:"Flight-recorder ring capacity (oldest records are \
+                   overwritten beyond it).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the run as Chrome trace-event JSON (one slice \
+                   per arrival), loadable in chrome://tracing or \
+                   Perfetto.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"drive a session open-loop with shaped traffic and report SLO \
+             latency quantiles")
+    Term.(
+      const loadgen_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
+      $ checkpoint_every $ deadline $ fallback $ shape $ rate $ arrivals
+      $ service_mean $ service_dist $ timing $ poisson $ slo $ flight_out
+      $ flight_capacity $ trace_out $ log_arg $ metrics_arg
+      $ metrics_format_arg)
+
 (* ---------------------------------------------------------- chaos command *)
 
 (* Replay a workload under a seeded fault plan, killing and restoring the
@@ -942,7 +1153,7 @@ let main =
     (Cmd.info "ltc" ~doc ~version:"1.0.0")
     [
       run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd;
-      serve_cmd; chaos_cmd;
+      serve_cmd; loadgen_cmd; chaos_cmd;
     ]
 
 (* Turn expected failures (missing files, corrupt inputs, bad parameters)

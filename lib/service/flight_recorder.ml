@@ -1,0 +1,98 @@
+type record = {
+  seq : int;
+  offered_s : float;
+  actual_s : float;
+  done_s : float;
+  latency_s : float;
+  assigned : int;
+  degraded : bool;
+  journal_bytes : int;
+}
+
+type t = {
+  ring : record array;
+  mutable appended : int;  (* total records ever appended *)
+}
+
+let dummy =
+  {
+    seq = 0;
+    offered_s = 0.0;
+    actual_s = 0.0;
+    done_s = 0.0;
+    latency_s = 0.0;
+    assigned = 0;
+    degraded = false;
+    journal_bytes = 0;
+  }
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg "Flight_recorder.create: capacity must be >= 1";
+  { ring = Array.make capacity dummy; appended = 0 }
+
+let record t r =
+  t.ring.(t.appended mod Array.length t.ring) <- r;
+  t.appended <- t.appended + 1
+
+let capacity t = Array.length t.ring
+let length t = min t.appended (Array.length t.ring)
+let total t = t.appended
+let dropped t = max 0 (t.appended - Array.length t.ring)
+
+let iter f t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = t.appended - n in
+  for i = first to t.appended - 1 do
+    f t.ring.(i mod cap)
+  done
+
+(* %.9f keeps sub-nanosecond timeline resolution while staying locale- and
+   platform-stable (no %g exponent-form variation across libcs). *)
+let record_json r =
+  Printf.sprintf
+    "{\"seq\":%d,\"offered_s\":%.9f,\"actual_s\":%.9f,\"done_s\":%.9f,\"latency_s\":%.9f,\"assigned\":%d,\"degraded\":%b,\"journal_bytes\":%d}"
+    r.seq r.offered_s r.actual_s r.done_s r.latency_s r.assigned r.degraded
+    r.journal_bytes
+
+let to_ndjson t =
+  let buf = Buffer.create 4096 in
+  iter
+    (fun r ->
+      Buffer.add_string buf (record_json r);
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let dump t ~path =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (to_ndjson t))
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  let emit ev =
+    if not !first then Buffer.add_string buf ",\n ";
+    first := false;
+    Buffer.add_string buf ev
+  in
+  iter
+    (fun r ->
+      if r.actual_s > r.offered_s then
+        emit
+          (Printf.sprintf
+             "{\"name\":\"queued\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"seq\":%d}}"
+             (r.offered_s *. 1e6)
+             ((r.actual_s -. r.offered_s) *. 1e6)
+             r.seq);
+      emit
+        (Printf.sprintf
+           "{\"name\":\"decide\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"seq\":%d,\"assigned\":%d,\"degraded\":%b}}"
+           (r.actual_s *. 1e6)
+           (Float.max 0.0 (r.done_s -. r.actual_s) *. 1e6)
+           r.seq r.assigned r.degraded))
+    t;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

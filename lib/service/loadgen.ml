@@ -1,0 +1,235 @@
+module Fault = Ltc_util.Fault
+module Metrics = Ltc_util.Metrics
+module Shape = Ltc_workload.Shape
+
+type service = Fixed of float | Exponential of float
+type timing = Virtual | Wall
+
+type config = {
+  shape : Shape.t;
+  arrivals : int;
+  service : service;
+  seed : int;
+  timing : timing;
+  slo_s : float option;
+  recorder_capacity : int;
+}
+
+let default_config ~shape =
+  {
+    shape;
+    arrivals = 1000;
+    service = Fixed 1e-4;
+    seed = 0;
+    timing = Virtual;
+    slo_s = None;
+    recorder_capacity = 4096;
+  }
+
+type report = {
+  r_shape : string;
+  r_timing : string;
+  r_algo : string;
+  r_seed : int;
+  r_offered : int;
+  r_consumed : int;
+  r_completed : bool;
+  r_degraded : int;
+  r_offered_per_s : float;
+  r_achieved_per_s : float;
+  r_makespan_s : float;
+  r_mean_s : float;
+  r_p50_s : float;
+  r_p99_s : float;
+  r_p999_s : float;
+  r_max_s : float;
+  r_slo_s : float option;
+  r_breaches : int;
+  r_first_breach : int option;
+  r_hdr : Metrics.Hdr.t;
+  r_recorder : Flight_recorder.t;
+}
+
+let exp_draw rng = -.log (1.0 -. Ltc_util.Rng.float rng 1.0)
+
+let validate config ~workers ~session =
+  (match config.service with
+  | Fixed s ->
+    if not (Float.is_finite s) || s < 0.0 then
+      invalid_arg "Loadgen.run: fixed service time must be finite and >= 0"
+  | Exponential m ->
+    if not (Float.is_finite m) || m <= 0.0 then
+      invalid_arg "Loadgen.run: exponential service mean must be > 0");
+  (match config.slo_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+    invalid_arg "Loadgen.run: slo_s must be finite and > 0"
+  | _ -> ());
+  if config.arrivals < 1 then invalid_arg "Loadgen.run: arrivals must be >= 1";
+  if Array.length workers = 0 then
+    invalid_arg "Loadgen.run: no workers to offer";
+  if Session.consumed session <> 0 then
+    invalid_arg "Loadgen.run: session must be fresh (consumed = 0)"
+
+let run ?on_breach ~session ~workers config =
+  validate config ~workers ~session;
+  let n = min config.arrivals (Array.length workers) in
+  let intended = Shape.times config.shape ~seed:config.seed ~n in
+  (* Service draws fork off the schedule seed so switching the service
+     distribution never perturbs the arrival schedule. *)
+  let service_s =
+    let rng = Ltc_util.Rng.split (Ltc_util.Rng.create ~seed:config.seed) in
+    Array.init n (fun _ ->
+        match config.service with
+        | Fixed s -> s
+        | Exponential mean -> mean *. exp_draw rng)
+  in
+  let virtual_mode = config.timing = Virtual in
+  (* The session probes "session.decide" exactly once per consuming
+     arrival, so hit [i+1] injects arrival [i]'s service time — through
+     the same machinery the deadline measures, which is what makes
+     synthetic degradation honest. *)
+  if virtual_mode then begin
+    Fault.Clock.set_virtual 0.0;
+    Fault.arm
+      (List.init n (fun i ->
+           {
+             Fault.site = "session.decide";
+             hit = i + 1;
+             action = Fault.Delay service_s.(i);
+           }))
+  end;
+  let epoch = if virtual_mode then 0.0 else Unix.gettimeofday () in
+  let now () =
+    if virtual_mode then Fault.Clock.now_s ()
+    else Unix.gettimeofday () -. epoch
+  in
+  let hdr = Metrics.Hdr.create () in
+  let recorder = Flight_recorder.create ~capacity:config.recorder_capacity in
+  let degraded0 = Session.degraded_total session in
+  let fed = ref 0 in
+  let completed = ref false in
+  let last_done = ref 0.0 in
+  let breaches = ref 0 in
+  let first_breach = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      if virtual_mode then begin
+        Fault.disarm ();
+        Fault.Clock.clear ()
+      end)
+  @@ fun () ->
+  (try
+     for i = 0 to n - 1 do
+       let t_intended = intended.(i) in
+       let t_now = now () in
+       (* Open loop: never feed ahead of schedule.  When the system is
+          behind (t_now > t_intended) the arrival is fed immediately and
+          its latency carries the queueing delay. *)
+       if t_now < t_intended then
+         if virtual_mode then Fault.Clock.advance (t_intended -. t_now)
+         else Unix.sleepf (t_intended -. t_now);
+       let actual = now () in
+       let d = Session.feed session workers.(i) in
+       let done_t = now () in
+       let latency = Float.max 0.0 (done_t -. t_intended) in
+       Metrics.Hdr.observe hdr latency;
+       Flight_recorder.record recorder
+         {
+           Flight_recorder.seq = d.Session.worker;
+           offered_s = t_intended;
+           actual_s = actual;
+           done_s = done_t;
+           latency_s = latency;
+           assigned = List.length d.Session.assigned;
+           degraded = d.Session.degraded;
+           journal_bytes = Session.journal_bytes session;
+         };
+       incr fed;
+       last_done := done_t;
+       (match config.slo_s with
+       | Some slo when latency > slo ->
+         incr breaches;
+         if !first_breach = None then begin
+           first_breach := Some d.Session.worker;
+           match on_breach with
+           | Some f -> f ~seq:d.Session.worker recorder
+           | None -> ()
+         end
+       | _ -> ());
+       if d.Session.completed then begin
+         completed := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let offered = !fed in
+  let consumed = Session.consumed session in
+  let makespan = !last_done in
+  let offered_span = if offered > 0 then intended.(offered - 1) else 0.0 in
+  let per span count = if span > 0.0 then float_of_int count /. span else 0.0 in
+  let p q = Metrics.Hdr.percentile hdr q in
+  let algo = Session.algorithm_name session in
+  let report =
+    {
+      r_shape = Shape.to_string config.shape;
+      r_timing = (if virtual_mode then "virtual" else "wall");
+      r_algo = algo;
+      r_seed = config.seed;
+      r_offered = offered;
+      r_consumed = consumed;
+      r_completed = !completed;
+      r_degraded = Session.degraded_total session - degraded0;
+      r_offered_per_s = per offered_span offered;
+      r_achieved_per_s = per makespan consumed;
+      r_makespan_s = makespan;
+      r_mean_s = Metrics.Hdr.mean hdr;
+      r_p50_s = p 50.0;
+      r_p99_s = p 99.0;
+      r_p999_s = p 99.9;
+      r_max_s = Metrics.Hdr.max_observed hdr;
+      r_slo_s = config.slo_s;
+      r_breaches = !breaches;
+      r_first_breach = !first_breach;
+      r_hdr = hdr;
+      r_recorder = recorder;
+    }
+  in
+  List.iter
+    (fun (q, v) ->
+      Metrics.Gauge.set
+        (Metrics.gauge
+           ~help:"loadgen corrected decision latency quantiles (s)"
+           ~labels:[ ("algo", algo); ("quantile", q) ]
+           "ltc_service_loadgen_latency_seconds")
+        v)
+    [
+      ("0.5", report.r_p50_s);
+      ("0.99", report.r_p99_s);
+      ("0.999", report.r_p999_s);
+      ("max", report.r_max_s);
+    ];
+  report
+
+let pp_report fmt r =
+  Format.fprintf fmt "loadgen: shape=%s timing=%s algo=%s seed=%d@." r.r_shape
+    r.r_timing r.r_algo r.r_seed;
+  Format.fprintf fmt "  arrivals: offered=%d consumed=%d completed=%b degraded=%d@."
+    r.r_offered r.r_consumed r.r_completed r.r_degraded;
+  Format.fprintf fmt
+    "  throughput: offered=%.6g/s achieved=%.6g/s makespan=%.6gs@."
+    r.r_offered_per_s r.r_achieved_per_s r.r_makespan_s;
+  Format.fprintf fmt
+    "  latency: mean=%.6gs p50=%.6gs p99=%.6gs p999=%.6gs max=%.6gs@."
+    r.r_mean_s r.r_p50_s r.r_p99_s r.r_p999_s r.r_max_s;
+  (match r.r_slo_s with
+  | None -> ()
+  | Some slo ->
+    Format.fprintf fmt "  slo: threshold=%.6gs breaches=%d%s@." slo
+      r.r_breaches
+      (match r.r_first_breach with
+      | None -> ""
+      | Some seq -> Printf.sprintf " first=%d" seq));
+  Format.fprintf fmt "  flight recorder: %d records (capacity %d, dropped %d)@."
+    (Flight_recorder.length r.r_recorder)
+    (Flight_recorder.capacity r.r_recorder)
+    (Flight_recorder.dropped r.r_recorder)

@@ -50,6 +50,9 @@ type t = {
   m_snapshots : Ltc_util.Metrics.Counter.t;
   m_retries : Ltc_util.Metrics.Counter.t;
   m_degraded : Ltc_util.Metrics.Counter.t option;
+  (* Always-on decide-latency quantiles on the fault clock: virtual time
+     when the clock is virtualised (loadgen), wall time otherwise. *)
+  feed_hdr : Ltc_util.Metrics.Hdr.t;
 }
 
 let fp = Printf.sprintf "%.17g"
@@ -312,6 +315,7 @@ let make_session ~instance ~algorithm ~seed ~accept_rate ~deadline
     m_snapshots;
     m_retries;
     m_degraded;
+    feed_hdr = Ltc_util.Metrics.Hdr.create ();
   }
 
 let validate_accept_rate = function
@@ -375,6 +379,13 @@ let degraded_total t = t.degraded_total
 let rng_states t =
   (Ltc_util.Rng.state t.policy_rng, Ltc_util.Rng.state t.noshow_rng)
 
+let feed_hdr t = t.feed_hdr
+
+let journal_bytes t =
+  match t.journal with
+  | Some j when not t.closed -> journal_size j
+  | Some _ | None -> 0
+
 let peak_memory_mb t = Ltc_util.Mem.Tracker.high_water_mb t.tracker
 
 (* [replay = Some degraded] re-executes a journaled event: the primary
@@ -402,6 +413,7 @@ let feed_mode t ~replay (w : Worker.t) =
            (t.consumed + 1) w.index);
     let timing = Ltc_util.Metrics.enabled () in
     let t0 = if timing then Some (Ltc_util.Timer.start ()) else None in
+    let clock0 = Fault.Clock.now_s () in
     let assigned, degraded =
       match t.deadline with
       | None ->
@@ -435,6 +447,11 @@ let feed_mode t ~replay (w : Worker.t) =
       t.degraded_total <- t.degraded_total + 1;
       Option.iter Ltc_util.Metrics.Counter.incr t.m_degraded
     end;
+    (* Replays re-run decisions outside their original timeline, so only
+       live arrivals contribute quantile samples. *)
+    if replay = None then
+      Ltc_util.Metrics.Hdr.observe t.feed_hdr
+        (Float.max 0.0 (Fault.Clock.now_s () -. clock0));
     Ltc_algo.Engine.check_decisions t.instance w assigned;
     t.consumed <- t.consumed + 1;
     let answered_rev = ref [] in

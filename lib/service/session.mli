@@ -175,6 +175,16 @@ val rng_states : t -> int64 * int64
 (** [(policy, no-show)] generator states — the determinism fingerprint
     used by the kill/restore tests. *)
 
+val feed_hdr : t -> Ltc_util.Metrics.Hdr.t
+(** Always-on decide-latency quantiles for this session's live arrivals,
+    measured on {!Ltc_util.Fault.Clock} — virtual seconds when the clock
+    is virtualised (the load generator's mode), wall seconds otherwise.
+    Replayed (restore) arrivals contribute no samples. *)
+
+val journal_bytes : t -> int
+(** Current journal file size in bytes ([0] without a journal, or after
+    {!close}). *)
+
 val peak_memory_mb : t -> float
 (** Policy scratch high-water mark, as tracked for {!Ltc_algo.Engine}
     outcomes. *)

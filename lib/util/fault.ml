@@ -20,18 +20,30 @@ let no_stats = { crashes = 0; io_errors = 0; torn_writes = 0; delays = 0 }
 type armed_fault = { f : fault; mutable fired : bool }
 
 type state = {
-  mutable faults : armed_fault list;
+  (* Armed faults indexed by (site, hit) so each probe is O(1) — loadgen
+     arms one Delay per arrival, and a linear scan would make every probe
+     O(|plan|). *)
+  index : (string * int, armed_fault) Hashtbl.t;
   counters : (string, int ref) Hashtbl.t;
   mutable stats : stats;
 }
 
-let state = { faults = []; counters = Hashtbl.create 16; stats = no_stats }
+let state =
+  { index = Hashtbl.create 64; counters = Hashtbl.create 16; stats = no_stats }
 
 (* The hot-path switch: a single load + branch while disarmed. *)
 let is_armed = ref false
 
 let arm plan =
-  state.faults <- List.map (fun f -> { f; fired = false }) plan;
+  Hashtbl.reset state.index;
+  (* First fault wins on a duplicate (site, hit) pair, like the previous
+     list scan. *)
+  List.iter
+    (fun f ->
+      let key = (f.site, f.hit) in
+      if not (Hashtbl.mem state.index key) then
+        Hashtbl.add state.index key { f; fired = false })
+    plan;
   Hashtbl.reset state.counters;
   state.stats <- no_stats;
   is_armed := true
@@ -58,9 +70,9 @@ let bump site =
     1
 
 let pending site hit =
-  List.find_opt
-    (fun af -> (not af.fired) && af.f.site = site && af.f.hit = hit)
-    state.faults
+  match Hashtbl.find_opt state.index (site, hit) with
+  | Some af when not af.fired -> Some af
+  | _ -> None
 
 module Clock = struct
   (* [None]: real time.  [Some cell]: virtual time, advanced explicitly. *)

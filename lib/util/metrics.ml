@@ -36,6 +36,11 @@ module Gauge = struct
   let value t = Atomic.get t.g
 end
 
+(* Forward reference to the lazily registered drop counter: [Histogram] is
+   defined before the registry functions, so the binding is tied after
+   [counter] exists (bottom of the registration section). *)
+let note_dropped = ref (fun () -> ())
+
 module Histogram = struct
   type t = {
     mutex : Mutex.t;
@@ -47,15 +52,18 @@ module Histogram = struct
 
   let observe t v =
     if Atomic.get enabled_flag then begin
-      let n = Array.length t.bounds in
-      let i = ref 0 in
-      (* Linear scan: bucket lists are short and this stays allocation-free. *)
-      while !i < n && v > Array.unsafe_get t.bounds !i do incr i done;
-      Mutex.lock t.mutex;
-      t.counts.(!i) <- t.counts.(!i) + 1;
-      t.total <- t.total + 1;
-      t.hsum <- t.hsum +. v;
-      Mutex.unlock t.mutex
+      if not (Float.is_finite v) then !note_dropped ()
+      else begin
+        let n = Array.length t.bounds in
+        let i = ref 0 in
+        (* Linear scan: bucket lists are short and this stays allocation-free. *)
+        while !i < n && v > Array.unsafe_get t.bounds !i do incr i done;
+        Mutex.lock t.mutex;
+        t.counts.(!i) <- t.counts.(!i) + 1;
+        t.total <- t.total + 1;
+        t.hsum <- t.hsum +. v;
+        Mutex.unlock t.mutex
+      end
     end
 
   let count t =
@@ -76,6 +84,148 @@ module Histogram = struct
     let r = (Array.copy t.counts, t.total, t.hsum) in
     Mutex.unlock t.mutex;
     r
+end
+
+module Hdr = struct
+  (* Log-bucketed (HDR-style) histogram with a guaranteed relative error.
+     Bucket [i] covers [(min_value * gamma^i, min_value * gamma^(i+1)]]
+     with [gamma = (1 + rel_error)^2]; reconstructing at the geometric
+     midpoint [min_value * gamma^i * (1 + rel_error)] keeps the quantile
+     estimate within [rel_error] of any value in the bucket.  Unlike
+     {!Histogram} this is a standalone instrument — it is not registered
+     and not gated on the enable flag, so a load generator can always
+     rely on it. *)
+  type t = {
+    mutex : Mutex.t;
+    rel_error : float;
+    min_value : float;
+    max_value : float;
+    gamma : float;
+    inv_log_gamma : float;
+    counts : int array;
+    mutable total : int;
+    mutable vsum : float;
+    mutable n_dropped : int;
+    mutable lo : float;  (* exact observed min, +Inf while empty *)
+    mutable hi : float;  (* exact observed max, -Inf while empty *)
+  }
+
+  let create ?(rel_error = 0.01) ?(min_value = 1e-9) ?(max_value = 1e5) () =
+    if not (Float.is_finite rel_error) || rel_error <= 0.0 || rel_error >= 1.0
+    then invalid_arg "Metrics.Hdr.create: rel_error must be in (0, 1)";
+    if not (Float.is_finite min_value) || min_value <= 0.0 then
+      invalid_arg "Metrics.Hdr.create: min_value must be finite and > 0";
+    if not (Float.is_finite max_value) || max_value <= min_value then
+      invalid_arg "Metrics.Hdr.create: max_value must be > min_value";
+    let gamma = (1.0 +. rel_error) *. (1.0 +. rel_error) in
+    let buckets =
+      1 + int_of_float (ceil (log (max_value /. min_value) /. log gamma))
+    in
+    {
+      mutex = Mutex.create ();
+      rel_error;
+      min_value;
+      max_value;
+      gamma;
+      inv_log_gamma = 1.0 /. log gamma;
+      counts = Array.make buckets 0;
+      total = 0;
+      vsum = 0.0;
+      n_dropped = 0;
+      lo = Float.infinity;
+      hi = Float.neg_infinity;
+    }
+
+  let rel_error t = t.rel_error
+
+  (* Smallest [i] with [v <= min_value * gamma^(i+1)]; values outside
+     [[min_value, max_value]] clamp into the edge buckets (the exact
+     [lo]/[hi] bounds recover the true extremes at read time). *)
+  let bucket_of t v =
+    let v = Float.min t.max_value (Float.max t.min_value v) in
+    let i = int_of_float (ceil (log (v /. t.min_value) *. t.inv_log_gamma)) - 1 in
+    if i < 0 then 0
+    else if i >= Array.length t.counts then Array.length t.counts - 1
+    else i
+
+  let observe t v =
+    if not (Float.is_finite v) then begin
+      Mutex.lock t.mutex;
+      t.n_dropped <- t.n_dropped + 1;
+      Mutex.unlock t.mutex;
+      !note_dropped ()
+    end
+    else begin
+      let i = bucket_of t v in
+      Mutex.lock t.mutex;
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.total <- t.total + 1;
+      t.vsum <- t.vsum +. v;
+      if v < t.lo then t.lo <- v;
+      if v > t.hi then t.hi <- v;
+      Mutex.unlock t.mutex
+    end
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    let r = f () in
+    Mutex.unlock t.mutex;
+    r
+
+  let count t = locked t (fun () -> t.total)
+  let sum t = locked t (fun () -> t.vsum)
+  let dropped t = locked t (fun () -> t.n_dropped)
+  let min_observed t = locked t (fun () -> t.lo)
+  let max_observed t = locked t (fun () -> t.hi)
+
+  let mean t =
+    locked t (fun () ->
+        if t.total = 0 then Float.nan else t.vsum /. float_of_int t.total)
+
+  let percentile t p =
+    if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+      invalid_arg "Metrics.Hdr.percentile: p must be in [0, 100]";
+    locked t (fun () ->
+        if t.total = 0 then Float.nan
+        else begin
+          let rank =
+            max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.total)))
+          in
+          let i = ref 0 and seen = ref t.counts.(0) in
+          while !seen < rank do
+            incr i;
+            seen := !seen + t.counts.(!i)
+          done;
+          let est =
+            t.min_value *. (t.gamma ** float_of_int !i) *. (1.0 +. t.rel_error)
+          in
+          (* The true value lies in [[lo, hi]], so clamping only helps. *)
+          Float.min t.hi (Float.max t.lo est)
+        end)
+
+  let merge ~into src =
+    if into == src then invalid_arg "Metrics.Hdr.merge: into == src";
+    if
+      into.rel_error <> src.rel_error
+      || into.min_value <> src.min_value
+      || into.max_value <> src.max_value
+    then invalid_arg "Metrics.Hdr.merge: incompatible configurations";
+    let counts, total, vsum, n_dropped, lo, hi =
+      locked src (fun () ->
+          ( Array.copy src.counts,
+            src.total,
+            src.vsum,
+            src.n_dropped,
+            src.lo,
+            src.hi ))
+    in
+    locked into (fun () ->
+        Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) counts;
+        into.total <- into.total + total;
+        into.vsum <- into.vsum +. vsum;
+        into.n_dropped <- into.n_dropped + n_dropped;
+        if lo < into.lo then into.lo <- lo;
+        if hi > into.hi then into.hi <- hi)
 end
 
 let default_buckets =
@@ -194,6 +344,20 @@ let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
   | H h -> h
   | C _ | G _ -> assert false
 
+(* Registered on the first drop only, so snapshots stay unchanged for runs
+   that never observe a non-finite value. *)
+let dropped_counter =
+  lazy
+    (counter
+       ~help:"non-finite observations dropped instead of recorded"
+       "ltc_metrics_dropped_observations_total")
+
+let () = note_dropped := fun () -> Counter.incr (Lazy.force dropped_counter)
+
+let dropped_observations () =
+  if Lazy.is_val dropped_counter then Counter.value (Lazy.force dropped_counter)
+  else 0
+
 let all_series () =
   Mutex.lock registry_mutex;
   let out = Hashtbl.fold (fun _ s acc -> s :: acc) registry [] in
@@ -240,12 +404,16 @@ let escape_label v =
     v;
   Buffer.contents buf
 
+(* Exposition format: label values are quoted by hand around the escaped
+   text — [%S] would OCaml-escape the backslashes a second time — and pairs
+   are sorted so inserted labels (histogram [le]) land deterministically. *)
 let prom_labels = function
   | [] -> ""
   | labels ->
+    let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label v)) labels)
+        (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label v ^ "\"") labels)
     ^ "}"
 
 (* Labels with one extra pair appended (for histogram [le]). *)

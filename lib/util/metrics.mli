@@ -58,10 +58,77 @@ module Histogram : sig
   val observe : t -> float -> unit
   (** Adds the observation to the first bucket whose upper bound is [>=] the
       value (cumulative buckets are computed at snapshot time, like
-      Prometheus client libraries). *)
+      Prometheus client libraries).  Non-finite observations (NaN or an
+      infinity, e.g. from a zero-duration timer division) are dropped and
+      counted in [ltc_metrics_dropped_observations_total] instead of
+      corrupting the bucket sums. *)
 
   val count : t -> int
   val sum : t -> float
+end
+
+(** HDR-style log-bucketed latency histogram with bounded relative error.
+
+    Values are recorded into geometric buckets of ratio
+    [(1 + rel_error)^2]; {!Hdr.percentile} reconstructs at the geometric
+    bucket midpoint, so every quantile estimate is within [rel_error] of
+    the exact rank-based percentile of the recorded finite values (the
+    exact observed min/max are tracked and always returned exactly).
+
+    Unlike {!Histogram}, an [Hdr] is a standalone, always-on instrument:
+    it is not part of the registry and ignores {!set_enabled}, which lets
+    the load generator depend on it unconditionally.  All operations are
+    mutex-guarded and domain-safe. *)
+module Hdr : sig
+  type t
+
+  val create :
+    ?rel_error:float -> ?min_value:float -> ?max_value:float -> unit -> t
+  (** [create ()] tracks values in [[min_value, max_value]] (defaults
+      [1e-9 .. 1e5] seconds) with relative error [rel_error] (default
+      [0.01], i.e. 1%).  Values outside the range clamp into the edge
+      buckets; the exact extremes still come back through
+      {!min_observed}/{!max_observed}.
+      @raise Invalid_argument when [rel_error] is outside [(0, 1)],
+      [min_value <= 0] or [max_value <= min_value]. *)
+
+  val observe : t -> float -> unit
+  (** Records a value.  Non-finite values are dropped (counted by
+      {!dropped} and [ltc_metrics_dropped_observations_total]). *)
+
+  val count : t -> int
+  (** Finite observations recorded. *)
+
+  val sum : t -> float
+  (** Exact sum of the recorded values (not bucket-quantised). *)
+
+  val mean : t -> float
+  (** [sum / count]; NaN while empty. *)
+
+  val dropped : t -> int
+  (** Non-finite observations dropped. *)
+
+  val min_observed : t -> float
+  (** Exact smallest recorded value; [+Inf] while empty. *)
+
+  val max_observed : t -> float
+  (** Exact largest recorded value; [-Inf] while empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [[0, 100]] is the value at rank
+      [ceil (p/100 * count)] (rank 1 for [p = 0]), reconstructed to
+      within [rel_error] relative error and clamped into
+      [[min_observed, max_observed]].  NaN while empty.
+      @raise Invalid_argument when [p] is outside [[0, 100]]. *)
+
+  val merge : into:t -> t -> unit
+  (** [merge ~into src] adds [src]'s recorded state into [into]
+      (bucket-exact: equivalent to having observed the concatenation).
+      [src] is unchanged.
+      @raise Invalid_argument when the two instruments were created with
+      different [rel_error]/[min_value]/[max_value], or [into == src]. *)
+
+  val rel_error : t -> float
 end
 
 val default_buckets : float array
@@ -81,9 +148,16 @@ val histogram :
     is already registered with a different instrument kind, or — for
     histograms — with different buckets. *)
 
+val dropped_observations : unit -> int
+(** Total non-finite observations dropped across all histograms (the value
+    of [ltc_metrics_dropped_observations_total], which is registered on
+    the first drop).  Subject to {!set_enabled} like any counter. *)
+
 val to_prometheus : unit -> string
 (** Prometheus text exposition format (version 0.0.4): [# HELP] / [# TYPE]
-    per metric name, then one line per series, deterministically ordered. *)
+    per metric name, then one line per series, deterministically ordered
+    (name, then sorted labels; label values escaped per the exposition
+    format). *)
 
 val to_json : unit -> string
 (** JSON array of series objects:

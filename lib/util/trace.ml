@@ -111,3 +111,18 @@ let to_json () =
       s.id s.parent s.depth (String.escaped s.name) s.start_s s.duration_s
   in
   "[" ^ String.concat "," (List.map span_json (spans ())) ^ "]"
+
+(* Chrome trace-event JSON array: one complete ("X") event per span with
+   microsecond timestamps, loadable as-is in chrome://tracing and
+   Perfetto.  All spans share one pid/tid; the viewer reconstructs the
+   nesting from ts/dur containment. *)
+let to_chrome_json () =
+  let ev s =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"id\":%d,\"parent\":%d,\"depth\":%d}}"
+      (String.escaped s.name)
+      (s.start_s *. 1e6)
+      (s.duration_s *. 1e6)
+      s.id s.parent s.depth
+  in
+  "[" ^ String.concat ",\n " (List.map ev (spans ())) ^ "]\n"

@@ -57,3 +57,8 @@ val to_json : unit -> string
 (** JSON array of span objects
     [{"id":..,"parent":..,"depth":..,"name":..,"start_s":..,"duration_s":..}]
     in {!spans} order. *)
+
+val to_chrome_json : unit -> string
+(** Chrome trace-event JSON array (one ["ph":"X"] complete event per span,
+    timestamps and durations in microseconds) in {!spans} order — loadable
+    directly in [chrome://tracing] or Perfetto. *)

@@ -1,0 +1,211 @@
+type kind =
+  | Constant
+  | Ramp of { from_rate : float; over_s : float }
+  | Diurnal of { amplitude : float; period_s : float }
+  | Burst of { factor : float; at_s : float; dur_s : float }
+  | Pausing of { on_s : float; off_s : float }
+
+type t = { kind : kind; rate : float; poisson : bool }
+
+let positive what v =
+  if not (Float.is_finite v) || v <= 0.0 then
+    invalid_arg (Printf.sprintf "Shape.make: %s must be finite and > 0" what)
+
+let make ?(poisson = false) ~rate kind =
+  positive "rate" rate;
+  (match kind with
+  | Constant -> ()
+  | Ramp { from_rate; over_s } ->
+    positive "from_rate" from_rate;
+    positive "over_s" over_s
+  | Diurnal { amplitude; period_s } ->
+    if not (Float.is_finite amplitude) || amplitude < 0.0 || amplitude >= 1.0
+    then invalid_arg "Shape.make: amplitude must be in [0, 1)";
+    positive "period_s" period_s
+  | Burst { factor; at_s; dur_s } ->
+    positive "factor" factor;
+    if not (Float.is_finite at_s) || at_s < 0.0 then
+      invalid_arg "Shape.make: at_s must be finite and >= 0";
+    positive "dur_s" dur_s
+  | Pausing { on_s; off_s } ->
+    positive "on_s" on_s;
+    positive "off_s" off_s);
+  { kind; rate; poisson }
+
+let rate_at t now =
+  match t.kind with
+  | Constant -> t.rate
+  | Ramp { from_rate; over_s } ->
+    if now >= over_s then t.rate
+    else from_rate +. ((t.rate -. from_rate) *. (now /. over_s))
+  | Diurnal { amplitude; period_s } ->
+    t.rate *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. now /. period_s)))
+  | Burst { factor; at_s; dur_s } ->
+    if now >= at_s && now < at_s +. dur_s then t.rate *. factor else t.rate
+  | Pausing { on_s; off_s } ->
+    let pos = Float.rem now (on_s +. off_s) in
+    if pos < on_s then t.rate else 0.0
+
+(* End of the current piecewise-constant segment, when the shape has one.
+   Smooth shapes (constant tail, ramp, diurnal) return [None] and are
+   integrated with the rate-at-cursor approximation instead — their rate
+   is bounded away from zero, so the approximation stays sane. *)
+let segment_end t now =
+  match t.kind with
+  | Constant | Diurnal _ -> None
+  | Ramp { over_s; _ } -> if now < over_s then Some over_s else None
+  | Burst { at_s; dur_s; _ } ->
+    if now < at_s then Some at_s
+    else if now < at_s +. dur_s then Some (at_s +. dur_s)
+    else None
+  | Pausing { on_s; off_s } ->
+    let cycle = on_s +. off_s in
+    let pos = Float.rem now cycle in
+    if pos < on_s then Some (now +. (on_s -. pos))
+    else Some (now +. (cycle -. pos))
+
+(* Advance the cursor until [u] units of [integral lambda dt] have been
+   consumed: one arrival is one unit (or an exponential draw under
+   Poisson jitter).  Piecewise-constant segments are integrated exactly —
+   in particular an arrival can never be scheduled inside a pausing
+   lull — and smooth segments use the rate at the cursor. *)
+let advance t cursor u =
+  let rec go cursor u guard =
+    if guard = 0 then cursor +. (u /. Float.max 1e-9 (rate_at t cursor))
+    else
+      let r = rate_at t cursor in
+      if r <= 0.0 then
+        match segment_end t cursor with
+        | Some b -> go b u (guard - 1)
+        | None -> invalid_arg "Shape.advance: rate stuck at zero"
+      else
+        match segment_end t cursor with
+        | None -> cursor +. (u /. r)
+        | Some b ->
+          let capacity = r *. (b -. cursor) in
+          if capacity >= u then cursor +. (u /. r)
+          else go b (u -. capacity) (guard - 1)
+  in
+  go cursor u 100_000
+
+(* Exponential(1) via inversion; [Rng.float rng 1.0] is in [0, 1) so the
+   argument of [log] stays in (0, 1]. *)
+let exp_draw rng = -.log (1.0 -. Ltc_util.Rng.float rng 1.0)
+
+let times t ~seed ~n =
+  if n < 0 then invalid_arg "Shape.times: n must be >= 0";
+  let rng = Ltc_util.Rng.create ~seed in
+  let out = Array.make (max n 1) 0.0 in
+  let cursor = ref 0.0 in
+  for i = 0 to n - 1 do
+    let u = if t.poisson then exp_draw rng else 1.0 in
+    cursor := advance t !cursor u;
+    out.(i) <- !cursor
+  done;
+  if n = 0 then [||] else Array.sub out 0 n
+
+(* ------------------------------------------------------------- rendering *)
+
+let g = Printf.sprintf "%g"
+
+let to_string t =
+  let body =
+    match t.kind with
+    | Constant -> Printf.sprintf "constant(rate=%s)" (g t.rate)
+    | Ramp { from_rate; over_s } ->
+      Printf.sprintf "rampup(rate=%s,from=%s,over=%s)" (g t.rate) (g from_rate)
+        (g over_s)
+    | Diurnal { amplitude; period_s } ->
+      Printf.sprintf "diurnal(rate=%s,amp=%s,period=%s)" (g t.rate)
+        (g amplitude) (g period_s)
+    | Burst { factor; at_s; dur_s } ->
+      Printf.sprintf "burst(rate=%s,factor=%s,at=%s,dur=%s)" (g t.rate)
+        (g factor) (g at_s) (g dur_s)
+    | Pausing { on_s; off_s } ->
+      Printf.sprintf "pausing(rate=%s,on=%s,off=%s)" (g t.rate) (g on_s)
+        (g off_s)
+  in
+  if t.poisson then body ^ "+poisson" else body
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* --------------------------------------------------------------- parsing *)
+
+let of_string ~rate spec =
+  let ( let* ) = Result.bind in
+  let name, params =
+    match String.index_opt spec ':' with
+    | None -> (spec, "")
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  let* pairs =
+    if params = "" then Ok []
+    else
+      String.split_on_char ',' params
+      |> List.fold_left
+           (fun acc kv ->
+             let* acc = acc in
+             match String.index_opt kv '=' with
+             | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+             | Some i ->
+               let k = String.sub kv 0 i in
+               let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+               Ok ((k, v) :: acc))
+           (Ok [])
+      |> Result.map List.rev
+  in
+  let known = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace known k v) pairs;
+  let float_param key default =
+    match Hashtbl.find_opt known key with
+    | None -> Ok default
+    | Some v -> (
+      Hashtbl.remove known key;
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad value %S for %s" v key))
+  in
+  let bool_param key default =
+    match Hashtbl.find_opt known key with
+    | None -> Ok default
+    | Some v -> (
+      Hashtbl.remove known key;
+      match bool_of_string_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "bad value %S for %s" v key))
+  in
+  let* poisson = bool_param "poisson" false in
+  let* kind =
+    match name with
+    | "constant" | "fixed" -> Ok Constant
+    | "rampup" | "ramp" ->
+      let* from_rate = float_param "from" (rate /. 4.0) in
+      let* over_s = float_param "over" 10.0 in
+      Ok (Ramp { from_rate; over_s })
+    | "diurnal" | "sine" ->
+      let* amplitude = float_param "amp" 0.5 in
+      let* period_s = float_param "period" 60.0 in
+      Ok (Diurnal { amplitude; period_s })
+    | "burst" | "flash" ->
+      let* factor = float_param "factor" 8.0 in
+      let* at_s = float_param "at" 10.0 in
+      let* dur_s = float_param "dur" 5.0 in
+      Ok (Burst { factor; at_s; dur_s })
+    | "pausing" | "pause" ->
+      let* on_s = float_param "on" 5.0 in
+      let* off_s = float_param "off" 5.0 in
+      Ok (Pausing { on_s; off_s })
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown shape %S (try: constant, rampup, diurnal, burst, pausing)"
+           other)
+  in
+  match Hashtbl.fold (fun k _ acc -> k :: acc) known [] with
+  | k :: _ -> Error (Printf.sprintf "unknown parameter %S for shape %s" k name)
+  | [] -> (
+    match make ~poisson ~rate kind with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error m)

@@ -74,3 +74,16 @@ crash.  Timings vary; the schema and the survival checksum do not:
 
   $ grep -o '"identical": 1' chaos.json
   "identical": 1
+
+loadgen times an open-loop Loadgen pass — a flash crowd with exponential
+service times against a deadline session on the virtual clock.  Timings
+vary; the schema and the cross-pass determinism checksum do not:
+
+  $ ltc-bench loadgen --json loadgen.json > /dev/null
+  $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' loadgen.json
+  {
+    "BENCH_loadgen": {"arrivals": _, "consumed": _, "degraded": _, "breaches": _, "offered_per_s": _, "achieved_per_s": _, "p50_s": _, "p99_s": _, "p999_s": _, "max_s": _, "loadgen_s": _, "arrivals_per_s": _, "identical": _}
+  }
+
+  $ grep -o '"identical": 1' loadgen.json
+  "identical": 1

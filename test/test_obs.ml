@@ -239,6 +239,145 @@ let test_pp_outcome_format () =
     "LAF: latency=3 assignments=1 completed=true consumed=5 mem=1.25MB"
     (Format.asprintf "%a" Ltc_algo.Engine.pp_outcome outcome)
 
+(* ------------------------------------------------------------------- hdr *)
+
+(* Nearest-rank percentile on the raw sample — the ground truth the
+   log-bucketed estimate must stay within rel_error of. *)
+let exact_percentile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (int_of_float (ceil (q /. 100.0 *. float_of_int n))) in
+  sorted.(rank - 1)
+
+let prop_hdr_relative_error =
+  QCheck2.Test.make
+    ~name:"hdr: every percentile within the configured relative error"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 1 500) (float_range 1e-6 1e4))
+    (fun xs ->
+      let h = Metrics.Hdr.create () in
+      List.iter (Metrics.Hdr.observe h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      if Metrics.Hdr.count h <> Array.length sorted then
+        QCheck2.Test.fail_reportf "count %d <> %d" (Metrics.Hdr.count h)
+          (Array.length sorted);
+      let tol = Metrics.Hdr.rel_error h +. 1e-12 in
+      List.iter
+        (fun q ->
+          let est = Metrics.Hdr.percentile h q in
+          let exact = exact_percentile sorted q in
+          if Float.abs (est -. exact) > tol *. exact then
+            QCheck2.Test.fail_reportf "p%g: estimate %g vs exact %g (tol %g)"
+              q est exact tol)
+        [ 0.0; 50.0; 90.0; 99.0; 99.9; 100.0 ];
+      true)
+
+let prop_hdr_merge_is_concat =
+  QCheck2.Test.make
+    ~name:"hdr: merge == observing the concatenation" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 200) (float_range 1e-6 1e4))
+        (list_size (int_range 0 200) (float_range 1e-6 1e4)))
+    (fun (xs, ys) ->
+      let ha = Metrics.Hdr.create () in
+      let hb = Metrics.Hdr.create () in
+      let hc = Metrics.Hdr.create () in
+      List.iter (Metrics.Hdr.observe ha) xs;
+      List.iter (Metrics.Hdr.observe hb) ys;
+      List.iter (Metrics.Hdr.observe hc) (xs @ ys);
+      Metrics.Hdr.merge ~into:ha hb;
+      if Metrics.Hdr.count ha <> Metrics.Hdr.count hc then
+        QCheck2.Test.fail_reportf "count %d <> %d" (Metrics.Hdr.count ha)
+          (Metrics.Hdr.count hc);
+      if Float.abs (Metrics.Hdr.sum ha -. Metrics.Hdr.sum hc)
+         > 1e-9 *. Float.max 1.0 (Metrics.Hdr.sum hc)
+      then
+        QCheck2.Test.fail_reportf "sum %g <> %g" (Metrics.Hdr.sum ha)
+          (Metrics.Hdr.sum hc);
+      if Metrics.Hdr.count hc > 0 then begin
+        if Metrics.Hdr.min_observed ha <> Metrics.Hdr.min_observed hc then
+          QCheck2.Test.fail_report "min diverged";
+        if Metrics.Hdr.max_observed ha <> Metrics.Hdr.max_observed hc then
+          QCheck2.Test.fail_report "max diverged";
+        (* Same bucket counts => bit-equal percentiles. *)
+        List.iter
+          (fun q ->
+            if Metrics.Hdr.percentile ha q <> Metrics.Hdr.percentile hc q then
+              QCheck2.Test.fail_reportf "p%g diverged" q)
+          [ 50.0; 99.0; 100.0 ]
+      end;
+      true)
+
+let test_hdr_drops_non_finite () =
+  let h = Metrics.Hdr.create () in
+  Metrics.Hdr.observe h 1.0;
+  Metrics.Hdr.observe h Float.nan;
+  Metrics.Hdr.observe h Float.infinity;
+  Metrics.Hdr.observe h Float.neg_infinity;
+  Alcotest.(check int) "only the finite value counted" 1 (Metrics.Hdr.count h);
+  Alcotest.(check int) "three drops recorded" 3 (Metrics.Hdr.dropped h);
+  Alcotest.(check (float 0.0)) "sum untouched" 1.0 (Metrics.Hdr.sum h);
+  with_obs (fun () ->
+      let before = Metrics.dropped_observations () in
+      Metrics.Hdr.observe h Float.nan;
+      Alcotest.(check int) "registry drop counter bumped" (before + 1)
+        (Metrics.dropped_observations ()))
+
+let test_hdr_merge_config_mismatch () =
+  let a = Metrics.Hdr.create ~rel_error:0.01 () in
+  let b = Metrics.Hdr.create ~rel_error:0.05 () in
+  Alcotest.check_raises "different resolutions don't merge"
+    (Invalid_argument "Metrics.Hdr.merge: incompatible configurations")
+    (fun () -> Metrics.Hdr.merge ~into:a b)
+
+let test_histogram_drops_non_finite () =
+  let h = Metrics.histogram "test_obs_hist_nonfinite" in
+  with_obs (fun () ->
+      Metrics.Histogram.observe h 0.5;
+      let before = Metrics.dropped_observations () in
+      Metrics.Histogram.observe h Float.nan;
+      Metrics.Histogram.observe h Float.infinity;
+      Alcotest.(check int) "count unchanged by non-finite" 1
+        (Metrics.Histogram.count h);
+      Alcotest.(check (float 0.0)) "sum unchanged" 0.5
+        (Metrics.Histogram.sum h);
+      Alcotest.(check int) "drops counted" (before + 2)
+        (Metrics.dropped_observations ()))
+
+(* Prometheus exposition format: label pairs sorted by key, values
+   escaped (backslash, quote, newline) — exact bytes. *)
+let test_prom_label_escaping () =
+  let c =
+    Metrics.counter
+      ~labels:[ ("z", "plain"); ("a", "a\"b\\c\nd") ]
+      "test_obs_escape_total"
+  in
+  with_obs (fun () ->
+      Metrics.Counter.incr c;
+      let lines = String.split_on_char '\n' (Metrics.to_prometheus ()) in
+      match
+        List.find_opt
+          (fun l -> Astring.String.is_prefix ~affix:"test_obs_escape_total{" l)
+          lines
+      with
+      | None -> Alcotest.fail "series missing from exposition"
+      | Some line ->
+        Alcotest.(check string) "sorted + escaped"
+          "test_obs_escape_total{a=\"a\\\"b\\\\c\\nd\",z=\"plain\"} 1" line)
+
+let test_trace_chrome_export () =
+  with_obs ~trace:true (fun () ->
+      Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()));
+      let j = Trace.to_chrome_json () in
+      Alcotest.(check bool) "JSON array" true
+        (String.length j > 2 && j.[0] = '[');
+      Alcotest.(check bool) "complete events" true
+        (contains ~affix:"\"ph\":\"X\"" j);
+      Alcotest.(check bool) "outer span exported" true
+        (contains ~affix:"\"name\":\"outer\"" j);
+      Alcotest.(check bool) "inner span exported" true
+        (contains ~affix:"\"name\":\"inner\"" j))
+
 let suite =
   [
     ( "obs",
@@ -263,5 +402,20 @@ let suite =
         Alcotest.test_case "engine records metrics" `Quick
           test_engine_records_metrics;
         Alcotest.test_case "pp_outcome format" `Quick test_pp_outcome_format;
+      ] );
+    ( "obs.hdr",
+      [
+        QCheck_alcotest.to_alcotest prop_hdr_relative_error;
+        QCheck_alcotest.to_alcotest prop_hdr_merge_is_concat;
+        Alcotest.test_case "non-finite dropped" `Quick
+          test_hdr_drops_non_finite;
+        Alcotest.test_case "merge config mismatch" `Quick
+          test_hdr_merge_config_mismatch;
+        Alcotest.test_case "histogram non-finite dropped" `Quick
+          test_histogram_drops_non_finite;
+        Alcotest.test_case "prometheus label escaping" `Quick
+          test_prom_label_escaping;
+        Alcotest.test_case "chrome trace export" `Quick
+          test_trace_chrome_export;
       ] );
   ]

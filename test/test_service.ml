@@ -465,6 +465,148 @@ let test_deadline_degradation_deterministic () =
   Alcotest.(check bool) "degraded run survives kill/restore" true
     (fingerprint s' = snd uninterrupted)
 
+(* The ltc_engine_degraded_total counter, the session's degraded_total
+   and the journal's capital-D decision records are three views of the
+   same events — they must agree, and replaying the journal must rebuild
+   the counter from the D tags alone.  checkpoint_every exceeds the
+   stream length so compaction never folds the D records into a
+   snapshot. *)
+let test_degraded_counter_matches_journal () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let instance = small_instance ~seed:41 () in
+  let ws = arrivals instance in
+  let slow_hits = [ 2; 5; 9 ] in
+  let counter () =
+    Ltc_util.Metrics.Counter.value
+      (Ltc_algo.Engine.degraded_counter "LAF" "Nearest")
+  in
+  Ltc_util.Metrics.reset ();
+  Ltc_util.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Ltc_util.Metrics.set_enabled false)
+  @@ fun () ->
+  with_tmp_journal @@ fun path ->
+  let d_records () =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.length l > 1 && l.[0] = 'D' && l.[1] = ' ')
+    |> List.length
+  in
+  (with_faults (delay_at slow_hits) @@ fun () ->
+   let s =
+     Session.create ~journal:path ~checkpoint_every:1000
+       ~deadline:nearest_deadline ~algorithm:algo ~seed:6 instance
+   in
+   ignore (feed_all s ws);
+   Session.close s;
+   Alcotest.(check int) "three arrivals degraded" 3 (Session.degraded_total s);
+   Alcotest.(check int) "journal D records = degraded_total"
+     (Session.degraded_total s) (d_records ());
+   Alcotest.(check int) "metric counter = degraded_total"
+     (Session.degraded_total s) (counter ()));
+  (* Kill/restore against a fresh registry: the counter is rebuilt purely
+     from the replayed D tags.  (Count them before restoring — restore
+     itself compacts the journal, folding the tail into a snapshot.) *)
+  let d_count = d_records () in
+  Ltc_util.Metrics.reset ();
+  let s' = Session.restore ~path () in
+  Alcotest.(check int) "replay rebuilds the counter from D records" d_count
+    (counter ());
+  Alcotest.(check int) "degraded_total restored" 3 (Session.degraded_total s');
+  Session.close s'
+
+(* ------------------------------------------------ flight recorder ring *)
+
+let fr_record i =
+  {
+    Flight_recorder.seq = i;
+    offered_s = float_of_int i;
+    actual_s = float_of_int i;
+    done_s = float_of_int i +. 0.5;
+    latency_s = 0.5;
+    assigned = 1;
+    degraded = i mod 2 = 0;
+    journal_bytes = 0;
+  }
+
+let test_flight_recorder_ring () =
+  let r = Flight_recorder.create ~capacity:3 in
+  Alcotest.(check int) "empty length" 0 (Flight_recorder.length r);
+  for i = 1 to 5 do
+    Flight_recorder.record r (fr_record i)
+  done;
+  Alcotest.(check int) "length capped at capacity" 3
+    (Flight_recorder.length r);
+  Alcotest.(check int) "total counts every record" 5
+    (Flight_recorder.total r);
+  Alcotest.(check int) "dropped = overwritten" 2 (Flight_recorder.dropped r);
+  let seen = ref [] in
+  Flight_recorder.iter (fun rec_ -> seen := rec_.Flight_recorder.seq :: !seen) r;
+  Alcotest.(check (list int)) "iter is oldest-first, survivors only"
+    [ 3; 4; 5 ] (List.rev !seen);
+  let ndjson = Flight_recorder.to_ndjson r in
+  Alcotest.(check int) "one NDJSON line per surviving record" 3
+    (List.length
+       (List.filter
+          (fun l -> l <> "")
+          (String.split_on_char '\n' ndjson)));
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Flight_recorder.create: capacity must be >= 1")
+    (fun () -> ignore (Flight_recorder.create ~capacity:0))
+
+(* --------------------------------------------------------- loadgen runs *)
+
+(* Virtual-timing loadgen is a pure function of its config: two passes on
+   fresh sessions agree field for field, and the latencies carry the
+   injected service times through the coordinated-omission correction. *)
+let test_loadgen_deterministic () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let instance = small_instance ~n_workers:40 ~seed:11 () in
+  let workers = instance.Ltc_core.Instance.workers in
+  let shape =
+    Ltc_workload.Shape.make ~rate:200.0
+      (Ltc_workload.Shape.Burst { factor = 4.0; at_s = 0.05; dur_s = 0.05 })
+  in
+  let deadline =
+    { Session.budget_s = 0.002; fallback = Ltc_algo.Algorithm.nearest_first }
+  in
+  let config =
+    {
+      (Loadgen.default_config ~shape) with
+      Loadgen.arrivals = 40;
+      service = Loadgen.Exponential 2e-3;
+      seed = 5;
+      slo_s = Some 0.004;
+    }
+  in
+  let pass () =
+    let s = Session.create ~deadline ~algorithm:algo ~seed:3 instance in
+    let r = Loadgen.run ~session:s ~workers config in
+    Session.close s;
+    r
+  in
+  let r1 = pass () in
+  let r2 = pass () in
+  let fp (r : Loadgen.report) =
+    ( r.Loadgen.r_offered, r.Loadgen.r_consumed, r.Loadgen.r_degraded,
+      r.Loadgen.r_breaches, r.Loadgen.r_first_breach, r.Loadgen.r_makespan_s,
+      r.Loadgen.r_p50_s, r.Loadgen.r_p99_s, r.Loadgen.r_max_s )
+  in
+  Alcotest.(check bool) "two passes, identical reports" true (fp r1 = fp r2);
+  Alcotest.(check bool) "exponential tail blows the 2ms budget" true
+    (r1.Loadgen.r_degraded > 0);
+  Alcotest.(check int) "every arrival recorded" r1.Loadgen.r_offered
+    (Flight_recorder.total r1.Loadgen.r_recorder);
+  (* The report renders without raising and pins its own shape string. *)
+  let rendered = Format.asprintf "%a" Loadgen.pp_report r1 in
+  Alcotest.(check bool) "report mentions the shape" true
+    (Astring.String.is_infix ~affix:r1.Loadgen.r_shape rendered);
+  (* A used session is rejected: the schedule would be misaligned. *)
+  let s = Session.create ~algorithm:algo ~seed:3 instance in
+  ignore (Session.feed s workers.(0));
+  Alcotest.check_raises "non-fresh session rejected"
+    (Invalid_argument "Loadgen.run: session must be fresh (consumed = 0)")
+    (fun () -> ignore (Loadgen.run ~session:s ~workers config))
+
 (* ------------------------------------------------------- chaos property *)
 
 let chaos_sites =
@@ -547,6 +689,15 @@ let suite =
           test_deadline_unexceeded_parity;
         Alcotest.test_case "degradation is deterministic and restorable"
           `Quick test_deadline_degradation_deterministic;
+        Alcotest.test_case "degraded counter matches journal D records"
+          `Quick test_degraded_counter_matches_journal;
+      ] );
+    ( "service.loadgen",
+      [
+        Alcotest.test_case "flight recorder ring" `Quick
+          test_flight_recorder_ring;
+        Alcotest.test_case "virtual loadgen is deterministic" `Quick
+          test_loadgen_deterministic;
       ] );
     ( "service.chaos",
       [ qcheck prop_chaos_identical ] );

@@ -154,6 +154,140 @@ let test_city_completable () =
   let o = Ltc_algo.Aam.run i in
   Alcotest.(check bool) "AAM completes" true o.Ltc_algo.Engine.completed
 
+(* ----------------------------------------------------------------- Shape *)
+
+(* Deterministic constant shape: arrival i lands exactly at (i+1)/rate —
+   one unit of integrated rate per arrival, no jitter. *)
+let test_shape_constant_spacing () =
+  let s = Shape.make ~rate:100.0 Shape.Constant in
+  let ts = Shape.times s ~seed:0 ~n:5 in
+  Alcotest.(check int) "n arrivals" 5 (Array.length ts);
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "arrival %d" i)
+        (float_of_int (i + 1) /. 100.0)
+        t)
+    ts
+
+let test_shape_deterministic () =
+  let s =
+    Shape.make ~poisson:true ~rate:50.0
+      (Shape.Diurnal { amplitude = 0.5; period_s = 10.0 })
+  in
+  let a = Shape.times s ~seed:9 ~n:200 in
+  let b = Shape.times s ~seed:9 ~n:200 in
+  Alcotest.(check bool) "same seed, bit-equal schedule" true (a = b);
+  let c = Shape.times s ~seed:10 ~n:200 in
+  Alcotest.(check bool) "different seed, different jitter" true (a <> c)
+
+(* A flash crowd multiplies the arrival density inside its window by the
+   configured factor (deterministic integration, so the counts are
+   exact up to the one straddling arrival). *)
+let test_shape_burst_density () =
+  let s =
+    Shape.make ~rate:100.0
+      (Shape.Burst { factor = 10.0; at_s = 1.0; dur_s = 1.0 })
+  in
+  let ts = Shape.times s ~seed:0 ~n:1500 in
+  let inside =
+    Array.fold_left
+      (fun acc t -> if t >= 1.0 && t < 2.0 then acc + 1 else acc)
+      0 ts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "~1000 arrivals in the burst window (got %d)" inside)
+    true
+    (abs (inside - 1000) <= 1);
+  (* The first 1 s runs at the base rate. *)
+  let before =
+    Array.fold_left (fun acc t -> if t < 1.0 then acc + 1 else acc) 0 ts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "~100 arrivals before it (got %d)" before)
+    true
+    (abs (before - 100) <= 1)
+
+(* Pausing shapes never schedule an arrival inside an off window. *)
+let test_shape_pausing_windows () =
+  let on_s = 1.0 and off_s = 2.0 in
+  let s = Shape.make ~rate:100.0 (Shape.Pausing { on_s; off_s }) in
+  let ts = Shape.times s ~seed:0 ~n:400 in
+  Array.iter
+    (fun t ->
+      let phase = Float.rem t (on_s +. off_s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "arrival at %.6f is in an on-window" t)
+        true
+        (phase <= on_s +. 1e-6))
+    ts;
+  (* 400 arrivals at 100/s need 4 s of on-time = 4 full cycles = 12 s
+     of span (minus the trailing off window). *)
+  Alcotest.(check bool) "lulls stretch the span" true (ts.(399) >= 9.0)
+
+let test_shape_parse () =
+  let parse spec =
+    match Shape.of_string ~rate:500.0 spec with
+    | Ok s -> Shape.to_string s
+    | Error e -> "error: " ^ e
+  in
+  Alcotest.(check string) "constant" "constant(rate=500)" (parse "constant");
+  Alcotest.(check string) "alias + params"
+    "burst(rate=500,factor=2,at=1,dur=3)" (parse "flash:factor=2,at=1,dur=3");
+  Alcotest.(check string) "defaults fill in"
+    "rampup(rate=500,from=125,over=10)" (parse "rampup");
+  Alcotest.(check string) "poisson suffix"
+    "pausing(rate=500,on=5,off=5)+poisson" (parse "pause:poisson=true");
+  let fails spec affix =
+    match Shape.of_string ~rate:500.0 spec with
+    | Ok _ -> Alcotest.failf "%s unexpectedly parsed" spec
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s error mentions %s" spec affix)
+        true
+        (Astring.String.is_infix ~affix e)
+  in
+  fails "sawtooth" "unknown shape";
+  fails "burst:zap=1" "zap";
+  fails "diurnal:amp=1.5" "amplitude";
+  fails "burst:factor=oops" "oops"
+
+let prop_shape_schedule_sound =
+  QCheck2.Test.make
+    ~name:"any shape: schedule is finite, positive and non-decreasing"
+    ~count:200
+    QCheck2.Gen.(
+      let* rate = float_range 1.0 1000.0 in
+      let* poisson = bool in
+      let* seed = int_range 0 1000 in
+      let* k = int_range 0 4 in
+      return (rate, poisson, seed, k))
+    (fun (rate, poisson, seed, k) ->
+      let kind =
+        match k with
+        | 0 -> Shape.Constant
+        | 1 -> Shape.Ramp { from_rate = rate /. 4.0; over_s = 2.0 }
+        | 2 -> Shape.Diurnal { amplitude = 0.9; period_s = 5.0 }
+        | 3 -> Shape.Burst { factor = 8.0; at_s = 0.5; dur_s = 0.5 }
+        | _ -> Shape.Pausing { on_s = 0.5; off_s = 0.5 }
+      in
+      let s = Shape.make ~poisson ~rate kind in
+      let ts = Shape.times s ~seed ~n:100 in
+      if Array.length ts <> 100 then
+        QCheck2.Test.fail_reportf "expected 100 arrivals, got %d"
+          (Array.length ts);
+      Array.iteri
+        (fun i t ->
+          if not (Float.is_finite t) || t < 0.0 then
+            QCheck2.Test.fail_reportf "arrival %d at %f" i t;
+          if i > 0 && t < ts.(i - 1) then
+            QCheck2.Test.fail_reportf "schedule decreases at %d (%f < %f)" i t
+              ts.(i - 1);
+          if Shape.rate_at s t < 0.0 then
+            QCheck2.Test.fail_reportf "negative rate at %f" t)
+        ts;
+      true)
+
 let suite =
   [
     ( "workload.spec",
@@ -179,5 +313,14 @@ let suite =
         Alcotest.test_case "clustered" `Quick test_city_is_clustered;
         Alcotest.test_case "hotspot weights" `Quick test_city_hotspot_weights;
         Alcotest.test_case "completable" `Quick test_city_completable;
+      ] );
+    ( "workload.shape",
+      [
+        Alcotest.test_case "constant spacing" `Quick test_shape_constant_spacing;
+        Alcotest.test_case "seeded determinism" `Quick test_shape_deterministic;
+        Alcotest.test_case "burst density" `Quick test_shape_burst_density;
+        Alcotest.test_case "pausing windows" `Quick test_shape_pausing_windows;
+        Alcotest.test_case "spec parsing" `Quick test_shape_parse;
+        QCheck_alcotest.to_alcotest prop_shape_schedule_sound;
       ] );
   ]
