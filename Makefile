@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-loadgen serve-smoke chaos-smoke loadgen-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen serve-smoke chaos-smoke loadgen-smoke journal-smoke fmt check clean
 
 all: build
 
@@ -37,6 +37,13 @@ chaos-smoke:
 loadgen-smoke:
 	dune build @loadgen-smoke
 
+# Journal tooling pin: the cram test test/cli/journal.t serves the same
+# stream under both codecs, converts the journals both ways, checks the
+# restore fingerprints agree, and runs chaos on a binary group-commit
+# journal.  Also in @runtest.
+journal-smoke:
+	dune build @journal-smoke
+
 # Min-cost-flow hot path: cold per-batch solves vs the reused
 # arena/workspace with DAG-layer and warm-started potentials.  Refreshes
 # the committed BENCH_flow_batch.json snapshot.
@@ -47,6 +54,12 @@ bench-flow:
 # Refreshes the committed BENCH_serve_replay.json snapshot.
 bench-serve:
 	dune exec bench/main.exe -- serve-replay --json BENCH_serve_replay.json
+
+# Journal codec comparison: the serve-replay bench times the feed under
+# the text codec, the binary codec with group commit, and no journal at
+# all, and reports the per-codec rates plus journal_speedup.  Alias of
+# bench-serve — both refresh BENCH_serve_replay.json.
+bench-journal: bench-serve
 
 # Open-loop SLO measurement: one deterministic Loadgen flash-crowd pass,
 # timed.  Refreshes the committed BENCH_loadgen.json snapshot.

@@ -682,9 +682,37 @@ let resolve_deadline deadline_s fallback_name =
     let fallback = resolve_algorithm (Option.value name ~default:"Nearest") in
     Some { Ltc_service.Session.budget_s; fallback }
 
+(* Journal codec / group-commit flags, shared by serve, loadgen and
+   chaos. *)
+let journal_format_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("text", Ltc_service.Session.Text);
+             ("binary", Ltc_service.Session.Binary);
+           ])
+        Ltc_service.Session.Text
+    & info [ "journal-format" ] ~docv:"text|binary"
+        ~doc:
+          "On-disk journal codec: $(b,text) (line-oriented, default) or \
+           $(b,binary) (length-prefixed CRC32-framed records — the fast \
+           path).  Restore auto-detects the codec from the header.")
+
+let group_commit_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "group-commit" ] ~docv:"N"
+        ~doc:
+          "Coalesce up to $(docv) journal records into one write (and, \
+           with --fsync, one fsync).  A crash loses at most the \
+           uncommitted group — those arrivals are simply replayed, like \
+           a torn tail.")
+
 let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    resume fsync deadline_s fallback_name on_bad_input log_levels metrics
-    metrics_format =
+    resume fsync journal_format group_commit deadline_s fallback_name
+    on_bad_input log_levels metrics metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
   let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt in
   let fresh ~journal () =
@@ -701,7 +729,8 @@ let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
     let deadline = resolve_deadline deadline_s fallback_name in
     let instance = Ltc_core.Serialize.load_instance ~path:load in
     Ltc_service.Session.create ?accept_rate ?deadline ?journal
-      ~checkpoint_every ~fsync ~algorithm ~seed instance
+      ~checkpoint_every ~fsync ~format:journal_format ~group_commit
+      ~algorithm ~seed instance
   in
   let session =
     match resume with
@@ -718,7 +747,7 @@ let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
       if deadline_s <> None || fallback_name <> None then
         fail "--resume restores the deadline from the journal; drop \
               --deadline/--fallback";
-      Ltc_service.Session.restore ?journal ~fsync ~path ()
+      Ltc_service.Session.restore ?journal ~fsync ~group_commit ~path ()
     | None -> fresh ~journal ()
   in
   serve_stream ~on_bad_input session;
@@ -798,8 +827,9 @@ let serve_cmd =
        ~doc:"serve an NDJSON arrival stream with a resumable session")
     Term.(
       const serve_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
-      $ checkpoint_every $ resume $ fsync $ deadline $ fallback
-      $ on_bad_input $ log_arg $ metrics_arg $ metrics_format_arg)
+      $ checkpoint_every $ resume $ fsync $ journal_format_arg
+      $ group_commit_arg $ deadline $ fallback $ on_bad_input $ log_arg
+      $ metrics_arg $ metrics_format_arg)
 
 (* -------------------------------------------------------- loadgen command *)
 
@@ -809,9 +839,9 @@ let serve_cmd =
    and as a Perfetto-loadable Chrome trace.  The default virtual timing
    makes the whole report a pure function of the flags. *)
 let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    deadline_s fallback_name shape_spec rate arrivals service_mean
-    service_dist timing poisson slo flight_out flight_capacity trace_out
-    log_levels metrics metrics_format =
+    journal_format group_commit deadline_s fallback_name shape_spec rate
+    arrivals service_mean service_dist timing poisson slo flight_out
+    flight_capacity trace_out log_levels metrics metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
   let algorithm = resolve_algorithm algo_name in
   let deadline = resolve_deadline deadline_s fallback_name in
@@ -850,7 +880,8 @@ let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
   in
   let session =
     Ltc_service.Session.create ?accept_rate ?deadline ?journal
-      ~checkpoint_every ~algorithm ~seed instance
+      ~checkpoint_every ~format:journal_format ~group_commit ~algorithm
+      ~seed instance
   in
   (* On the first breach the ring is dumped immediately — the black-box
      snapshot of what led up to it — and overwritten at the end of the run
@@ -1007,10 +1038,10 @@ let loadgen_cmd =
              latency quantiles")
     Term.(
       const loadgen_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
-      $ checkpoint_every $ deadline $ fallback $ shape $ rate $ arrivals
-      $ service_mean $ service_dist $ timing $ poisson $ slo $ flight_out
-      $ flight_capacity $ trace_out $ log_arg $ metrics_arg
-      $ metrics_format_arg)
+      $ checkpoint_every $ journal_format_arg $ group_commit_arg $ deadline
+      $ fallback $ shape $ rate $ arrivals $ service_mean $ service_dist
+      $ timing $ poisson $ slo $ flight_out $ flight_capacity $ trace_out
+      $ log_arg $ metrics_arg $ metrics_format_arg)
 
 (* ---------------------------------------------------------- chaos command *)
 
@@ -1020,8 +1051,8 @@ let loadgen_cmd =
    streams are identical. *)
 let chaos_cmd =
   let impl load algo_name seed accept_rate fault_seed crashes io_errors
-      torn_writes delays horizon checkpoint_every journal deadline_s
-      fallback_name log_levels =
+      torn_writes delays horizon checkpoint_every journal journal_format
+      group_commit deadline_s fallback_name log_levels =
     setup_observability ~verbose:false ~log_levels ~metrics:None;
     let algorithm = resolve_algorithm algo_name in
     let deadline = resolve_deadline deadline_s fallback_name in
@@ -1048,7 +1079,8 @@ let chaos_cmd =
     let report =
       Fun.protect ~finally:cleanup (fun () ->
           Ltc_service.Chaos.run ?accept_rate ?deadline ~checkpoint_every
-            ~plan ~algorithm ~seed ~journal:journal_path instance)
+            ~format:journal_format ~group_commit ~plan ~algorithm ~seed
+            ~journal:journal_path instance)
     in
     let open Ltc_service.Chaos in
     Format.printf "chaos: algorithm=%s arrivals=%d seed=%d fault-seed=%d@."
@@ -1145,7 +1177,135 @@ let chaos_cmd =
     Term.(
       const impl $ load $ algo $ seed_arg $ accept_rate $ fault_seed
       $ crashes $ io_errors $ torn_writes $ delays $ horizon
-      $ checkpoint_every $ journal $ deadline $ fallback $ log_arg)
+      $ checkpoint_every $ journal $ journal_format_arg $ group_commit_arg
+      $ deadline $ fallback $ log_arg)
+
+(* -------------------------------------------------------- journal command *)
+
+(* Offline journal tooling (Ltc_service.Session.Journal): inspect a
+   journal's header and record structure without building a session, or
+   transcode it between the text and binary codecs. *)
+let journal_cmd =
+  let path_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Journal file to read.")
+  in
+  let inspect_cmd =
+    let impl path fingerprint =
+      let module J = Ltc_service.Session.Journal in
+      let info = J.inspect ~path in
+      Format.printf "journal: %s@." path;
+      Format.printf "version: v%d@." info.J.version;
+      Format.printf "codec: %s@."
+        (Ltc_service.Session.codec_name info.J.codec);
+      Format.printf "algorithm: %s@." info.J.algorithm;
+      Format.printf "seed: %d@." info.J.seed;
+      (match info.J.accept_rate with
+      | None -> Format.printf "accept_rate: none@."
+      | Some q -> Format.printf "accept_rate: %g@." q);
+      Format.printf "checkpoint_every: %d@." info.J.checkpoint_every;
+      (match info.J.deadline with
+      | None -> Format.printf "deadline: none@."
+      | Some (budget_s, fallback) ->
+        Format.printf "deadline: %g %s@." budget_s fallback);
+      Format.printf "tasks: %d@." info.J.tasks;
+      Format.printf "file_bytes: %d@." info.J.file_bytes;
+      Format.printf "snapshots: %d@." info.J.snapshots;
+      Format.printf "events: %d@." info.J.events;
+      Format.printf "consumed: %d@." info.J.consumed;
+      (match info.J.snapshot_offsets with
+      | [] -> Format.printf "snapshot_offsets: none@."
+      | offs ->
+        Format.printf "snapshot_offsets:%s@."
+          (String.concat ""
+             (List.map (Printf.sprintf " %d") offs)));
+      if fingerprint then begin
+        (* Restore through a throwaway redirect journal so the inspected
+           file is never written to. *)
+        let tmp = Filename.temp_file "ltc-journal" ".inspect" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            let s = Ltc_service.Session.restore ~journal:tmp ~path () in
+            let policy, noshow = Ltc_service.Session.rng_states s in
+            Format.printf
+              "fingerprint: consumed=%d latency=%d rng=%Ld,%Ld \
+               completed=%b@."
+              (Ltc_service.Session.consumed s)
+              (Ltc_service.Session.latency s)
+              policy noshow
+              (Ltc_service.Session.completed s);
+            Ltc_service.Session.close s)
+      end;
+      0
+    in
+    let fingerprint =
+      Arg.(
+        value & flag
+        & info [ "fingerprint" ]
+            ~doc:
+              "Additionally restore the session (into a throwaway \
+               redirect journal — $(docv) itself is not modified) and \
+               print its determinism fingerprint: consumed, latency and \
+               both RNG states.")
+    in
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:"print a journal's header, codec, record counts and \
+               checkpoint positions")
+      Term.(const impl $ path_pos $ fingerprint)
+  in
+  let convert_cmd =
+    let impl src dst format =
+      if src = dst then die "journal convert: SRC and DST must differ";
+      let module J = Ltc_service.Session.Journal in
+      J.convert ~src ~dst format;
+      let info = J.inspect ~path:dst in
+      Format.printf "converted %s -> %s (%s, %d bytes, %d snapshots, %d \
+                     events)@."
+        src dst
+        (Ltc_service.Session.codec_name info.J.codec)
+        info.J.file_bytes info.J.snapshots info.J.events;
+      0
+    in
+    let src =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"SRC" ~doc:"Journal file to convert.")
+    in
+    let dst =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"DST"
+            ~doc:"Output path (truncated if it exists).")
+    in
+    let to_format =
+      Arg.(
+        required
+        & opt
+            (some
+               (enum
+                  [
+                    ("text", Ltc_service.Session.Text);
+                    ("binary", Ltc_service.Session.Binary);
+                  ]))
+            None
+        & info [ "to" ] ~docv:"text|binary" ~doc:"Target codec.")
+    in
+    Cmd.v
+      (Cmd.info "convert"
+         ~doc:"re-encode a journal between the text and binary codecs, \
+               record for record")
+      Term.(const impl $ src $ dst $ to_format)
+  in
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:"inspect and convert session journal files offline")
+    [ inspect_cmd; convert_cmd ]
 
 let main =
   let doc = "latency-oriented task completion via spatial crowdsourcing" in
@@ -1153,7 +1313,7 @@ let main =
     (Cmd.info "ltc" ~doc ~version:"1.0.0")
     [
       run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd;
-      serve_cmd; loadgen_cmd; chaos_cmd;
+      serve_cmd; loadgen_cmd; chaos_cmd; journal_cmd;
     ]
 
 (* Turn expected failures (missing files, corrupt inputs, bad parameters)

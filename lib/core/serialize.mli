@@ -100,3 +100,99 @@ val emit_progress : sink -> Progress.t -> unit
 val parse_progress : source -> Progress.t
 val emit_rng : sink -> Ltc_util.Rng.t -> unit
 val parse_rng : source -> Ltc_util.Rng.t
+
+(** {2 Binary record codec}
+
+    A compact length-prefixed binary encoding for the streaming-service
+    journal's per-event records (the hot append path) and snapshots.
+    Each record is framed as
+
+    {v [u32le payload length][u32le crc32(payload)][payload] v}
+
+    so replay is a streaming read — no line splitting — and the CRC
+    separates {e interior corruption} (a complete frame whose bytes are
+    wrong: {!Binary.Invalid}) from a {e torn tail} (a frame the crash cut
+    short, necessarily at end of file: {!Binary.Torn}).  Floats are
+    stored as IEEE-754 bit patterns, so every value round-trips exactly;
+    non-negative integers use unsigned LEB128 varints. *)
+
+module Binary : sig
+  val crc32 : string -> int32
+  (** IEEE 802.3 CRC32 (the gzip/PNG polynomial). *)
+
+  (** {3 Primitives} *)
+
+  val add_u8 : Buffer.t -> int -> unit
+  val add_varint : Buffer.t -> int -> unit
+  (** Unsigned LEB128.  @raise Invalid_argument on a negative value. *)
+
+  val add_f64 : Buffer.t -> float -> unit
+  (** IEEE-754 bit pattern, little-endian — exact round-trip. *)
+
+  val add_i64 : Buffer.t -> int64 -> unit
+
+  type cursor
+  (** Read position over a decoded payload. *)
+
+  val cursor : string -> cursor
+  val at_end : cursor -> bool
+
+  val u8 : cursor -> int
+  val varint : cursor -> int
+  val f64 : cursor -> float
+  val i64 : cursor -> int64
+  (** Decoders; @raise Parse_error (line [0]) on a short or overflowing
+      payload. *)
+
+  (** {3 Journal records} *)
+
+  type event = {
+    e_worker : Worker.t;
+    e_degraded : bool;
+    e_assigned : int list;
+    e_answered : int list;
+  }
+  (** One arrival and its decision, fused into a single record (the text
+      codec's [w]/[d] line pair): a torn append can never journal an
+      arrival without its decision. *)
+
+  type snapshot = {
+    s_consumed : int;
+    s_policy : int64;
+    s_noshow : int64;
+    s_progress : Progress.t;
+    s_arrangement : Arrangement.t;
+  }
+  (** Full session state at a checkpoint. *)
+
+  type record = Event of event | Snapshot of snapshot
+
+  val emit_record : Buffer.t -> record -> unit
+  (** Append the (unframed) record payload. *)
+
+  val record_of_payload : string -> record
+  (** Decode one record payload (as carried by a frame).
+      @raise Parse_error on an unknown tag, short payload, implausible
+      count or trailing bytes — on a CRC-verified frame any of these
+      means corruption, not a tear. *)
+
+  (** {3 Framing} *)
+
+  val add_frame : Buffer.t -> string -> unit
+  (** Append one framed payload (length prefix + CRC + bytes). *)
+
+  val add_record_frame : Buffer.t -> record -> unit
+  (** [emit_record] + [add_frame] in one step. *)
+
+  type frame =
+    | Frame of string  (** complete, CRC-verified payload *)
+    | Eof  (** clean end of input, on a frame boundary *)
+    | Torn  (** incomplete frame at end of input — crash damage *)
+    | Invalid of string  (** complete frame with wrong bytes — corruption *)
+
+  val input_frame : in_channel -> frame
+  (** Read the next frame from the channel's current position. *)
+
+  val frame_of_string : string -> int -> frame
+  (** Same, over a string starting at a byte offset. *)
+end

@@ -75,8 +75,8 @@ let baseline_run ?accept_rate ?deadline ~plan ~algorithm ~seed instance
   feed_all ~record (ref s) workers;
   (Array.map Option.get decisions, fingerprint s)
 
-let chaos_run ?accept_rate ?deadline ?checkpoint_every ~max_restores ~plan
-    ~algorithm ~seed ~journal instance workers =
+let chaos_run ?accept_rate ?deadline ?checkpoint_every ?format ?group_commit
+    ~max_restores ~plan ~algorithm ~seed ~journal instance workers =
   let n = Array.length workers in
   let decisions = Array.make n None in
   let record (d : Session.decision) =
@@ -104,8 +104,9 @@ let chaos_run ?accept_rate ?deadline ?checkpoint_every ~max_restores ~plan
     if (not (Sys.file_exists journal)) || Session.is_empty_journal journal
     then
       match
-        Session.create ?accept_rate ?deadline ?checkpoint_every
-          ~on_decision:record ~journal ~fsync:true ~algorithm ~seed instance
+        Session.create ?accept_rate ?deadline ?checkpoint_every ?format
+          ?group_commit ~on_decision:record ~journal ~fsync:true ~algorithm
+          ~seed instance
       with
       | s -> s
       | exception (Fault.Injected_crash _ | Fault.Injected_io _) ->
@@ -113,7 +114,8 @@ let chaos_run ?accept_rate ?deadline ?checkpoint_every ~max_restores ~plan
         obtain ()
     else
       match
-        Session.restore ~on_decision:record ~fsync:true ~path:journal ()
+        Session.restore ~on_decision:record ~fsync:true ?group_commit
+          ~path:journal ()
       with
       | s ->
         incr restores;
@@ -159,8 +161,9 @@ let diff_streams baseline survived fp_base fp_chaos =
          (List.length fp_chaos.f_assignments));
   !divergence
 
-let run ?accept_rate ?deadline ?checkpoint_every ?max_restores ~plan
-    ~algorithm ~seed ~journal (instance : Ltc_core.Instance.t) =
+let run ?accept_rate ?deadline ?checkpoint_every ?format ?group_commit
+    ?max_restores ~plan ~algorithm ~seed ~journal
+    (instance : Ltc_core.Instance.t) =
   let workers = instance.Ltc_core.Instance.workers in
   if Array.length workers = 0 then
     invalid_arg "Chaos.run: the instance has no workers to stream";
@@ -179,8 +182,9 @@ let run ?accept_rate ?deadline ?checkpoint_every ?max_restores ~plan
           workers
       in
       let survived, fp_chaos, crashes, restores, stats =
-        chaos_run ?accept_rate ?deadline ?checkpoint_every ~max_restores
-          ~plan ~algorithm ~seed ~journal instance workers
+        chaos_run ?accept_rate ?deadline ?checkpoint_every ?format
+          ?group_commit ~max_restores ~plan ~algorithm ~seed ~journal
+          instance workers
       in
       let divergence = diff_streams baseline survived fp_base fp_chaos in
       {

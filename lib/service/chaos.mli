@@ -45,6 +45,8 @@ val run :
   ?accept_rate:float ->
   ?deadline:Session.deadline ->
   ?checkpoint_every:int ->
+  ?format:Session.codec ->
+  ?group_commit:int ->
   ?max_restores:int ->
   plan:Ltc_util.Fault.plan ->
   algorithm:Ltc_algo.Algorithm.t ->
@@ -55,7 +57,9 @@ val run :
 (** [run ~plan ~algorithm ~seed ~journal instance] feeds
     [instance.workers] (which must be non-empty) through both runs and
     reports.  [journal] is the chaos run's journal path (truncated at
-    start).  [max_restores] (default [10 + 4 ×] plan size) bounds the
+    start); [format] and [group_commit] configure its codec and commit
+    batching exactly as {!Session.create} does — crashes then lose the
+    buffered group, which restore treats as a torn tail.  [max_restores] (default [10 + 4 ×] plan size) bounds the
     kill/restore loop; exceeding it raises [Failure] — a correctly
     one-shot plan cannot reach it.  Always leaves the fault plan
     disarmed and the virtual clock cleared, even on exceptions.

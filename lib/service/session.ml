@@ -1,5 +1,6 @@
 open Ltc_core
 module Fault = Ltc_util.Fault
+module B = Serialize.Binary
 
 exception Corrupt_journal of { path : string; message : string }
 
@@ -19,12 +20,48 @@ type decision = {
 
 type deadline = { budget_s : float; fallback : Ltc_algo.Algorithm.t }
 
+type codec = Text | Binary
+
+let codec_name = function Text -> "text" | Binary -> "binary"
+
+let codec_of_string = function
+  | "text" -> Ok Text
+  | "binary" -> Ok Binary
+  | s -> Error (Printf.sprintf "unknown journal format %S (expected text|binary)" s)
+
+(* Bytes buffered before a forced group commit.  Caps both the window of
+   decisions a crash can lose and the size of any single write(2),
+   whatever [group_commit] says. *)
+let max_group_bytes = 1 lsl 18
+
+(* Binary journals checkpoint by appending a snapshot record (see
+   [journal_event]); every Nth such checkpoint falls back to a full
+   compaction so the file cannot grow without bound between restores. *)
+let compact_after_snapshots = 16
+
 type journal = {
   path : string;
   mutable oc : out_channel;
   mutable events_since_snapshot : int;
   checkpoint_every : int;
-  fsync_every_event : bool;
+  fsync_on_commit : bool;
+  codec : codec;
+  group_commit : int;  (* records coalesced per write(2)/fsync *)
+  group : Buffer.t;  (* encoded but not yet written records *)
+  scratch : Buffer.t;
+      (* per-record staging for binary framing, reused across records so
+         the hot append path allocates no fresh buffer per event *)
+  mutable pending : int;  (* record count sitting in [group] *)
+  mutable disk_bytes : int;
+      (* exact on-disk size, tracked incrementally: every byte reaches
+         the file through the header write, [commit_group] or
+         compaction, so sizing the journal never costs a flush+lseek on
+         the commit path *)
+  mutable snapshots_since_compact : int;
+  header_bytes : string;
+      (* the header is immutable for the life of the journal; rendering
+         it once (the embedded instance is thousands of %.17g floats)
+         keeps compaction off the printf hot path *)
 }
 
 type t = {
@@ -120,47 +157,139 @@ let fsync_channel oc =
    power cut can forget the compaction, resurrecting the pre-compaction
    journal.  Best-effort — not every filesystem lets you fsync a
    directory fd, and a failure here only widens the crash window, it
-   never corrupts. *)
+   never corrupts — but it must not vanish silently either: each failure
+   bumps [ltc_service_dir_fsync_errors_total] so operators can see the
+   widened window.  The counter registers lazily, on the first failure,
+   so healthy runs never list it. *)
+let dir_fsync_errors =
+  lazy
+    (Ltc_util.Metrics.counter
+       ~help:"directory fsync failures around journal compaction"
+       "ltc_service_dir_fsync_errors_total")
+
 let fsync_dir path =
+  let failed () =
+    Ltc_util.Metrics.Counter.incr (Lazy.force dir_fsync_errors)
+  in
   match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
+  | exception Unix.Unix_error _ -> failed ()
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> failed ())
 
 (* ------------------------------------------------------- journal format *)
 
-let write_header sink t checkpoint_every =
+(* The parsed/emitted journal header.  Text journals keep writing the v2
+   header byte-for-byte (old files stay byte-identical on restore);
+   binary journals write v3, which inserts a [codec] line right after the
+   magic.  [h_version] records what was actually parsed — the writer
+   derives the version from [h_codec] alone. *)
+type header = {
+  h_version : int;
+  h_codec : codec;
+  h_algorithm : string;
+  h_seed : int;
+  h_accept_rate : float option;
+  h_checkpoint_every : int;
+  h_deadline : (float * string) option;
+  h_instance : Instance.t;
+}
+
+let header_of t ~codec ~checkpoint_every =
+  {
+    h_version = (match codec with Text -> 2 | Binary -> 3);
+    h_codec = codec;
+    h_algorithm = t.algorithm.Ltc_algo.Algorithm.name;
+    h_seed = t.seed;
+    h_accept_rate = t.accept_rate;
+    h_checkpoint_every = checkpoint_every;
+    h_deadline =
+      Option.map
+        (fun d -> (d.budget_s, d.fallback.Ltc_algo.Algorithm.name))
+        t.deadline;
+    h_instance = t.instance;
+  }
+
+let write_header sink (h : header) =
   let pf fmt = Printf.ksprintf sink fmt in
-  pf "ltc-journal v2\n";
-  pf "algorithm %s\n" t.algorithm.Ltc_algo.Algorithm.name;
-  pf "seed %d\n" t.seed;
-  (match t.accept_rate with
+  (match h.h_codec with
+  | Text -> pf "ltc-journal v2\n"
+  | Binary -> pf "ltc-journal v3\ncodec binary\n");
+  pf "algorithm %s\n" h.h_algorithm;
+  pf "seed %d\n" h.h_seed;
+  (match h.h_accept_rate with
   | None -> pf "accept_rate none\n"
   | Some q -> pf "accept_rate %s\n" (fp q));
-  pf "checkpoint_every %d\n" checkpoint_every;
-  (match t.deadline with
+  pf "checkpoint_every %d\n" h.h_checkpoint_every;
+  (match h.h_deadline with
   | None -> pf "deadline none\n"
-  | Some d ->
-    pf "deadline %s %s\n" (fp d.budget_s)
-      d.fallback.Ltc_algo.Algorithm.name);
-  Serialize.emit_instance sink t.instance
+  | Some (budget_s, fallback) -> pf "deadline %s %s\n" (fp budget_s) fallback);
+  Serialize.emit_instance sink h.h_instance
 
-let write_snapshot sink t =
+let snapshot_of t =
+  {
+    B.s_consumed = t.consumed;
+    s_policy = Ltc_util.Rng.state t.policy_rng;
+    s_noshow = Ltc_util.Rng.state t.noshow_rng;
+    s_progress = t.progress;
+    s_arrangement = t.arrangement;
+  }
+
+let emit_snapshot_text sink (s : B.snapshot) =
   let pf fmt = Printf.ksprintf sink fmt in
   pf "snapshot\n";
-  pf "consumed %d\n" t.consumed;
-  pf "rng %Ld %Ld\n"
-    (Ltc_util.Rng.state t.policy_rng)
-    (Ltc_util.Rng.state t.noshow_rng);
-  Serialize.emit_progress sink t.progress;
-  Serialize.emit_arrangement sink t.arrangement;
+  pf "consumed %d\n" s.B.s_consumed;
+  pf "rng %Ld %Ld\n" s.B.s_policy s.B.s_noshow;
+  Serialize.emit_progress sink s.B.s_progress;
+  Serialize.emit_arrangement sink s.B.s_arrangement;
   pf "end-snapshot\n"
 
-let journal_size j =
-  flush j.oc;
-  out_channel_length j.oc
+(* The trailing "." terminates the record: a torn append never parses as
+   a complete decision, so restore re-feeds the arrival instead of
+   trusting half a line.  Degraded decisions are tagged "D" so replay can
+   force the fallback instead of consulting the (gone) clock. *)
+let emit_event_text sink (e : B.event) =
+  let pf fmt = Printf.ksprintf sink fmt in
+  let w : Worker.t = e.B.e_worker in
+  pf "w %d %s %s %s %d\n" w.index
+    (fp w.loc.Ltc_geo.Point.x)
+    (fp w.loc.Ltc_geo.Point.y)
+    (fp w.accuracy) w.capacity;
+  pf "%s %d %d%s %d%s .\n"
+    (if e.B.e_degraded then "D" else "d")
+    w.index
+    (List.length e.B.e_assigned)
+    (String.concat "" (List.map (Printf.sprintf " %d") e.B.e_assigned))
+    (List.length e.B.e_answered)
+    (String.concat "" (List.map (Printf.sprintf " %d") e.B.e_answered))
+
+(* Group commit: hand the whole buffered group to one write(2), then (if
+   durability is on) one fsync for the lot.  The buffer is cleared only
+   after the write succeeds, so a retried [Io_error] re-sends the same
+   bytes; a crash mid-group loses the group as one unit — exactly the
+   torn suffix [restore] already drops.  The fault sites are the same
+   ones the unbatched path used ("journal.append", then
+   "journal.append.fsync"), so chaos scripts keep their meaning: with
+   [group_commit = 1] the site sequence is identical to the old
+   per-event protocol. *)
+let commit_group t j =
+  if j.pending > 0 then begin
+    let payload = Buffer.contents j.group in
+    guarded_write ~site:"journal.append" ~retries:t.m_retries j.oc payload;
+    Buffer.clear j.group;
+    j.pending <- 0;
+    flush j.oc;
+    if j.fsync_on_commit then begin
+      Fault.check "journal.append.fsync";
+      Fault.Retry.with_backoff
+        ~on_retry:(fun ~attempt:_ _ ->
+          Ltc_util.Metrics.Counter.incr t.m_retries)
+        (fun () -> fsync_channel j.oc)
+    end;
+    j.disk_bytes <- j.disk_bytes + String.length payload;
+    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int j.disk_bytes)
+  end
 
 (* Compaction: atomically replace the journal with header + one snapshot
    of the current state.  Recovery work is thereby bounded by
@@ -177,11 +306,16 @@ let checkpoint t =
   | None -> ()
   | Some j ->
     Ltc_util.Trace.with_span "service:checkpoint" @@ fun () ->
+    (* Buffered events become durable before the snapshot that includes
+       them replaces the file. *)
+    commit_group t j;
     close_out j.oc;
     let tmp = j.path ^ ".tmp" in
     let buf = Buffer.create 4096 in
-    write_header (Buffer.add_string buf) t j.checkpoint_every;
-    write_snapshot (Buffer.add_string buf) t;
+    Buffer.add_string buf j.header_bytes;
+    (match j.codec with
+    | Text -> emit_snapshot_text (Buffer.add_string buf) (snapshot_of t)
+    | Binary -> B.add_record_frame buf (B.Snapshot (snapshot_of t)));
     let payload = Buffer.contents buf in
     Fault.Retry.with_backoff
       ~on_retry:(fun ~attempt:_ _ -> Ltc_util.Metrics.Counter.incr t.m_retries)
@@ -194,7 +328,12 @@ let checkpoint t =
           guarded_write ~site:"journal.checkpoint.write"
             ~retries:t.m_retries oc payload;
           Fault.check "journal.checkpoint.fsync";
-          fsync_channel oc;
+          (* The rename below is atomic whether or not the temp file ever
+             hits the platters, so process-crash safety never needs the
+             fsync — it buys power-loss durability, which is exactly what
+             [fsync] opts in to.  The fault sites stay probed either way
+             so chaos plans keep their meaning. *)
+          if j.fsync_on_commit then fsync_channel oc else flush oc;
           close_out oc
         with e ->
           close_out_noerr oc;
@@ -202,46 +341,65 @@ let checkpoint t =
     Fault.check "journal.checkpoint.rename";
     Sys.rename tmp j.path;
     Fault.check "journal.checkpoint.dir";
-    fsync_dir j.path;
+    if j.fsync_on_commit then fsync_dir j.path;
     j.oc <- open_out_gen [ Open_wronly; Open_append ] 0o644 j.path;
     j.events_since_snapshot <- 0;
+    j.snapshots_since_compact <- 0;
+    j.disk_bytes <- String.length payload;
     Ltc_util.Metrics.Counter.incr t.m_snapshots;
-    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j))
+    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int j.disk_bytes)
+
+(* The binary fast path for a periodic checkpoint: the snapshot is just
+   another framed record riding the group buffer — one buffered write
+   through the usual append fault sites instead of a rewrite + rename of
+   the whole file.  The scanners keep only the latest snapshot, so the
+   earlier ones become dead weight that the next compaction (every
+   [compact_after_snapshots]th checkpoint, any explicit {!checkpoint},
+   or {!restore}) sweeps out. *)
+(* Frame [record] into the group buffer via the journal's reusable
+   scratch (the hot path appends thousands of records; a fresh staging
+   buffer per record is measurable allocator traffic). *)
+let add_framed j record =
+  Buffer.clear j.scratch;
+  B.emit_record j.scratch record;
+  B.add_frame j.group (Buffer.contents j.scratch)
+
+let append_snapshot t j =
+  add_framed j (B.Snapshot (snapshot_of t));
+  j.pending <- j.pending + 1;
+  j.events_since_snapshot <- 0;
+  j.snapshots_since_compact <- j.snapshots_since_compact + 1;
+  (* The checkpoint contract: everything up to and including the
+     snapshot is committed before the session moves on. *)
+  commit_group t j;
+  Ltc_util.Metrics.Counter.incr t.m_snapshots
 
 let journal_event t (w : Worker.t) d =
   match t.journal with
   | None -> ()
   | Some j ->
-    let buf = Buffer.create 128 in
-    let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-    pf "w %d %s %s %s %d\n" w.index
-      (fp w.loc.Ltc_geo.Point.x)
-      (fp w.loc.Ltc_geo.Point.y)
-      (fp w.accuracy) w.capacity;
-    (* The trailing "." terminates the record: a torn append never parses
-       as a complete decision, so restore re-feeds the arrival instead of
-       trusting half a line.  Degraded decisions are tagged "D" so replay
-       can force the fallback instead of consulting the (gone) clock. *)
-    pf "%s %d %d%s %d%s .\n"
-      (if d.degraded then "D" else "d")
-      d.worker
-      (List.length d.assigned)
-      (String.concat "" (List.map (Printf.sprintf " %d") d.assigned))
-      (List.length d.answered)
-      (String.concat "" (List.map (Printf.sprintf " %d") d.answered));
-    guarded_write ~site:"journal.append" ~retries:t.m_retries j.oc
-      (Buffer.contents buf);
-    flush j.oc;
-    if j.fsync_every_event then begin
-      Fault.check "journal.append.fsync";
-      Fault.Retry.with_backoff
-        ~on_retry:(fun ~attempt:_ _ ->
-          Ltc_util.Metrics.Counter.incr t.m_retries)
-        (fun () -> fsync_channel j.oc)
-    end;
+    let e =
+      {
+        B.e_worker = w;
+        e_degraded = d.degraded;
+        e_assigned = d.assigned;
+        e_answered = d.answered;
+      }
+    in
+    (match j.codec with
+    | Text -> emit_event_text (Buffer.add_string j.group) e
+    | Binary -> add_framed j (B.Event e));
+    j.pending <- j.pending + 1;
     j.events_since_snapshot <- j.events_since_snapshot + 1;
-    Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j));
-    if j.events_since_snapshot >= j.checkpoint_every then checkpoint t
+    if j.pending >= j.group_commit || Buffer.length j.group >= max_group_bytes
+    then commit_group t j;
+    if j.events_since_snapshot >= j.checkpoint_every then
+      match j.codec with
+      | Text -> checkpoint t
+      | Binary ->
+        if j.snapshots_since_compact >= compact_after_snapshots - 1 then
+          checkpoint t
+        else append_snapshot t j
 
 (* ---------------------------------------------------------- construction *)
 
@@ -323,17 +481,25 @@ let validate_accept_rate = function
     invalid_arg "Session.create: accept_rate must be in (0, 1]"
   | _ -> ()
 
-let attach_journal t ~path ~checkpoint_every ~fsync =
-  let oc = open_out path in
+let attach_journal t ~path ~checkpoint_every ~fsync ~codec ~group_commit =
+  let oc = open_out_bin path in
   let buf = Buffer.create 1024 in
-  write_header (Buffer.add_string buf) t checkpoint_every;
+  write_header (Buffer.add_string buf) (header_of t ~codec ~checkpoint_every);
   let j =
     {
       path;
       oc;
       events_since_snapshot = 0;
       checkpoint_every;
-      fsync_every_event = fsync;
+      fsync_on_commit = fsync;
+      codec;
+      group_commit;
+      group = Buffer.create 4096;
+      scratch = Buffer.create 256;
+      pending = 0;
+      disk_bytes = 0;
+      snapshots_since_compact = 0;
+      header_bytes = Buffer.contents buf;
     }
   in
   t.journal <- Some j;
@@ -345,13 +511,17 @@ let attach_journal t ~path ~checkpoint_every ~fsync =
     (fun () -> Fault.check "journal.header");
   output_string oc (Buffer.contents buf);
   flush oc;
-  Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int (journal_size j))
+  j.disk_bytes <- String.length j.header_bytes;
+  Ltc_util.Metrics.Gauge.set t.m_bytes (float_of_int j.disk_bytes)
 
 let create ?accept_rate ?deadline ?(on_decision = fun _ -> ()) ?journal
-    ?(checkpoint_every = 256) ?(fsync = false) ~algorithm ~seed instance =
+    ?(checkpoint_every = 256) ?(fsync = false) ?(format = Text)
+    ?(group_commit = 1) ~algorithm ~seed instance =
   validate_accept_rate accept_rate;
   if checkpoint_every < 1 then
     invalid_arg "Session.create: checkpoint_every must be >= 1";
+  if group_commit < 1 then
+    invalid_arg "Session.create: group_commit must be >= 1";
   let instance = strip_workers instance in
   let policy_rng, noshow_rng = derive_rngs ~seed in
   let progress =
@@ -364,7 +534,9 @@ let create ?accept_rate ?deadline ?(on_decision = fun _ -> ()) ?journal
   in
   (match journal with
   | None -> ()
-  | Some path -> attach_journal t ~path ~checkpoint_every ~fsync);
+  | Some path ->
+    attach_journal t ~path ~checkpoint_every ~fsync ~codec:format
+      ~group_commit);
   t
 
 (* ----------------------------------------------------------------- feed *)
@@ -383,7 +555,7 @@ let feed_hdr t = t.feed_hdr
 
 let journal_bytes t =
   match t.journal with
-  | Some j when not t.closed -> journal_size j
+  | Some j when not t.closed -> j.disk_bytes
   | Some _ | None -> 0
 
 let peak_memory_mb t = Ltc_util.Mem.Tracker.high_water_mb t.tracker
@@ -502,28 +674,12 @@ let close t =
     match t.journal with
     | None -> ()
     | Some j ->
+      commit_group t j;
       flush j.oc;
       close_out j.oc
   end
 
 (* -------------------------------------------------------------- restore *)
-
-type parsed_snapshot = {
-  s_consumed : int;
-  s_policy : int64;
-  s_noshow : int64;
-  s_progress : Progress.t;
-  s_arrangement : Arrangement.t;
-}
-
-type parsed_header = {
-  h_algorithm : string;
-  h_seed : int;
-  h_accept_rate : float option;
-  h_checkpoint_every : int;
-  h_deadline : (float * string) option;
-  h_instance : Instance.t;
-}
 
 let parse_header ~path src =
   let line_no () = Serialize.line_number src in
@@ -536,7 +692,19 @@ let parse_header ~path src =
     match expect "the journal magic" with
     | "ltc-journal v1" -> 1
     | "ltc-journal v2" -> 2
+    | "ltc-journal v3" -> 3
     | other -> corrupt ~path "bad journal header %S" other
+  in
+  let h_codec =
+    (* v1/v2 predate the codec line and are implicitly text; v3 names
+       its codec right after the magic. *)
+    if version < 3 then Text
+    else
+      match Serialize.fields (expect "a codec line") with
+      | [ "codec"; "text" ] -> Text
+      | [ "codec"; "binary" ] -> Binary
+      | _ ->
+        corrupt ~path "line %d: expected 'codec text|binary'" (line_no ())
   in
   let h_algorithm =
     match Serialize.fields (expect "an algorithm line") with
@@ -575,6 +743,8 @@ let parse_header ~path src =
   in
   let h_instance = Serialize.parse_instance src in
   {
+    h_version = version;
+    h_codec;
     h_algorithm;
     h_seed;
     h_accept_rate;
@@ -623,7 +793,7 @@ let parse_snapshot src =
   (match Serialize.next_line_opt src with
   | Some "end-snapshot" -> ()
   | Some _ | None -> fail ());
-  { s_consumed; s_policy; s_noshow; s_progress; s_arrangement }
+  { B.s_consumed; s_policy; s_noshow; s_progress; s_arrangement }
 
 let parse_arrival_fields src rest =
   match rest with
@@ -675,9 +845,11 @@ let excerpt_at ~path ~offset =
         | None -> s)
   with Sys_error _ -> "<unreadable>"
 
-let scan_events ~path src =
-  let best = ref None in
-  let tail = ref [] in
+(* One pass over a text journal body: every complete record in order,
+   tagged with the byte offset of its first line.  Stops silently at a
+   torn suffix; raises {!Corrupt_journal} on interior damage. *)
+let scan_text ~path src =
+  let items = ref [] in
   let records = ref 0 in
   (try
      let continue = ref true in
@@ -686,12 +858,12 @@ let scan_events ~path src =
        | None -> continue := false
        | Some line -> (
          incr records;
+         let offset = Serialize.line_offset src in
          match
            match Serialize.fields line with
            | [ "snapshot" ] ->
              let s = parse_snapshot src in
-             best := Some s;
-             tail := []
+             items := (B.Snapshot s, offset) :: !items
            | "w" :: rest -> (
              let w = parse_arrival_fields src rest in
              match Serialize.next_line_opt src with
@@ -700,7 +872,16 @@ let scan_events ~path src =
                | ("d" | "D") :: drest ->
                  let degraded = String.length dline > 0 && dline.[0] = 'D' in
                  let assigned, answered = parse_decision_fields w drest in
-                 tail := (w, assigned, answered, degraded) :: !tail
+                 items :=
+                   ( B.Event
+                       {
+                         B.e_worker = w;
+                         e_degraded = degraded;
+                         e_assigned = assigned;
+                         e_answered = answered;
+                       },
+                     offset )
+                   :: !items
                | _ -> raise Torn_tail)
              | None ->
                (* Arrival journaled, decision lost: the arrival was never
@@ -725,7 +906,57 @@ let scan_events ~path src =
                (excerpt_at ~path ~offset:fail_offset)))
      done
    with Torn_tail -> ());
-  (!best, List.rev !tail)
+  List.rev !items
+
+(* Same pass over a binary journal body: framed records streamed straight
+   off the channel, no line splitting.  The CRC does the triage work the
+   text scanner gets from its record grammar — an incomplete frame can
+   only sit at end of file ([B.Torn]: expected crash damage, dropped),
+   while a complete frame with wrong bytes, or a CRC-valid frame that
+   fails to decode, is interior corruption wherever it sits. *)
+let scan_binary ~path ic =
+  let items = ref [] in
+  let records = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let offset = pos_in ic in
+    match B.input_frame ic with
+    | B.Eof -> continue := false
+    | B.Torn -> continue := false
+    | B.Invalid reason ->
+      corrupt ~path
+        "corrupted record %d at byte %d: %s — refusing to drop acknowledged \
+         state"
+        (!records + 1) offset reason
+    | B.Frame payload -> (
+      incr records;
+      match B.record_of_payload payload with
+      | record -> items := (record, offset) :: !items
+      | exception Serialize.Parse_error { message; _ } ->
+        corrupt ~path
+          "corrupted record %d at byte %d: CRC-valid frame fails to decode \
+           (%s)"
+          !records offset message)
+  done;
+  List.rev !items
+
+(* [src] must wrap [ic]: the text scanner consumes lines through it, the
+   binary scanner picks up the raw channel exactly where the (always
+   line-oriented) header parse left it. *)
+let scan_items ~path ~codec ic src =
+  match codec with Text -> scan_text ~path src | Binary -> scan_binary ~path ic
+
+(* Latest snapshot wins; events after it form the replay tail. *)
+let collapse items =
+  let best, tail_rev =
+    List.fold_left
+      (fun (best, tail) (record, _offset) ->
+        match record with
+        | B.Snapshot s -> (Some s, [])
+        | B.Event e -> (best, e :: tail))
+      (None, []) items
+  in
+  (best, List.rev tail_rev)
 
 let is_empty_journal path =
   match open_in_bin path with
@@ -735,8 +966,8 @@ let is_empty_journal path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> in_channel_length ic = 0)
 
-let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
-    =
+let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false)
+    ?(group_commit = 1) ~path () =
   Ltc_util.Trace.with_span "service:restore" @@ fun () ->
   (* Stale compaction debris: a crash between writing [path.tmp] and the
      rename leaves the temp file next to the journal.  It is dead weight —
@@ -745,7 +976,7 @@ let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
   (let tmp = path ^ ".tmp" in
    if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
   let header, snapshot, tail =
-    let ic = open_in path in
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
@@ -755,7 +986,9 @@ let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
           with Serialize.Parse_error { line; message } ->
             corrupt ~path "line %d: %s" line message
         in
-        let snapshot, tail = scan_events ~path src in
+        let snapshot, tail =
+          collapse (scan_items ~path ~codec:header.h_codec ic src)
+        in
         (header, snapshot, tail))
   in
   let algorithm =
@@ -772,8 +1005,9 @@ let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
       header.h_deadline
   in
   (if deadline = None then
-     match List.find_opt (fun (_, _, _, degraded) -> degraded) tail with
-     | Some ((w : Worker.t), _, _, _) ->
+     match List.find_opt (fun (e : B.event) -> e.B.e_degraded) tail with
+     | Some e ->
+       let w : Worker.t = e.B.e_worker in
        corrupt ~path
          "arrival %d was decided by a deadline fallback but the header \
           configures no deadline"
@@ -789,13 +1023,13 @@ let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
       in
       (policy_rng, noshow_rng, progress, Arrangement.empty, 0)
     | Some s ->
-      if Progress.n_tasks s.s_progress <> Instance.task_count instance then
+      if Progress.n_tasks s.B.s_progress <> Instance.task_count instance then
         corrupt ~path "snapshot progress does not match the instance";
-      ( Ltc_util.Rng.of_state s.s_policy,
-        Ltc_util.Rng.of_state s.s_noshow,
-        s.s_progress,
-        s.s_arrangement,
-        s.s_consumed )
+      ( Ltc_util.Rng.of_state s.B.s_policy,
+        Ltc_util.Rng.of_state s.B.s_noshow,
+        s.B.s_progress,
+        s.B.s_arrangement,
+        s.B.s_consumed )
   in
   let t =
     try
@@ -812,30 +1046,144 @@ let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false) ~path ()
      fallback (the journal, not the clock, is the record of what
      happened). *)
   List.iter
-    (fun ((w : Worker.t), assigned, answered, degraded) ->
+    (fun (e : B.event) ->
+      let w : Worker.t = e.B.e_worker in
       let d =
-        try feed_mode t ~replay:(Some degraded) w
+        try feed_mode t ~replay:(Some e.B.e_degraded) w
         with
         | Invalid_argument m | Ltc_algo.Engine.Invalid_decision m ->
           corrupt ~path "replaying arrival %d: %s" w.index m
       in
-      if d.assigned <> assigned || d.answered <> answered then
+      if d.assigned <> e.B.e_assigned || d.answered <> e.B.e_answered then
         corrupt ~path
           "replayed decision for arrival %d diverges from the journal"
           w.index)
     tail;
-  (* Re-attach the journal (same file unless redirected) and compact
-     immediately: torn tail bytes vanish and recovery stays bounded. *)
+  (* Re-attach the journal (same file unless redirected, same codec as
+     the source) and compact immediately: torn tail bytes vanish and
+     recovery stays bounded. *)
   let journal_path = Option.value journal ~default:path in
+  let header_bytes =
+    let buf = Buffer.create 1024 in
+    write_header (Buffer.add_string buf)
+      { header with h_checkpoint_every = max 1 header.h_checkpoint_every };
+    Buffer.contents buf
+  in
   let j =
     {
       path = journal_path;
-      oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path;
+      oc =
+        open_out_gen
+          [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          0o644 path;
       events_since_snapshot = 0;
       checkpoint_every = max 1 header.h_checkpoint_every;
-      fsync_every_event = fsync;
+      fsync_on_commit = fsync;
+      codec = header.h_codec;
+      group_commit = max 1 group_commit;
+      group = Buffer.create 4096;
+      scratch = Buffer.create 256;
+      pending = 0;
+      disk_bytes = 0;
+      snapshots_since_compact = 0;
+      header_bytes;
     }
   in
   t.journal <- Some j;
+  (* [checkpoint] compacts and sets [disk_bytes] from the fresh image, so
+     the zero initialisation above never leaks out. *)
   checkpoint t;
   t
+
+(* ------------------------------------------------ offline journal tools *)
+
+module Journal = struct
+  type info = {
+    version : int;
+    codec : codec;
+    algorithm : string;
+    seed : int;
+    accept_rate : float option;
+    checkpoint_every : int;
+    deadline : (float * string) option;
+    tasks : int;
+    file_bytes : int;
+    snapshots : int;
+    events : int;
+    consumed : int;
+    snapshot_offsets : int list;
+  }
+
+  (* Header + every complete record in file order (offsets attached).
+     Shares the restore scanners, so torn tails are dropped and interior
+     corruption raises {!Corrupt_journal} with the same diagnostics. *)
+  let read ~path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let src = Serialize.source_of_channel ic in
+        let header =
+          try parse_header ~path src
+          with Serialize.Parse_error { line; message } ->
+            corrupt ~path "line %d: %s" line message
+        in
+        (header, scan_items ~path ~codec:header.h_codec ic src))
+
+  let inspect ~path =
+    let header, items = read ~path in
+    let file_bytes =
+      In_channel.with_open_bin path (fun ic -> in_channel_length ic)
+    in
+    let snapshots, events, offsets_rev =
+      List.fold_left
+        (fun (s, e, offs) (record, offset) ->
+          match record with
+          | B.Snapshot _ -> (s + 1, e, offset :: offs)
+          | B.Event _ -> (s, e + 1, offs))
+        (0, 0, []) items
+    in
+    let best, tail = collapse items in
+    let consumed =
+      (match best with Some s -> s.B.s_consumed | None -> 0)
+      + List.length tail
+    in
+    {
+      version = header.h_version;
+      codec = header.h_codec;
+      algorithm = header.h_algorithm;
+      seed = header.h_seed;
+      accept_rate = header.h_accept_rate;
+      checkpoint_every = header.h_checkpoint_every;
+      deadline = header.h_deadline;
+      tasks = Instance.task_count header.h_instance;
+      file_bytes;
+      snapshots;
+      events;
+      consumed;
+      snapshot_offsets = List.rev offsets_rev;
+    }
+
+  (* Record-level transcoding: every complete record re-encoded in the
+     target codec, order and content preserved — so restore from the
+     converted file replays the exact same snapshot + tail and lands on
+     the same fingerprint.  A torn tail (already lost to the crash) is
+     not carried over; a v1 text source is upgraded to the current
+     header on the way through. *)
+  let convert ~src ~dst codec =
+    let header, items = read ~path:src in
+    let buf = Buffer.create 65536 in
+    write_header (Buffer.add_string buf)
+      { header with h_codec = codec };
+    List.iter
+      (fun (record, _offset) ->
+        match codec with
+        | Binary -> B.add_record_frame buf record
+        | Text -> (
+          match record with
+          | B.Snapshot s -> emit_snapshot_text (Buffer.add_string buf) s
+          | B.Event e -> emit_event_text (Buffer.add_string buf) e))
+      items;
+    Out_channel.with_open_bin dst (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf))
+end

@@ -10,8 +10,11 @@
     When created with [~journal:path], every processed arrival is appended
     to an on-disk journal together with its decision, and a full snapshot
     (progress, arrangement, both RNG states) is folded in every
-    [checkpoint_every] events by atomically compacting the file down to
-    header + snapshot.  {!restore} rebuilds a session from such a journal:
+    [checkpoint_every] events — text journals by atomically compacting
+    the file down to header + snapshot; binary journals by appending the
+    snapshot as an ordinary record (with a full compaction every 16th
+    periodic snapshot to bound file growth).  {!restore} rebuilds a
+    session from such a journal:
     it loads the latest snapshot, replays the event tail by re-running the
     policy (verifying the recomputed decisions against the journaled
     ones), drops any torn record at the end of the file, and compacts.
@@ -25,8 +28,10 @@
     harness can tear, fail or crash any of them deterministically:
 
     - ["journal.header"] — the header written by {!create}
-    - ["journal.append"] — the per-arrival event record
-    - ["journal.append.fsync"] — per-event fsync (only with [~fsync:true])
+    - ["journal.append"] — the group-commit write(2) carrying the
+      buffered event records (one record per group by default)
+    - ["journal.append.fsync"] — per-group fsync (only with
+      [~fsync:true])
     - ["journal.checkpoint.write"] — the compacted image into [path.tmp]
     - ["journal.checkpoint.fsync"] — fsync of the temp file
     - ["journal.checkpoint.rename"] — just before the atomic rename
@@ -34,14 +39,43 @@
     - ["session.decide"] — after the primary policy decides (the [Delay]
       fault site that triggers deadline degradation)
 
-    Compaction writes the replacement image to [path.tmp], fsyncs it,
-    renames it over [path] and fsyncs the directory entry: a crash between
-    any two sites leaves exactly one journal visible, and {!restore}
-    deletes stale [.tmp] debris before reading.  The decision stream of a
+    Compaction writes the replacement image to [path.tmp], renames it
+    over [path] — with [~fsync:true] additionally fsyncing the temp file
+    before and the directory entry after (power-loss durability; the
+    atomic rename alone already survives process crashes) — so a crash
+    between any two sites leaves exactly one journal visible, and
+    {!restore} deletes stale [.tmp] debris before reading.  The decision stream of a
     crashed-and-restored session is byte-identical to the uninterrupted
-    run up to the last durable event. *)
+    run up to the last durable event.
+
+    {2 Codecs and group commit}
+
+    Journals come in two on-disk codecs.  [Text] (header v2) is the
+    line-oriented format of earlier versions — old journals keep
+    restoring byte-identically.  [Binary] (header v3: the same text
+    header plus a [codec binary] line, then length-prefixed CRC32-framed
+    records — see {!Ltc_core.Serialize.Binary}) is the fast path: replay
+    streams frames without line splitting, and the CRC keeps interior
+    corruption distinguishable from a torn tail.
+
+    [group_commit] coalesces up to N encoded records into a single
+    write(2) — and, with [~fsync:true], a single fsync — amortizing the
+    durability discipline over the group (bounded by an internal byte
+    threshold).  The buffered group is flushed synchronously before
+    every checkpoint/compaction and on {!close}; a crash loses at most
+    the buffered group, which {!restore} treats exactly like a torn
+    tail: those arrivals were never acknowledged as durable, and the
+    stream re-feeds them. *)
 
 type t
+
+type codec = Text | Binary
+
+val codec_name : codec -> string
+(** ["text"] / ["binary"]. *)
+
+val codec_of_string : string -> (codec, string) result
+(** Inverse of {!codec_name}; [Error] names the offending input. *)
 
 type decision = {
   worker : int;  (** arrival index the decision answers *)
@@ -87,6 +121,8 @@ val create :
   ?journal:string ->
   ?checkpoint_every:int ->
   ?fsync:bool ->
+  ?format:codec ->
+  ?group_commit:int ->
   algorithm:Ltc_algo.Algorithm.t ->
   seed:int ->
   Ltc_core.Instance.t ->
@@ -104,12 +140,14 @@ val create :
     journal append crashed.  [journal] starts an on-disk journal at that
     path (truncating any existing file); [checkpoint_every] (default
     [256]) sets the compaction period in events; [fsync] (default
-    [false]) additionally fsyncs after every event append.
+    [false]) additionally fsyncs after every group commit; [format]
+    (default [Text]) picks the on-disk codec; [group_commit] (default
+    [1]) sets how many records are coalesced per write/fsync.
 
     @raise Invalid_argument if [algorithm] (or the deadline fallback) has
     no online policy ([policy = None]: Base-off, MCF-LTC, the dynamic
     variants), if [accept_rate] is outside (0, 1], if the deadline budget
-    is [<= 0], or if [checkpoint_every < 1]. *)
+    is [<= 0], if [checkpoint_every < 1], or if [group_commit < 1]. *)
 
 val feed : t -> Ltc_core.Worker.t -> decision
 (** Process the next arrival.  Arrival indices must be consecutive from 1:
@@ -126,12 +164,15 @@ val restore :
   ?on_decision:(decision -> unit) ->
   ?journal:string ->
   ?fsync:bool ->
+  ?group_commit:int ->
   path:string ->
   unit ->
   t
 (** [restore ~path ()] rebuilds a session from a journal file and
-    compacts it immediately.  The restored session continues journaling
-    to [journal] when given, else to [path].  Replayed tail events do
+    compacts it immediately.  The codec is auto-detected from the
+    header, and the restored session keeps journaling in that codec —
+    to [journal] when given, else to [path].  [group_commit] (default
+    [1]) applies to the re-attached journal.  Replayed tail events do
     {e not} fire [on_decision] visibly different from live ones — the
     hook sees every decision the restored session makes from now on, and
     replayed decisions are verified against the journal instead.
@@ -145,7 +186,8 @@ val is_empty_journal : string -> bool
     as starting a fresh session rather than an error. *)
 
 val checkpoint : t -> unit
-(** Force a snapshot + compaction now (no-op without a journal). *)
+(** Force a snapshot + full compaction now, on either codec (no-op
+    without a journal). *)
 
 val close : t -> unit
 (** Flush and close the journal; further {!feed} calls raise.
@@ -188,3 +230,42 @@ val journal_bytes : t -> int
 val peak_memory_mb : t -> float
 (** Policy scratch high-water mark, as tracked for {!Ltc_algo.Engine}
     outcomes. *)
+
+(** {1 Offline journal tools}
+
+    Read-only inspection and record-level transcoding of journal files,
+    without building a session (the [ltc journal] subcommand).  Both
+    share {!restore}'s scanners: a torn tail is silently dropped,
+    interior corruption raises {!Corrupt_journal} with the same
+    diagnostics. *)
+
+module Journal : sig
+  type info = {
+    version : int;  (** header version as parsed (1, 2 or 3) *)
+    codec : codec;
+    algorithm : string;
+    seed : int;
+    accept_rate : float option;
+    checkpoint_every : int;
+    deadline : (float * string) option;  (** budget (s), fallback name *)
+    tasks : int;  (** task count of the embedded instance *)
+    file_bytes : int;  (** on-disk size, torn tail included *)
+    snapshots : int;  (** complete snapshot records in the file *)
+    events : int;  (** complete event records in the file *)
+    consumed : int;  (** arrivals a restore would recover *)
+    snapshot_offsets : int list;
+        (** byte offset of each snapshot record, in file order *)
+  }
+
+  val inspect : path:string -> info
+  (** @raise Corrupt_journal on interior damage.
+      @raise Sys_error if [path] cannot be read. *)
+
+  val convert : src:string -> dst:string -> codec -> unit
+  (** Re-encode every complete record of [src] into [dst] in the given
+      codec, preserving order and content: restoring [dst] lands on the
+      same session fingerprint as restoring [src].  A torn tail is not
+      carried over; v1 headers are upgraded on the way through.
+      [dst] is truncated if it exists; converting a journal onto itself
+      is not supported. *)
+end

@@ -56,7 +56,7 @@ vary; the schema and the cross-run identity checksum do not:
   $ ltc-bench serve-replay --json serve.json > /dev/null
   $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' serve.json
   {
-    "BENCH_serve_replay": {"events": _, "tail_events": _, "checkpoint_every": _, "feed_s": _, "feed_journal_s": _, "restore_s": _, "feed_per_s": _, "feed_journal_per_s": _, "replay_per_s": _, "identical": _}
+    "BENCH_serve_replay": {"events": _, "tail_events": _, "tail_events_binary": _, "checkpoint_every": _, "group_commit": _, "feed_s": _, "feed_journal_text_s": _, "feed_journal_binary_s": _, "restore_text_s": _, "restore_binary_s": _, "feed_per_s": _, "feed_journal_text_per_s": _, "feed_journal_binary_per_s": _, "replay_text_per_s": _, "replay_binary_per_s": _, "journal_speedup": _, "identical": _}
   }
 
   $ grep -o '"identical": 1' serve.json

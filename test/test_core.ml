@@ -981,6 +981,195 @@ let prop_progress_threshold_per_task =
           Progress.is_complete p task = (score >= threshold))
         (List.mapi (fun i x -> (i, x)) spec))
 
+(* --------------------------------------------- qcheck: binary codec *)
+
+module B = Serialize.Binary
+
+(* Arbitrary byte strings (the stock string gen skews printable). *)
+let bytes_gen =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        let a = Array.of_list l in
+        String.init (Array.length a) (fun i -> Char.chr a.(i)))
+      (list_size (int_range 0 400) (int_range 0 255)))
+
+let test_crc32_vectors () =
+  (* The IEEE 802.3 check value, plus the empty-string fixed point. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (B.crc32 "123456789");
+  Alcotest.(check int32) "empty" 0l (B.crc32 "")
+
+let prop_crc32_matches_bitwise_reference =
+  (* The sliced-by-8 table implementation against the from-the-definition
+     bitwise fold, over arbitrary bytes and lengths (covering every
+     remainder-loop tail length). *)
+  let reference s =
+    let c = ref 0xFFFFFFFF in
+    String.iter
+      (fun ch ->
+        c := !c lxor Char.code ch;
+        for _ = 0 to 7 do
+          c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+        done)
+      s;
+    Int32.of_int (lnot !c land 0xFFFFFFFF)
+  in
+  QCheck2.Test.make ~name:"crc32 matches the bitwise definition" ~count:300
+    bytes_gen
+    (fun s -> B.crc32 s = reference s)
+
+let prop_varint_roundtrip =
+  QCheck2.Test.make ~name:"varint round-trips any non-negative int"
+    ~count:300
+    QCheck2.Gen.(
+      oneof
+        [ int_range 0 300; map (fun n -> n land max_int) int ])
+    (fun n ->
+      let buf = Buffer.create 10 in
+      B.add_varint buf n;
+      let c = B.cursor (Buffer.contents buf) in
+      B.varint c = n && B.at_end c)
+
+let prop_scalar_roundtrip =
+  QCheck2.Test.make ~name:"f64/i64 round-trip bit-exactly" ~count:300
+    QCheck2.Gen.(pair float int)
+    (fun (f, n) ->
+      let buf = Buffer.create 16 in
+      B.add_f64 buf f;
+      B.add_i64 buf (Int64.of_int n);
+      let c = B.cursor (Buffer.contents buf) in
+      let f' = B.f64 c in
+      let n' = B.i64 c in
+      (* NaN-proof: compare the payload bits, not the floats. *)
+      Int64.bits_of_float f' = Int64.bits_of_float f
+      && n' = Int64.of_int n
+      && B.at_end c)
+
+let event_gen =
+  QCheck2.Gen.(
+    let* index = int_range 1 5000 in
+    let* x = float_range (-300.0) 300.0 in
+    let* y = float_range (-300.0) 300.0 in
+    let* accuracy = float_range 0.0 1.0 in
+    let* capacity = int_range 1 6 in
+    let* degraded = bool in
+    let* assigned = list_size (int_range 0 8) (int_range 0 500) in
+    let* answered = list_size (int_range 0 8) (int_range 0 500) in
+    return
+      {
+        B.e_worker =
+          Worker.make ~index
+            ~loc:(Ltc_geo.Point.make ~x ~y)
+            ~accuracy ~capacity;
+        e_degraded = degraded;
+        e_assigned = assigned;
+        e_answered = answered;
+      })
+
+let prop_event_record_roundtrip =
+  QCheck2.Test.make ~name:"event record round-trips through the frame"
+    ~count:300 event_gen
+    (fun e ->
+      let buf = Buffer.create 64 in
+      B.add_record_frame buf (B.Event e);
+      match B.frame_of_string (Buffer.contents buf) 0 with
+      | B.Frame payload -> (
+        match B.record_of_payload payload with
+        | B.Event e' ->
+          e'.B.e_worker = e.B.e_worker
+          && e'.B.e_degraded = e.B.e_degraded
+          && e'.B.e_assigned = e.B.e_assigned
+          && e'.B.e_answered = e.B.e_answered
+        | B.Snapshot _ -> false)
+      | B.Eof | B.Torn | B.Invalid _ -> false)
+
+let snapshot_gen =
+  QCheck2.Gen.(
+    let* spec =
+      list_size (int_range 1 20) (pair (float_range 0.5 3.0) (float_range 0.0 4.0))
+    in
+    let* consumed = int_range 0 10_000 in
+    let* policy = map Int64.of_int int in
+    let* noshow = map Int64.of_int int in
+    let* assignments =
+      list_size (int_range 0 40) (pair (int_range 1 60) (int_range 0 19))
+    in
+    return (spec, consumed, policy, noshow, assignments))
+
+let prop_snapshot_record_roundtrip =
+  QCheck2.Test.make ~name:"snapshot record round-trips through the frame"
+    ~count:200 snapshot_gen
+    (fun (spec, consumed, policy, noshow, assignments) ->
+      let thresholds = Array.of_list (List.map fst spec) in
+      let p = Progress.create_per_task ~thresholds in
+      List.iteri (fun task (_, score) -> Progress.record p ~task ~score) spec;
+      let arrangement =
+        List.fold_left
+          (fun a (worker, task) -> Arrangement.add a ~worker ~task)
+          Arrangement.empty assignments
+      in
+      let s =
+        {
+          B.s_consumed = consumed;
+          s_policy = policy;
+          s_noshow = noshow;
+          s_progress = p;
+          s_arrangement = arrangement;
+        }
+      in
+      let buf = Buffer.create 256 in
+      B.add_record_frame buf (B.Snapshot s);
+      match B.frame_of_string (Buffer.contents buf) 0 with
+      | B.Frame payload -> (
+        match B.record_of_payload payload with
+        | B.Snapshot s' ->
+          s'.B.s_consumed = consumed
+          && s'.B.s_policy = policy
+          && s'.B.s_noshow = noshow
+          && Progress.snapshot s'.B.s_progress = Progress.snapshot p
+          && Arrangement.to_list s'.B.s_arrangement
+             = Arrangement.to_list arrangement
+        | B.Event _ -> false)
+      | B.Eof | B.Torn | B.Invalid _ -> false)
+
+let test_frame_triage () =
+  (* Two frames back to back: clean walk, then every damage class. *)
+  let buf = Buffer.create 64 in
+  B.add_frame buf "first payload";
+  B.add_frame buf "second";
+  let s = Buffer.contents buf in
+  let first_len = 8 + String.length "first payload" in
+  (match B.frame_of_string s 0 with
+  | B.Frame p -> Alcotest.(check string) "frame 1" "first payload" p
+  | _ -> Alcotest.fail "expected first frame");
+  (match B.frame_of_string s first_len with
+  | B.Frame p -> Alcotest.(check string) "frame 2" "second" p
+  | _ -> Alcotest.fail "expected second frame");
+  (match B.frame_of_string s (String.length s) with
+  | B.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof on the end boundary");
+  (* Truncation anywhere inside a frame is a torn tail... *)
+  for cut = 1 to String.length s - first_len - 1 do
+    match B.frame_of_string (String.sub s 0 (String.length s - cut)) first_len
+    with
+    | B.Torn -> ()
+    | _ -> Alcotest.failf "expected Torn at cut=%d" cut
+  done;
+  (* ...while wrong bytes inside a complete frame are Invalid: *)
+  let flip i s =
+    String.mapi
+      (fun j ch -> if i = j then Char.chr (Char.code ch lxor 0x40) else ch)
+      s
+  in
+  (match B.frame_of_string (flip (first_len + 9) s) first_len with
+  | B.Invalid reason ->
+    Alcotest.(check bool) "CRC named" true
+      (Astring.String.is_infix ~affix:"CRC" reason)
+  | _ -> Alcotest.fail "expected Invalid on a flipped payload byte");
+  (match B.frame_of_string (flip 3 s) 0 with
+  | B.Invalid _ | B.Torn -> ()
+  | _ -> Alcotest.fail "expected Invalid/Torn on a mangled length")
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -1056,6 +1245,16 @@ let suite =
         qcheck prop_progress_roundtrip;
         qcheck prop_arrangement_roundtrip;
         qcheck prop_rng_roundtrip;
+      ] );
+    ( "core.binary_codec",
+      [
+        Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+        Alcotest.test_case "frame triage" `Quick test_frame_triage;
+        qcheck prop_crc32_matches_bitwise_reference;
+        qcheck prop_varint_roundtrip;
+        qcheck prop_scalar_roundtrip;
+        qcheck prop_event_record_roundtrip;
+        qcheck prop_snapshot_record_roundtrip;
       ] );
     ( "core.svg",
       [

@@ -141,6 +141,114 @@ let test_kill_restore_everywhere () =
   check_kill_restore_everywhere ~accept_rate:None ~checkpoint_every:4
     Ltc_algo.Algorithm.random
 
+(* Binary journal with group commit, killed at EVERY arrival index.  A
+   kill loses exactly the records buffered past the last committed
+   group, so restore must land on the last commit boundary — mirrored
+   here from the session's commit discipline (a commit fires when the
+   group fills and at every checkpoint) — and re-feeding from there must
+   reproduce the uninterrupted fingerprint. *)
+let check_kill_restore_group_commit ~accept_rate ~checkpoint_every
+    ~group_commit algo =
+  let seed = 77 in
+  let instance = small_instance ~seed:23 () in
+  let ws = arrivals instance in
+  let uninterrupted =
+    let s = Session.create ?accept_rate ~algorithm:algo ~seed instance in
+    ignore (feed_all s ws);
+    fingerprint s
+  in
+  let durable_after k =
+    let durable = ref 0 and pending = ref 0 and since = ref 0 in
+    for e = 1 to k do
+      incr pending;
+      incr since;
+      if !pending >= group_commit then begin
+        durable := e;
+        pending := 0
+      end;
+      if !since >= checkpoint_every then begin
+        durable := e;
+        pending := 0;
+        since := 0
+      end
+    done;
+    !durable
+  in
+  let n = List.length ws in
+  for k = 0 to n do
+    with_tmp_journal @@ fun path ->
+    let s =
+      Session.create ?accept_rate ~journal:path ~checkpoint_every
+        ~format:Session.Binary ~group_commit ~algorithm:algo ~seed instance
+    in
+    List.iteri (fun j w -> if j < k then ignore (Session.feed s w)) ws;
+    (* no close: the buffered suffix dies with the kill *)
+    let s' = Session.restore ~path () in
+    Alcotest.(check int)
+      (Printf.sprintf "durable boundary after kill at %d" k)
+      (durable_after k) (Session.consumed s');
+    List.iteri
+      (fun j w -> if j >= Session.consumed s' then ignore (Session.feed s' w))
+      ws;
+    Session.close s';
+    if fingerprint s' <> uninterrupted then
+      Alcotest.failf
+        "%s: binary group-commit restore at arrival %d diverges from the \
+         uninterrupted run"
+        algo.Ltc_algo.Algorithm.name k
+  done
+
+let test_kill_restore_group_commit () =
+  check_kill_restore_group_commit ~accept_rate:None ~checkpoint_every:4
+    ~group_commit:3 Ltc_algo.Algorithm.laf;
+  check_kill_restore_group_commit ~accept_rate:(Some 0.6) ~checkpoint_every:5
+    ~group_commit:4 Ltc_algo.Algorithm.random
+
+(* The two codecs are different encodings of the same journal: the same
+   stream journaled under each must restore to identical fingerprints,
+   and Journal.convert must carry a file across codecs without moving
+   the fingerprint. *)
+let test_cross_codec_parity () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let seed = 19 in
+  let instance = small_instance ~seed:47 () in
+  let ws = arrivals instance in
+  let journaled ~format ~group_commit path =
+    let s =
+      Session.create ~journal:path ~checkpoint_every:5 ~format ~group_commit
+        ~algorithm:algo ~seed instance
+    in
+    ignore (feed_all s ws);
+    Session.close s;
+    fingerprint s
+  in
+  let restored path =
+    with_tmp_journal @@ fun redirect ->
+    let s = Session.restore ~journal:redirect ~path () in
+    let fp = fingerprint s in
+    Session.close s;
+    fp
+  in
+  with_tmp_journal @@ fun text_path ->
+  with_tmp_journal @@ fun binary_path ->
+  let live_text = journaled ~format:Session.Text ~group_commit:1 text_path in
+  let live_binary =
+    journaled ~format:Session.Binary ~group_commit:3 binary_path
+  in
+  Alcotest.(check bool) "live fingerprints agree" true (live_text = live_binary);
+  Alcotest.(check bool) "text restores to the live state" true
+    (restored text_path = live_text);
+  Alcotest.(check bool) "binary restores to the live state" true
+    (restored binary_path = live_text);
+  (* Convert each codec to the other; fingerprints must not move. *)
+  with_tmp_journal @@ fun converted ->
+  Session.Journal.convert ~src:text_path ~dst:converted Session.Binary;
+  Alcotest.(check bool) "text->binary conversion preserves state" true
+    (restored converted = live_text);
+  Session.Journal.convert ~src:binary_path ~dst:converted Session.Text;
+  Alcotest.(check bool) "binary->text conversion preserves state" true
+    (restored converted = live_text)
+
 let test_kill_restore_everywhere_noshow () =
   check_kill_restore_everywhere ~accept_rate:(Some 0.6) ~checkpoint_every:4
     Ltc_algo.Algorithm.laf;
@@ -157,10 +265,15 @@ let prop_kill_restore =
       let* kill = int_range 0 25 in
       let* checkpoint_every = int_range 1 9 in
       let* noshow = bool in
-      return (iseed, seed, algo, kill, checkpoint_every, noshow))
-    (fun (iseed, seed, algo, kill, checkpoint_every, noshow) ->
+      let* binary = bool in
+      let* group_commit = int_range 1 5 in
+      return
+        (iseed, seed, algo, kill, checkpoint_every, noshow, binary, group_commit))
+    (fun (iseed, seed, algo, kill, checkpoint_every, noshow, binary, group_commit)
+    ->
       let algo = List.nth online_algorithms algo in
       let accept_rate = if noshow then Some 0.65 else None in
+      let format = if binary then Session.Binary else Session.Text in
       let instance = small_instance ~seed:iseed () in
       let ws = arrivals instance in
       let uninterrupted =
@@ -170,14 +283,21 @@ let prop_kill_restore =
       in
       with_tmp_journal @@ fun path ->
       let s =
-        Session.create ?accept_rate ~journal:path ~checkpoint_every
-          ~algorithm:algo ~seed instance
+        Session.create ?accept_rate ~journal:path ~checkpoint_every ~format
+          ~group_commit ~algorithm:algo ~seed instance
       in
       List.iteri (fun j w -> if j < kill then ignore (Session.feed s w)) ws;
+      (* With group commit the buffered suffix dies with the kill; the
+         stream re-feeds from the restored (committed) boundary. *)
       let s' = Session.restore ~path () in
-      List.iteri (fun j w -> if j >= kill then ignore (Session.feed s' w)) ws;
-      Session.close s';
-      fingerprint s' = uninterrupted)
+      Session.consumed s' <= kill
+      &&
+      (List.iteri
+         (fun j w ->
+           if j >= Session.consumed s' then ignore (Session.feed s' w))
+         ws;
+       Session.close s';
+       fingerprint s' = uninterrupted))
 
 (* A torn tail — the file cut off mid-record, as a crash during an append
    would leave it — must never lose acknowledged prefix state silently:
@@ -675,6 +795,10 @@ let suite =
           test_kill_restore_everywhere;
         Alcotest.test_case "kill/restore at every arrival (no-show)" `Slow
           test_kill_restore_everywhere_noshow;
+        Alcotest.test_case "binary group-commit kill/restore at every arrival"
+          `Slow test_kill_restore_group_commit;
+        Alcotest.test_case "cross-codec parity and conversion" `Quick
+          test_cross_codec_parity;
         qcheck prop_kill_restore;
         Alcotest.test_case "torn tail recovers" `Quick
           test_truncated_journal_recovers;
