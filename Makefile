@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen serve-smoke chaos-smoke loadgen-smoke journal-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen bench-shard serve-smoke chaos-smoke loadgen-smoke journal-smoke shard-smoke fmt check clean
 
 all: build
 
@@ -44,6 +44,13 @@ loadgen-smoke:
 journal-smoke:
 	dune build @journal-smoke
 
+# Sharded serving pin: the cram test test/cli/shard.t feeds a clustered
+# shard-local stream through `ltc serve --shards K`, diffs it against
+# the single-session run, and exercises sharded kill/resume via the
+# manifest.  Also in @runtest.
+shard-smoke:
+	dune build @shard-smoke
+
 # Min-cost-flow hot path: cold per-batch solves vs the reused
 # arena/workspace with DAG-layer and warm-started potentials.  Refreshes
 # the committed BENCH_flow_batch.json snapshot.
@@ -65,6 +72,12 @@ bench-journal: bench-serve
 # timed.  Refreshes the committed BENCH_loadgen.json snapshot.
 bench-loadgen:
 	dune exec bench/main.exe -- loadgen --json BENCH_loadgen.json
+
+# Sharded serving: single session vs 1/2/4/8 spatial shards on a
+# clustered shard-local stream, with a core-scaled speedup bar.
+# Refreshes the committed BENCH_serve_shard.json snapshot.
+bench-shard:
+	dune exec bench/main.exe -- serve-shard --json BENCH_serve_shard.json
 
 fmt:
 	dune build @fmt --auto-promote

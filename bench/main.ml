@@ -605,6 +605,154 @@ let run_loadgen () =
       per_s
       (if identical then 1 else 0) )
 
+(* --------------------------------------------------- serve-shard micro *)
+
+(* Sharded serving throughput: the same clustered, shard-local arrival
+   stream fed to a single session and to a Shard_server at 1/2/4/8
+   shards in [`Domains] mode.  The identical flag asserts every sharded
+   run's merged fingerprint matched the single session byte for byte —
+   a 0 here is a correctness regression.  Speedup expectations are
+   scaled by the core count so a single-core container records an
+   honest baseline instead of a vacuous failure. *)
+let serve_shard_id = "serve-shard"
+
+let run_serve_shard () =
+  print_endline
+    "### serve-shard — spatially sharded serving vs a single session\n";
+  let clusters = 32 and tasks_per = 48 and n_arrivals = 8000 in
+  let capacity = 2 in
+  (* Shard-local clustered workload (the parity regime of DESIGN.md
+     S14): cluster [i] centred at x = 90i + 15, tasks within +-10 of
+     the centre, workers jittered +-8, all at y = 10 with candidate
+     radius 30 — every candidate lies in its worker's own grid cell, so
+     the sharded decision stream must match the single session's. *)
+  let rng = Ltc_util.Rng.create ~seed:11 in
+  let center i = (90.0 *. float_of_int i) +. 15.0 in
+  let tasks =
+    Array.init (clusters * tasks_per) (fun id ->
+        let c = id / tasks_per and j = id mod tasks_per in
+        let dx =
+          -10.0
+          +. (20.0 *. float_of_int j /. float_of_int (max 1 (tasks_per - 1)))
+        in
+        Ltc_core.Task.make ~id
+          ~loc:(Ltc_geo.Point.make ~x:(center c +. dx) ~y:10.0)
+          ())
+  in
+  let workers =
+    Array.init n_arrivals (fun i ->
+        let c = i mod clusters in
+        let dx = Ltc_util.Rng.float rng 16.0 -. 8.0 in
+        Ltc_core.Worker.make ~index:(i + 1)
+          ~loc:(Ltc_geo.Point.make ~x:(center c +. dx) ~y:10.0)
+          ~accuracy:(0.7 +. Ltc_util.Rng.float rng 0.25)
+          ~capacity)
+  in
+  let instance = Ltc_core.Instance.create ~tasks ~workers ~epsilon:0.25 () in
+  let n_tasks = Array.length tasks in
+  let algorithm = Ltc_algo.Algorithm.laf in
+  let seed = 42 in
+  (* Best-of-N, as in serve-replay: each pass is deterministic, so
+     inter-pass spread is scheduler/host noise. *)
+  let time_variant f =
+    ignore (f ());
+    (* warmup *)
+    let reps = 5 in
+    let result = ref (f ()) in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let r, dt = Ltc_util.Timer.time f in
+      result := r;
+      if dt < !best then best := dt
+    done;
+    (!result, !best)
+  in
+  let single () =
+    let s = Ltc_service.Session.create ~algorithm ~seed instance in
+    Array.iter (fun w -> ignore (Ltc_service.Session.feed s w)) workers;
+    ( Ltc_core.Arrangement.to_list (Ltc_service.Session.arrangement s),
+      Ltc_service.Session.latency s,
+      Ltc_service.Session.consumed s,
+      Ltc_service.Session.completed s )
+  in
+  let sharded shards () =
+    let srv =
+      Ltc_service.Shard_server.create ~mailbox:256
+        ~mode:Ltc_service.Shard_server.Domains ~shards ~algorithm ~seed
+        instance
+    in
+    Array.iter
+      (fun w -> ignore (Ltc_service.Shard_server.feed srv w))
+      workers;
+    ignore (Ltc_service.Shard_server.flush srv);
+    let fp =
+      ( Ltc_core.Arrangement.to_list
+          (Ltc_service.Shard_server.arrangement srv),
+        Ltc_service.Shard_server.latency srv,
+        Ltc_service.Shard_server.consumed srv,
+        Ltc_service.Shard_server.completed srv )
+    in
+    Ltc_service.Shard_server.close srv;
+    fp
+  in
+  let single_fp, single_s = time_variant single in
+  let fp1, shard1_s = time_variant (sharded 1) in
+  let fp2, shard2_s = time_variant (sharded 2) in
+  let fp4, shard4_s = time_variant (sharded 4) in
+  let fp8, shard8_s = time_variant (sharded 8) in
+  let identical =
+    fp1 = single_fp && fp2 = single_fp && fp4 = single_fp
+    && fp8 = single_fp
+  in
+  let cores = Ltc_util.Pool.default_jobs () in
+  let speedup t = if t > 0.0 then single_s /. t else 0.0 in
+  let speedup4 = speedup shard4_s in
+  (* The 1.7x-at-4-shards target assumes 4 cores; on smaller hosts the
+     router thread serialises everything, so scale the bar by the cores
+     actually available (1 core -> 0.425x just asks sharding not to
+     more-than-halve throughput). *)
+  let expected4 = 1.7 *. float_of_int (min cores 4) /. 4.0 in
+  let scaling_ok = speedup4 >= expected4 in
+  let per_s t = if t > 0.0 then float_of_int n_arrivals /. t else 0.0 in
+  Printf.printf
+    "%d arrivals over %d tasks in %d clusters; %d core(s) — expecting \
+     >=%.2fx at 4 shards\n"
+    n_arrivals n_tasks clusters cores expected4;
+  Printf.printf "checksum: %s\n\n"
+    (if identical then "all sharded runs match the single session"
+     else "RUNS DISAGREE");
+  let row name t =
+    [
+      Ltc_util.Table.Str name;
+      Ltc_util.Table.Float (1000.0 *. t);
+      Ltc_util.Table.Float (per_s t);
+      Ltc_util.Table.Float (speedup t);
+    ]
+  in
+  Ltc_util.Table.print ~float_digits:2
+    ~header:[ "variant"; "time/pass (ms)"; "arrivals/s"; "speedup" ]
+    [
+      row "feed single session" single_s;
+      row "feed 1 shard (domains)" shard1_s;
+      row "feed 2 shards (domains)" shard2_s;
+      row "feed 4 shards (domains)" shard4_s;
+      row "feed 8 shards (domains)" shard8_s;
+    ];
+  print_newline ();
+  ( "BENCH_serve_shard",
+    Printf.sprintf
+      "{\"arrivals\": %d, \"tasks\": %d, \"clusters\": %d, \"cores\": %d, \
+       \"feed_single_s\": %.6f, \"feed_shard1_s\": %.6f, \"feed_shard2_s\": \
+       %.6f, \"feed_shard4_s\": %.6f, \"feed_shard8_s\": %.6f, \
+       \"single_per_s\": %.1f, \"shard4_per_s\": %.1f, \"speedup_shard4\": \
+       %.3f, \"speedup_shard8\": %.3f, \"expected_speedup_shard4\": %.3f, \
+       \"scaling_ok\": %d, \"identical\": %d}"
+      n_arrivals n_tasks clusters cores single_s shard1_s shard2_s shard4_s
+      shard8_s (per_s single_s) (per_s shard4_s) speedup4 (speedup shard8_s)
+      expected4
+      (if scaling_ok then 1 else 0)
+      (if identical then 1 else 0) )
+
 (* ------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -764,6 +912,11 @@ let list_experiments () =
           Ltc_util.Table.Str "open-loop SLO latency under a flash crowd";
           Ltc_util.Table.Float 1.0;
         ];
+        [
+          Ltc_util.Table.Str serve_shard_id;
+          Ltc_util.Table.Str "sharded serving vs a single session";
+          Ltc_util.Table.Float 1.0;
+        ];
       ]
   in
   Ltc_util.Table.print ~float_digits:2
@@ -793,7 +946,10 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
     let ids =
       if ids = [] then
         Figures.ids ()
-        @ [ "micro"; flow_batch_id; serve_replay_id; chaos_replay_id; loadgen_id ]
+        @ [
+            "micro"; flow_batch_id; serve_replay_id; chaos_replay_id;
+            loadgen_id; serve_shard_id;
+          ]
       else ids
     in
     let unknown =
@@ -801,6 +957,7 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
         (fun id ->
           id <> "micro" && id <> flow_batch_id && id <> serve_replay_id
           && id <> chaos_replay_id && id <> loadgen_id
+          && id <> serve_shard_id
           && Figures.find id = None)
         ids
     in
@@ -824,6 +981,7 @@ let main ids scale reps seed jobs full list csv plot verbose metrics
             else if id = serve_replay_id then Some (run_serve_replay ())
             else if id = chaos_replay_id then Some (run_chaos_replay ())
             else if id = loadgen_id then Some (run_loadgen ())
+            else if id = serve_shard_id then Some (run_serve_shard ())
             else
               match Figures.find id with
               | Some e ->

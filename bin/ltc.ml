@@ -664,6 +664,71 @@ let serve_stream ~on_bad_input session =
     (Ltc_service.Session.latency session)
     (Ltc_service.Session.completed session)
 
+(* Sharded variant of [serve_stream]: every arrival from index 1 is fed
+   (a resumed server skips already-durable arrivals internally and emits
+   nothing for them), released decisions are printed in global order, and
+   the stream stops once the completing decision has been printed — acks
+   released behind it are dropped so the output matches an un-sharded
+   serve byte for byte. *)
+let serve_stream_sharded ~on_bad_input server =
+  let module Srv = Ltc_service.Shard_server in
+  let bad = ref 0 in
+  let m_bad =
+    Ltc_util.Metrics.counter
+      ~help:"malformed arrival lines dropped by --on-bad-input=skip"
+      ~labels:[ ("algo", Srv.algorithm_name server) ]
+      "ltc_service_bad_input_total"
+  in
+  let line_no = ref 0 in
+  let done_ = ref false in
+  let emit ds =
+    List.iter
+      (fun (d : Ltc_service.Session.decision) ->
+        if not !done_ then begin
+          print_string
+            (Ltc_service.Ndjson.decision_to_line
+               ~degraded:d.Ltc_service.Session.degraded
+               ~worker:d.Ltc_service.Session.worker
+               ~assigned:d.Ltc_service.Session.assigned
+               ~answered:d.Ltc_service.Session.answered
+               ~completed:d.Ltc_service.Session.completed
+               ~latency:d.Ltc_service.Session.latency ());
+          print_newline ();
+          flush stdout;
+          if d.Ltc_service.Session.completed then done_ := true
+        end)
+      ds
+  in
+  let rec loop () =
+    if not !done_ then
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line ->
+        incr line_no;
+        if String.trim line = "" then loop ()
+        else begin
+          match Ltc_service.Ndjson.arrival_exn ~line:!line_no line with
+          | exception Ltc_service.Ndjson.Bad_input { line; text; reason }
+            when on_bad_input = `Skip ->
+            incr bad;
+            Ltc_util.Metrics.Counter.incr m_bad;
+            Format.eprintf "serve: dropping bad input at line %d: %s: %S@."
+              line reason text;
+            loop ()
+          | w ->
+            emit (Srv.feed server w);
+            loop ()
+        end
+  in
+  loop ();
+  emit (Srv.flush server);
+  Format.eprintf
+    "serve: algorithm=%s shards=%d consumed=%d (resumed at %d, skipped %d, \
+     bad %d) latency=%d completed=%b stalls=%d@."
+    (Srv.algorithm_name server) (Srv.shards server) (Srv.consumed server)
+    (Srv.resumed_at server) (Srv.replayed server) !bad (Srv.latency server)
+    (Srv.completed server) (Srv.stalls server)
+
 let die fmt =
   Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt
 
@@ -710,12 +775,33 @@ let group_commit_arg =
            uncommitted group — those arrivals are simply replayed, like \
            a torn tail.")
 
+(* Sharded-serving flags, shared by serve and loadgen. *)
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the task universe into $(docv) spatial shards, each \
+           served by its own journaled session on its own domain \
+           (journals land at PATH.shard0..PATH.shard<K-1> with a \
+           manifest at PATH).  Without this flag a single session serves \
+           the whole instance.")
+
+let mailbox_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "mailbox" ] ~docv:"N"
+        ~doc:
+          "Bound each shard's arrival mailbox at $(docv) entries; a full \
+           mailbox blocks the router (counted as a stall), never drops.")
+
 let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    resume fsync journal_format group_commit deadline_s fallback_name
-    on_bad_input log_levels metrics metrics_format =
+    resume fsync journal_format group_commit shards mailbox deadline_s
+    fallback_name on_bad_input log_levels metrics metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
   let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt in
-  let fresh ~journal () =
+  let require_fresh_args () =
     let load =
       match load with
       | Some p -> p
@@ -727,33 +813,67 @@ let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
       | Some name -> resolve_algorithm name
     in
     let deadline = resolve_deadline deadline_s fallback_name in
-    let instance = Ltc_core.Serialize.load_instance ~path:load in
+    (Ltc_core.Serialize.load_instance ~path:load, algorithm, deadline)
+  in
+  let fresh ~journal () =
+    let instance, algorithm, deadline = require_fresh_args () in
     Ltc_service.Session.create ?accept_rate ?deadline ?journal
       ~checkpoint_every ~fsync ~format:journal_format ~group_commit
       ~algorithm ~seed instance
   in
-  let session =
-    match resume with
-    | Some path when Ltc_service.Session.is_empty_journal path ->
-      (* The journaled run died before its header became durable, so there
-         is nothing to restore — start over into the same file. *)
-      Format.eprintf "serve: journal %s is empty; starting a fresh session@."
-        path;
-      fresh ~journal:(Some (Option.value journal ~default:path)) ()
-    | Some path ->
-      if load <> None || algo_name <> None then
-        fail "--resume restores the instance and algorithm from the journal; \
-              drop --load/--algorithm";
-      if deadline_s <> None || fallback_name <> None then
-        fail "--resume restores the deadline from the journal; drop \
-              --deadline/--fallback";
-      Ltc_service.Session.restore ?journal ~fsync ~group_commit ~path ()
-    | None -> fresh ~journal ()
+  let fresh_sharded ~shards () =
+    let instance, algorithm, deadline = require_fresh_args () in
+    Ltc_service.Shard_server.create ?accept_rate ?deadline ?journal
+      ~checkpoint_every ~fsync ~format:journal_format ~group_commit ~mailbox
+      ~mode:Ltc_service.Shard_server.Domains ~shards ~algorithm ~seed
+      instance
   in
-  serve_stream ~on_bad_input session;
-  Ltc_service.Session.close session;
-  write_snapshot ~metrics ~metrics_format;
-  0
+  let finish_sharded server =
+    serve_stream_sharded ~on_bad_input server;
+    Ltc_service.Shard_server.close server;
+    write_snapshot ~metrics ~metrics_format;
+    0
+  in
+  let reject_resume_overrides () =
+    if load <> None || algo_name <> None then
+      fail "--resume restores the instance and algorithm from the journal; \
+            drop --load/--algorithm";
+    if deadline_s <> None || fallback_name <> None then
+      fail "--resume restores the deadline from the journal; drop \
+            --deadline/--fallback"
+  in
+  match resume with
+  | Some _ when shards <> None ->
+    fail "--resume restores the shard count from the manifest; drop --shards"
+  | Some path when Ltc_service.Shard_server.is_manifest path ->
+    (* A sharded journal: the manifest at the base path names the shard
+       count, instance and session options. *)
+    reject_resume_overrides ();
+    finish_sharded
+      (Ltc_service.Shard_server.restore ~mailbox
+         ~mode:Ltc_service.Shard_server.Domains ~fsync ~group_commit ~path ())
+  | resume -> (
+    match shards with
+    | Some shards -> finish_sharded (fresh_sharded ~shards ())
+    | None ->
+      let session =
+        match resume with
+        | Some path when Ltc_service.Session.is_empty_journal path ->
+          (* The journaled run died before its header became durable, so
+             there is nothing to restore — start over into the same
+             file. *)
+          Format.eprintf
+            "serve: journal %s is empty; starting a fresh session@." path;
+          fresh ~journal:(Some (Option.value journal ~default:path)) ()
+        | Some path ->
+          reject_resume_overrides ();
+          Ltc_service.Session.restore ?journal ~fsync ~group_commit ~path ()
+        | None -> fresh ~journal ()
+      in
+      serve_stream ~on_bad_input session;
+      Ltc_service.Session.close session;
+      write_snapshot ~metrics ~metrics_format;
+      0)
 
 let serve_cmd =
   let load =
@@ -828,8 +948,8 @@ let serve_cmd =
     Term.(
       const serve_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
       $ checkpoint_every $ resume $ fsync $ journal_format_arg
-      $ group_commit_arg $ deadline $ fallback $ on_bad_input $ log_arg
-      $ metrics_arg $ metrics_format_arg)
+      $ group_commit_arg $ shards_arg $ mailbox_arg $ deadline $ fallback
+      $ on_bad_input $ log_arg $ metrics_arg $ metrics_format_arg)
 
 (* -------------------------------------------------------- loadgen command *)
 
@@ -839,9 +959,9 @@ let serve_cmd =
    and as a Perfetto-loadable Chrome trace.  The default virtual timing
    makes the whole report a pure function of the flags. *)
 let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    journal_format group_commit deadline_s fallback_name shape_spec rate
-    arrivals service_mean service_dist timing poisson slo flight_out
-    flight_capacity trace_out log_levels metrics metrics_format =
+    journal_format group_commit shards mailbox deadline_s fallback_name
+    shape_spec rate arrivals service_mean service_dist timing poisson slo
+    flight_out flight_capacity trace_out log_levels metrics metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
   let algorithm = resolve_algorithm algo_name in
   let deadline = resolve_deadline deadline_s fallback_name in
@@ -878,11 +998,6 @@ let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
       recorder_capacity = flight_capacity;
     }
   in
-  let session =
-    Ltc_service.Session.create ?accept_rate ?deadline ?journal
-      ~checkpoint_every ~format:journal_format ~group_commit ~algorithm
-      ~seed instance
-  in
   (* On the first breach the ring is dumped immediately — the black-box
      snapshot of what led up to it — and overwritten at the end of the run
      with the final state. *)
@@ -895,9 +1010,41 @@ let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
           path)
       flight_out
   in
-  let report = Ltc_service.Loadgen.run ?on_breach ~session ~workers config in
-  Ltc_service.Session.close session;
-  Format.printf "%a" Ltc_service.Loadgen.pp_report report;
+  let report =
+    match shards with
+    | None ->
+      let session =
+        Ltc_service.Session.create ?accept_rate ?deadline ?journal
+          ~checkpoint_every ~format:journal_format ~group_commit ~algorithm
+          ~seed instance
+      in
+      let report =
+        Ltc_service.Loadgen.run ?on_breach ~session ~workers config
+      in
+      Ltc_service.Session.close session;
+      Format.printf "%a" Ltc_service.Loadgen.pp_report report;
+      report
+    | Some shards ->
+      (* Virtual timing drives the process-global fault clock, so the
+         shard sessions must run inline; wall timing gets the real
+         domain-per-shard runtime. *)
+      let mode =
+        match config.Ltc_service.Loadgen.timing with
+        | Ltc_service.Loadgen.Virtual -> Ltc_service.Shard_server.Inline
+        | Ltc_service.Loadgen.Wall -> Ltc_service.Shard_server.Domains
+      in
+      let server =
+        Ltc_service.Shard_server.create ?accept_rate ?deadline ?journal
+          ~checkpoint_every ~format:journal_format ~group_commit ~mailbox
+          ~mode ~shards ~algorithm ~seed instance
+      in
+      let sharded =
+        Ltc_service.Loadgen.run_sharded ?on_breach ~server ~workers config
+      in
+      Ltc_service.Shard_server.close server;
+      Format.printf "%a" Ltc_service.Loadgen.pp_sharded_report sharded;
+      sharded.Ltc_service.Loadgen.sr_report
+  in
   Option.iter
     (fun path ->
       Ltc_service.Flight_recorder.dump report.Ltc_service.Loadgen.r_recorder
@@ -1038,10 +1185,11 @@ let loadgen_cmd =
              latency quantiles")
     Term.(
       const loadgen_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
-      $ checkpoint_every $ journal_format_arg $ group_commit_arg $ deadline
-      $ fallback $ shape $ rate $ arrivals $ service_mean $ service_dist
-      $ timing $ poisson $ slo $ flight_out $ flight_capacity $ trace_out
-      $ log_arg $ metrics_arg $ metrics_format_arg)
+      $ checkpoint_every $ journal_format_arg $ group_commit_arg $ shards_arg
+      $ mailbox_arg $ deadline $ fallback $ shape $ rate $ arrivals
+      $ service_mean $ service_dist $ timing $ poisson $ slo $ flight_out
+      $ flight_capacity $ trace_out $ log_arg $ metrics_arg
+      $ metrics_format_arg)
 
 (* ---------------------------------------------------------- chaos command *)
 
@@ -1192,8 +1340,17 @@ let journal_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"PATH" ~doc:"Journal file to read.")
   in
+  (* A missing or directory path would otherwise surface as a raw
+     Sys_error; name the problem in one structured line instead. *)
+  let require_journal_file ~cmd path =
+    if not (Sys.file_exists path) then
+      die "journal %s: %s: no such file" cmd path;
+    if Sys.is_directory path then
+      die "journal %s: %s is a directory, not a journal file" cmd path
+  in
   let inspect_cmd =
     let impl path fingerprint =
+      require_journal_file ~cmd:"inspect" path;
       let module J = Ltc_service.Session.Journal in
       let info = J.inspect ~path in
       Format.printf "journal: %s@." path;
@@ -1260,6 +1417,7 @@ let journal_cmd =
   let convert_cmd =
     let impl src dst format =
       if src = dst then die "journal convert: SRC and DST must differ";
+      require_journal_file ~cmd:"convert" src;
       let module J = Ltc_service.Session.Journal in
       J.convert ~src ~dst format;
       let info = J.inspect ~path:dst in

@@ -70,6 +70,22 @@ let validate config ~workers ~session =
   if Session.consumed session <> 0 then
     invalid_arg "Loadgen.run: session must be fresh (consumed = 0)"
 
+let publish_latency_gauges ~algo report =
+  List.iter
+    (fun (q, v) ->
+      Metrics.Gauge.set
+        (Metrics.gauge
+           ~help:"loadgen corrected decision latency quantiles (s)"
+           ~labels:[ ("algo", algo); ("quantile", q) ]
+           "ltc_service_loadgen_latency_seconds")
+        v)
+    [
+      ("0.5", report.r_p50_s);
+      ("0.99", report.r_p99_s);
+      ("0.999", report.r_p999_s);
+      ("max", report.r_max_s);
+    ]
+
 let run ?on_breach ~session ~workers config =
   validate config ~workers ~session;
   let n = min config.arrivals (Array.length workers) in
@@ -194,21 +210,195 @@ let run ?on_breach ~session ~workers config =
       r_recorder = recorder;
     }
   in
-  List.iter
-    (fun (q, v) ->
-      Metrics.Gauge.set
-        (Metrics.gauge
-           ~help:"loadgen corrected decision latency quantiles (s)"
-           ~labels:[ ("algo", algo); ("quantile", q) ]
-           "ltc_service_loadgen_latency_seconds")
-        v)
-    [
-      ("0.5", report.r_p50_s);
-      ("0.99", report.r_p99_s);
-      ("0.999", report.r_p999_s);
-      ("max", report.r_max_s);
-    ];
+  publish_latency_gauges ~algo report;
   report
+
+(* ------------------------------------------------------ sharded serving *)
+
+type shard_stats = {
+  s_shard : int;
+  s_arrivals : int;
+  s_p50_s : float;
+  s_p99_s : float;
+}
+
+type sharded_report = {
+  sr_report : report;
+  sr_shards : shard_stats array;
+  sr_stalls : int;
+}
+
+let validate_sharded config ~workers ~server =
+  (match config.service with
+  | Fixed s ->
+    if not (Float.is_finite s) || s < 0.0 then
+      invalid_arg "Loadgen.run_sharded: fixed service time must be finite and >= 0"
+  | Exponential m ->
+    if not (Float.is_finite m) || m <= 0.0 then
+      invalid_arg "Loadgen.run_sharded: exponential service mean must be > 0");
+  (match config.slo_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+    invalid_arg "Loadgen.run_sharded: slo_s must be finite and > 0"
+  | _ -> ());
+  if config.arrivals < 1 then
+    invalid_arg "Loadgen.run_sharded: arrivals must be >= 1";
+  if Array.length workers = 0 then
+    invalid_arg "Loadgen.run_sharded: no workers to offer";
+  if Shard_server.consumed server <> 0 || Shard_server.resumed_at server <> 0
+  then invalid_arg "Loadgen.run_sharded: server must be fresh (consumed = 0)";
+  (* The virtual clock and the Delay plan are process-global and single
+     domain; shard domains probing them concurrently would race. *)
+  if config.timing = Virtual && Shard_server.mode server <> Shard_server.Inline
+  then
+    invalid_arg
+      "Loadgen.run_sharded: virtual timing requires an Inline-mode server"
+
+let run_sharded ?on_breach ~server ~workers config =
+  validate_sharded config ~workers ~server;
+  let n = min config.arrivals (Array.length workers) in
+  let intended = Shape.times config.shape ~seed:config.seed ~n in
+  let service_s =
+    let rng = Ltc_util.Rng.split (Ltc_util.Rng.create ~seed:config.seed) in
+    Array.init n (fun _ ->
+        match config.service with
+        | Fixed s -> s
+        | Exponential mean -> mean *. exp_draw rng)
+  in
+  let virtual_mode = config.timing = Virtual in
+  (* Delay hits land on the k-th CONSUMING arrival globally (shards probe
+     "session.decide" in global feed order under Inline), which drifts
+     from the single-session hit numbering once a shard completes early —
+     deterministic within a sharded run, but not comparable arrival-for-
+     arrival with [run]'s injection. *)
+  if virtual_mode then begin
+    Fault.Clock.set_virtual 0.0;
+    Fault.arm
+      (List.init n (fun i ->
+           {
+             Fault.site = "session.decide";
+             hit = i + 1;
+             action = Fault.Delay service_s.(i);
+           }))
+  end;
+  let epoch = if virtual_mode then 0.0 else Unix.gettimeofday () in
+  let now () =
+    if virtual_mode then Fault.Clock.now_s ()
+    else Unix.gettimeofday () -. epoch
+  in
+  let shards = Shard_server.shards server in
+  let hdrs = Array.init shards (fun _ -> Metrics.Hdr.create ()) in
+  let recorder = Flight_recorder.create ~capacity:config.recorder_capacity in
+  let degraded0 = Shard_server.degraded_total server in
+  let fed = ref 0 in
+  let completed = ref false in
+  let last_done = ref 0.0 in
+  let breaches = ref 0 in
+  let first_breach = ref None in
+  (* Corrected latency of a released decision is measured from ITS
+     arrival's intended time — in [`Domains] mode a decision can surface
+     several feeds later and carries the full pipeline delay. *)
+  let handle done_t (d : Session.decision) =
+    let g = d.Session.worker in
+    let latency = Float.max 0.0 (done_t -. intended.(g - 1)) in
+    let k =
+      Shard_server.shard_of_point server workers.(g - 1).Ltc_core.Worker.loc
+    in
+    Metrics.Hdr.observe hdrs.(k) latency;
+    Flight_recorder.record recorder
+      {
+        Flight_recorder.seq = g;
+        offered_s = intended.(g - 1);
+        actual_s = done_t;
+        done_s = done_t;
+        latency_s = latency;
+        assigned = List.length d.Session.assigned;
+        degraded = d.Session.degraded;
+        journal_bytes = Shard_server.journal_bytes server;
+      };
+    last_done := done_t;
+    (match config.slo_s with
+    | Some slo when latency > slo ->
+      incr breaches;
+      if !first_breach = None then begin
+        first_breach := Some g;
+        match on_breach with Some f -> f ~seq:g recorder | None -> ()
+      end
+    | _ -> ());
+    if d.Session.completed then completed := true
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if virtual_mode then begin
+        Fault.disarm ();
+        Fault.Clock.clear ()
+      end)
+  @@ fun () ->
+  let i = ref 0 in
+  while (not !completed) && !i < n do
+    let t_intended = intended.(!i) in
+    let t_now = now () in
+    if t_now < t_intended then
+      if virtual_mode then Fault.Clock.advance (t_intended -. t_now)
+      else Unix.sleepf (t_intended -. t_now);
+    let ds = Shard_server.feed server workers.(!i) in
+    incr fed;
+    let done_t = now () in
+    List.iter (handle done_t) ds;
+    incr i
+  done;
+  let rest = Shard_server.flush server in
+  let done_t = now () in
+  List.iter (handle done_t) rest;
+  let offered = !fed in
+  let consumed = Shard_server.consumed server in
+  let makespan = !last_done in
+  let offered_span = if offered > 0 then intended.(offered - 1) else 0.0 in
+  let per span count = if span > 0.0 then float_of_int count /. span else 0.0 in
+  (* One fresh histogram over every shard's samples: the config-checked
+     Hdr merge is the production aggregation path, exercised here. *)
+  let merged = Metrics.Hdr.create () in
+  Array.iter (fun h -> Metrics.Hdr.merge ~into:merged h) hdrs;
+  let p q = Metrics.Hdr.percentile merged q in
+  let report =
+    {
+      r_shape = Shape.to_string config.shape;
+      r_timing = (if virtual_mode then "virtual" else "wall");
+      r_algo = Shard_server.algorithm_name server;
+      r_seed = config.seed;
+      r_offered = offered;
+      r_consumed = consumed;
+      r_completed = !completed;
+      r_degraded = Shard_server.degraded_total server - degraded0;
+      r_offered_per_s = per offered_span offered;
+      r_achieved_per_s = per makespan consumed;
+      r_makespan_s = makespan;
+      r_mean_s = Metrics.Hdr.mean merged;
+      r_p50_s = p 50.0;
+      r_p99_s = p 99.0;
+      r_p999_s = p 99.9;
+      r_max_s = Metrics.Hdr.max_observed merged;
+      r_slo_s = config.slo_s;
+      r_breaches = !breaches;
+      r_first_breach = !first_breach;
+      r_hdr = merged;
+      r_recorder = recorder;
+    }
+  in
+  publish_latency_gauges ~algo:report.r_algo report;
+  {
+    sr_report = report;
+    sr_shards =
+      Array.mapi
+        (fun k h ->
+          {
+            s_shard = k;
+            s_arrivals = Metrics.Hdr.count h;
+            s_p50_s = Metrics.Hdr.percentile h 50.0;
+            s_p99_s = Metrics.Hdr.percentile h 99.0;
+          })
+        hdrs;
+    sr_stalls = Shard_server.stalls server;
+  }
 
 let pp_report fmt r =
   Format.fprintf fmt "loadgen: shape=%s timing=%s algo=%s seed=%d@." r.r_shape
@@ -233,3 +423,13 @@ let pp_report fmt r =
     (Flight_recorder.length r.r_recorder)
     (Flight_recorder.capacity r.r_recorder)
     (Flight_recorder.dropped r.r_recorder)
+
+let pp_sharded_report fmt sr =
+  pp_report fmt sr.sr_report;
+  Format.fprintf fmt "  shards: %d mailbox_stalls=%d@."
+    (Array.length sr.sr_shards) sr.sr_stalls;
+  Array.iter
+    (fun s ->
+      Format.fprintf fmt "    shard %d: arrivals=%d p50=%.6gs p99=%.6gs@."
+        s.s_shard s.s_arrivals s.s_p50_s s.s_p99_s)
+    sr.sr_shards

@@ -91,3 +91,46 @@ val run :
 val pp_report : Format.formatter -> report -> unit
 (** The stable multi-line rendering the CLI prints (and the cram tests
     pin). *)
+
+(** {1 Sharded serving} *)
+
+type shard_stats = {
+  s_shard : int;
+  s_arrivals : int;  (** decisions attributed to this shard *)
+  s_p50_s : float;
+  s_p99_s : float;
+}
+
+type sharded_report = {
+  sr_report : report;
+      (** merged view; its percentiles come from a fresh
+          {!Ltc_util.Metrics.Hdr} built with the config-checked
+          [Hdr.merge] over the per-shard histograms *)
+  sr_shards : shard_stats array;  (** per-shard latency breakdown *)
+  sr_stalls : int;  (** mailbox-full backpressure stalls during the run *)
+}
+
+val run_sharded :
+  ?on_breach:(seq:int -> Flight_recorder.t -> unit) ->
+  server:Shard_server.t ->
+  workers:Ltc_core.Worker.t array ->
+  config ->
+  sharded_report
+(** {!run} against a {!Shard_server}.  Corrected latency is measured per
+    {e released} decision from its own arrival's intended time, so in
+    [`Domains] mode a decision surfacing several feeds later carries the
+    full pipeline delay; {!Shard_server.flush} is called after the last
+    feed so every offered arrival is accounted.  [Virtual] timing
+    requires an [`Inline]-mode server (the fault clock and Delay plan are
+    process-global and single-domain); note the Delay hits then land on
+    consuming arrivals in global feed order, which drifts from {!run}'s
+    per-arrival numbering once any shard completes early.  The merged
+    quantiles are published to the registry under the same
+    [ltc_service_loadgen_latency_seconds] gauges as {!run}.
+
+    @raise Invalid_argument as {!run}, when the server is not fresh, or
+    on a [Virtual]-timing run over a [`Domains]-mode server. *)
+
+val pp_sharded_report : Format.formatter -> sharded_report -> unit
+(** {!pp_report} for the merged view, then one line per shard (arrivals,
+    p50, p99) and the mailbox-stall count. *)

@@ -1,0 +1,695 @@
+module Instance = Ltc_core.Instance
+module Task = Ltc_core.Task
+module Worker = Ltc_core.Worker
+module Serialize = Ltc_core.Serialize
+module Arrangement = Ltc_core.Arrangement
+
+type mode = Inline | Domains
+
+(* ------------------------------------------------------------- partition *)
+
+(* The task plane is cut into grid cells exactly as Grid_index does it
+   (same clamped-floor cell formula, cell side = candidate radius), and
+   each cell picks its shard by rendezvous hashing: the shard whose mixed
+   (cell, shard) hash is largest wins.  Deterministic, stateless, and
+   stable under restore — the partition is a pure function of the
+   instance's tasks and the shard count. *)
+type partition = {
+  p_shards : int;
+  p_min_x : float;
+  p_min_y : float;
+  p_cell : float;
+  p_cols : int;
+  p_rows : int;
+}
+
+(* splitmix64 finalizer — the standard 64-bit avalanche mixer. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make_partition ~shards (instance : Instance.t) =
+  let tasks = instance.Instance.tasks in
+  if Array.length tasks = 0 then
+    (* No tasks: one degenerate cell; every arrival routes to shard 0. *)
+    {
+      p_shards = shards;
+      p_min_x = 0.0;
+      p_min_y = 0.0;
+      p_cell = 1.0;
+      p_cols = 1;
+      p_rows = 1;
+    }
+  else begin
+    let world =
+      Ltc_geo.Bbox.of_points
+        (Array.to_list (Array.map (fun (t : Task.t) -> t.Task.loc) tasks))
+    in
+    let cell =
+      match instance.Instance.candidate_radius with
+      | Some r when r > 0.0 -> r
+      | Some _ | None ->
+        (* No candidate radius to align cells with: fall back to an 8x8
+           grid over the task extent (any positive cell works — without a
+           radius there is no shard-local parity guarantee anyway). *)
+        Float.max 1e-9
+          (Float.max (Ltc_geo.Bbox.width world) (Ltc_geo.Bbox.height world)
+          /. 8.0)
+    in
+    let dim extent =
+      max 1 (int_of_float (Float.ceil (extent /. cell)))
+    in
+    {
+      p_shards = shards;
+      p_min_x = world.Ltc_geo.Bbox.min_x;
+      p_min_y = world.Ltc_geo.Bbox.min_y;
+      p_cell = cell;
+      p_cols = dim (Ltc_geo.Bbox.width world);
+      p_rows = dim (Ltc_geo.Bbox.height world);
+    }
+  end
+
+let cell_of part (p : Ltc_geo.Point.t) =
+  let clampi v lo hi = max lo (min hi v) in
+  let cx =
+    clampi
+      (int_of_float ((p.Ltc_geo.Point.x -. part.p_min_x) /. part.p_cell))
+      0 (part.p_cols - 1)
+  in
+  let cy =
+    clampi
+      (int_of_float ((p.Ltc_geo.Point.y -. part.p_min_y) /. part.p_cell))
+      0 (part.p_rows - 1)
+  in
+  (cx, cy)
+
+let shard_of_cell part (cx, cy) =
+  if part.p_shards = 1 then 0
+  else begin
+    let base =
+      mix64
+        (Int64.add
+           (Int64.mul (Int64.of_int cx) 0x9e3779b97f4a7c15L)
+           (Int64.of_int cy))
+    in
+    let best = ref 0 in
+    let best_h = ref Int64.min_int in
+    for k = 0 to part.p_shards - 1 do
+      let h = mix64 (Int64.logxor base (Int64.of_int ((k + 1) * 0x632be5ab))) in
+      if Int64.compare h !best_h > 0 then begin
+        best_h := h;
+        best := k
+      end
+    done;
+    !best
+  end
+
+(* --------------------------------------------------------- shard state *)
+
+type shard = {
+  sh_session : Session.t;
+  sh_tasks : int array;  (* local task id -> global task id *)
+  (* Shard-local worker-index bookkeeping.  [sh_globals.(l - 1)] is the
+     global arrival index behind the shard's local arrival [l]; grown on
+     demand (the router is the only writer). *)
+  mutable sh_globals : int array;
+  mutable sh_local_fed : int;  (* local arrivals routed (live + skipped) *)
+  mutable sh_skip : int;  (* restored arrivals still to skip on re-feed *)
+  sh_recruited : (int, unit) Hashtbl.t;
+      (* local arrival indices that answered in a previous incarnation
+         (rebuilt from the restored arrangement; empty on fresh create) *)
+  mutable sh_complete : bool;  (* merge-layer view of shard completion *)
+}
+
+type entry =
+  | P_dec of int * Session.decision  (* shard, shard-local decision *)
+  | P_skip of int * int  (* shard, local arrival index *)
+  | P_ack  (* arrival fed after global completion: acknowledge only *)
+
+type msg = { mg : int; mw : Worker.t }
+
+type t = {
+  t_mode : mode;
+  t_part : partition;
+  t_shards : shard array;
+  t_algorithm : string;
+  t_resumed_at : int;
+  (* Merge layer.  [t_cmutex] guards [t_pending] (shard domains insert,
+     the caller releases); every other mutable field is owned by the
+     calling thread. *)
+  t_cmutex : Mutex.t;
+  t_pending : (int, entry) Hashtbl.t;
+  mutable t_next_emit : int;  (* next global index to release *)
+  mutable t_fed : int;  (* global arrivals accepted by [feed] *)
+  mutable t_consumed : int;
+  mutable t_replayed : int;
+  mutable t_latency : int;
+  mutable t_incomplete : int;  (* shards not yet complete *)
+  mutable t_pool : msg Ltc_util.Pool.Workers.t option;
+  mutable t_closed : bool;
+}
+
+let shards t = t.t_part.p_shards
+let mode t = t.t_mode
+let algorithm_name t = t.t_algorithm
+let consumed t = t.t_consumed
+let resumed_at t = t.t_resumed_at
+let replayed t = t.t_replayed
+let completed t = t.t_incomplete = 0
+let latency t = t.t_latency
+let shard_of_point t loc = shard_of_cell t.t_part (cell_of t.t_part loc)
+
+let stalls t =
+  match t.t_pool with
+  | None -> 0
+  | Some pool -> Ltc_util.Pool.Workers.stalls pool
+
+let degraded_total t =
+  Array.fold_left
+    (fun acc sh -> acc + Session.degraded_total sh.sh_session)
+    0 t.t_shards
+
+let shard_consumed t =
+  Array.map (fun sh -> Session.consumed sh.sh_session) t.t_shards
+
+let shard_task_counts t =
+  Array.map (fun sh -> Array.length sh.sh_tasks) t.t_shards
+
+let per_shard_hdr t =
+  Array.map (fun sh -> Session.feed_hdr sh.sh_session) t.t_shards
+
+let merged_hdr t =
+  let into = Ltc_util.Metrics.Hdr.create () in
+  Array.iter
+    (fun sh -> Ltc_util.Metrics.Hdr.merge ~into (Session.feed_hdr sh.sh_session))
+    t.t_shards;
+  into
+
+let journal_bytes t =
+  Array.fold_left
+    (fun acc sh -> acc + Session.journal_bytes sh.sh_session)
+    0 t.t_shards
+
+let arrangement t =
+  (* Per-shard arrangements carry local worker indices and local task
+     ids; mapping both and stably sorting by global arrival index
+     reconstructs exactly the insertion order an un-sharded session would
+     have used (each arrival lands on one shard, and within an arrival
+     the shard preserved policy order). *)
+  let entries =
+    Array.to_list t.t_shards
+    |> List.concat_map (fun sh ->
+           List.map
+             (fun (a : Arrangement.assignment) ->
+               (sh.sh_globals.(a.Arrangement.worker - 1),
+                sh.sh_tasks.(a.Arrangement.task)))
+             (Arrangement.to_list (Session.arrangement sh.sh_session)))
+  in
+  let entries =
+    List.stable_sort (fun (g1, _) (g2, _) -> compare g1 g2) entries
+  in
+  List.fold_left
+    (fun acc (worker, task) -> Arrangement.add acc ~worker ~task)
+    Arrangement.empty entries
+
+(* ------------------------------------------------------------- manifest *)
+
+let manifest_magic = "ltc-shard-manifest v1"
+
+let is_manifest path =
+  Sys.file_exists path
+  && (not (Sys.is_directory path))
+  &&
+  match In_channel.with_open_text path In_channel.input_line with
+  | Some line -> String.trim line = manifest_magic
+  | None -> false
+
+type manifest = {
+  mf_shards : int;
+  mf_mailbox : int;
+  mf_algorithm : string;
+  mf_seed : int;
+  mf_accept_rate : float option;
+  mf_checkpoint_every : int;
+  mf_fsync : bool;
+  mf_format : Session.codec;
+  mf_group_commit : int;
+  mf_deadline : (float * string) option;
+  mf_instance : Instance.t;
+}
+
+let strip_workers (i : Instance.t) =
+  if Array.length i.Instance.workers = 0 then i
+  else
+    Instance.create ~accuracy:i.Instance.accuracy ~scoring:i.Instance.scoring
+      ~candidate_radius:i.Instance.candidate_radius ~tasks:i.Instance.tasks
+      ~workers:[||] ~epsilon:i.Instance.epsilon ()
+
+let write_manifest ~path (m : manifest) =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      let out s = Out_channel.output_string oc s in
+      out manifest_magic;
+      out "\n";
+      out (Printf.sprintf "shards %d\n" m.mf_shards);
+      out (Printf.sprintf "mailbox %d\n" m.mf_mailbox);
+      out (Printf.sprintf "algorithm %s\n" m.mf_algorithm);
+      out (Printf.sprintf "seed %d\n" m.mf_seed);
+      (match m.mf_accept_rate with
+      | None -> out "accept_rate none\n"
+      | Some q -> out (Printf.sprintf "accept_rate %.17g\n" q));
+      out (Printf.sprintf "checkpoint_every %d\n" m.mf_checkpoint_every);
+      out (Printf.sprintf "fsync %d\n" (if m.mf_fsync then 1 else 0));
+      out (Printf.sprintf "codec %s\n" (Session.codec_name m.mf_format));
+      out (Printf.sprintf "group_commit %d\n" m.mf_group_commit);
+      (match m.mf_deadline with
+      | None -> out "deadline none\n"
+      | Some (budget_s, fallback) ->
+        out (Printf.sprintf "deadline %.17g %s\n" budget_s fallback));
+      Serialize.emit_instance out m.mf_instance);
+  Sys.rename tmp path
+
+let manifest_error src msg =
+  raise
+    (Serialize.Parse_error
+       { line = Serialize.line_number src; message = msg })
+
+let expect_field src key =
+  let line = Serialize.next_line src in
+  match Serialize.fields line with
+  | k :: rest when k = key -> rest
+  | _ -> manifest_error src (Printf.sprintf "expected %S line" key)
+
+let one_field src key =
+  match expect_field src key with
+  | [ v ] -> v
+  | _ -> manifest_error src (Printf.sprintf "malformed %S line" key)
+
+let read_manifest ~path =
+  In_channel.with_open_text path @@ fun ic ->
+  let src = Serialize.source_of_channel ic in
+  (match Serialize.next_line_opt src with
+  | Some line when String.trim line = manifest_magic -> ()
+  | Some _ | None ->
+    manifest_error src
+      (Printf.sprintf "%s is not a shard manifest (missing %S)" path
+         manifest_magic));
+  let int_of key v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> manifest_error src (Printf.sprintf "bad %s %S" key v)
+  in
+  let mf_shards = int_of "shards" (one_field src "shards") in
+  let mf_mailbox = int_of "mailbox" (one_field src "mailbox") in
+  let mf_algorithm = one_field src "algorithm" in
+  let mf_seed = int_of "seed" (one_field src "seed") in
+  let mf_accept_rate =
+    match one_field src "accept_rate" with
+    | "none" -> None
+    | v -> (
+      match float_of_string_opt v with
+      | Some q -> Some q
+      | None -> manifest_error src (Printf.sprintf "bad accept_rate %S" v))
+  in
+  let mf_checkpoint_every =
+    int_of "checkpoint_every" (one_field src "checkpoint_every")
+  in
+  let mf_fsync = int_of "fsync" (one_field src "fsync") <> 0 in
+  let mf_format =
+    match Session.codec_of_string (one_field src "codec") with
+    | Ok c -> c
+    | Error msg -> manifest_error src msg
+  in
+  let mf_group_commit = int_of "group_commit" (one_field src "group_commit") in
+  let mf_deadline =
+    match expect_field src "deadline" with
+    | [ "none" ] -> None
+    | [ budget; fallback ] -> (
+      match float_of_string_opt budget with
+      | Some b -> Some (b, fallback)
+      | None -> manifest_error src (Printf.sprintf "bad deadline %S" budget))
+    | _ -> manifest_error src "malformed \"deadline\" line"
+  in
+  let mf_instance = Serialize.parse_instance src in
+  {
+    mf_shards;
+    mf_mailbox;
+    mf_algorithm;
+    mf_seed;
+    mf_accept_rate;
+    mf_checkpoint_every;
+    mf_fsync;
+    mf_format;
+    mf_group_commit;
+    mf_deadline;
+    mf_instance;
+  }
+
+(* -------------------------------------------------------------- building *)
+
+let shard_journal base k = Printf.sprintf "%s.shard%d" base k
+
+(* Tasks of shard [k], in ascending global id order, renumbered to local
+   ids 0.. — order-preserving, so ascending-id tie-breaks inside the
+   shard session match the un-sharded session's. *)
+let shard_tasks part (instance : Instance.t) k =
+  let globals = ref [] in
+  Array.iter
+    (fun (task : Task.t) ->
+      if shard_of_cell part (cell_of part task.Task.loc) = k then
+        globals := task.Task.id :: !globals)
+    instance.Instance.tasks;
+  let globals = Array.of_list (List.rev !globals) in
+  let tasks =
+    Array.mapi
+      (fun local g ->
+        let task = instance.Instance.tasks.(g) in
+        Task.make ?epsilon:task.Task.epsilon ~id:local ~loc:task.Task.loc ())
+      globals
+  in
+  (globals, tasks)
+
+let sub_instance (instance : Instance.t) tasks =
+  Instance.create ~accuracy:instance.Instance.accuracy
+    ~scoring:instance.Instance.scoring
+    ~candidate_radius:instance.Instance.candidate_radius ~tasks ~workers:[||]
+    ~epsilon:instance.Instance.epsilon ()
+
+let shard_seeds ~seed n =
+  let rng = Ltc_util.Rng.create ~seed in
+  Array.init n (fun _ -> Ltc_util.Rng.split_seed rng)
+
+let make_shard ~session ~tasks_globals ~restored =
+  let recruited = Hashtbl.create 16 in
+  let skip = if restored then Session.consumed session else 0 in
+  if restored then
+    List.iter
+      (fun (a : Arrangement.assignment) ->
+        Hashtbl.replace recruited a.Arrangement.worker ())
+      (Arrangement.to_list (Session.arrangement session));
+  {
+    sh_session = session;
+    sh_tasks = tasks_globals;
+    sh_globals = Array.make (max 16 skip) 0;
+    sh_local_fed = 0;
+    sh_skip = skip;
+    sh_recruited = recruited;
+    sh_complete = Session.completed session;
+  }
+
+let attach_pool t ~mailbox =
+  match t.t_mode with
+  | Inline -> ()
+  | Domains ->
+    let handler ~lane msg =
+      let d = Session.feed t.t_shards.(lane).sh_session msg.mw in
+      Mutex.lock t.t_cmutex;
+      Hashtbl.replace t.t_pending msg.mg (P_dec (lane, d));
+      Mutex.unlock t.t_cmutex
+    in
+    t.t_pool <-
+      Some
+        (Ltc_util.Pool.Workers.create ~lanes:(Array.length t.t_shards)
+           ~capacity:mailbox ~handler)
+
+let build ~mode ~mailbox ~part ~algorithm shards_arr =
+  let resumed =
+    Array.fold_left (fun acc sh -> acc + sh.sh_skip) 0 shards_arr
+  in
+  let incomplete =
+    Array.fold_left
+      (fun acc sh -> acc + if sh.sh_complete then 0 else 1)
+      0 shards_arr
+  in
+  let t =
+    {
+      t_mode = mode;
+      t_part = part;
+      t_shards = shards_arr;
+      t_algorithm = algorithm;
+      t_resumed_at = resumed;
+      t_cmutex = Mutex.create ();
+      t_pending = Hashtbl.create 64;
+      t_next_emit = 1;
+      t_fed = 0;
+      t_consumed = 0;
+      t_replayed = 0;
+      t_latency = 0;
+      t_incomplete = incomplete;
+      t_pool = None;
+      t_closed = false;
+    }
+  in
+  attach_pool t ~mailbox;
+  t
+
+let create ?accept_rate ?deadline ?journal ?(checkpoint_every = 256)
+    ?(fsync = false) ?(format = Session.Text) ?(group_commit = 1)
+    ?(mailbox = 64) ?(mode = Domains) ~shards ~algorithm ~seed instance =
+  if shards < 1 then
+    invalid_arg "Shard_server.create: shards must be >= 1";
+  if mailbox < 1 then
+    invalid_arg "Shard_server.create: mailbox must be >= 1";
+  let part = make_partition ~shards instance in
+  let seeds = shard_seeds ~seed shards in
+  (match journal with
+  | None -> ()
+  | Some base ->
+    write_manifest ~path:base
+      {
+        mf_shards = shards;
+        mf_mailbox = mailbox;
+        mf_algorithm = algorithm.Ltc_algo.Algorithm.name;
+        mf_seed = seed;
+        mf_accept_rate = accept_rate;
+        mf_checkpoint_every = checkpoint_every;
+        mf_fsync = fsync;
+        mf_format = format;
+        mf_group_commit = group_commit;
+        mf_deadline =
+          Option.map
+            (fun (dl : Session.deadline) ->
+              (dl.Session.budget_s,
+               dl.Session.fallback.Ltc_algo.Algorithm.name))
+            deadline;
+        mf_instance = strip_workers instance;
+      });
+  let shards_arr =
+    Array.init shards (fun k ->
+        let tasks_globals, tasks = shard_tasks part instance k in
+        let sub = sub_instance instance tasks in
+        let session =
+          Session.create ?accept_rate ?deadline
+            ?journal:(Option.map (fun base -> shard_journal base k) journal)
+            ~checkpoint_every ~fsync ~format ~group_commit ~algorithm
+            ~seed:seeds.(k) sub
+        in
+        make_shard ~session ~tasks_globals ~restored:false)
+  in
+  build ~mode ~mailbox ~part
+    ~algorithm:algorithm.Ltc_algo.Algorithm.name shards_arr
+
+let restore ?mailbox ?(mode = Domains) ?fsync ?group_commit ~path () =
+  let m = read_manifest ~path in
+  let algorithm =
+    match Ltc_algo.Algorithm.find_opt m.mf_algorithm with
+    | Some a -> a
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Shard_server.restore: unknown algorithm %S in %s"
+           m.mf_algorithm path)
+  in
+  let deadline =
+    Option.map
+      (fun (budget_s, fallback_name) ->
+        match Ltc_algo.Algorithm.find_opt fallback_name with
+        | Some fallback -> { Session.budget_s; fallback }
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Shard_server.restore: unknown fallback %S in %s"
+               fallback_name path))
+      m.mf_deadline
+  in
+  let fsync = Option.value fsync ~default:m.mf_fsync in
+  let group_commit = Option.value group_commit ~default:m.mf_group_commit in
+  let mailbox = Option.value mailbox ~default:m.mf_mailbox in
+  let part = make_partition ~shards:m.mf_shards m.mf_instance in
+  let seeds = shard_seeds ~seed:m.mf_seed m.mf_shards in
+  let shards_arr =
+    Array.init m.mf_shards (fun k ->
+        let shard_path = shard_journal path k in
+        let tasks_globals, tasks = shard_tasks part m.mf_instance k in
+        if
+          (not (Sys.file_exists shard_path))
+          || Session.is_empty_journal shard_path
+        then begin
+          (* This shard's journal never became durable (create-time crash
+             or an untouched shard): restart it fresh, same derived seed. *)
+          let sub = sub_instance m.mf_instance tasks in
+          let session =
+            Session.create ?accept_rate:m.mf_accept_rate ?deadline
+              ~journal:shard_path ~checkpoint_every:m.mf_checkpoint_every
+              ~fsync ~format:m.mf_format ~group_commit ~algorithm
+              ~seed:seeds.(k) sub
+          in
+          make_shard ~session ~tasks_globals ~restored:false
+        end
+        else begin
+          let session =
+            Session.restore ~fsync ~group_commit ~path:shard_path ()
+          in
+          make_shard ~session ~tasks_globals ~restored:true
+        end)
+  in
+  build ~mode ~mailbox ~part
+    ~algorithm:algorithm.Ltc_algo.Algorithm.name shards_arr
+
+(* ------------------------------------------------------- feeding/merging *)
+
+let map_tasks sh ids = List.map (fun local -> sh.sh_tasks.(local)) ids
+
+(* Release the contiguous prefix of pending entries starting at
+   [t_next_emit], folding each into the global merge state.  Called with
+   [t_cmutex] held; only the feeding thread releases, so the global
+   bookkeeping updates in strict arrival order. *)
+let release t =
+  let out = ref [] in
+  let rec loop () =
+    match Hashtbl.find_opt t.t_pending t.t_next_emit with
+    | None -> ()
+    | Some entry ->
+      let g = t.t_next_emit in
+      Hashtbl.remove t.t_pending g;
+      t.t_next_emit <- g + 1;
+      (match entry with
+      | P_ack ->
+        out :=
+          {
+            Session.worker = g;
+            assigned = [];
+            answered = [];
+            completed = true;
+            latency = t.t_latency;
+            degraded = false;
+          }
+          :: !out
+      | P_skip (k, local) ->
+        (* Consumed (and journaled) by its shard in a previous
+           incarnation: rebuild the merge bookkeeping, emit nothing. *)
+        let sh = t.t_shards.(k) in
+        t.t_consumed <- t.t_consumed + 1;
+        t.t_replayed <- t.t_replayed + 1;
+        if Hashtbl.mem sh.sh_recruited local then
+          t.t_latency <- max t.t_latency g
+      | P_dec (k, d) ->
+        let sh = t.t_shards.(k) in
+        let was_complete = t.t_incomplete = 0 in
+        if not was_complete then t.t_consumed <- t.t_consumed + 1;
+        if d.Session.completed && not sh.sh_complete then begin
+          sh.sh_complete <- true;
+          t.t_incomplete <- t.t_incomplete - 1
+        end;
+        if d.Session.answered <> [] then t.t_latency <- max t.t_latency g;
+        out :=
+          {
+            Session.worker = g;
+            assigned = map_tasks sh d.Session.assigned;
+            answered = map_tasks sh d.Session.answered;
+            completed = t.t_incomplete = 0;
+            latency = t.t_latency;
+            degraded = d.Session.degraded;
+          }
+          :: !out);
+      loop ()
+  in
+  loop ();
+  List.rev !out
+
+let locked_release t =
+  Mutex.lock t.t_cmutex;
+  let out = release t in
+  Mutex.unlock t.t_cmutex;
+  out
+
+let add_pending t g entry =
+  Mutex.lock t.t_cmutex;
+  Hashtbl.replace t.t_pending g entry;
+  Mutex.unlock t.t_cmutex
+
+let feed t (w : Worker.t) =
+  if t.t_closed then invalid_arg "Shard_server.feed: server is closed";
+  if w.Worker.index <> t.t_fed + 1 then
+    invalid_arg
+      (Printf.sprintf "Shard_server.feed: expected arrival %d, got %d"
+         (t.t_fed + 1) w.Worker.index);
+  let g = t.t_fed + 1 in
+  t.t_fed <- g;
+  if completed t && Hashtbl.length t.t_pending = 0 then begin
+    (* Globally complete and fully released: acknowledge without routing,
+       consuming capacity or touching any shard — Session.feed parity. *)
+    add_pending t g P_ack;
+    locked_release t
+  end
+  else begin
+    let k = shard_of_point t w.Worker.loc in
+    let sh = t.t_shards.(k) in
+    let local = sh.sh_local_fed + 1 in
+    sh.sh_local_fed <- local;
+    if local > Array.length sh.sh_globals then begin
+      let bigger = Array.make (2 * Array.length sh.sh_globals) 0 in
+      Array.blit sh.sh_globals 0 bigger 0 (Array.length sh.sh_globals);
+      sh.sh_globals <- bigger
+    end;
+    sh.sh_globals.(local - 1) <- g;
+    if sh.sh_skip > 0 then begin
+      sh.sh_skip <- sh.sh_skip - 1;
+      add_pending t g (P_skip (k, local))
+    end
+    else begin
+      let local_worker =
+        Worker.make ~index:local ~loc:w.Worker.loc
+          ~accuracy:w.Worker.accuracy ~capacity:w.Worker.capacity
+      in
+      match t.t_pool with
+      | None ->
+        let d = Session.feed sh.sh_session local_worker in
+        add_pending t g (P_dec (k, d))
+      | Some pool ->
+        Ltc_util.Pool.Workers.push pool ~lane:k { mg = g; mw = local_worker }
+    end;
+    locked_release t
+  end
+
+let flush t =
+  if t.t_closed then []
+  else begin
+    (match t.t_pool with
+    | None -> ()
+    | Some pool ->
+      Ltc_util.Pool.Workers.quiesce pool;
+      (match Ltc_util.Pool.Workers.first_failure pool with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()));
+    locked_release t
+  end
+
+let close t =
+  if not t.t_closed then begin
+    (match t.t_pool with
+    | None -> ()
+    | Some pool ->
+      Ltc_util.Pool.Workers.quiesce pool;
+      Ltc_util.Pool.Workers.shutdown pool);
+    t.t_closed <- true;
+    Array.iter (fun sh -> Session.close sh.sh_session) t.t_shards
+  end

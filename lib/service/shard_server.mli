@@ -1,0 +1,180 @@
+(** Sharded multi-session serving: spatial partitioning over a
+    domain-per-shard runtime.
+
+    A shard server splits an instance's task universe into [shards]
+    spatial shards and runs one journaled {!Session} per shard.  The
+    task plane is cut into grid cells (side = the instance's candidate
+    radius, like {!Ltc_geo.Grid_index}), and every cell is mapped to a
+    shard by a deterministic rendezvous hash — so the partition is a pure
+    function of the instance and the shard count, and {!restore} rebuilds
+    it exactly.  Each worker arrival is routed to the shard owning its
+    location's cell and fed to that shard's session with a shard-local
+    arrival index; a merge layer re-emits the per-shard decisions in
+    global arrival order with global task ids, a global latency watermark
+    and a global completion flag.
+
+    {2 Execution modes}
+
+    - [`Domains] (the default): each shard's session lives on its own
+      OCaml 5 domain behind a bounded mailbox
+      ({!Ltc_util.Pool.Workers}).  A full mailbox blocks {!feed}
+      (backpressure, counted in {!stalls}) — arrivals are never silently
+      dropped.  Decisions become available as their global-order
+      predecessors complete; {!feed} returns whatever prefix is ready and
+      {!flush} blocks for the rest.
+    - [`Inline]: no domains; arrivals are decided synchronously on the
+      calling domain and {!feed} returns each decision immediately.  The
+      decision stream is identical to [`Domains] — this is the mode for
+      anything driven by {!Ltc_util.Fault} (kill/restore tests, virtual
+      loadgen), whose plans must not be probed from concurrent domains.
+
+    {2 Durability}
+
+    With [~journal:base], shard [k] journals to [base.shard<k>] (codec and
+    group commit as configured, exactly like a single session) and the
+    partition parameters + instance go into a manifest at [base] itself.
+    Each shard owns its durability boundary independently: a crash can
+    tear each shard journal at a different arrival, and {!restore}
+    recovers every shard to its own last durable record (torn tails
+    dropped per shard, missing/empty shard files restarted fresh).  After
+    a restore, re-feeding the whole arrival stream from index 1 is
+    idempotent: arrivals a shard already consumed are skipped (rebuilding
+    the merge layer's latency/completion bookkeeping without re-emitting
+    their decisions) and only never-durable arrivals are re-decided.
+
+    {2 Parity}
+
+    On workloads whose arrivals are {e shard-local} — every candidate
+    task of every worker lies in the worker's own grid cell — the merged
+    decision stream and final fingerprint are identical to one
+    un-sharded session over the whole instance, for candidate-local
+    deterministic policies (LAF, LGF-only, LRF-only, Nearest) without
+    no-show noise.  Boundary-crossing candidates, RNG-drawing policies
+    (Random, [accept_rate]) and globally-aggregating policies (AAM) break
+    that equivalence — see DESIGN.md §14. *)
+
+type t
+
+type mode = Inline | Domains
+
+val create :
+  ?accept_rate:float ->
+  ?deadline:Session.deadline ->
+  ?journal:string ->
+  ?checkpoint_every:int ->
+  ?fsync:bool ->
+  ?format:Session.codec ->
+  ?group_commit:int ->
+  ?mailbox:int ->
+  ?mode:mode ->
+  shards:int ->
+  algorithm:Ltc_algo.Algorithm.t ->
+  seed:int ->
+  Ltc_core.Instance.t ->
+  t
+(** [create ~shards ~algorithm ~seed instance] partitions [instance]'s
+    tasks and starts one session per shard (shard seeds are derived from
+    [seed] with {!Ltc_util.Rng.split_seed}).  Workers embedded in
+    [instance] are ignored; arrivals come from {!feed}.  [mailbox]
+    (default [64]) bounds each shard's queue in [`Domains] mode; the
+    session options are applied to every shard session alike.
+
+    @raise Invalid_argument when [shards < 1], [mailbox < 1], or the
+    session options are invalid (see {!Session.create}). *)
+
+val feed : t -> Ltc_core.Worker.t -> Session.decision list
+(** Route the next arrival (indices consecutive from 1, as in
+    {!Session.feed}) and return every decision that became releasable in
+    global order.  In [`Inline] mode that is exactly this arrival's
+    decision — except after a restore, where an arrival its shard already
+    consumed is skipped and the list is empty.  In [`Domains] mode the
+    list holds whatever contiguous prefix of decisions the shard domains
+    have finished (possibly empty, possibly several).  Once the server is
+    globally complete, further arrivals are acknowledged without routing,
+    mirroring {!Session.feed}.
+
+    @raise Invalid_argument on a closed server or a gap in the stream. *)
+
+val flush : t -> Session.decision list
+(** Wait for every routed arrival to be decided and return the remaining
+    decisions in global order ([`Inline]: always []). *)
+
+val close : t -> unit
+(** {!flush} whatever is in flight, stop the shard domains, and close
+    every shard session (journals flushed).  Idempotent. *)
+
+val restore :
+  ?mailbox:int -> ?mode:mode -> ?fsync:bool -> ?group_commit:int ->
+  path:string -> unit -> t
+(** [restore ~path ()] rebuilds a shard server from the manifest written
+    by [create ~journal:path]: the partition is recomputed from the
+    embedded instance, every [path.shard<k>] is restored with
+    per-shard torn-tail tolerance ({!Session.restore}), and shards whose
+    journal is missing or empty are restarted fresh.  [fsync] /
+    [group_commit] / [mailbox] / [mode] override the re-attached
+    configuration (defaults: the manifest's values, [`Domains]).  Feed
+    the arrival stream again from index 1: already-durable arrivals are
+    skipped, the rest are re-decided.
+
+    @raise Session.Corrupt_journal / [Sys_error] /
+    [Ltc_core.Serialize.Parse_error] as the underlying restores do. *)
+
+val is_manifest : string -> bool
+(** [true] iff the file exists and starts with the shard-manifest magic —
+    how [ltc serve --resume] tells a sharded journal from a plain one. *)
+
+(** {1 Observers} *)
+
+val shards : t -> int
+val mode : t -> mode
+val algorithm_name : t -> string
+
+val consumed : t -> int
+(** Arrivals consumed globally (live and, after a restore, replayed). *)
+
+val resumed_at : t -> int
+(** Arrivals recovered from the shard journals by {!restore} ([0] for a
+    fresh server). *)
+
+val replayed : t -> int
+(** Re-fed arrivals that were skipped because their shard had already
+    consumed them in a previous incarnation. *)
+
+val completed : t -> bool
+(** Every shard complete? *)
+
+val latency : t -> int
+(** Largest global arrival index that answered an assignment. *)
+
+val stalls : t -> int
+(** Mailbox-full backpressure stalls ({!Ltc_util.Pool.Workers.stalls};
+    [0] in [`Inline] mode). *)
+
+val degraded_total : t -> int
+(** Sum of the shard sessions' deadline-fallback decisions. *)
+
+val arrangement : t -> Ltc_core.Arrangement.t
+(** The merged arrangement in global task ids and global arrival order —
+    byte-comparable to an un-sharded session's.  Call after {!flush} (or
+    {!close}) in [`Domains] mode. *)
+
+val shard_of_point : t -> Ltc_geo.Point.t -> int
+(** The shard an arrival at this location routes to (pure). *)
+
+val shard_consumed : t -> int array
+(** Per-shard consumed counters (shard-local arrival indices). *)
+
+val shard_task_counts : t -> int array
+(** Tasks owned by each shard. *)
+
+val per_shard_hdr : t -> Ltc_util.Metrics.Hdr.t array
+(** Each shard session's decide-latency histogram
+    ({!Session.feed_hdr}).  Quiesce ({!flush}) before reading in
+    [`Domains] mode. *)
+
+val merged_hdr : t -> Ltc_util.Metrics.Hdr.t
+(** A fresh histogram holding every shard's samples, built with
+    {!Ltc_util.Metrics.Hdr.merge} (the config-checked merge path). *)
+
+val journal_bytes : t -> int
+(** Total bytes across all shard journals (manifest excluded). *)

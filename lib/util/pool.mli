@@ -38,7 +38,13 @@ val map : t -> int -> (int -> 'a) -> 'a array
     by index, not by completion.  If one or more bodies raise, the
     remaining unclaimed indices are abandoned, every in-flight body
     finishes, and the exception of the lowest-indexed failing body is
-    re-raised on the calling domain. *)
+    re-raised on the calling domain.
+
+    An exception can never strand the pool: even one that escapes the
+    per-body guard (e.g. an asynchronous exception) cancels the batch,
+    every lane still checks in, and the exception is re-raised on the
+    calling domain once the batch has quiesced — no domain is ever left
+    blocked on an empty queue. *)
 
 val iter : t -> int -> (int -> unit) -> unit
 (** [iter pool n f] is [map] without the result array. *)
@@ -53,3 +59,57 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 
 val run : jobs:int -> int -> (int -> 'a) -> 'a array
 (** One-shot [with_pool ~jobs (fun p -> map p n f)]. *)
+
+(** Persistent worker lanes with bounded mailboxes.
+
+    Where the batch pool above spreads one index range over whatever lane
+    is free, a {!Workers.t} {e pins} work to lanes: lane [k] is one
+    long-lived domain draining its own bounded FIFO mailbox through the
+    shared handler.  Items pushed to the same lane are handled in push
+    order, on the same domain, for the lifetime of the pool — which is
+    exactly what stateful per-lane consumers (the sharded service runtime,
+    one session per shard) need, and why they build on this module rather
+    than bypassing the pool.
+
+    Backpressure is explicit: {!push} to a full mailbox blocks until the
+    lane catches up (counted in {!stalls}) — items are never silently
+    dropped.
+
+    Failure isolation: a handler exception marks its lane failed, discards
+    that lane's queued items, and wakes any blocked pusher — the remaining
+    lanes keep running, so one dying worker can never leave the others (or
+    the producer) blocked.  A later {!push} to the failed lane re-raises
+    the handler's exception on the pushing domain; {!shutdown} re-raises
+    the first failure (by lane index) after joining every domain. *)
+module Workers : sig
+  type 'a t
+
+  val create :
+    lanes:int -> capacity:int -> handler:(lane:int -> 'a -> unit) -> 'a t
+  (** [create ~lanes ~capacity ~handler] spawns [lanes] domains, each
+      draining a [capacity]-slot mailbox through [handler ~lane].
+      @raise Invalid_argument when [lanes < 1] or [capacity < 1]. *)
+
+  val lanes : 'a t -> int
+
+  val push : 'a t -> lane:int -> 'a -> unit
+  (** Enqueue an item on [lane], blocking while its mailbox is full
+      (bumping {!stalls} once per blocked push).  Single producer: do not
+      call concurrently with {!shutdown}.
+      @raise Invalid_argument on an unknown lane or after {!shutdown};
+      re-raises the lane handler's exception if the lane has failed. *)
+
+  val quiesce : 'a t -> unit
+  (** Block until every lane has handled (or, for failed lanes,
+      discarded) everything pushed so far. *)
+
+  val stalls : 'a t -> int
+  (** Pushes that found their mailbox full and had to block. *)
+
+  val first_failure : 'a t -> (exn * Printexc.raw_backtrace) option
+  (** Lowest-lane-index handler failure so far, if any. *)
+
+  val shutdown : 'a t -> unit
+  (** Drain every mailbox, join every domain, and re-raise the first lane
+      failure if one occurred.  Idempotent (later calls are no-ops). *)
+end

@@ -87,3 +87,17 @@ vary; the schema and the cross-pass determinism checksum do not:
 
   $ grep -o '"identical": 1' loadgen.json
   "identical": 1
+
+serve-shard races the sharded server (1/2/4/8 spatial shards, one
+domain per shard) against a single session on a clustered, shard-local
+arrival stream.  Timings and the core-scaled speedup bar vary by host;
+the schema and the cross-variant identity checksum do not:
+
+  $ ltc-bench serve-shard --json shard.json > /dev/null
+  $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' shard.json
+  {
+    "BENCH_serve_shard": {"arrivals": _, "tasks": _, "clusters": _, "cores": _, "feed_single_s": _, "feed_shard1_s": _, "feed_shard2_s": _, "feed_shard4_s": _, "feed_shard8_s": _, "single_per_s": _, "shard4_per_s": _, "speedup_shard4": _, "speedup_shard8": _, "expected_speedup_shard4": _, "scaling_ok": _, "identical": _}
+  }
+
+  $ grep -o '"identical": 1' shard.json
+  "identical": 1

@@ -91,11 +91,20 @@ The journal that survives the chaos run is a valid v3 binary journal:
   codec: binary
   consumed: 600
 
-Errors are reported cleanly:
+Errors are reported cleanly — a missing or non-file path is a
+structured one-line diagnostic with a nonzero exit, not a raw Sys_error
+backtrace:
 
   $ ltc journal convert text.j text.j --to binary
   journal convert: SRC and DST must differ
   [1]
   $ ltc journal inspect missing.j
-  ltc: missing.j: No such file or directory
-  [2]
+  journal inspect: missing.j: no such file
+  [1]
+  $ mkdir journal.d
+  $ ltc journal inspect journal.d
+  journal inspect: journal.d is a directory, not a journal file
+  [1]
+  $ ltc journal convert missing.j out.j --to binary
+  journal convert: missing.j: no such file
+  [1]

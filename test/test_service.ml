@@ -727,6 +727,259 @@ let test_loadgen_deterministic () =
     (Invalid_argument "Loadgen.run: session must be fresh (consumed = 0)")
     (fun () -> ignore (Loadgen.run ~session:s ~workers config))
 
+(* ------------------------------------------------------ sharded serving *)
+
+(* Shard-local clustered workload: task clusters sit at x = 90i + 15
+   (tasks within +-10, all in one 30-unit grid cell), workers arrive
+   round-robin across clusters jittered +-8 around the centre, so every
+   candidate set stays inside the worker's own cell — the regime where
+   the sharded server must be byte-identical to one merged session. *)
+let clustered_instance ?(clusters = 4) ?(tasks_per = 3) ?(n_arrivals = 48)
+    ?(capacity = 2) ~seed () =
+  let rng = Ltc_util.Rng.create ~seed in
+  let center i = (90.0 *. float_of_int i) +. 15.0 in
+  let tasks =
+    Array.init (clusters * tasks_per) (fun id ->
+        let c = id / tasks_per and j = id mod tasks_per in
+        let dx =
+          -10.0
+          +. (20.0 *. float_of_int j /. float_of_int (max 1 (tasks_per - 1)))
+        in
+        Ltc_core.Task.make ~id
+          ~loc:(Ltc_geo.Point.make ~x:(center c +. dx) ~y:10.0)
+          ())
+  in
+  let workers =
+    Array.init n_arrivals (fun i ->
+        let c = i mod clusters in
+        let dx = Ltc_util.Rng.float rng 16.0 -. 8.0 in
+        Ltc_core.Worker.make ~index:(i + 1)
+          ~loc:(Ltc_geo.Point.make ~x:(center c +. dx) ~y:10.0)
+          ~accuracy:(0.7 +. Ltc_util.Rng.float rng 0.25)
+          ~capacity)
+  in
+  Ltc_core.Instance.create ~tasks ~workers ~epsilon:0.25 ()
+
+let session_fp s =
+  ( Ltc_core.Arrangement.to_list (Session.arrangement s),
+    Session.latency s,
+    Session.consumed s,
+    Session.completed s )
+
+let sharded_fp srv =
+  ( Ltc_core.Arrangement.to_list (Shard_server.arrangement srv),
+    Shard_server.latency srv,
+    Shard_server.consumed srv,
+    Shard_server.completed srv )
+
+(* Policies whose decisions are candidate-local and RNG-free — the set
+   the parity guarantee covers (DESIGN.md S14). *)
+let shard_local_algorithms =
+  [
+    Ltc_algo.Algorithm.laf;
+    Ltc_algo.Algorithm.lgf;
+    Ltc_algo.Algorithm.lrf;
+    Ltc_algo.Algorithm.nearest_first;
+  ]
+
+let single_baseline algo instance =
+  let s = Session.create ~algorithm:algo ~seed:55 instance in
+  let ds = feed_all s (arrivals instance) in
+  let fp = session_fp s in
+  Session.close s;
+  (Array.of_list ds, fp)
+
+let check_shard_parity ~mode ~shards algo =
+  let instance = clustered_instance ~seed:3 () in
+  let baseline, base_fp = single_baseline algo instance in
+  let srv = Shard_server.create ~mode ~shards ~algorithm:algo ~seed:99 instance in
+  let streamed =
+    List.concat_map (Shard_server.feed srv) (arrivals instance)
+  in
+  let got = streamed @ Shard_server.flush srv in
+  let label what =
+    Printf.sprintf "%s K=%d %s" algo.Ltc_algo.Algorithm.name shards what
+  in
+  Alcotest.(check int)
+    (label "one decision per arrival")
+    (Array.length baseline) (List.length got);
+  List.iteri
+    (fun i d ->
+      if d <> baseline.(i) then
+        Alcotest.fail
+          (label (Printf.sprintf "decision %d diverges from merged session" (i + 1))))
+    got;
+  Alcotest.(check bool) (label "fingerprint") true (sharded_fp srv = base_fp);
+  Alcotest.(check int)
+    (label "shards own every task")
+    (Ltc_core.Instance.task_count instance)
+    (Array.fold_left ( + ) 0 (Shard_server.shard_task_counts srv));
+  let merged = Shard_server.merged_hdr srv in
+  Alcotest.(check int)
+    (label "merged hdr holds every shard sample")
+    (Array.fold_left ( + ) 0 (Shard_server.shard_consumed srv))
+    (Ltc_util.Metrics.Hdr.count merged);
+  Shard_server.close srv
+
+let test_shard_parity_inline () =
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun shards -> check_shard_parity ~mode:Shard_server.Inline ~shards algo)
+        [ 1; 2; 3; 4; 8 ])
+    shard_local_algorithms
+
+let test_shard_parity_domains () =
+  check_shard_parity ~mode:Shard_server.Domains ~shards:4 Ltc_algo.Algorithm.laf;
+  check_shard_parity ~mode:Shard_server.Domains ~shards:2
+    Ltc_algo.Algorithm.nearest_first
+
+let shard_paths base =
+  base :: List.init 16 (fun k -> Printf.sprintf "%s.shard%d" base k)
+
+let with_tmp_shard_base f =
+  let base = Filename.temp_file "ltc_shard_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (shard_paths base))
+    (fun () -> f base)
+
+let with_crash_at ~hit f =
+  Fun.protect
+    ~finally:(fun () -> Ltc_util.Fault.disarm ())
+    (fun () ->
+      Ltc_util.Fault.arm
+        [ { Ltc_util.Fault.site = "journal.append"; hit;
+            action = Ltc_util.Fault.Crash } ];
+      f ())
+
+(* Crash one shard's journal mid-append, abandon the whole server (crash
+   semantics: unflushed group-commit buffers on EVERY shard are lost),
+   restore all K, re-feed the stream from arrival 1 and demand the
+   single-session baseline back: skipped (already-durable) arrivals emit
+   nothing, everything else re-decides identically, and the final merged
+   fingerprint is unchanged.  Returns whether the fault actually fired,
+   so the caller can walk [hit] until the plan stops firing. *)
+let sharded_kill_restore ~shards ~format ~group_commit ~hit algo instance
+    (baseline, base_fp) =
+  with_tmp_shard_base @@ fun base ->
+  let check_decision where (d : Session.decision) =
+    if d <> baseline.(d.Session.worker - 1) then
+      Alcotest.fail
+        (Printf.sprintf "K=%d gc=%d hit=%d: %s decision %d diverges" shards
+           group_commit hit where d.Session.worker)
+  in
+  let srv =
+    Shard_server.create ~mode:Shard_server.Inline ~journal:base ~format
+      ~group_commit ~checkpoint_every:1000 ~shards ~algorithm:algo ~seed:99
+      instance
+  in
+  let crashed = ref false in
+  with_crash_at ~hit (fun () ->
+      try
+        List.iter
+          (fun w -> List.iter (check_decision "live") (Shard_server.feed srv w))
+          (arrivals instance)
+      with Ltc_util.Fault.Injected_crash _ -> crashed := true);
+  if not !crashed then begin
+    Shard_server.close srv;
+    false
+  end
+  else begin
+    (* abandoned, not closed — the crash loses unflushed buffers *)
+    let srv' = Shard_server.restore ~mode:Shard_server.Inline ~path:base () in
+    Alcotest.(check int)
+      (Printf.sprintf "hit=%d: restore reports the durable prefix" hit)
+      (Array.fold_left ( + ) 0 (Shard_server.shard_consumed srv'))
+      (Shard_server.resumed_at srv');
+    List.iter
+      (fun w -> List.iter (check_decision "replayed") (Shard_server.feed srv' w))
+      (arrivals instance);
+    ignore (Shard_server.flush srv');
+    if sharded_fp srv' <> base_fp then
+      Alcotest.fail
+        (Printf.sprintf "K=%d gc=%d hit=%d: restored fingerprint diverges"
+           shards group_commit hit);
+    Shard_server.close srv';
+    true
+  end
+
+let test_sharded_kill_restore_everywhere () =
+  let algo = Ltc_algo.Algorithm.laf in
+  let instance = clustered_instance ~seed:7 () in
+  let baseline = single_baseline algo instance in
+  List.iter
+    (fun shards ->
+      let hit = ref 1 in
+      while
+        sharded_kill_restore ~shards ~format:Session.Text ~group_commit:1
+          ~hit:!hit algo instance baseline
+      do
+        incr hit
+      done;
+      if !hit < 10 then
+        Alcotest.fail
+          (Printf.sprintf "K=%d: journal.append fired only %d times" shards
+             (!hit - 1)))
+    [ 1; 3 ]
+
+(* Random K / codec / group-commit / kill point: the restored sharded
+   server always converges to the single-session baseline. *)
+let prop_sharded_kill_restore =
+  QCheck2.Test.make
+    ~name:"sharded kill/restore == single session under random K/codec/gc"
+    ~count:25
+    QCheck2.Gen.(
+      let* iseed = int_range 0 10_000 in
+      let* shards = int_range 1 5 in
+      let* binary = bool in
+      let* group_commit = int_range 1 8 in
+      let* hit = int_range 1 40 in
+      return (iseed, shards, binary, group_commit, hit))
+    (fun (iseed, shards, binary, group_commit, hit) ->
+      let algo = Ltc_algo.Algorithm.laf in
+      let instance = clustered_instance ~seed:iseed () in
+      let baseline = single_baseline algo instance in
+      let format = if binary then Session.Binary else Session.Text in
+      ignore
+        (sharded_kill_restore ~shards ~format ~group_commit ~hit algo instance
+           baseline);
+      true)
+
+(* The manifest round-trips create-time configuration: a restore with no
+   arrivals fed behaves like a fresh server with the same options. *)
+let test_shard_manifest_roundtrip () =
+  let algo = Ltc_algo.Algorithm.lgf in
+  let instance = clustered_instance ~seed:5 () in
+  with_tmp_shard_base @@ fun base ->
+  let srv =
+    Shard_server.create ~mode:Shard_server.Inline ~journal:base
+      ~format:Session.Binary ~group_commit:4 ~shards:3 ~algorithm:algo
+      ~seed:11 instance
+  in
+  Alcotest.(check bool) "manifest detected" true (Shard_server.is_manifest base);
+  Alcotest.(check bool) "shard journal is no manifest" false
+    (Shard_server.is_manifest (base ^ ".shard0"));
+  Shard_server.close srv;
+  let srv' = Shard_server.restore ~mode:Shard_server.Inline ~path:base () in
+  Alcotest.(check string) "algorithm restored"
+    Ltc_algo.Algorithm.lgf.Ltc_algo.Algorithm.name
+    (Shard_server.algorithm_name srv');
+  Alcotest.(check int) "shards restored" 3 (Shard_server.shards srv');
+  Alcotest.(check int) "nothing to resume" 0 (Shard_server.resumed_at srv');
+  let baseline, base_fp = single_baseline algo instance in
+  let got =
+    List.concat_map (Shard_server.feed srv') (arrivals instance)
+    @ Shard_server.flush srv'
+  in
+  Alcotest.(check int) "one decision per arrival" (Array.length baseline)
+    (List.length got);
+  Alcotest.(check bool) "fingerprint via manifest restore" true
+    (sharded_fp srv' = base_fp);
+  Shard_server.close srv'
+
 (* ------------------------------------------------------- chaos property *)
 
 let chaos_sites =
@@ -825,6 +1078,18 @@ let suite =
       ] );
     ( "service.chaos",
       [ qcheck prop_chaos_identical ] );
+    ( "service.shard",
+      [
+        Alcotest.test_case "sharded == merged session at every K" `Quick
+          test_shard_parity_inline;
+        Alcotest.test_case "domain-per-shard parity" `Quick
+          test_shard_parity_domains;
+        Alcotest.test_case "sharded kill/restore at every append" `Slow
+          test_sharded_kill_restore_everywhere;
+        qcheck prop_sharded_kill_restore;
+        Alcotest.test_case "manifest roundtrip" `Quick
+          test_shard_manifest_roundtrip;
+      ] );
     ( "service.contracts",
       [
         Alcotest.test_case "create validation" `Quick test_create_validation;
