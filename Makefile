@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen bench-shard serve-smoke chaos-smoke loadgen-smoke journal-smoke shard-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen bench-shard serve-smoke chaos-smoke loadgen-smoke journal-smoke shard-smoke flow-smoke fmt check clean
 
 all: build
 
@@ -50,6 +50,13 @@ journal-smoke:
 # manifest.  Also in @runtest.
 shard-smoke:
 	dune build @shard-smoke
+
+# Flow-solver pin: the cram test test/cli/flow.t lists the solver
+# registry, checks backend parity of MCF-LTC under --mcf-solver
+# (sspa/spfa/incremental) and exercises the --mcf-budget-rounds anytime
+# cutoff with its degraded telemetry.  Also in @runtest.
+flow-smoke:
+	dune build @flow-smoke
 
 # Min-cost-flow hot path: cold per-batch solves vs the reused
 # arena/workspace with DAG-layer and warm-started potentials.  Refreshes

@@ -134,9 +134,18 @@ let build_instance ~workload ~scale ~tasks ~workers ~capacity ~epsilon ~seed =
     Ltc_workload.City.generate rng (Ltc_workload.Spec.scale_city scale base)
 
 let run_cmd_impl workload scale tasks workers capacity epsilon seed algo
-    validate simulate load report save_arrangement screen verbose svg
-    log_levels metrics metrics_format =
+    mcf_solver mcf_budget validate simulate load report save_arrangement
+    screen verbose svg log_levels metrics metrics_format =
   setup_observability ~verbose ~log_levels ~metrics;
+  (match mcf_solver with
+  | Some name
+    when not
+           (List.mem (String.lowercase_ascii name) (Ltc_flow.Solver.names ()))
+    ->
+    Format.eprintf "unknown solver %S (try: %s)@." name
+      (String.concat ", " (Ltc_flow.Solver.names ()));
+    exit 1
+  | _ -> ());
   let instance =
     match load with
     | Some path -> Ltc_core.Serialize.load_instance ~path
@@ -162,6 +171,33 @@ let run_cmd_impl workload scale tasks workers capacity epsilon seed algo
         Format.eprintf "unknown algorithm %S (try: %s)@." name
           (String.concat ", " (Ltc_algo.Algorithm.names ()));
         exit 1)
+  in
+  let algorithms =
+    (* --mcf-solver / --mcf-budget-rounds reconfigure only the MCF-LTC
+       registry entry; the other algorithms never touch the flow solver. *)
+    if mcf_solver = None && mcf_budget = None then algorithms
+    else begin
+      let config =
+        {
+          Ltc_algo.Mcf_ltc.default_config with
+          Ltc_algo.Mcf_ltc.solver =
+            Option.value mcf_solver
+              ~default:Ltc_algo.Mcf_ltc.default_config.Ltc_algo.Mcf_ltc.solver;
+          budget =
+            Option.map (fun r -> Ltc_flow.Mcmf.Rounds r) mcf_budget;
+        }
+      in
+      List.map
+        (fun (a : Ltc_algo.Algorithm.t) ->
+          if a.Ltc_algo.Algorithm.name = Ltc_algo.Mcf_ltc.name then
+            {
+              a with
+              Ltc_algo.Algorithm.run =
+                (fun ~seed:_ i -> Ltc_algo.Mcf_ltc.run ~config i);
+            }
+          else a)
+        algorithms
+    end
   in
   List.iter
     (fun (a : Ltc_algo.Algorithm.t) ->
@@ -247,6 +283,20 @@ let run_cmd =
          & info [ "algo"; "a" ] ~docv:"NAME"
              ~doc:"Run a single algorithm (default: all five).")
   in
+  let mcf_solver =
+    Arg.(value & opt (some string) None
+         & info [ "mcf-solver" ] ~docv:"NAME"
+             ~doc:"Flow backend for MCF-LTC's per-batch solves: \
+                   $(b,sspa) (default), $(b,spfa) or $(b,incremental) \
+                   (see $(b,ltc solvers)).  Only affects MCF-LTC.")
+  in
+  let mcf_budget =
+    Arg.(value & opt (some int) None
+         & info [ "mcf-budget-rounds" ] ~docv:"N"
+             ~doc:"Anytime cutoff for MCF-LTC: at most $(docv) \
+                   augmentation rounds per batch solve; exhausted batches \
+                   are completed greedily and counted as degraded.")
+  in
   let validate =
     Arg.(value & flag
          & info [ "validate" ] ~doc:"Check every Definition-6 constraint.")
@@ -292,9 +342,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"generate a workload and run LTC algorithms on it")
     Term.(
       const run_cmd_impl $ workload $ scale_arg $ tasks $ workers $ capacity
-      $ epsilon $ seed_arg $ algo $ validate $ simulate $ load $ report
-      $ save_arrangement $ screen $ verbose $ svg $ log_arg $ metrics_arg
-      $ metrics_format_arg)
+      $ epsilon $ seed_arg $ algo $ mcf_solver $ mcf_budget $ validate
+      $ simulate $ load $ report $ save_arrangement $ screen $ verbose $ svg
+      $ log_arg $ metrics_arg $ metrics_format_arg)
 
 (* ------------------------------------------------------- generate command *)
 
@@ -1465,13 +1515,33 @@ let journal_cmd =
        ~doc:"inspect and convert session journal files offline")
     [ inspect_cmd; convert_cmd ]
 
+(* ------------------------------------------------------- solvers command *)
+
+let solvers_cmd =
+  let impl () =
+    Format.printf "%-12s %-12s %-11s %s@." "NAME" "INCREMENTAL"
+      "POTENTIALS" "ANYTIME";
+    List.iter
+      (fun (c : Ltc_flow.Solver.capabilities) ->
+        Format.printf "%-12s %-12b %-11b %b@." c.Ltc_flow.Solver.solver_name
+          c.Ltc_flow.Solver.incremental c.Ltc_flow.Solver.potentials
+          c.Ltc_flow.Solver.anytime)
+      (Ltc_flow.Solver.all_capabilities ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "solvers"
+       ~doc:"list the registered min-cost-flow solver backends and their \
+             capabilities (select one with $(b,ltc run --mcf-solver))")
+    Term.(const impl $ const ())
+
 let main =
   let doc = "latency-oriented task completion via spatial crowdsourcing" in
   Cmd.group
     (Cmd.info "ltc" ~doc ~version:"1.0.0")
     [
       run_cmd; generate_cmd; sweep_cmd; bounds_cmd; infer_cmd; example_cmd;
-      serve_cmd; loadgen_cmd; chaos_cmd; journal_cmd;
+      serve_cmd; loadgen_cmd; chaos_cmd; journal_cmd; solvers_cmd;
     ]
 
 (* Turn expected failures (missing files, corrupt inputs, bad parameters)

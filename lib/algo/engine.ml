@@ -245,17 +245,8 @@ let run ?(config = default_config) ~name policy instance =
     ~answered:(answered_of ~accept_rate:config.accept_rate ~rng:config.rng)
     ?tracker:config.tracker ?degrade:config.degrade policy instance
 
-let run_policy ~name policy instance = run ~name policy instance
-
-let run_policy_with_noshow ~name ~accept_rate ~rng policy instance =
-  if accept_rate <= 0.0 || accept_rate > 1.0 then
-    invalid_arg "Engine.run_policy_with_noshow: accept_rate must be in (0, 1]";
-  run
-    ~config:
-      { default_config with accept_rate = Some accept_rate; rng = Some rng }
-    ~name policy instance
-
-let of_arrangement ~name ?workers_consumed ?tracker instance arrangement =
+let of_arrangement ~name ?workers_consumed ?tracker
+    ?(telemetry = no_telemetry) instance arrangement =
   let progress =
     Progress.create_per_task ~thresholds:(Instance.thresholds instance)
   in
@@ -276,7 +267,7 @@ let of_arrangement ~name ?workers_consumed ?tracker instance arrangement =
       (match tracker with
       | None -> 0.0
       | Some tr -> Ltc_util.Mem.Tracker.high_water_mb tr);
-    telemetry = no_telemetry;
+    telemetry;
   }
 
 let pp_outcome fmt o =
@@ -284,4 +275,8 @@ let pp_outcome fmt o =
     "%s: latency=%d assignments=%d completed=%b consumed=%d mem=%.2fMB" o.name
     o.latency
     (Arrangement.size o.arrangement)
-    o.completed o.workers_consumed o.peak_memory_mb
+    o.completed o.workers_consumed o.peak_memory_mb;
+  (* Only shown when something actually degraded, so the common-case line
+     stays stable for scripts and cram pins. *)
+  if o.telemetry.degraded > 0 then
+    Format.fprintf fmt " degraded=%d" o.telemetry.degraded

@@ -20,11 +20,13 @@ type telemetry = {
       (** summed per-arrival decision wall time *)
   decision_seconds_max : float;  (** slowest single decision *)
   degraded : int;
-      (** arrivals decided by the fallback because the primary blew its
-          deadline (0 without a [degrade] config) *)
+      (** decisions that degraded: arrivals decided by the fallback
+          because the primary blew its deadline, or — for offline MCF-LTC
+          via {!of_arrangement} — batches whose anytime solver budget
+          fired (0 without a [degrade] config / solver budget) *)
 }
-(** Per-run decision-cost summary from {!run_policy} /
-    {!run_policy_with_noshow}.  [decisions] is always counted; the two
+(** Per-run decision-cost summary from {!run}.  [decisions] is always
+    counted; the two
     timing fields require the {!Ltc_util.Metrics} registry to be enabled
     when the run starts (per-arrival clock reads are skipped otherwise and
     both stay [0.]).  The same observations also feed the [ltc_engine_*]
@@ -123,35 +125,24 @@ val run : ?config:config -> name:string -> policy -> Instance.t -> outcome
     [instance]'s workers to [policy] in arrival order until every task is
     complete or the stream is exhausted.  @raise Invalid_argument when
     [config.accept_rate] is outside (0, 1] or set without an [rng], or
-    when [config.degrade] carries a non-positive budget. *)
+    when [config.degrade] carries a non-positive budget.
 
-val run_policy : name:string -> policy -> Instance.t -> outcome
-[@@deprecated "use Engine.run"]
-(** @deprecated [run_policy ~name p i] is [run ~name p i]. *)
-
-val run_policy_with_noshow :
-  name:string ->
-  accept_rate:float ->
-  rng:Ltc_util.Rng.t ->
-  policy ->
-  Instance.t ->
-  outcome
-[@@deprecated "use Engine.run with an accept_rate/rng config"]
-(** @deprecated Equivalent to {!run} with
-    [{ accept_rate = Some accept_rate; rng = Some rng; tracker = None }];
-    retains its historical [Invalid_argument] message for out-of-range
-    rates. *)
+    (The deprecated [run_policy] / [run_policy_with_noshow] wrappers were
+    removed; [run] with a {!config} covers both.) *)
 
 val of_arrangement :
   name:string ->
   ?workers_consumed:int ->
   ?tracker:Ltc_util.Mem.Tracker.t ->
+  ?telemetry:telemetry ->
   Instance.t ->
   Arrangement.t ->
   outcome
 (** Wraps an arrangement produced by an offline algorithm, recomputing
     completion and latency.  [workers_consumed] defaults to the
-    arrangement's latency. *)
+    arrangement's latency.  [telemetry] (default {!no_telemetry}) lets an
+    offline algorithm report solver-side degradations — MCF-LTC counts
+    batches whose anytime budget fired in [telemetry.degraded]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One line with every scalar field:

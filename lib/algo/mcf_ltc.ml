@@ -6,10 +6,18 @@ type config = {
   first_batch_factor : float;
   batch_factor : float;
   warm_start : bool;
+  solver : string;
+  budget : Ltc_flow.Mcmf.budget option;
 }
 
 let default_config =
-  { first_batch_factor = 1.5; batch_factor = 1.0; warm_start = false }
+  {
+    first_batch_factor = 1.5;
+    batch_factor = 1.0;
+    warm_start = false;
+    solver = "sspa";
+    budget = None;
+  }
 
 let m_batches =
   Ltc_util.Metrics.counter ~help:"MCF-LTC batches solved"
@@ -35,7 +43,7 @@ let tie_cost ~n_workers (w : Worker.t) =
    only the per-worker assignment lists. *)
 type scratch = {
   g : Ltc_flow.Graph.t;            (* arena, [Graph.clear]ed per batch *)
-  ws : Ltc_flow.Mcmf.workspace;
+  sol : Ltc_flow.Solver.t;         (* registry-selected backend *)
   node_of : int array;             (* task -> flow node, valid iff stamped *)
   node_stamp : int array;
   mark : int array;                (* task -> epoch of per-worker marks *)
@@ -54,13 +62,22 @@ type scratch = {
   mutable have_warm : bool;
   mutable cand : float array;      (* node-indexed candidate, grown on demand *)
   mutable accounted : int;         (* arena words currently charged *)
+  (* Incremental-session bookkeeping: tasks whose progress changed since
+     the last [Solver.set_unit] sync, deduplicated by [sync_mark]. *)
+  mutable inc_ready : bool;        (* units declared on the session plane *)
+  sync_ids : int array;
+  mutable n_sync : int;
+  sync_mark : Bytes.t;
+  (* Anytime accounting: batches whose solver budget fired. *)
+  m_degraded : Ltc_util.Metrics.Counter.t;
+  mutable degraded_batches : int;
 }
 
-let create_scratch ~n_tasks =
+let create_scratch ~name ~solver ~n_tasks =
   let n = max n_tasks 1 in
   {
     g = Ltc_flow.Graph.create ~n:1;
-    ws = Ltc_flow.Mcmf.create_workspace ();
+    sol = Ltc_flow.Solver.create ~hint:(n + 2) solver;
     node_of = Array.make n (-1);
     node_stamp = Array.make n 0;
     mark = Array.make n 0;
@@ -76,6 +93,12 @@ let create_scratch ~n_tasks =
     have_warm = false;
     cand = [||];
     accounted = 0;
+    inc_ready = false;
+    sync_ids = Array.make n 0;
+    n_sync = 0;
+    sync_mark = Bytes.make n '\000';
+    m_degraded = Engine.degraded_counter name "solver-anytime";
+    degraded_batches = 0;
   }
 
 let push_wt scratch ~arc ~bi ~task ~score =
@@ -96,16 +119,23 @@ let push_wt scratch ~arc ~bi ~task ~score =
   scratch.wt_score.(len) <- score;
   scratch.wt_len <- len + 1
 
-(* Solve one batch: build the flow network over incomplete tasks in the
-   reused arena, run SSPA with the shared workspace, record the resulting
-   assignments, then greedily spend leftover capacity.  Returns the updated
+(* Solve one batch through the configured solver backend: build the flow
+   network over incomplete tasks (in the reused arena for scratch
+   backends; as a delta against the live session plane for the incremental
+   one), solve — optionally under an anytime budget — record the resulting
+   assignments, then greedily spend leftover capacity.  When the budget
+   fires mid-solve the partial flow is extracted as-is and the leftover
+   pass below doubles as the greedy completion: every un-routed unit of
+   worker capacity is spent on the most reliable unfinished tasks, so the
+   batch always yields a feasible assignment.  Returns the updated
    arrangement. *)
-let solve_batch instance tracker progress arrangement ~warm_start scratch
-    batch =
+let solve_batch instance tracker progress arrangement ~warm_start ~budget
+    scratch batch =
   Ltc_util.Trace.with_span "mcf-ltc.batch" @@ fun () ->
   let t_batch = Ltc_util.Timer.start () in
   let n_workers = Instance.worker_count instance in
   let n_batch = Array.length batch in
+  let caps = Ltc_flow.Solver.capabilities scratch.sol in
   (* Incomplete tasks get contiguous node ids after the worker nodes.
      [Progress.iter_incomplete] enumerates ascending task ids, so the
      numbering — and with it the arc layout and solver tie-breaking — is
@@ -124,104 +154,194 @@ let solve_batch instance tracker progress arrangement ~warm_start scratch
     scratch.node_of.(task) <- 1 + n_batch + i;
     scratch.node_stamp.(task) <- batch_ep
   done;
-  let source = 0 in
-  let sink = 1 + n_batch + n_inc in
-  let g = scratch.g in
-  Ltc_flow.Graph.clear g ~n:(sink + 1);
-  Array.iteri
-    (fun bi (w : Worker.t) ->
-      ignore
-        (Ltc_flow.Graph.add_arc g ~src:source ~dst:(1 + bi) ~cap:w.capacity
-           ~cost:0.0))
-    batch;
-  (* Worker->task arcs; each entry remembers (batch slot, task, score) per
-     arc so the extraction below never recomputes Instance.score — each
-     (worker, task) score is evaluated exactly once per batch. *)
-  scratch.wt_len <- 0;
-  Array.iteri
-    (fun bi (w : Worker.t) ->
-      Instance.iter_candidates instance w (fun task ->
-          if scratch.node_stamp.(task) = batch_ep then begin
-            let node = scratch.node_of.(task) in
-            let score = Instance.score instance w task in
-            let cost = -.score +. tie_cost ~n_workers w in
-            let arc =
-              Ltc_flow.Graph.add_arc g ~src:(1 + bi) ~dst:node ~cap:1 ~cost
-            in
-            push_wt scratch ~arc ~bi ~task ~score
-          end))
-    batch;
-  for i = 0 to n_inc - 1 do
-    let task = task_ids.(i) in
-    let cap = int_of_float (Float.ceil (Progress.remaining progress task)) in
-    ignore
-      (Ltc_flow.Graph.add_arc g ~src:(1 + n_batch + i) ~dst:sink
-         ~cap:(max cap 1) ~cost:0.0)
-  done;
-  (* The arena is shared across batches, so charge the tracker for its
-     growth only: the high-water mark counts the reservation once per run,
-     not once per batch. *)
-  let now =
-    Ltc_flow.Graph.memory_words g + (8 * Ltc_flow.Graph.node_count g)
-  in
-  if now > scratch.accounted then begin
-    Ltc_util.Mem.Tracker.add_words tracker (now - scratch.accounted);
-    scratch.accounted <- now
-  end;
-  let init =
-    if warm_start && scratch.have_warm then begin
-      let nodes = sink + 1 in
-      if Array.length scratch.cand < nodes then
-        scratch.cand <-
-          Array.make (max nodes (2 * Array.length scratch.cand)) 0.0;
-      let cand = scratch.cand in
-      cand.(source) <- 0.0;
-      for bi = 0 to n_batch - 1 do
-        cand.(1 + bi) <- 0.0
-      done;
-      for i = 0 to n_inc - 1 do
-        cand.(1 + n_batch + i) <- scratch.task_pot.(task_ids.(i))
-      done;
-      cand.(sink) <- scratch.sink_pot;
-      `Warm_start cand
+  let use_warm = warm_start && caps.Ltc_flow.Solver.potentials in
+  (* Charge the tracker for arena growth only: the high-water mark counts
+     the reservation once per run, not once per batch. *)
+  let charge now =
+    if now > scratch.accounted then begin
+      Ltc_util.Mem.Tracker.add_words tracker (now - scratch.accounted);
+      scratch.accounted <- now
     end
-    else `Dag_topo
   in
-  let flow_result =
-    Ltc_util.Trace.with_span "mcmf.solve" (fun () ->
-        Ltc_flow.Mcmf.run g ~workspace:scratch.ws ~init ~source ~sink)
+  scratch.wt_len <- 0;
+  let flow_result, link_flow =
+    if caps.Ltc_flow.Solver.incremental then begin
+      (* Incremental path: the session's residual network and potentials
+         stay alive across batches; only the delta is declared.  Units are
+         created once (first batch), then only tasks whose progress changed
+         since the last batch — recorded in [sync_ids] by the extraction
+         and greedy passes below — are re-dimensioned. *)
+      if not scratch.inc_ready then begin
+        for i = 0 to n_inc - 1 do
+          let task = task_ids.(i) in
+          let cap =
+            int_of_float (Float.ceil (Progress.remaining progress task))
+          in
+          Ltc_flow.Solver.set_unit scratch.sol ~unit_id:task ~cap:(max cap 1)
+        done;
+        scratch.inc_ready <- true
+      end
+      else begin
+        for j = 0 to scratch.n_sync - 1 do
+          let task = scratch.sync_ids.(j) in
+          Bytes.set scratch.sync_mark task '\000';
+          let cap =
+            if Progress.is_complete progress task then 0
+            else
+              max
+                (int_of_float (Float.ceil (Progress.remaining progress task)))
+                1
+          in
+          Ltc_flow.Solver.set_unit scratch.sol ~unit_id:task ~cap
+        done;
+        scratch.n_sync <- 0
+      end;
+      Ltc_flow.Solver.begin_batch scratch.sol;
+      Array.iteri
+        (fun bi (w : Worker.t) ->
+          let h = Ltc_flow.Solver.add_worker scratch.sol ~cap:w.capacity in
+          assert (h = bi);
+          Instance.iter_candidates instance w (fun task ->
+              if scratch.node_stamp.(task) = batch_ep then begin
+                let score = Instance.score instance w task in
+                let cost = -.score +. tie_cost ~n_workers w in
+                let link =
+                  Ltc_flow.Solver.add_link scratch.sol ~worker:bi
+                    ~unit_id:task ~cost
+                in
+                push_wt scratch ~arc:link ~bi ~task ~score
+              end))
+        batch;
+      charge (Ltc_flow.Solver.memory_words scratch.sol);
+      let r =
+        Ltc_util.Trace.with_span "mcmf.solve" (fun () ->
+            Ltc_flow.Solver.resolve scratch.sol ?budget ())
+      in
+      (r, fun arc -> Ltc_flow.Solver.link_flow scratch.sol arc)
+    end
+    else begin
+      (* Scratch path: build the batch network in the reused arena. *)
+      let source = 0 in
+      let sink = 1 + n_batch + n_inc in
+      let g = scratch.g in
+      Ltc_flow.Graph.clear g ~n:(sink + 1);
+      Array.iteri
+        (fun bi (w : Worker.t) ->
+          ignore
+            (Ltc_flow.Graph.add_arc g ~src:source ~dst:(1 + bi)
+               ~cap:w.capacity ~cost:0.0))
+        batch;
+      (* Worker->task arcs; each entry remembers (batch slot, task, score)
+         per arc so the extraction below never recomputes Instance.score —
+         each (worker, task) score is evaluated exactly once per batch. *)
+      Array.iteri
+        (fun bi (w : Worker.t) ->
+          Instance.iter_candidates instance w (fun task ->
+              if scratch.node_stamp.(task) = batch_ep then begin
+                let node = scratch.node_of.(task) in
+                let score = Instance.score instance w task in
+                let cost = -.score +. tie_cost ~n_workers w in
+                let arc =
+                  Ltc_flow.Graph.add_arc g ~src:(1 + bi) ~dst:node ~cap:1
+                    ~cost
+                in
+                push_wt scratch ~arc ~bi ~task ~score
+              end))
+        batch;
+      for i = 0 to n_inc - 1 do
+        let task = task_ids.(i) in
+        let cap =
+          int_of_float (Float.ceil (Progress.remaining progress task))
+        in
+        ignore
+          (Ltc_flow.Graph.add_arc g ~src:(1 + n_batch + i) ~dst:sink
+             ~cap:(max cap 1) ~cost:0.0)
+      done;
+      charge
+        (Ltc_flow.Graph.memory_words g + (8 * Ltc_flow.Graph.node_count g));
+      let init =
+        if use_warm && scratch.have_warm then begin
+          let nodes = sink + 1 in
+          if Array.length scratch.cand < nodes then
+            scratch.cand <-
+              Array.make (max nodes (2 * Array.length scratch.cand)) 0.0;
+          let cand = scratch.cand in
+          cand.(source) <- 0.0;
+          for bi = 0 to n_batch - 1 do
+            cand.(1 + bi) <- 0.0
+          done;
+          for i = 0 to n_inc - 1 do
+            cand.(1 + n_batch + i) <- scratch.task_pot.(task_ids.(i))
+          done;
+          cand.(sink) <- scratch.sink_pot;
+          `Warm_start cand
+        end
+        else `Dag_topo
+      in
+      let r =
+        Ltc_util.Trace.with_span "mcmf.solve" (fun () ->
+            Ltc_flow.Solver.solve scratch.sol ~init ?budget g ~source ~sink)
+      in
+      if use_warm then begin
+        let pot = Ltc_flow.Solver.borrow_potentials scratch.sol in
+        for i = 0 to n_inc - 1 do
+          scratch.task_pot.(task_ids.(i)) <- pot.(1 + n_batch + i)
+        done;
+        scratch.sink_pot <- pot.(sink);
+        scratch.have_warm <- true
+      end;
+      (r, fun arc -> Ltc_flow.Graph.flow g arc)
+    end
   in
-  if warm_start then begin
-    let pot = Ltc_flow.Mcmf.potentials scratch.ws in
-    for i = 0 to n_inc - 1 do
-      scratch.task_pot.(task_ids.(i)) <- pot.(1 + n_batch + i)
-    done;
-    scratch.sink_pot <- pot.(sink);
-    scratch.have_warm <- true
+  (* A fired anytime budget is a degradation *inside* the solver: the
+     partial flow is kept and the greedy pass below completes the batch.
+     Counted per batch, separately from the engine's fallback-policy
+     degradations (same metric family, distinct fallback label). *)
+  if flow_result.Ltc_flow.Mcmf.exhausted then begin
+    scratch.degraded_batches <- scratch.degraded_batches + 1;
+    Ltc_util.Metrics.Counter.incr scratch.m_degraded;
+    Logs.debug ~src:Ltc_util.Log.algo (fun m ->
+        m "MCF-LTC batch: solver budget exhausted after %d rounds; greedy \
+           completion takes over"
+          flow_result.Ltc_flow.Mcmf.rounds)
   end;
   Logs.debug ~src:Ltc_util.Log.algo (fun m ->
-      m "MCF-LTC batch: %d workers, %d open tasks, %d arcs -> flow %d, cost %.3f (%d rounds)"
-        n_batch n_inc
-        (Ltc_flow.Graph.arc_count g)
+      m "MCF-LTC batch: %d workers, %d open tasks, %d links -> flow %d, cost %.3f (%d rounds)"
+        n_batch n_inc scratch.wt_len
         flow_result.Ltc_flow.Mcmf.flow flow_result.Ltc_flow.Mcmf.cost
         flow_result.Ltc_flow.Mcmf.rounds);
+  (* Record which tasks' progress changes, so the incremental session can
+     re-dimension exactly the touched units before the next batch. *)
+  let touch task =
+    if
+      caps.Ltc_flow.Solver.incremental
+      && Bytes.get scratch.sync_mark task = '\000'
+    then begin
+      Bytes.set scratch.sync_mark task '\001';
+      scratch.sync_ids.(scratch.n_sync) <- task;
+      scratch.n_sync <- scratch.n_sync + 1
+    end
+  in
   (* Extract the arrangement M' of this batch, per worker. *)
   let assigned = Array.make n_batch 0 in
   let per_worker = Array.make n_batch [] in
   for k = 0 to scratch.wt_len - 1 do
-    if Ltc_flow.Graph.flow g scratch.wt_arc.(k) = 1 then begin
+    if link_flow scratch.wt_arc.(k) = 1 then begin
       let bi = scratch.wt_bi.(k) in
       per_worker.(bi) <-
         (scratch.wt_task.(k), scratch.wt_score.(k)) :: per_worker.(bi);
       assigned.(bi) <- assigned.(bi) + 1
     end
   done;
+  if caps.Ltc_flow.Solver.incremental then
+    Ltc_flow.Solver.end_batch scratch.sol;
   let arrangement = ref arrangement in
   Array.iteri
     (fun bi (w : Worker.t) ->
       List.iter
         (fun (task, score) ->
           Progress.record progress ~task ~score;
+          touch task;
           arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
         (List.sort compare per_worker.(bi)))
     batch;
@@ -246,6 +366,7 @@ let solve_batch instance tracker progress arrangement ~warm_start scratch
         List.iter
           (fun (score, task) ->
             Progress.record progress ~task ~score;
+            touch task;
             arrangement := Arrangement.add !arrangement ~worker:w.index ~task)
           (Ltc_util.Bounded_heap.pop_all heap)
       end)
@@ -257,7 +378,8 @@ let solve_batch instance tracker progress arrangement ~warm_start scratch
   !arrangement
 
 (* Shared batch loop: [batch_size ~first] gives each batch's width. *)
-let run_batches ~name ~batch_size ?(warm_start = false) instance =
+let run_batches ~name ~batch_size ?(warm_start = false) ?(solver = "sspa")
+    ?budget instance =
   Ltc_util.Trace.with_span ("engine:" ^ name) @@ fun () ->
   let n_tasks = Instance.task_count instance in
   let workers = instance.Instance.workers in
@@ -272,7 +394,7 @@ let run_batches ~name ~batch_size ?(warm_start = false) instance =
     in
     Ltc_util.Mem.Tracker.set_baseline_words tracker
       (Progress.memory_words progress);
-    let scratch = create_scratch ~n_tasks in
+    let scratch = create_scratch ~name ~solver ~n_tasks in
     let arrangement = ref Arrangement.empty in
     let cursor = ref 0 in
     let first = ref true in
@@ -282,12 +404,14 @@ let run_batches ~name ~batch_size ?(warm_start = false) instance =
       let batch = Array.sub workers !cursor size in
       cursor := !cursor + size;
       arrangement :=
-        solve_batch instance tracker progress !arrangement ~warm_start scratch
-          batch
+        solve_batch instance tracker progress !arrangement ~warm_start ~budget
+          scratch batch
     done;
     Ltc_util.Mem.Tracker.remove_words tracker scratch.accounted;
-    Engine.of_arrangement ~name ~workers_consumed:!cursor ~tracker instance
-      !arrangement
+    Engine.of_arrangement ~name ~workers_consumed:!cursor ~tracker
+      ~telemetry:
+        { Engine.no_telemetry with degraded = scratch.degraded_batches }
+      instance !arrangement
   end
 
 (* Theorem-2 batch width m = |T| ceil(delta) / K, using the strictest
@@ -312,7 +436,8 @@ let run ?(config = default_config) instance =
     in
     max 1 (int_of_float (factor *. m))
   in
-  run_batches ~name ~batch_size ~warm_start:config.warm_start instance
+  run_batches ~name ~batch_size ~warm_start:config.warm_start
+    ~solver:config.solver ?budget:config.budget instance
 
 let run_buffered ~buffer instance =
   if buffer < 1 then invalid_arg "Mcf_ltc.run_buffered: buffer must be >= 1";

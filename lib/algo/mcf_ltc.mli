@@ -7,7 +7,8 @@
     {v st -[cap K, cost 0]-> w -[cap 1, cost -Acc(w,t)^star]-> t
                                  -[cap ceil(delta - S[t]), cost 0]-> ed v}
 
-    solved with {!Ltc_flow.Mcmf} (SSPA); leftover worker capacity is then
+    solved through the {!Ltc_flow.Solver} backend named by [config.solver]
+    (SSPA by default); leftover worker capacity is then
     spent greedily on the highest-[Acc*] unfinished tasks (Algorithm 1 lines
     8-15).  A tie-break perturbation of [5e-8 * index / |W|] on the [w->t]
     arc costs prefers earlier workers among equally accurate ones — it can
@@ -39,7 +40,25 @@ type config = {
           cost ties along a different path, and for [|W| > 50] the
           {!tie_cost} gap between adjacent workers is below the solver
           epsilon — so warm starts trade exact tie-break reproducibility
-          for speed.  The [flow-batch-reuse] bench prices that trade. *)
+          for speed.  The [flow-batch-reuse] bench prices that trade.
+          Only honoured by backends whose
+          {!Ltc_flow.Solver.capabilities} report [potentials] (SSPA). *)
+  solver : string;
+      (** {!Ltc_flow.Solver} registry name selecting the per-batch flow
+          backend: ["sspa"] (default), ["spfa"], or ["incremental"] — the
+          session solver that keeps the residual network and potentials
+          alive across batches and re-dimensions only the tasks whose
+          progress changed.  All backends produce the same arrangement up
+          to sub-epsilon cost ties. *)
+  budget : Ltc_flow.Mcmf.budget option;
+      (** Anytime cutoff handed to every batch solve.  [None] (default)
+          solves each batch exactly.  When the budget fires, the partial
+          flow is kept — it is an optimal routing of the units it did
+          route — and the greedy leftover pass (Algorithm 1 lines 8-15)
+          completes the batch into a feasible assignment; the batch is
+          counted in [telemetry.degraded] and the
+          [ltc_engine_degraded_total{fallback="solver-anytime"}] metric,
+          separate from the engine's fallback-policy degradations. *)
 }
 
 val default_config : config
@@ -61,7 +80,8 @@ val tie_cost : n_workers:int -> Ltc_core.Worker.t -> float
     ([test_algo]'s tie-cost suite). *)
 
 val run : ?config:config -> Ltc_core.Instance.t -> Engine.outcome
-(** @raise Invalid_argument when a batch factor is not positive. *)
+(** @raise Invalid_argument when a batch factor is not positive or
+    [config.solver] is not a registered {!Ltc_flow.Solver} name. *)
 
 val run_buffered : buffer:int -> Ltc_core.Instance.t -> Engine.outcome
 (** Buffered-online relaxation: Definition 7 only requires a decision "a

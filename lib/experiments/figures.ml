@@ -202,9 +202,9 @@ let ablation_batch =
                   Ltc_algo.Mcf_ltc.run
                     ~config:
                       {
-                        Ltc_algo.Mcf_ltc.first_batch_factor = 1.5 *. factor;
+                        Ltc_algo.Mcf_ltc.default_config with
+                        first_batch_factor = 1.5 *. factor;
                         batch_factor = factor;
-                        warm_start = false;
                       });
               policy = None;
             };
@@ -526,13 +526,16 @@ let ablation_solver =
               let rng2 = Ltc_util.Rng.create ~seed in
               let g1, source, sink = build ~n_workers ~n_tasks ~rng:rng1 in
               let g2, _, _ = build ~n_workers ~n_tasks ~rng:rng2 in
+              (* Both backends through the registry-selected solver API. *)
+              let sspa = Ltc_flow.Solver.create "sspa" in
+              let spfa = Ltc_flow.Solver.create "spfa" in
               let r1, t1 =
                 Ltc_util.Timer.time (fun () ->
-                    Ltc_flow.Mcmf.run g1 ~source ~sink)
+                    Ltc_flow.Solver.solve sspa g1 ~source ~sink)
               in
               let r2, t2 =
                 Ltc_util.Timer.time (fun () ->
-                    Ltc_flow.Mcmf_spfa.run g2 ~source ~sink)
+                    Ltc_flow.Solver.solve spfa g2 ~source ~sink)
               in
               [
                 Ltc_util.Table.Int n_workers;

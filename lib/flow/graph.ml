@@ -65,6 +65,18 @@ let clear t ~n =
   t.n <- n;
   t.len <- 0
 
+let grow_nodes t ~n =
+  if n <= 0 then invalid_arg "Graph.grow_nodes: n must be positive";
+  if n > t.n then begin
+    (* Callers grow one node at a time (incremental sessions), so over-
+       allocate geometrically — [ensure_nodes] sizes exactly. *)
+    if n > Array.length t.first then
+      ensure_nodes t (max n (2 * Array.length t.first));
+    t.n <- n
+  end
+
+let arc_slots t = t.len
+
 let append t ~src ~dst ~cap ~cost =
   if t.len = Array.length t.heads then grow t;
   let a = t.len in
@@ -85,8 +97,26 @@ let add_arc t ~src ~dst ~cap ~cost =
   let (_ : arc) = append t ~src:dst ~dst:src ~cap:0 ~cost:(-.cost) in
   a
 
+let truncate t len =
+  if len < 0 || len > t.len || len land 1 = 1 then
+    invalid_arg "Graph.truncate: bad arc-slot checkpoint";
+  (* Arcs are appended LIFO per node, so the globally last arc is always
+     the head of its tail's adjacency chain: popping from the end restores
+     each chain to exactly its pre-append state. *)
+  for a = t.len - 1 downto len do
+    t.first.(t.tails.(a)) <- t.next.(a)
+  done;
+  t.len <- len
+
 let check_arc t a =
   if a < 0 || a >= t.len then invalid_arg "Graph: arc out of range"
+
+let set_capacity t a cap =
+  check_arc t a;
+  if a land 1 = 1 then invalid_arg "Graph.set_capacity: backward arc";
+  if cap < 0 then invalid_arg "Graph.set_capacity: negative capacity";
+  t.caps.(a) <- cap;
+  t.caps.(a lxor 1) <- 0
 
 let src t a =
   check_arc t a;

@@ -30,10 +30,32 @@ val reserve : t -> nodes:int -> arcs:int -> unit
     those bounds never reallocate.  Never shrinks.  Invalidates {!raw}
     views.  @raise Invalid_argument on negative sizes. *)
 
+val grow_nodes : t -> n:int -> unit
+(** [grow_nodes t ~n] extends the node range to [0 .. n-1] {e without}
+    touching existing arcs (unlike {!clear}); new nodes start with empty
+    adjacency.  Never shrinks.  Invalidates {!raw} views.  The incremental
+    solver session uses this to stack transient per-batch worker nodes on
+    top of a persistent task plane.  @raise Invalid_argument when
+    [n <= 0]. *)
+
 val node_count : t -> int
 
 val arc_count : t -> int
 (** Number of {e forward} arcs added with {!add_arc}. *)
+
+val arc_slots : t -> int
+(** Number of arc {e slots} in use (2 per forward arc) — a checkpoint
+    token for {!truncate}. *)
+
+val truncate : t -> int -> unit
+(** [truncate t len] retracts every arc appended after the {!arc_slots}
+    checkpoint [len], restoring each touched node's adjacency chain to its
+    pre-append state (arcs are appended LIFO per node, so popping from the
+    end is exact).  Retracted arc ids become invalid; {!raw} views are
+    invalidated.  Any flow routed through a retracted arc pair is
+    discarded with it — push back first if the residual state of surviving
+    arcs must stay consistent.  @raise Invalid_argument when [len] is
+    negative, odd, or beyond the current slot count. *)
 
 val add_arc : t -> src:int -> dst:int -> cap:int -> cost:float -> arc
 (** Adds a forward arc and its zero-capacity reverse.  Returns the forward
@@ -54,6 +76,14 @@ val flow : t -> arc -> int
 val push : t -> arc -> int -> unit
 (** [push t a x] routes [x] more units through [a] (and removes them from its
     reverse).  @raise Invalid_argument when [x] exceeds the residual. *)
+
+val set_capacity : t -> arc -> int -> unit
+(** [set_capacity t a cap] re-dimensions forward arc [a] to capacity [cap]
+    and zeroes its reverse residual — i.e. discards any flow currently
+    routed through the pair and makes the arc fresh again.  The incremental
+    solver session uses this to re-capacitate persistent task->sink arcs
+    between batches.  @raise Invalid_argument on a backward (odd) arc id or
+    negative capacity. *)
 
 val iter_arcs_from : t -> int -> (arc -> unit) -> unit
 (** All arcs (forward and backward) leaving a node, most recent first. *)

@@ -2,7 +2,12 @@ type result = {
   flow : int;
   cost : float;
   rounds : int;
+  exhausted : bool;
 }
+
+type budget =
+  | Rounds of int
+  | Deadline_s of float
 
 (* Tolerance for reduced-cost non-negativity under float arithmetic. *)
 let epsilon = 1e-9
@@ -65,6 +70,11 @@ type workspace = {
   heap : Node_heap.t;
   mutable ring : int array;    (* SPFA FIFO ring buffer *)
   mutable counts : int array;  (* SPFA relaxation counters *)
+  (* Nodes stamped by the current Dijkstra pass, recorded only under
+     [`Keep] so the potential update can walk the touched set instead of
+     all n nodes — the part that makes incremental resolves sub-linear. *)
+  mutable touched : int array;
+  mutable n_touched : int;
 }
 
 let create_workspace ?(hint = 16) () =
@@ -79,6 +89,8 @@ let create_workspace ?(hint = 16) () =
     heap = Node_heap.create ~n:hint;
     ring = [||];
     counts = [||];
+    touched = Array.make hint 0;
+    n_touched = 0;
   }
 
 let workspace_capacity ws = Array.length ws.pot
@@ -104,10 +116,17 @@ let ensure_workspace ws ~n =
     let flag = Bytes.make cap '\000' in
     Bytes.blit ws.flag 0 flag 0 old;
     ws.flag <- flag;
+    (* The touched list is reset per pass; stale contents never survive. *)
+    ws.touched <- Array.make cap 0;
     Node_heap.ensure_capacity ws.heap ~n:cap
   end
 
-let potentials ws = ws.pot
+let borrow_potentials ws = ws.pot
+
+let copy_potentials ws ~n =
+  if n < 0 || n > Array.length ws.pot then
+    invalid_arg "Mcmf.copy_potentials: n out of range";
+  Array.sub ws.pot 0 n
 
 (* SPFA-side scratch (ring + relax counters); stale contents are masked by
    the epoch stamp, so growth can drop old values. *)
@@ -131,7 +150,7 @@ let ws_set_epoch ws e = ws.epoch <- e
 (* ---------------------------------------------------- potential initialisers *)
 
 type potential_init =
-  [ `Bellman_ford | `Dag_topo | `Warm_start of float array ]
+  [ `Bellman_ford | `Dag_topo | `Warm_start of float array | `Keep ]
 
 (* Bellman-Ford over residual arcs; fills [pot] with shortest-path distances
    from [source] (unreachable nodes keep 0, which is safe: they can only be
@@ -210,6 +229,7 @@ let warm_candidate_valid (raw : Graph.raw) cand =
 
 let init_potentials (raw : Graph.raw) ~n ~source ~init pot =
   match init with
+  | `Keep -> ()
   | `Bellman_ford -> bellman_ford raw ~n ~source pot
   | `Dag_topo -> dag_topo_init raw ~n ~source pot
   | `Warm_start cand ->
@@ -227,7 +247,7 @@ let init_potentials (raw : Graph.raw) ~n ~source ~init pot =
 (* --------------------------------------------------------------------- run *)
 
 let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
-    ?(init = `Bellman_ford) g ~source ~sink =
+    ?(init = `Bellman_ford) ?budget g ~source ~sink =
   let n = Graph.node_count g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
     invalid_arg "Mcmf.run: node out of range";
@@ -250,8 +270,18 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
   and pred = ws.pred
   and stamp = ws.stamp
   and settled = ws.flag
+  and touched = ws.touched
   and heap = ws.heap in
   init_potentials raw ~n ~source ~init pot;
+  (* [`Keep] doubles as the incremental-resolve mode: potentials are
+     trusted as-is {e and} the per-round potential update walks only the
+     nodes this pass touched.  That sparse update differs from the dense
+     one by a uniform [-d_sink] shift across all nodes (untouched nodes
+     advance by [d_sink] in the dense form, by [0] here), and uniform
+     shifts leave every reduced cost — and the [path_cost] difference
+     below — unchanged, so flows and costs agree with the dense update in
+     exact arithmetic. *)
+  let sparse = match init with `Keep -> true | _ -> false in
   (* Dijkstra on reduced costs, stopping as soon as the sink settles.
      Labels are valid only where [stamp.(v)] equals this pass's epoch —
      unstamped nodes read as dist = infinity, unsettled, which replaces the
@@ -265,6 +295,10 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
     Array.unsafe_set dist source 0.0;
     Array.unsafe_set stamp source ep;
     Bytes.unsafe_set settled source '\000';
+    if sparse then begin
+      Array.unsafe_set touched 0 source;
+      ws.n_touched <- 1
+    end;
     Node_heap.push_or_decrease heap source 0.0;
     let reached_sink = ref false in
     let continue = ref true in
@@ -304,7 +338,11 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
                   Array.unsafe_set pred v arc;
                   if not stamped then begin
                     Array.unsafe_set stamp v ep;
-                    Bytes.unsafe_set settled v '\000'
+                    Bytes.unsafe_set settled v '\000';
+                    if sparse then begin
+                      Array.unsafe_set touched ws.n_touched v;
+                      ws.n_touched <- ws.n_touched + 1
+                    end
                   end;
                   Node_heap.push_or_decrease heap v nd
                 end
@@ -320,8 +358,34 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
   let total_cost = ref 0.0 in
   let rounds = ref 0 in
   let continue = ref true in
+  (* Anytime budget: checked before each shortest-path pass, so a budgeted
+     run always returns a flow that is a valid prefix of the exact run's
+     augmentation sequence (SSPA's prefix-optimality: the first k routed
+     units form a min-cost k-flow). *)
+  let round_budget, deadline =
+    match budget with
+    | None -> (max_int, infinity)
+    | Some (Rounds r) ->
+      if r < 0 then invalid_arg "Mcmf.run: negative round budget";
+      (r, infinity)
+    | Some (Deadline_s d) ->
+      if not (d >= 0.0) then invalid_arg "Mcmf.run: negative deadline budget";
+      (max_int, Ltc_util.Fault.Clock.now_s () +. d)
+  in
+  let exhausted = ref false in
+  let within_budget () =
+    if
+      !rounds >= round_budget
+      || (deadline < infinity && Ltc_util.Fault.Clock.now_s () > deadline)
+    then begin
+      exhausted := true;
+      false
+    end
+    else true
+  in
   while
     !continue && !total_flow < max_flow
+    && within_budget ()
     &&
     (Ltc_util.Metrics.Counter.incr m_dijkstra;
      dijkstra ())
@@ -333,15 +397,25 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
     else begin
       incr rounds;
       (* Early-exit potential update: unsettled nodes advance by the sink
-         distance, settled ones by their own distance. *)
+         distance, settled ones by their own distance.  In sparse mode the
+         same update is applied modulo a uniform [-d_sink] shift, visiting
+         only touched nodes (untouched ones advance by 0 instead of
+         [d_sink]); reduced costs are identical either way. *)
       let d_sink = dist.(sink) in
-      for v = 0 to n - 1 do
-        let dv =
-          if Array.unsafe_get stamp v = ep then Array.unsafe_get dist v
-          else infinity
-        in
-        pot.(v) <- pot.(v) +. Float.min dv d_sink
-      done;
+      if sparse then
+        for k = 0 to ws.n_touched - 1 do
+          let v = Array.unsafe_get touched k in
+          let dv = Array.unsafe_get dist v in
+          if dv < d_sink then pot.(v) <- pot.(v) +. (dv -. d_sink)
+        done
+      else
+        for v = 0 to n - 1 do
+          let dv =
+            if Array.unsafe_get stamp v = ep then Array.unsafe_get dist v
+            else infinity
+          in
+          pot.(v) <- pot.(v) +. Float.min dv d_sink
+        done;
       (* Bottleneck along the predecessor chain. *)
       let rec bottleneck v acc =
         if v = source then acc
@@ -366,4 +440,5 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
   ws.epoch <- !epoch;
   Ltc_util.Metrics.Counter.add m_rounds !rounds;
   Ltc_util.Metrics.Counter.add m_flow !total_flow;
-  { flow = !total_flow; cost = !total_cost; rounds = !rounds }
+  { flow = !total_flow; cost = !total_cost; rounds = !rounds;
+    exhausted = !exhausted }

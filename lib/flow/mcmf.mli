@@ -26,7 +26,27 @@ type result = {
   flow : int;      (** total units routed from source to sink *)
   cost : float;    (** total cost of the routed flow *)
   rounds : int;    (** number of augmenting iterations *)
+  exhausted : bool;
+      (** the anytime budget stopped the search before the solver proved
+          the flow maximal — the result is a valid partial (prefix-optimal)
+          flow, not necessarily a maximum one.  Always [false] without a
+          [budget]. *)
 }
+
+type budget =
+  | Rounds of int
+      (** stop after at most this many augmenting rounds (>= 0) *)
+  | Deadline_s of float
+      (** stop starting new rounds once this much wall time elapsed since
+          the call, measured with {!Ltc_util.Fault.Clock} so tests and the
+          chaos harness can virtualise it (>= 0) *)
+(** Anytime cutoff for {!run}.  The budget is checked {e between}
+    shortest-path passes, so the routed units always form a minimum-cost
+    [k]-flow for the [k] actually routed (SSPA routes cheapest paths in
+    non-decreasing cost order); the caller can greedily complete the
+    remainder.  A budget can only truncate the augmentation sequence —
+    with a budget that never fires the run is identical to an unbudgeted
+    one. *)
 
 (** {2 Reusable workspace} *)
 
@@ -43,13 +63,20 @@ val create_workspace : ?hint:int -> unit -> workspace
 val workspace_capacity : workspace -> int
 (** Current node capacity of the workspace arrays. *)
 
-val potentials : workspace -> float array
-(** The workspace's node-potential array.  After {!run} returns, entries
-    [0 .. node_count - 1] hold the final potentials of that solve — the
-    exact shortest-path distances the next solve may try to reuse via
-    [`Warm_start].  The array is the live workspace storage: it is
-    overwritten by the next solve and may be replaced (grown) by it, so
-    read or copy what you need before solving again. *)
+val borrow_potentials : workspace -> float array
+(** The workspace's {e live} node-potential array — a borrow, not a copy.
+    After {!run} returns, entries [0 .. node_count - 1] hold the final
+    potentials of that solve, which the next solve may reuse via
+    [`Warm_start] (or keep alive via [`Keep]).  The borrow is invalidated
+    by the next solve: the array is overwritten, and {e replaced entirely}
+    when the workspace grows — a caller holding the old array would then
+    silently read stale values.  Read or copy what you need before solving
+    again; use {!copy_potentials} to keep values across solves. *)
+
+val copy_potentials : workspace -> n:int -> float array
+(** [copy_potentials ws ~n] is a fresh copy of the first [n] potentials —
+    safe to hold across later solves, unlike {!borrow_potentials}.
+    @raise Invalid_argument when [n] exceeds {!workspace_capacity}. *)
 
 (** {2 Potential initialisation} *)
 
@@ -76,13 +103,28 @@ type potential_init =
         but an accepted warm start may resolve sub-epsilon cost ties along
         a different shortest path than the fresh-init solve would.
         @raise Invalid_argument when the array is shorter than the node
-        count. *) ]
+        count. *)
+  | `Keep
+    (** Trust the workspace potentials exactly as the caller maintained
+        them — no initialisation, no validation scan.  This is the
+        incremental-resolve mode ({!Solver}'s session protocol): the
+        caller keeps the residual network and potentials alive across
+        solves and repairs reduced-cost feasibility itself when inserting
+        arcs.  [`Keep] also switches the per-round potential update to a
+        sparse walk of the nodes the shortest-path pass touched (the dense
+        update is O(V) per round and would defeat sub-linear resolves);
+        the sparse form differs from the dense one only by a uniform
+        per-round shift, which no reduced cost or path cost can observe.
+        {b Precondition}: every residual arc has non-negative reduced cost
+        (within epsilon) under the current workspace potentials; violating
+        it silently loses the min-cost guarantee. *) ]
 
 val run :
   ?max_flow:int ->
   ?stop_on_nonnegative:bool ->
   ?workspace:workspace ->
   ?init:potential_init ->
+  ?budget:budget ->
   Graph.t ->
   source:int ->
   sink:int ->
@@ -98,10 +140,13 @@ val run :
 
     [workspace] supplies the per-solve scratch; without it a fresh one is
     allocated for this call.  [init] selects the potential initialiser
-    (default [`Bellman_ford]); see {!potential_init}.
+    (default [`Bellman_ford]); see {!potential_init}.  [budget] bounds the
+    search ({!budget}); when it fires, the result carries
+    [exhausted = true] and the routed units are a minimum-cost flow of
+    their own value.
 
-    @raise Invalid_argument when [source = sink] or nodes are out of
-    range. *)
+    @raise Invalid_argument when [source = sink], nodes are out of range,
+    or the budget is negative. *)
 
 (**/**)
 
@@ -109,6 +154,7 @@ val run :
    predecessor / stamp labels, its FIFO ring and relaxation counters).  Not
    part of the public API. *)
 
+val ensure_workspace : workspace -> n:int -> unit
 val ensure_spfa_scratch : workspace -> n:int -> unit
 val ws_dist : workspace -> float array
 val ws_pred : workspace -> int array

@@ -19,8 +19,8 @@ let m_spfa =
   Ltc_util.Metrics.counter ~help:"SPFA shortest-path passes" ~labels
     "ltc_flow_mcmf_spfa_passes_total"
 
-let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace g
-    ~source ~sink =
+let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace
+    ?budget g ~source ~sink =
   let n = Graph.node_count g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
     invalid_arg "Mcmf_spfa.run: node out of range";
@@ -109,8 +109,33 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace g
   let total_cost = ref 0.0 in
   let rounds = ref 0 in
   let continue = ref true in
+  (* Same anytime semantics as {!Mcmf.run}: checked between passes, so the
+     routed units are always a min-cost flow of their own value. *)
+  let round_budget, deadline =
+    match budget with
+    | None -> (max_int, infinity)
+    | Some (Mcmf.Rounds r) ->
+      if r < 0 then invalid_arg "Mcmf_spfa.run: negative round budget";
+      (r, infinity)
+    | Some (Mcmf.Deadline_s d) ->
+      if not (d >= 0.0) then
+        invalid_arg "Mcmf_spfa.run: negative deadline budget";
+      (max_int, Ltc_util.Fault.Clock.now_s () +. d)
+  in
+  let exhausted = ref false in
+  let within_budget () =
+    if
+      !rounds >= round_budget
+      || (deadline < infinity && Ltc_util.Fault.Clock.now_s () > deadline)
+    then begin
+      exhausted := true;
+      false
+    end
+    else true
+  in
   while
     !continue && !total_flow < max_flow
+    && within_budget ()
     &&
     (Ltc_util.Metrics.Counter.incr m_spfa;
      spfa ())
@@ -142,4 +167,5 @@ let run ?(max_flow = max_int) ?(stop_on_nonnegative = false) ?workspace g
   Mcmf.ws_set_epoch ws !epoch;
   Ltc_util.Metrics.Counter.add m_rounds !rounds;
   Ltc_util.Metrics.Counter.add m_flow !total_flow;
-  { Mcmf.flow = !total_flow; cost = !total_cost; rounds = !rounds }
+  { Mcmf.flow = !total_flow; cost = !total_cost; rounds = !rounds;
+    exhausted = !exhausted }

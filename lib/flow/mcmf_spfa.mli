@@ -15,9 +15,10 @@ val run :
   ?max_flow:int ->
   ?stop_on_nonnegative:bool ->
   ?workspace:Mcmf.workspace ->
+  ?budget:Mcmf.budget ->
   Graph.t ->
   source:int ->
   sink:int ->
   Mcmf.result
 (** Same contract as {!Mcmf.run} (modulo [init]: SPFA needs no
-    potentials). *)
+    potentials), including the anytime [budget]. *)

@@ -38,16 +38,20 @@ sweep (5 x 1 x 5 for fig3-K):
 flow-batch-reuse races the min-cost-flow hot-path regimes (cold solves vs
 reused arena + DAG/warm potentials) on identical batch sequences.  Its
 JSON entry is numeric-only; timings and speedups vary, the schema and the
-cross-variant checksum do not:
+cross-variant checksums (one per shape: the 8-worker trickle and the
+~100x batch) do not.  --scale shrinks the task plane and the 100x batch
+width so the smoke run stays fast:
 
-  $ ltc-bench flow-batch-reuse --json flow.json > /dev/null
+  $ ltc-bench flow-batch-reuse --scale 0.02 --json flow.json > /dev/null
   $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' flow.json
   {
-    "BENCH_flow_batch": {"batches": _, "nodes": _, "arcs": _, "flow_units": _, "cold_bf_s": _, "reuse_dag_s": _, "reuse_warm_s": _, "speedup_dag": _, "speedup_warm": _, "checksum_ok": _}
+    "BENCH_flow_batch": {"batches": _, "nodes": _, "arcs": _, "flow_units": _, "cold_bf_s": _, "reuse_dag_s": _, "reuse_warm_s": _, "incremental_s": _, "speedup_dag": _, "speedup_warm": _, "speedup_incremental": _, "checksum_ok": _, "x100_batches": _, "x100_nodes": _, "x100_arcs": _, "x100_flow_units": _, "x100_cold_bf_s": _, "x100_reuse_dag_s": _, "x100_reuse_warm_s": _, "x100_incremental_s": _, "x100_speedup_dag": _, "x100_speedup_warm": _, "x100_speedup_incremental": _, "x100_checksum_ok": _}
   }
 
   $ grep -o '"checksum_ok": 1' flow.json
   "checksum_ok": 1
+  $ grep -o '"x100_checksum_ok": 1' flow.json
+  "x100_checksum_ok": 1
 
 serve-replay races the streaming service's three regimes — plain feed,
 journaled feed and checkpoint/restore — on one arrival stream.  Timings

@@ -1,0 +1,57 @@
+The solver registry is listed by `ltc solvers` — one row per backend
+with its capability bits (session protocol, potential warm starts,
+anytime budgets):
+
+  $ ltc solvers
+  NAME         INCREMENTAL  POTENTIALS  ANYTIME
+  sspa         false        true        true
+  spfa         false        false       true
+  incremental  true         false       true
+
+`ltc run --mcf-solver` selects the per-batch flow backend of MCF-LTC.
+All backends route the same min-cost flow, so the arrangement — and the
+whole outcome line — is identical across them (wall-clock normalised):
+
+  $ ltc run --scale 0.004 --seed 7 --algo MCF-LTC --validate \
+  >   | sed 's/([0-9.]* s)/(T s)/' > sspa.out
+  $ cat sspa.out
+  instance{|T|=12, |W|=160, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  
+  MCF-LTC: latency=36 assignments=94 completed=true consumed=36 mem=0.01MB  (T s)
+    constraints: all satisfied
+
+
+  $ ltc run --scale 0.004 --seed 7 --algo MCF-LTC --validate --mcf-solver spfa \
+  >   | sed 's/([0-9.]* s)/(T s)/' | diff sspa.out -
+
+  $ ltc run --scale 0.004 --seed 7 --algo MCF-LTC --validate --mcf-solver incremental \
+  >   | sed 's/([0-9.]* s)/(T s)/' | diff sspa.out -
+
+Unknown backends fail like unknown algorithms do, listing the registry:
+
+  $ ltc run --scale 0.004 --algo MCF-LTC --mcf-solver simplex
+  unknown solver "simplex" (try: sspa, spfa, incremental)
+  [1]
+
+--mcf-budget-rounds is the anytime cutoff.  A zero budget exhausts every
+batch solve, so the greedy completion pass decides everything; the result
+is still feasible and complete, and the outcome line reports the degraded
+batches (also exported as the solver-anytime degradation counter,
+separate from the engine's fallback-policy label):
+
+  $ ltc run --scale 0.004 --seed 7 --algo MCF-LTC --validate \
+  >   --mcf-budget-rounds 0 --metrics snap.prom --metrics-format prom \
+  >   | sed 's/([0-9.]* s)/(T s)/'
+  instance{|T|=12, |W|=160, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  
+  MCF-LTC: latency=33 assignments=96 completed=true consumed=36 mem=0.01MB degraded=4  (T s)
+    constraints: all satisfied
+
+
+  $ grep '^ltc_engine_degraded_total' snap.prom
+  ltc_engine_degraded_total{algo="MCF-LTC",fallback="solver-anytime"} 4
+
+A lavish budget never fires and reproduces the exact solve:
+
+  $ ltc run --scale 0.004 --seed 7 --algo MCF-LTC --validate \
+  >   --mcf-budget-rounds 100000 | sed 's/([0-9.]* s)/(T s)/' | diff sspa.out -

@@ -305,7 +305,11 @@ let test_mcf_batch_config () =
   let o =
     Mcf_ltc.run
       ~config:
-        { Mcf_ltc.first_batch_factor = 0.5; batch_factor = 0.5; warm_start = false }
+        {
+          Mcf_ltc.default_config with
+          first_batch_factor = 0.5;
+          batch_factor = 0.5;
+        }
       i
   in
   Alcotest.(check bool) "small batches still complete" true o.Engine.completed;
@@ -314,12 +318,80 @@ let test_mcf_batch_config () =
       ignore
         (Mcf_ltc.run
            ~config:
-             {
-               Mcf_ltc.first_batch_factor = 0.0;
-               batch_factor = 1.0;
-               warm_start = false;
-             }
+             { Mcf_ltc.default_config with first_batch_factor = 0.0 }
            i))
+
+let test_mcf_solver_backends () =
+  (* Every registered flow backend must yield the same arrangement quality:
+     same latency, same assignment count, valid and complete.  The
+     incremental session additionally exercises the cross-batch
+     residual-reuse path end to end. *)
+  List.iter
+    (fun seed ->
+      let i = Fixtures.small_random ~seed () in
+      let run solver =
+        Mcf_ltc.run ~config:{ Mcf_ltc.default_config with solver } i
+      in
+      let base = run "sspa" in
+      Alcotest.(check int) "sspa telemetry clean" 0
+        base.Engine.telemetry.Engine.degraded;
+      List.iter
+        (fun solver ->
+          let o = run solver in
+          (match Arrangement.validate i o.Engine.arrangement with
+          | Ok () -> ()
+          | Error _ ->
+            Alcotest.failf "%s produced an invalid arrangement" solver);
+          Alcotest.(check bool) (solver ^ " completes") true
+            o.Engine.completed;
+          Alcotest.(check int)
+            (Printf.sprintf "%s latency (seed %d)" solver seed)
+            base.Engine.latency o.Engine.latency;
+          Alcotest.(check int)
+            (Printf.sprintf "%s assignments (seed %d)" solver seed)
+            (Arrangement.size base.Engine.arrangement)
+            (Arrangement.size o.Engine.arrangement))
+        [ "spfa"; "incremental" ])
+    [ 8; 21 ];
+  Alcotest.check_raises "unknown solver name surfaces"
+    (Invalid_argument
+       "Solver.create: unknown solver \"simplex\" (try: sspa, spfa, \
+        incremental)") (fun () ->
+      ignore
+        (Mcf_ltc.run
+           ~config:{ Mcf_ltc.default_config with solver = "simplex" }
+           (Fixtures.small_random ~seed:8 ())))
+
+let test_mcf_anytime_budget () =
+  let i = Fixtures.small_random ~seed:9 () in
+  let run ?budget solver =
+    Mcf_ltc.run ~config:{ Mcf_ltc.default_config with solver; budget } i
+  in
+  let exact = run "sspa" in
+  (* A budget that can never fire changes nothing and reports clean. *)
+  let lavish = run ~budget:(Ltc_flow.Mcmf.Rounds max_int) "sspa" in
+  Alcotest.(check int) "lavish budget = exact latency" exact.Engine.latency
+    lavish.Engine.latency;
+  Alcotest.(check int) "lavish budget never degrades" 0
+    lavish.Engine.telemetry.Engine.degraded;
+  (* A zero budget starves every batch solve; the greedy completion must
+     still produce a feasible, complete arrangement, and every batch is
+     counted as degraded. *)
+  List.iter
+    (fun solver ->
+      let o = run ~budget:(Ltc_flow.Mcmf.Rounds 0) solver in
+      (match Arrangement.validate i o.Engine.arrangement with
+      | Ok () -> ()
+      | Error _ ->
+        Alcotest.failf "%s starved arrangement invalid" solver);
+      Alcotest.(check bool)
+        (solver ^ " greedy completion still completes")
+        true o.Engine.completed;
+      Alcotest.(check bool)
+        (solver ^ " degraded batches counted")
+        true
+        (o.Engine.telemetry.Engine.degraded > 0))
+    [ "sspa"; "incremental" ]
 
 let test_mcf_empty_instance () =
   let i =
@@ -519,7 +591,7 @@ let noshow_config ~accept_rate ~seed =
     degrade = None;
   }
 
-let test_noshow_full_rate_equals_run_policy () =
+let test_noshow_full_rate_equals_plain_run () =
   let i = Fixtures.small_random ~seed:91 () in
   let a = Laf.run i in
   let b =
@@ -964,6 +1036,9 @@ let suite =
         Alcotest.test_case "Random baseline seed-sensitive" `Quick
           test_random_seed_changes_runs;
         Alcotest.test_case "MCF batch config" `Quick test_mcf_batch_config;
+        Alcotest.test_case "MCF solver backends agree" `Quick
+          test_mcf_solver_backends;
+        Alcotest.test_case "MCF anytime budget" `Quick test_mcf_anytime_budget;
         Alcotest.test_case "MCF empty instance" `Quick test_mcf_empty_instance;
         Alcotest.test_case "tie cost vs solver epsilon" `Quick
           test_tie_cost_epsilon;
@@ -1000,8 +1075,8 @@ let suite =
       ] );
     ( "algo.noshow",
       [
-        Alcotest.test_case "q=1 equals run_policy" `Quick
-          test_noshow_full_rate_equals_run_policy;
+        Alcotest.test_case "q=1 equals plain run" `Quick
+          test_noshow_full_rate_equals_plain_run;
         Alcotest.test_case "no-shows cost latency" `Quick
           test_noshow_costs_latency;
         Alcotest.test_case "answered arrangement validates" `Quick

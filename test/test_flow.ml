@@ -507,7 +507,7 @@ let prop_dag_init_same_potentials =
       ignore (Mcmf.run g1 ~workspace:ws1 ~max_flow:0 ~source ~sink);
       ignore
         (Mcmf.run g2 ~workspace:ws2 ~max_flow:0 ~init:`Dag_topo ~source ~sink);
-      let p1 = Mcmf.potentials ws1 and p2 = Mcmf.potentials ws2 in
+      let p1 = Mcmf.borrow_potentials ws1 and p2 = Mcmf.borrow_potentials ws2 in
       let ok = ref true in
       for v = 0 to Graph.node_count g1 - 1 do
         if p1.(v) <> p2.(v) then ok := false
@@ -527,7 +527,7 @@ let prop_warm_start_agrees =
          solved residual, not necessarily on the fresh graph — exercises
          both the accept and the reject-and-fall-back paths. *)
       ignore (Mcmf.run g3 ~workspace:ws ~source ~sink);
-      let cand = Array.sub (Mcmf.potentials ws) 0 n in
+      let cand = Array.sub (Mcmf.borrow_potentials ws) 0 n in
       let r1 = Mcmf.run g1 ~source ~sink in
       let r2 = Mcmf.run g2 ~workspace:ws ~init:(`Warm_start cand) ~source ~sink in
       r1.Mcmf.flow = r2.Mcmf.flow
@@ -542,6 +542,316 @@ let prop_spfa_workspace_reuse =
       let r1 = Mcmf_spfa.run g1 ~source ~sink in
       let r2 = Mcmf_spfa.run g2 ~workspace:ws ~source ~sink in
       r1.Mcmf.flow = r2.Mcmf.flow && r1.Mcmf.cost = r2.Mcmf.cost)
+
+(* ---------------------------------------------------------------- Solver *)
+
+let test_graph_truncate () =
+  let g = Graph.create ~n:4 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:0.5 in
+  let mark = Graph.arc_slots g in
+  let b = Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:0.0 in
+  let c = Graph.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:0.0 in
+  Graph.push g a 1;
+  Graph.push g b 1;
+  Alcotest.(check int) "arcs before" 3 (Graph.arc_count g);
+  Graph.truncate g mark;
+  Alcotest.(check int) "arcs after" 1 (Graph.arc_count g);
+  Alcotest.(check int) "persistent flow survives" 1 (Graph.flow g a);
+  let seen = ref [] in
+  Graph.iter_arcs_from g 1 (fun arc -> seen := arc :: !seen);
+  (* Only [a]'s backward slot remains in node 1's chain; the retracted
+     forward arcs [b]/[c] are gone. *)
+  Alcotest.(check (list int)) "adjacency restored" [ a lxor 1 ] !seen;
+  (* Re-appending reuses the retracted slots with fresh state. *)
+  let b' = Graph.add_arc g ~src:1 ~dst:2 ~cap:3 ~cost:0.0 in
+  Alcotest.(check int) "slot reused" b b';
+  Alcotest.(check int) "fresh flow" 0 (Graph.flow g b');
+  Alcotest.(check int) "fresh residual" 3 (Graph.residual g b');
+  ignore c;
+  Alcotest.check_raises "odd checkpoint"
+    (Invalid_argument "Graph.truncate: bad arc-slot checkpoint") (fun () ->
+      Graph.truncate g 1);
+  Alcotest.check_raises "checkpoint past end"
+    (Invalid_argument "Graph.truncate: bad arc-slot checkpoint") (fun () ->
+      Graph.truncate g (Graph.arc_slots g + 2))
+
+let test_graph_set_capacity () =
+  let g = Graph.create ~n:2 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:3 ~cost:0.0 in
+  Graph.push g a 2;
+  Alcotest.(check int) "flow routed" 2 (Graph.flow g a);
+  Graph.set_capacity g a 5;
+  Alcotest.(check int) "residual re-dimensioned" 5 (Graph.residual g a);
+  Alcotest.(check int) "flow discarded" 0 (Graph.flow g a);
+  Graph.set_capacity g a 0;
+  Alcotest.(check int) "retired" 0 (Graph.residual g a);
+  Alcotest.check_raises "backward arc"
+    (Invalid_argument "Graph.set_capacity: backward arc") (fun () ->
+      Graph.set_capacity g (a lxor 1) 1);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Graph.set_capacity: negative capacity") (fun () ->
+      Graph.set_capacity g a (-1))
+
+let test_copy_potentials () =
+  let input =
+    (2, 2, 1, 1, [| [| -0.5; -0.2 |]; [| -0.1; -0.8 |] |])
+  in
+  let g, source, sink = build_bipartite input in
+  let ws = Mcmf.create_workspace () in
+  ignore (Mcmf.run g ~workspace:ws ~source ~sink);
+  let n = Graph.node_count g in
+  let copy = Mcmf.copy_potentials ws ~n in
+  let live = Mcmf.borrow_potentials ws in
+  Alcotest.(check int) "length" n (Array.length copy);
+  for v = 0 to n - 1 do
+    Alcotest.(check (float 0.0)) "snapshot matches live" live.(v) copy.(v)
+  done;
+  (* The copy is detached: mutating it leaves the workspace unchanged. *)
+  copy.(0) <- 42.0;
+  Alcotest.(check bool) "detached" true (live.(0) <> 42.0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Mcmf.copy_potentials: n out of range") (fun () ->
+      ignore (Mcmf.copy_potentials ws ~n:(Array.length live + 1)))
+
+let test_budget_validation () =
+  let g = Graph.create ~n:2 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0);
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Mcmf.run: negative round budget") (fun () ->
+      ignore (Mcmf.run g ~budget:(Mcmf.Rounds (-1)) ~source:0 ~sink:1));
+  Alcotest.check_raises "negative deadline"
+    (Invalid_argument "Mcmf.run: negative deadline budget") (fun () ->
+      ignore (Mcmf.run g ~budget:(Mcmf.Deadline_s (-1.0)) ~source:0 ~sink:1))
+
+let test_budget_rounds () =
+  (* Three parallel unit paths: each augmenting round routes one. *)
+  let build () =
+    let g = Graph.create ~n:5 in
+    for i = 0 to 2 do
+      ignore
+        (Graph.add_arc g ~src:0 ~dst:(1 + i) ~cap:1
+           ~cost:(-1.0 +. (0.1 *. float_of_int i)));
+      ignore (Graph.add_arc g ~src:(1 + i) ~dst:4 ~cap:1 ~cost:0.0)
+    done;
+    g
+  in
+  let r0 = Mcmf.run (build ()) ~budget:(Mcmf.Rounds 0) ~source:0 ~sink:4 in
+  Alcotest.(check int) "zero budget routes nothing" 0 r0.Mcmf.flow;
+  Alcotest.(check bool) "zero budget exhausts" true r0.Mcmf.exhausted;
+  let r1 = Mcmf.run (build ()) ~budget:(Mcmf.Rounds 1) ~source:0 ~sink:4 in
+  Alcotest.(check int) "one round, one unit" 1 r1.Mcmf.flow;
+  check_float "cheapest path first" (-1.0) r1.Mcmf.cost;
+  Alcotest.(check bool) "cut short" true r1.Mcmf.exhausted;
+  let exact = Mcmf.run (build ()) ~source:0 ~sink:4 in
+  let lavish =
+    Mcmf.run (build ()) ~budget:(Mcmf.Rounds max_int) ~source:0 ~sink:4
+  in
+  Alcotest.(check int) "lavish budget = exact flow" exact.Mcmf.flow
+    lavish.Mcmf.flow;
+  check_float "lavish budget = exact cost" exact.Mcmf.cost lavish.Mcmf.cost;
+  Alcotest.(check bool) "lavish budget never fires" false lavish.Mcmf.exhausted;
+  let slow =
+    Mcmf.run (build ()) ~budget:(Mcmf.Deadline_s 3600.0) ~source:0 ~sink:4
+  in
+  Alcotest.(check int) "distant deadline = exact" exact.Mcmf.flow
+    slow.Mcmf.flow
+
+(* Budgeted runs return a prefix of the exact augmentation sequence: the k
+   units a budget managed to route cost exactly what an exact [max_flow:k]
+   solve pays (SSPA prefix-optimality).  Exact float equality is deliberate
+   — both runs perform the identical arithmetic. *)
+let prop_anytime_prefix_optimal =
+  QCheck2.Test.make ~name:"anytime budget yields a min-cost prefix flow"
+    ~count:200
+    QCheck2.Gen.(pair random_bipartite_gen (int_range 0 4))
+    (fun (input, rounds) ->
+      let g1, source, sink = build_bipartite input in
+      let g2, _, _ = build_bipartite input in
+      let budgeted =
+        Mcmf.run g1 ~budget:(Mcmf.Rounds rounds) ~source ~sink
+      in
+      let prefix = Mcmf.run g2 ~max_flow:budgeted.Mcmf.flow ~source ~sink in
+      budgeted.Mcmf.flow = prefix.Mcmf.flow
+      && budgeted.Mcmf.cost = prefix.Mcmf.cost)
+
+let test_solver_registry () =
+  Alcotest.(check (list string))
+    "registry order"
+    [ "sspa"; "spfa"; "incremental" ]
+    (Solver.names ());
+  let caps name = Solver.capabilities (Solver.create name) in
+  Alcotest.(check bool) "sspa potentials" true (caps "sspa").Solver.potentials;
+  Alcotest.(check bool) "sspa scratch" false (caps "sspa").Solver.incremental;
+  Alcotest.(check bool) "spfa no potentials" false
+    (caps "spfa").Solver.potentials;
+  Alcotest.(check bool) "incremental" true
+    (caps "incremental").Solver.incremental;
+  Alcotest.(check string) "case insensitive" "sspa"
+    (Solver.name (Solver.create "SSPA"));
+  Alcotest.(check int) "all_capabilities covers registry"
+    (List.length (Solver.names ()))
+    (List.length (Solver.all_capabilities ()));
+  Alcotest.check_raises "unknown solver"
+    (Invalid_argument
+       "Solver.create: unknown solver \"simplex\" (try: sspa, spfa, \
+        incremental)") (fun () -> ignore (Solver.create "simplex"))
+
+let test_solver_scratch_backends () =
+  let input =
+    (3, 3, 2, 2, [| [| -0.5; -0.2; -0.9 |];
+                    [| -0.1; -0.8; -0.3 |];
+                    [| -0.7; -0.4; -0.6 |] |])
+  in
+  let g1, source, sink = build_bipartite input in
+  let g2, _, _ = build_bipartite input in
+  let sspa = Solver.create "sspa" in
+  let spfa = Solver.create "spfa" in
+  let r1 = Solver.solve sspa g1 ~source ~sink in
+  let r2 = Solver.solve spfa g2 ~source ~sink in
+  Alcotest.(check int) "backends agree on flow" r1.Mcmf.flow r2.Mcmf.flow;
+  check_float "backends agree on cost" r1.Mcmf.cost r2.Mcmf.cost;
+  Alcotest.(check int) "scratch solvers own no graph" 0
+    (Solver.memory_words sspa);
+  let inc = Solver.create "incremental" in
+  Alcotest.check_raises "incremental rejects scratch solves"
+    (Invalid_argument
+       "Solver.solve: the incremental solver keeps live session state; use \
+        the resolve protocol") (fun () ->
+      ignore (Solver.solve inc g1 ~source ~sink))
+
+let test_solver_session_discipline () =
+  let sspa = Solver.create "sspa" in
+  Alcotest.check_raises "session calls need an incremental backend"
+    (Invalid_argument "Solver.set_unit: \"sspa\" is not an incremental solver")
+    (fun () -> Solver.set_unit sspa ~unit_id:0 ~cap:1);
+  let s = Solver.create "incremental" in
+  Alcotest.check_raises "add_worker needs an open batch"
+    (Invalid_argument "Solver.add_worker: no open batch") (fun () ->
+      ignore (Solver.add_worker s ~cap:1));
+  Alcotest.check_raises "end_batch needs an open batch"
+    (Invalid_argument "Solver.end_batch: no open batch") (fun () ->
+      Solver.end_batch s);
+  Solver.set_unit s ~unit_id:0 ~cap:1;
+  Solver.begin_batch s;
+  Alcotest.check_raises "set_unit locked while open"
+    (Invalid_argument "Solver.set_unit: batch in progress") (fun () ->
+      Solver.set_unit s ~unit_id:1 ~cap:1);
+  Alcotest.check_raises "no nested batches"
+    (Invalid_argument "Solver.begin_batch: batch already open") (fun () ->
+      Solver.begin_batch s);
+  let w = Solver.add_worker s ~cap:1 in
+  Alcotest.check_raises "links need declared units"
+    (Invalid_argument "Solver.add_link: undeclared unit") (fun () ->
+      ignore (Solver.add_link s ~worker:w ~unit_id:7 ~cost:0.0));
+  let link = Solver.add_link s ~worker:w ~unit_id:0 ~cost:(-0.5) in
+  Alcotest.check_raises "flows only after resolve"
+    (Invalid_argument "Solver.link_flow: resolve first") (fun () ->
+      ignore (Solver.link_flow s link));
+  let r = Solver.resolve s () in
+  Alcotest.(check int) "unit routed" 1 r.Mcmf.flow;
+  check_float "link cost" (-0.5) r.Mcmf.cost;
+  Alcotest.(check int) "link carries the unit" 1 (Solver.link_flow s link);
+  Solver.end_batch s;
+  Alcotest.(check bool) "session owns persistent state" true
+    (Solver.memory_words s > 0)
+
+(* The tentpole cross-check: a long-lived incremental session, fed randomized
+   batches of worker arrivals and task completions, must match a from-scratch
+   SSPA solve of every intermediate state.  The scratch mirror rebuilds the
+   bipartite network from the tracked remaining capacities each batch; the
+   session only hears about the delta (new workers, units whose demand
+   changed).  Flow must agree exactly, cost within float tolerance. *)
+let incremental_scenario_gen =
+  QCheck2.Gen.(
+    let* n_units = int_range 1 4 in
+    let* unit_caps = array_size (return n_units) (int_range 1 3) in
+    let* batches =
+      list_size (int_range 1 5)
+        (let* n_w = int_range 1 3 in
+         let* wcaps = array_size (return n_w) (int_range 1 2) in
+         let* links =
+           array_size (return n_w)
+             (array_size (return n_units)
+                (pair bool (float_range (-1.0) 0.0)))
+         in
+         (* External completions applied after the batch: tasks answered
+            outside this solver's assignments. *)
+         let* completions = array_size (return n_units) bool in
+         return (wcaps, links, completions))
+    in
+    return (unit_caps, batches))
+
+let prop_incremental_matches_scratch =
+  QCheck2.Test.make
+    ~name:"incremental session = from-scratch SSPA on every delta" ~count:300
+    incremental_scenario_gen (fun (unit_caps, batches) ->
+      let n_units = Array.length unit_caps in
+      let sol = Solver.create "incremental" in
+      let rem = Array.copy unit_caps in
+      Array.iteri (fun u cap -> Solver.set_unit sol ~unit_id:u ~cap) rem;
+      List.for_all
+        (fun (wcaps, links, completions) ->
+          let n_w = Array.length wcaps in
+          (* From-scratch mirror of the current remaining demand. *)
+          let n = 2 + n_w + n_units in
+          let g = Graph.create ~n in
+          let src = 0 and snk = n - 1 in
+          Array.iteri
+            (fun i cap ->
+              ignore (Graph.add_arc g ~src ~dst:(1 + i) ~cap ~cost:0.0))
+            wcaps;
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun u (present, cost) ->
+                  if present then
+                    ignore
+                      (Graph.add_arc g ~src:(1 + i) ~dst:(1 + n_w + u) ~cap:1
+                         ~cost))
+                row)
+            links;
+          Array.iteri
+            (fun u cap ->
+              ignore
+                (Graph.add_arc g ~src:(1 + n_w + u) ~dst:snk ~cap ~cost:0.0))
+            rem;
+          let rs = Mcmf.run g ~source:src ~sink:snk in
+          (* The same batch against the live session. *)
+          Solver.begin_batch sol;
+          Array.iteri
+            (fun i cap -> ignore (Solver.add_worker sol ~cap : int); ignore i)
+            wcaps;
+          let batch_links = ref [] in
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun u (present, cost) ->
+                  if present then
+                    batch_links :=
+                      (u, Solver.add_link sol ~worker:i ~unit_id:u ~cost)
+                      :: !batch_links)
+                row)
+            links;
+          let ri = Solver.resolve sol () in
+          let routed = Array.make n_units 0 in
+          List.iter
+            (fun (u, link) ->
+              routed.(u) <- routed.(u) + Solver.link_flow sol link)
+            !batch_links;
+          Solver.end_batch sol;
+          (* Sync the delta: units that received flow, then external
+             completions — exactly the caller obligation MCF-LTC honours. *)
+          for u = 0 to n_units - 1 do
+            let before = rem.(u) in
+            rem.(u) <- rem.(u) - routed.(u);
+            if completions.(u) && rem.(u) > 0 then rem.(u) <- rem.(u) - 1;
+            if rem.(u) <> before || routed.(u) > 0 then
+              Solver.set_unit sol ~unit_id:u ~cap:rem.(u)
+          done;
+          ri.Mcmf.flow = rs.Mcmf.flow
+          && Float.abs (ri.Mcmf.cost -. rs.Mcmf.cost) < 1e-6
+          && (not ri.Mcmf.exhausted))
+        batches)
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -601,5 +911,23 @@ let suite =
         qcheck prop_dag_init_same_potentials;
         qcheck prop_warm_start_agrees;
         qcheck prop_spfa_workspace_reuse;
+      ] );
+    ( "flow.anytime",
+      [
+        Alcotest.test_case "budget validation" `Quick test_budget_validation;
+        Alcotest.test_case "round budgets" `Quick test_budget_rounds;
+        Alcotest.test_case "copy potentials" `Quick test_copy_potentials;
+        qcheck prop_anytime_prefix_optimal;
+      ] );
+    ( "flow.solver",
+      [
+        Alcotest.test_case "graph truncate" `Quick test_graph_truncate;
+        Alcotest.test_case "graph set_capacity" `Quick test_graph_set_capacity;
+        Alcotest.test_case "registry" `Quick test_solver_registry;
+        Alcotest.test_case "scratch backends" `Quick
+          test_solver_scratch_backends;
+        Alcotest.test_case "session discipline" `Quick
+          test_solver_session_discipline;
+        qcheck prop_incremental_matches_scratch;
       ] );
   ]
