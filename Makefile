@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make check` is the one command CI
 # and contributors run before pushing.
 
-.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen bench-shard serve-smoke chaos-smoke loadgen-smoke journal-smoke shard-smoke flow-smoke fmt check clean
+.PHONY: all build test bench bench-smoke bench-flow bench-serve bench-journal bench-loadgen bench-shard bench-chaos serve-smoke chaos-smoke chaos-shard-smoke loadgen-smoke journal-smoke shard-smoke flow-smoke fmt check clean
 
 all: build
 
@@ -30,6 +30,9 @@ serve-smoke:
 
 chaos-smoke:
 	dune build @chaos-smoke
+
+chaos-shard-smoke:
+	dune build @chaos-shard-smoke
 
 # Load-generation pin: the cram test test/cli/loadgen.t drives `ltc
 # loadgen` over shaped virtual-clock traffic and pins the report, the
@@ -79,6 +82,12 @@ bench-journal: bench-serve
 # timed.  Refreshes the committed BENCH_loadgen.json snapshot.
 bench-loadgen:
 	dune exec bench/main.exe -- loadgen --json BENCH_loadgen.json
+
+# Chaos survival cost: one Chaos.run kill/restore pass plus the
+# supervised sharded scenario (per-shard scoped faults, online shard
+# restores).  Refreshes the committed BENCH_chaos_replay.json snapshot.
+bench-chaos:
+	dune exec bench/main.exe -- chaos-replay --json BENCH_chaos_replay.json
 
 # Sharded serving: single session vs 1/2/4/8 spatial shards on a
 # clustered shard-local stream, with a core-scaled speedup bar.

@@ -540,7 +540,13 @@ let run_serve_replay () =
    same stream under a scripted fault plan with kill/restore at every
    injected crash — timed end to end.  The identical flag asserts the
    surviving stream matched the baseline; a 0 here is a correctness
-   regression, not a performance one. *)
+   regression, not a performance one.
+
+   A second scenario runs the same instance through Chaos.run_sharded: a
+   supervised domain-per-shard server under per-shard scoped fault plans,
+   where every crash is an online shard restore (siblings keep serving)
+   rather than a whole-process kill.  sharded_identical pins the same
+   survival guarantee for the supervised path. *)
 let chaos_replay_id = "chaos-replay"
 
 let run_chaos_replay () =
@@ -602,6 +608,51 @@ let run_chaos_replay () =
     (if r.Ltc_service.Chaos.identical then
        "surviving stream identical to fault-free baseline"
      else "STREAMS DIVERGED");
+  let shards = 4 in
+  let s_plan =
+    Ltc_service.Chaos.sharded_plan ~crashes:2 ~io_errors:2 ~torn_writes:2
+      ~horizon:120 ~seed:29 ~shards ()
+  in
+  let sharded_base = Filename.temp_file "ltc_bench_chaos_shard" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (sharded_base
+        :: List.init shards (fun k ->
+               Ltc_service.Shard_server.shard_journal_path ~base:sharded_base
+                 ~shard:k)))
+  @@ fun () ->
+  let sharded_pass () =
+    Ltc_service.Chaos.run_sharded ~checkpoint_every ~plan:s_plan ~shards
+      ~algorithm ~seed ~journal:sharded_base instance
+  in
+  ignore (sharded_pass ());
+  (* warmup *)
+  let sreport = ref (sharded_pass ()) in
+  let (), sdt =
+    Ltc_util.Timer.time (fun () ->
+        for _ = 1 to reps do
+          sreport := sharded_pass ()
+        done)
+  in
+  let sharded_s = sdt /. float_of_int reps in
+  let sr = !sreport in
+  let sharded_per_s =
+    if sharded_s > 0.0 then float_of_int n_events /. sharded_s else 0.0
+  in
+  Printf.printf
+    "sharded: %d shards, %d scripted faults; shard restarts %d (%s), \
+     quarantined %d\n"
+    shards (List.length s_plan) sr.Ltc_service.Chaos.s_restarts
+    (String.concat ","
+       (Array.to_list
+          (Array.map string_of_int sr.Ltc_service.Chaos.s_shard_restarts)))
+    sr.Ltc_service.Chaos.s_quarantined;
+  Printf.printf "sharded checksum: %s\n\n"
+    (if sr.Ltc_service.Chaos.s_identical then
+       "merged stream identical to fault-free baseline"
+     else "STREAMS DIVERGED");
   Ltc_util.Table.print ~float_digits:2
     ~header:[ "variant"; "time/pass (ms)"; "arrivals/s" ]
     [
@@ -610,17 +661,31 @@ let run_chaos_replay () =
         Ltc_util.Table.Float (1000.0 *. chaos_s);
         Ltc_util.Table.Float per_s;
       ];
+      [
+        Ltc_util.Table.Str
+          (Printf.sprintf "sharded chaos (%d shards, online restores)"
+             shards);
+        Ltc_util.Table.Float (1000.0 *. sharded_s);
+        Ltc_util.Table.Float sharded_per_s;
+      ];
     ];
   print_newline ();
   ( "BENCH_chaos_replay",
     Printf.sprintf
       "{\"arrivals\": %d, \"checkpoint_every\": %d, \"plan_faults\": %d, \
        \"kills\": %d, \"restores\": %d, \"degraded\": %d, \"chaos_s\": \
-       %.6f, \"arrivals_per_s\": %.1f, \"identical\": %d}"
+       %.6f, \"arrivals_per_s\": %.1f, \"identical\": %d, \"shards\": %d, \
+       \"sharded_plan_faults\": %d, \"shard_restarts\": %d, \
+       \"shard_quarantined\": %d, \"shard_shed\": %d, \"sharded_chaos_s\": \
+       %.6f, \"sharded_arrivals_per_s\": %.1f, \"sharded_identical\": %d}"
       n_events checkpoint_every (List.length plan)
       r.Ltc_service.Chaos.crashes r.Ltc_service.Chaos.restores
       r.Ltc_service.Chaos.degraded chaos_s per_s
-      (if r.Ltc_service.Chaos.identical then 1 else 0) )
+      (if r.Ltc_service.Chaos.identical then 1 else 0)
+      shards (List.length s_plan) sr.Ltc_service.Chaos.s_restarts
+      sr.Ltc_service.Chaos.s_quarantined sr.Ltc_service.Chaos.s_shed
+      sharded_s sharded_per_s
+      (if sr.Ltc_service.Chaos.s_identical then 1 else 0) )
 
 (* ------------------------------------------------------ loadgen micro *)
 

@@ -777,7 +777,10 @@ let serve_stream_sharded ~on_bad_input server =
      bad %d) latency=%d completed=%b stalls=%d@."
     (Srv.algorithm_name server) (Srv.shards server) (Srv.consumed server)
     (Srv.resumed_at server) (Srv.replayed server) !bad (Srv.latency server)
-    (Srv.completed server) (Srv.stalls server)
+    (Srv.completed server) (Srv.stalls server);
+  if Srv.supervised server then
+    Format.eprintf "serve: supervision: restarts=%d quarantined=%d shed=%d@."
+      (Srv.restarts server) (Srv.quarantined server) (Srv.shed server)
 
 let die fmt =
   Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt
@@ -846,11 +849,71 @@ let mailbox_arg =
           "Bound each shard's arrival mailbox at $(docv) entries; a full \
            mailbox blocks the router (counted as a stall), never drops.")
 
+(* Shard supervision flags (serve and loadgen).  Supervision switches on
+   when either flag departs from "unsupervised" defaults: a restart
+   budget, or shed-on-overload. *)
+let max_restarts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-restarts" ] ~docv:"N"
+        ~doc:
+          "Supervise the shard domains (requires --shards): a shard whose \
+           session crashes is restored online from its own journal, up to \
+           $(docv) times per shard with exponential backoff; beyond that \
+           the shard is quarantined and its arrivals are acknowledged as \
+           explicit unassigned decisions.  $(docv) > 0 requires \
+           --journal.")
+
+let overload_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("block", Ltc_service.Supervisor.Block);
+             ("shed", Ltc_service.Supervisor.Shed);
+           ])
+        Ltc_service.Supervisor.Block
+    & info [ "overload" ] ~docv:"block|shed"
+        ~doc:
+          "What a full shard mailbox does to an arrival (requires \
+           --shards): $(b,block) (default) applies backpressure; \
+           $(b,shed) acknowledges it immediately as an unassigned \
+           degraded decision (counted in ltc_shard_shed_total) without \
+           touching the shard.")
+
+let resolve_supervise ~max_restarts ~overload =
+  match (max_restarts, overload) with
+  | None, Ltc_service.Supervisor.Block -> None
+  | _ ->
+    (* --overload shed alone supervises with a zero restart budget
+       (quarantine-on-crash), which needs no journal. *)
+    Some
+      {
+        Ltc_service.Supervisor.max_restarts =
+          Option.value max_restarts ~default:0;
+        backoff = Ltc_service.Supervisor.default.Ltc_service.Supervisor.backoff;
+        overload;
+      }
+
 let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    resume fsync journal_format group_commit shards mailbox deadline_s
-    fallback_name on_bad_input log_levels metrics metrics_format =
+    resume fsync journal_format group_commit shards mailbox max_restarts
+    overload deadline_s fallback_name on_bad_input log_levels metrics
+    metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
   let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt in
+  let supervise = resolve_supervise ~max_restarts ~overload in
+  if supervise <> None && shards = None && resume = None then
+    fail "--max-restarts/--overload supervise shard domains; they need \
+          --shards (or --resume of a sharded journal)";
+  (match supervise with
+  | Some c
+    when c.Ltc_service.Supervisor.max_restarts > 0
+         && journal = None && resume = None ->
+    fail "--max-restarts > 0 restores shards from their journals; add \
+          --journal PATH"
+  | _ -> ());
   let require_fresh_args () =
     let load =
       match load with
@@ -874,9 +937,9 @@ let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
   let fresh_sharded ~shards () =
     let instance, algorithm, deadline = require_fresh_args () in
     Ltc_service.Shard_server.create ?accept_rate ?deadline ?journal
-      ~checkpoint_every ~fsync ~format:journal_format ~group_commit ~mailbox
-      ~mode:Ltc_service.Shard_server.Domains ~shards ~algorithm ~seed
-      instance
+      ?supervise ~checkpoint_every ~fsync ~format:journal_format
+      ~group_commit ~mailbox ~mode:Ltc_service.Shard_server.Domains ~shards
+      ~algorithm ~seed instance
   in
   let finish_sharded server =
     serve_stream_sharded ~on_bad_input server;
@@ -900,7 +963,7 @@ let serve_cmd_impl load algo_name seed accept_rate journal checkpoint_every
        count, instance and session options. *)
     reject_resume_overrides ();
     finish_sharded
-      (Ltc_service.Shard_server.restore ~mailbox
+      (Ltc_service.Shard_server.restore ~mailbox ?supervise
          ~mode:Ltc_service.Shard_server.Domains ~fsync ~group_commit ~path ())
   | resume -> (
     match shards with
@@ -998,8 +1061,9 @@ let serve_cmd =
     Term.(
       const serve_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
       $ checkpoint_every $ resume $ fsync $ journal_format_arg
-      $ group_commit_arg $ shards_arg $ mailbox_arg $ deadline $ fallback
-      $ on_bad_input $ log_arg $ metrics_arg $ metrics_format_arg)
+      $ group_commit_arg $ shards_arg $ mailbox_arg $ max_restarts_arg
+      $ overload_arg $ deadline $ fallback $ on_bad_input $ log_arg
+      $ metrics_arg $ metrics_format_arg)
 
 (* -------------------------------------------------------- loadgen command *)
 
@@ -1009,10 +1073,21 @@ let serve_cmd =
    and as a Perfetto-loadable Chrome trace.  The default virtual timing
    makes the whole report a pure function of the flags. *)
 let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
-    journal_format group_commit shards mailbox deadline_s fallback_name
-    shape_spec rate arrivals service_mean service_dist timing poisson slo
-    flight_out flight_capacity trace_out log_levels metrics metrics_format =
+    journal_format group_commit shards mailbox max_restarts overload
+    deadline_s fallback_name shape_spec rate arrivals service_mean
+    service_dist timing poisson slo flight_out flight_capacity trace_out
+    log_levels metrics metrics_format =
   setup_observability ~verbose:false ~log_levels ~metrics;
+  let supervise = resolve_supervise ~max_restarts ~overload in
+  if supervise <> None && shards = None then
+    die "loadgen: --max-restarts/--overload supervise shard domains; they \
+         need --shards";
+  (match supervise with
+  | Some c
+    when c.Ltc_service.Supervisor.max_restarts > 0 && journal = None ->
+    die "loadgen: --max-restarts > 0 restores shards from their journals; \
+         add --journal PATH"
+  | _ -> ());
   let algorithm = resolve_algorithm algo_name in
   let deadline = resolve_deadline deadline_s fallback_name in
   let instance = Ltc_core.Serialize.load_instance ~path:load in
@@ -1085,8 +1160,8 @@ let loadgen_cmd_impl load algo_name seed accept_rate journal checkpoint_every
       in
       let server =
         Ltc_service.Shard_server.create ?accept_rate ?deadline ?journal
-          ~checkpoint_every ~format:journal_format ~group_commit ~mailbox
-          ~mode ~shards ~algorithm ~seed instance
+          ?supervise ~checkpoint_every ~format:journal_format ~group_commit
+          ~mailbox ~mode ~shards ~algorithm ~seed instance
       in
       let sharded =
         Ltc_service.Loadgen.run_sharded ?on_breach ~server ~workers config
@@ -1236,7 +1311,8 @@ let loadgen_cmd =
     Term.(
       const loadgen_cmd_impl $ load $ algo $ seed_arg $ accept_rate $ journal
       $ checkpoint_every $ journal_format_arg $ group_commit_arg $ shards_arg
-      $ mailbox_arg $ deadline $ fallback $ shape $ rate $ arrivals
+      $ mailbox_arg $ max_restarts_arg $ overload_arg $ deadline $ fallback
+      $ shape $ rate $ arrivals
       $ service_mean $ service_dist $ timing $ poisson $ slo $ flight_out
       $ flight_capacity $ trace_out $ log_arg $ metrics_arg
       $ metrics_format_arg)
@@ -1250,11 +1326,86 @@ let loadgen_cmd =
 let chaos_cmd =
   let impl load algo_name seed accept_rate fault_seed crashes io_errors
       torn_writes delays horizon checkpoint_every journal journal_format
-      group_commit deadline_s fallback_name log_levels =
+      group_commit shards max_restarts deadline_s fallback_name log_levels =
     setup_observability ~verbose:false ~log_levels ~metrics:None;
     let algorithm = resolve_algorithm algo_name in
     let deadline = resolve_deadline deadline_s fallback_name in
     let instance = Ltc_core.Serialize.load_instance ~path:load in
+    match shards with
+    | Some shards ->
+      (* Sharded chaos: a supervised [`Domains] server under per-shard
+         scoped faults, diffed against the inline unsupervised baseline.
+         Runs deadline-free — see Chaos.run_sharded. *)
+      if deadline_s <> None || fallback_name <> None then
+        die "chaos --shards runs deadline-free; drop --deadline/--fallback";
+      let plan =
+        Ltc_service.Chaos.sharded_plan ~crashes ~io_errors ~torn_writes
+          ~delays ~horizon ~seed:fault_seed ~shards ()
+      in
+      let supervise =
+        Option.map
+          (fun n ->
+            { Ltc_service.Supervisor.default with
+              Ltc_service.Supervisor.max_restarts = n })
+          max_restarts
+      in
+      let journal_path, cleanup_base =
+        match journal with
+        | Some p -> (p, fun () -> ())
+        | None ->
+          let p = Filename.temp_file "ltc-chaos" ".journal" in
+          (p, fun () -> try Sys.remove p with Sys_error _ -> ())
+      in
+      let cleanup () =
+        cleanup_base ();
+        if journal = None then
+          for k = 0 to shards - 1 do
+            try
+              Sys.remove
+                (Ltc_service.Shard_server.shard_journal_path
+                   ~base:journal_path ~shard:k)
+            with Sys_error _ -> ()
+          done
+      in
+      let r =
+        Fun.protect ~finally:cleanup (fun () ->
+            Ltc_service.Chaos.run_sharded ?accept_rate ?supervise
+              ~checkpoint_every ~format:journal_format ~group_commit ~plan
+              ~shards ~algorithm ~seed ~journal:journal_path instance)
+      in
+      let open Ltc_service.Chaos in
+      Format.printf
+        "chaos: algorithm=%s shards=%d arrivals=%d seed=%d fault-seed=%d@."
+        algorithm.Ltc_algo.Algorithm.name r.s_shards r.s_arrivals seed
+        fault_seed;
+      Format.printf
+        "chaos: plan: %d crashes, %d io-errors, %d torn-writes, %d delays \
+         per shard (horizon %d)@."
+        crashes io_errors torn_writes delays horizon;
+      Format.printf
+        "chaos: fired: crashes=%d io-errors=%d torn-writes=%d delays=%d@."
+        r.s_stats.Ltc_util.Fault.crashes r.s_stats.Ltc_util.Fault.io_errors
+        r.s_stats.Ltc_util.Fault.torn_writes
+        r.s_stats.Ltc_util.Fault.delays;
+      Format.printf
+        "chaos: restarts=%d (%s) quarantined=%d shed=%d degraded=%d@."
+        r.s_restarts
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int r.s_shard_restarts)))
+        r.s_quarantined r.s_shed r.s_degraded;
+      if r.s_identical then begin
+        Format.printf
+          "chaos: merged decision stream identical to fault-free baseline@.";
+        0
+      end
+      else begin
+        Format.printf "chaos: DIVERGED: %s@."
+          (Option.value r.s_divergence ~default:"(no detail)");
+        1
+      end
+    | None ->
+    if max_restarts <> None then
+      die "chaos: --max-restarts only applies to --shards runs";
     let plan =
       Ltc_util.Fault.plan ~crashes ~io_errors ~torn_writes ~delays ~horizon
         ~seed:fault_seed
@@ -1368,6 +1519,23 @@ let chaos_cmd =
          & info [ "fallback" ] ~docv:"NAME"
              ~doc:"Deadline fallback algorithm (default Nearest).")
   in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Run the sharded variant: a supervised domain-per-shard \
+                   server under per-shard scoped fault plans (the fault \
+                   counts apply to $(b,each) shard), killing and \
+                   restoring individual shards online, diffed against an \
+                   unsupervised inline baseline.")
+  in
+  let max_restarts =
+    Arg.(value & opt (some int) None
+         & info [ "max-restarts" ] ~docv:"N"
+             ~doc:"Per-shard restart budget for --shards runs (default: \
+                   large enough that the plan can never quarantine).  \
+                   Small values exercise quarantine, which diverges by \
+                   design.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"replay a workload under scripted faults and verify the \
@@ -1376,7 +1544,7 @@ let chaos_cmd =
       const impl $ load $ algo $ seed_arg $ accept_rate $ fault_seed
       $ crashes $ io_errors $ torn_writes $ delays $ horizon
       $ checkpoint_every $ journal $ journal_format_arg $ group_commit_arg
-      $ deadline $ fallback $ log_arg)
+      $ shards $ max_restarts $ deadline $ fallback $ log_arg)
 
 (* -------------------------------------------------------- journal command *)
 
@@ -1399,8 +1567,63 @@ let journal_cmd =
       die "journal %s: %s is a directory, not a journal file" cmd path
   in
   let inspect_cmd =
+    (* One shard journal, summarized on a single line: codec, record
+       counts, durable prefix and torn-tail status. *)
+    let inspect_shard ~base k =
+      let module J = Ltc_service.Session.Journal in
+      let path =
+        Ltc_service.Shard_server.shard_journal_path ~base ~shard:k
+      in
+      if not (Sys.file_exists path) then
+        Format.printf "shard %d: %s: missing (fresh on restore)@." k path
+      else if Ltc_service.Session.is_empty_journal path then
+        Format.printf "shard %d: %s: empty (fresh on restore)@." k path
+      else
+        let info = J.inspect ~path in
+        Format.printf
+          "shard %d: %s: codec=%s snapshots=%d events=%d consumed=%d \
+           bytes=%d %s@."
+          k path
+          (Ltc_service.Session.codec_name info.J.codec)
+          info.J.snapshots info.J.events info.J.consumed info.J.file_bytes
+          (if info.J.torn_bytes = 0 then "clean"
+           else Printf.sprintf "torn-tail=%dB" info.J.torn_bytes)
+    in
+    let inspect_manifest path =
+      let module S = Ltc_service.Shard_server in
+      let mi = S.manifest_info ~path in
+      Format.printf "manifest: %s@." path;
+      Format.printf "shards: %d@." mi.S.mi_shards;
+      Format.printf "mailbox: %d@." mi.S.mi_mailbox;
+      Format.printf "algorithm: %s@." mi.S.mi_algorithm;
+      Format.printf "seed: %d@." mi.S.mi_seed;
+      (match mi.S.mi_accept_rate with
+      | None -> Format.printf "accept_rate: none@."
+      | Some q -> Format.printf "accept_rate: %g@." q);
+      Format.printf "checkpoint_every: %d@." mi.S.mi_checkpoint_every;
+      Format.printf "fsync: %b@." mi.S.mi_fsync;
+      Format.printf "codec: %s@."
+        (Ltc_service.Session.codec_name mi.S.mi_format);
+      Format.printf "group_commit: %d@." mi.S.mi_group_commit;
+      (match mi.S.mi_deadline with
+      | None -> Format.printf "deadline: none@."
+      | Some (budget_s, fallback) ->
+        Format.printf "deadline: %g %s@." budget_s fallback);
+      Format.printf "tasks: %d@." mi.S.mi_tasks;
+      for k = 0 to mi.S.mi_shards - 1 do
+        inspect_shard ~base:path k
+      done;
+      0
+    in
     let impl path fingerprint =
       require_journal_file ~cmd:"inspect" path;
+      if Ltc_service.Shard_server.is_manifest path then begin
+        if fingerprint then
+          die "journal inspect: --fingerprint applies to plain session \
+               journals, not shard manifests";
+        inspect_manifest path
+      end
+      else begin
       let module J = Ltc_service.Session.Journal in
       let info = J.inspect ~path in
       Format.printf "journal: %s@." path;
@@ -1419,6 +1642,7 @@ let journal_cmd =
         Format.printf "deadline: %g %s@." budget_s fallback);
       Format.printf "tasks: %d@." info.J.tasks;
       Format.printf "file_bytes: %d@." info.J.file_bytes;
+      Format.printf "torn_bytes: %d@." info.J.torn_bytes;
       Format.printf "snapshots: %d@." info.J.snapshots;
       Format.printf "events: %d@." info.J.events;
       Format.printf "consumed: %d@." info.J.consumed;
@@ -1447,6 +1671,7 @@ let journal_cmd =
             Ltc_service.Session.close s)
       end;
       0
+      end
     in
     let fingerprint =
       Arg.(
@@ -1461,7 +1686,8 @@ let journal_cmd =
     Cmd.v
       (Cmd.info "inspect"
          ~doc:"print a journal's header, codec, record counts and \
-               checkpoint positions")
+               checkpoint positions; on a shard manifest, enumerate and \
+               summarize every shard journal")
       Term.(const impl $ path_pos $ fingerprint)
   in
   let convert_cmd =

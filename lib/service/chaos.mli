@@ -68,3 +68,77 @@ val run :
     [algorithm]/fallback.
     @raise Session.Corrupt_journal if a restore finds real corruption —
     under injected faults alone this indicates a journal-layer bug. *)
+
+(** {1 Sharded chaos}
+
+    The sharded harness points the same discipline at the concurrent
+    runtime: a {e supervised} [`Domains] {!Shard_server} under a
+    per-shard scoped plan, killing individual shard domains mid-stream
+    and letting the supervisor restore them online, against an inline,
+    journal-less, unsupervised baseline of the same sharded computation.
+    Without quarantines the merged stream must be byte-identical — every
+    crash is absorbed by restore + re-feed with zero lost or duplicated
+    decisions.  The sharded harness runs deadline-free, so [Delay]
+    faults (scoped, hence invisible to the unscoped baseline) are
+    decision-inert. *)
+
+type sharded_report = {
+  s_identical : bool;
+  s_divergence : string option;
+  s_arrivals : int;
+  s_shards : int;
+  s_restarts : int;  (** online shard restores across all shards *)
+  s_shard_restarts : int array;
+  s_quarantined : int;  (** shards that exhausted their restart budget *)
+  s_shed : int;
+  s_degraded : int;
+      (** degraded decisions in the surviving stream (quarantine/shed
+          acks included) *)
+  s_stats : Ltc_util.Fault.stats;
+  s_baseline : Session.decision array;
+  s_survived : Session.decision array;
+}
+
+val sharded_plan :
+  ?crashes:int ->
+  ?io_errors:int ->
+  ?torn_writes:int ->
+  ?delays:int ->
+  ?horizon:int ->
+  ?delay_s:float ->
+  seed:int ->
+  shards:int ->
+  unit ->
+  Ltc_util.Fault.plan
+(** A seeded per-shard scoped plan: shard [k] gets its own
+    {!Ltc_util.Fault.plan} (fault counts are {e per shard}) over its
+    ["shard<k>/..."] journal sites, with a sub-seed split from [seed].
+    Defaults: 1 crash per shard, horizon 40.  ["journal.header"] is
+    excluded — the initial create runs unsupervised. *)
+
+val run_sharded :
+  ?accept_rate:float ->
+  ?checkpoint_every:int ->
+  ?format:Session.codec ->
+  ?group_commit:int ->
+  ?mailbox:int ->
+  ?supervise:Supervisor.config ->
+  plan:Ltc_util.Fault.plan ->
+  shards:int ->
+  algorithm:Ltc_algo.Algorithm.t ->
+  seed:int ->
+  journal:string ->
+  Ltc_core.Instance.t ->
+  sharded_report
+(** [run_sharded ~plan ~shards ~algorithm ~seed ~journal instance] feeds
+    [instance.workers] (non-empty) through both runs and reports.
+    [journal] is the chaos run's manifest path ([journal.shard<k>] per
+    shard, all truncated at start); the chaos run uses [fsync:true].
+    [supervise] defaults to {!Supervisor.default} with a restart budget
+    generous enough for the plan ([10 +] plan size), so a one-shot plan
+    can never quarantine; pass a tighter config to exercise quarantine.
+    [checkpoint_every] defaults to [64].  Always leaves the fault plan
+    disarmed and the virtual clock cleared.
+
+    @raise Invalid_argument on an empty worker array or an offline
+    [algorithm]. *)

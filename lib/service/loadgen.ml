@@ -226,6 +226,9 @@ type sharded_report = {
   sr_report : report;
   sr_shards : shard_stats array;
   sr_stalls : int;
+  sr_restarts : int;
+  sr_quarantined : int;
+  sr_shed : int;
 }
 
 let validate_sharded config ~workers ~server =
@@ -398,6 +401,9 @@ let run_sharded ?on_breach ~server ~workers config =
           })
         hdrs;
     sr_stalls = Shard_server.stalls server;
+    sr_restarts = Shard_server.restarts server;
+    sr_quarantined = Shard_server.quarantined server;
+    sr_shed = Shard_server.shed server;
   }
 
 let pp_report fmt r =
@@ -426,8 +432,10 @@ let pp_report fmt r =
 
 let pp_sharded_report fmt sr =
   pp_report fmt sr.sr_report;
-  Format.fprintf fmt "  shards: %d mailbox_stalls=%d@."
-    (Array.length sr.sr_shards) sr.sr_stalls;
+  Format.fprintf fmt
+    "  shards: %d mailbox_stalls=%d restarts=%d quarantined=%d shed=%d@."
+    (Array.length sr.sr_shards) sr.sr_stalls sr.sr_restarts sr.sr_quarantined
+    sr.sr_shed;
   Array.iter
     (fun s ->
       Format.fprintf fmt "    shard %d: arrivals=%d p50=%.6gs p99=%.6gs@."

@@ -108,6 +108,11 @@ type sharded_report = {
           [Hdr.merge] over the per-shard histograms *)
   sr_shards : shard_stats array;  (** per-shard latency breakdown *)
   sr_stalls : int;  (** mailbox-full backpressure stalls during the run *)
+  sr_restarts : int;
+      (** online shard restores ({!Shard_server.restarts}; [0] when
+          unsupervised) *)
+  sr_quarantined : int;  (** shards quarantined during the run *)
+  sr_shed : int;  (** arrivals shed by [Shed] admission control *)
 }
 
 val run_sharded :
@@ -133,4 +138,4 @@ val run_sharded :
 
 val pp_sharded_report : Format.formatter -> sharded_report -> unit
 (** {!pp_report} for the merged view, then one line per shard (arrivals,
-    p50, p99) and the mailbox-stall count. *)
+    p50, p99) and the mailbox-stall / supervision counters. *)

@@ -851,6 +851,7 @@ let excerpt_at ~path ~offset =
 let scan_text ~path src =
   let items = ref [] in
   let records = ref 0 in
+  let torn_at = ref None in
   (try
      let continue = ref true in
      while !continue do
@@ -896,7 +897,9 @@ let scan_text ~path src =
            let fail_line = Serialize.line_number src in
            let fail_offset = Serialize.line_offset src in
            (match Serialize.next_line_opt src with
-           | None -> raise Torn_tail
+           | None ->
+             torn_at := Some offset;
+             raise Torn_tail
            | Some _ ->
              corrupt ~path
                "corrupted record %d at byte %d (line %d): unparseable %S \
@@ -906,7 +909,7 @@ let scan_text ~path src =
                (excerpt_at ~path ~offset:fail_offset)))
      done
    with Torn_tail -> ());
-  List.rev !items
+  (List.rev !items, !torn_at)
 
 (* Same pass over a binary journal body: framed records streamed straight
    off the channel, no line splitting.  The CRC does the triage work the
@@ -917,12 +920,15 @@ let scan_text ~path src =
 let scan_binary ~path ic =
   let items = ref [] in
   let records = ref 0 in
+  let torn_at = ref None in
   let continue = ref true in
   while !continue do
     let offset = pos_in ic in
     match B.input_frame ic with
     | B.Eof -> continue := false
-    | B.Torn -> continue := false
+    | B.Torn ->
+      torn_at := Some offset;
+      continue := false
     | B.Invalid reason ->
       corrupt ~path
         "corrupted record %d at byte %d: %s — refusing to drop acknowledged \
@@ -938,7 +944,7 @@ let scan_binary ~path ic =
            (%s)"
           !records offset message)
   done;
-  List.rev !items
+  (List.rev !items, !torn_at)
 
 (* [src] must wrap [ic]: the text scanner consumes lines through it, the
    binary scanner picks up the raw channel exactly where the (always
@@ -986,9 +992,8 @@ let restore ?(on_decision = fun _ -> ()) ?journal ?(fsync = false)
           with Serialize.Parse_error { line; message } ->
             corrupt ~path "line %d: %s" line message
         in
-        let snapshot, tail =
-          collapse (scan_items ~path ~codec:header.h_codec ic src)
-        in
+        let items, _torn_at = scan_items ~path ~codec:header.h_codec ic src in
+        let snapshot, tail = collapse items in
         (header, snapshot, tail))
   in
   let algorithm =
@@ -1108,6 +1113,7 @@ module Journal = struct
     deadline : (float * string) option;
     tasks : int;
     file_bytes : int;
+    torn_bytes : int;
     snapshots : int;
     events : int;
     consumed : int;
@@ -1128,10 +1134,11 @@ module Journal = struct
           with Serialize.Parse_error { line; message } ->
             corrupt ~path "line %d: %s" line message
         in
-        (header, scan_items ~path ~codec:header.h_codec ic src))
+        let items, torn_at = scan_items ~path ~codec:header.h_codec ic src in
+        (header, items, torn_at))
 
   let inspect ~path =
-    let header, items = read ~path in
+    let header, items, torn_at = read ~path in
     let file_bytes =
       In_channel.with_open_bin path (fun ic -> in_channel_length ic)
     in
@@ -1158,6 +1165,8 @@ module Journal = struct
       deadline = header.h_deadline;
       tasks = Instance.task_count header.h_instance;
       file_bytes;
+      torn_bytes =
+        (match torn_at with None -> 0 | Some off -> file_bytes - off);
       snapshots;
       events;
       consumed;
@@ -1171,7 +1180,7 @@ module Journal = struct
      not carried over; a v1 text source is upgraded to the current
      header on the way through. *)
   let convert ~src ~dst codec =
-    let header, items = read ~path:src in
+    let header, items, _torn_at = read ~path:src in
     let buf = Buffer.create 65536 in
     write_header (Buffer.add_string buf)
       { header with h_codec = codec };

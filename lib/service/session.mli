@@ -250,6 +250,9 @@ module Journal : sig
     deadline : (float * string) option;  (** budget (s), fallback name *)
     tasks : int;  (** task count of the embedded instance *)
     file_bytes : int;  (** on-disk size, torn tail included *)
+    torn_bytes : int;
+        (** bytes of torn tail a restore would drop ([0] when every
+            record is complete) *)
     snapshots : int;  (** complete snapshot records in the file *)
     events : int;  (** complete event records in the file *)
     consumed : int;  (** arrivals a restore would recover *)

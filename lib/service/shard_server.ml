@@ -116,7 +116,7 @@ let shard_of_cell part (cx, cy) =
 (* --------------------------------------------------------- shard state *)
 
 type shard = {
-  sh_session : Session.t;
+  mutable sh_session : Session.t;  (* replaced online by the supervisor *)
   sh_tasks : int array;  (* local task id -> global task id *)
   (* Shard-local worker-index bookkeeping.  [sh_globals.(l - 1)] is the
      global arrival index behind the shard's local arrival [l]; grown on
@@ -128,14 +128,32 @@ type shard = {
       (* local arrival indices that answered in a previous incarnation
          (rebuilt from the restored arrangement; empty on fresh create) *)
   mutable sh_complete : bool;  (* merge-layer view of shard completion *)
+  (* --- supervision state (only maintained on a supervised server) --- *)
+  mutable sh_arrivals : Worker.t option array;
+      (* original arrival behind each routed local index, retained so a
+         restored shard can be re-fed what its mailbox lost *)
+  sh_captured : Session.decision option ref;
+      (* last decision the session made, written pre-append via the
+         [on_decision] hook: covers the one arrival whose append became
+         durable but whose merge insert a crash interrupted *)
+  mutable sh_decided : int;
+      (* highest local index with a merge-layer entry (under [t_cmutex]) *)
+  mutable sh_quarantined : bool;
 }
 
 type entry =
   | P_dec of int * Session.decision  (* shard, shard-local decision *)
   | P_skip of int * int  (* shard, local arrival index *)
   | P_ack  (* arrival fed after global completion: acknowledge only *)
+  | P_dead of int
+      (* shard; arrival shed or owned by a quarantined shard — released
+         as an explicit unassigned degraded ack so the merge layer never
+         hangs on a dead shard *)
 
-type msg = { mg : int; mw : Worker.t }
+type msg = { mg : int; mq : bool; mw : Worker.t }
+(* [mq] — quiet: a supervised re-feed of an arrival whose decision is
+   already merged; the session must re-consume it (to advance its state
+   deterministically) but no merge entry is inserted. *)
 
 type t = {
   t_mode : mode;
@@ -156,6 +174,14 @@ type t = {
   mutable t_incomplete : int;  (* shards not yet complete *)
   mutable t_pool : msg Ltc_util.Pool.Workers.t option;
   mutable t_closed : bool;
+  (* --- supervision --- *)
+  t_super : Supervisor.t option;
+  t_journal : string option;  (* manifest/base path *)
+  t_fsync : bool;
+  t_group_commit : int;
+  t_fresh : int -> Session.t;
+      (* fresh supervised session for shard [k] — the recovery fallback
+         when a shard journal vanished or never became durable *)
 }
 
 let shards t = t.t_part.p_shards
@@ -172,6 +198,19 @@ let stalls t =
   match t.t_pool with
   | None -> 0
   | Some pool -> Ltc_util.Pool.Workers.stalls pool
+
+let supervised t = t.t_super <> None
+let restarts t = match t.t_super with None -> 0 | Some s -> Supervisor.restarts s
+
+let shard_restarts t =
+  match t.t_super with
+  | None -> Array.make (Array.length t.t_shards) 0
+  | Some s -> Supervisor.shard_restarts s
+
+let quarantined t =
+  match t.t_super with None -> 0 | Some s -> Supervisor.quarantined s
+
+let shed t = match t.t_super with None -> 0 | Some s -> Supervisor.shed s
 
 let degraded_total t =
   Array.fold_left
@@ -354,9 +393,42 @@ let read_manifest ~path =
     mf_instance;
   }
 
+(* Offline manifest summary for [ltc journal inspect]: the configuration
+   lines without the embedded instance. *)
+type manifest_info = {
+  mi_shards : int;
+  mi_mailbox : int;
+  mi_algorithm : string;
+  mi_seed : int;
+  mi_accept_rate : float option;
+  mi_checkpoint_every : int;
+  mi_fsync : bool;
+  mi_format : Session.codec;
+  mi_group_commit : int;
+  mi_deadline : (float * string) option;
+  mi_tasks : int;
+}
+
+let manifest_info ~path =
+  let m = read_manifest ~path in
+  {
+    mi_shards = m.mf_shards;
+    mi_mailbox = m.mf_mailbox;
+    mi_algorithm = m.mf_algorithm;
+    mi_seed = m.mf_seed;
+    mi_accept_rate = m.mf_accept_rate;
+    mi_checkpoint_every = m.mf_checkpoint_every;
+    mi_fsync = m.mf_fsync;
+    mi_format = m.mf_format;
+    mi_group_commit = m.mf_group_commit;
+    mi_deadline = m.mf_deadline;
+    mi_tasks = Instance.task_count m.mf_instance;
+  }
+
 (* -------------------------------------------------------------- building *)
 
 let shard_journal base k = Printf.sprintf "%s.shard%d" base k
+let shard_journal_path ~base ~shard = shard_journal base shard
 
 (* Tasks of shard [k], in ascending global id order, renumbered to local
    ids 0.. — order-preserving, so ascending-id tie-breaks inside the
@@ -388,7 +460,7 @@ let shard_seeds ~seed n =
   let rng = Ltc_util.Rng.create ~seed in
   Array.init n (fun _ -> Ltc_util.Rng.split_seed rng)
 
-let make_shard ~session ~tasks_globals ~restored =
+let make_shard ~session ~tasks_globals ~restored ~supervised ~captured =
   let recruited = Hashtbl.create 16 in
   let skip = if restored then Session.consumed session else 0 in
   if restored then
@@ -404,24 +476,46 @@ let make_shard ~session ~tasks_globals ~restored =
     sh_skip = skip;
     sh_recruited = recruited;
     sh_complete = Session.completed session;
+    sh_arrivals = (if supervised then Array.make (max 16 skip) None else [||]);
+    sh_captured = captured;
+    sh_decided = 0;
+    sh_quarantined = false;
   }
+
+(* Insert a merge entry for a shard-local arrival and advance the shard's
+   decided watermark, atomically w.r.t. the merge layer. *)
+let add_entry t sh ~local g entry =
+  Mutex.lock t.t_cmutex;
+  Hashtbl.replace t.t_pending g entry;
+  if local > sh.sh_decided then sh.sh_decided <- local;
+  Mutex.unlock t.t_cmutex
 
 let attach_pool t ~mailbox =
   match t.t_mode with
   | Inline -> ()
   | Domains ->
     let handler ~lane msg =
-      let d = Session.feed t.t_shards.(lane).sh_session msg.mw in
-      Mutex.lock t.t_cmutex;
-      Hashtbl.replace t.t_pending msg.mg (P_dec (lane, d));
-      Mutex.unlock t.t_cmutex
+      let sh = t.t_shards.(lane) in
+      let decide () = Session.feed sh.sh_session msg.mw in
+      let d =
+        match t.t_super with
+        | None -> decide ()
+        | Some _ ->
+          (* Scoped probing: the lane is the single writer of its
+             ["shard<k>/..."] fault counters, so scripted per-shard hits
+             are deterministic even with sibling lanes running. *)
+          Ltc_util.Fault.with_scope (Supervisor.scope ~shard:lane) decide
+      in
+      if not msg.mq then
+        add_entry t sh ~local:msg.mw.Worker.index msg.mg (P_dec (lane, d))
     in
     t.t_pool <-
       Some
         (Ltc_util.Pool.Workers.create ~lanes:(Array.length t.t_shards)
            ~capacity:mailbox ~handler)
 
-let build ~mode ~mailbox ~part ~algorithm shards_arr =
+let build ~mode ~mailbox ~part ~algorithm ~super ~journal ~fsync ~group_commit
+    ~fresh shards_arr =
   let resumed =
     Array.fold_left (fun acc sh -> acc + sh.sh_skip) 0 shards_arr
   in
@@ -447,6 +541,11 @@ let build ~mode ~mailbox ~part ~algorithm shards_arr =
       t_incomplete = incomplete;
       t_pool = None;
       t_closed = false;
+      t_super = super;
+      t_journal = journal;
+      t_fsync = fsync;
+      t_group_commit = group_commit;
+      t_fresh = fresh;
     }
   in
   attach_pool t ~mailbox;
@@ -454,11 +553,26 @@ let build ~mode ~mailbox ~part ~algorithm shards_arr =
 
 let create ?accept_rate ?deadline ?journal ?(checkpoint_every = 256)
     ?(fsync = false) ?(format = Session.Text) ?(group_commit = 1)
-    ?(mailbox = 64) ?(mode = Domains) ~shards ~algorithm ~seed instance =
+    ?(mailbox = 64) ?(mode = Domains) ?supervise ~shards ~algorithm ~seed
+    instance =
   if shards < 1 then
     invalid_arg "Shard_server.create: shards must be >= 1";
   if mailbox < 1 then
     invalid_arg "Shard_server.create: mailbox must be >= 1";
+  (match supervise with
+  | Some c when c.Supervisor.max_restarts > 0 && journal = None ->
+    invalid_arg
+      "Shard_server.create: supervision with restarts requires ~journal \
+       (restore needs a shard journal; use max_restarts = 0 to \
+       quarantine-on-crash without one)"
+  | _ -> ());
+  let super = Option.map (fun c -> Supervisor.create ~shards c) supervise in
+  let captured = Array.init shards (fun _ -> ref None) in
+  let hook k =
+    match super with
+    | None -> None
+    | Some _ -> Some (fun d -> captured.(k) := Some d)
+  in
   let part = make_partition ~shards instance in
   let seeds = shard_seeds ~seed shards in
   (match journal with
@@ -483,22 +597,27 @@ let create ?accept_rate ?deadline ?journal ?(checkpoint_every = 256)
             deadline;
         mf_instance = strip_workers instance;
       });
+  let fresh k =
+    let _, tasks = shard_tasks part instance k in
+    Session.create ?accept_rate ?deadline ?on_decision:(hook k)
+      ?journal:(Option.map (fun base -> shard_journal base k) journal)
+      ~checkpoint_every ~fsync ~format ~group_commit ~algorithm
+      ~seed:seeds.(k)
+      (sub_instance instance tasks)
+  in
   let shards_arr =
     Array.init shards (fun k ->
-        let tasks_globals, tasks = shard_tasks part instance k in
-        let sub = sub_instance instance tasks in
-        let session =
-          Session.create ?accept_rate ?deadline
-            ?journal:(Option.map (fun base -> shard_journal base k) journal)
-            ~checkpoint_every ~fsync ~format ~group_commit ~algorithm
-            ~seed:seeds.(k) sub
-        in
-        make_shard ~session ~tasks_globals ~restored:false)
+        let tasks_globals, _ = shard_tasks part instance k in
+        let session = fresh k in
+        make_shard ~session ~tasks_globals ~restored:false
+          ~supervised:(super <> None) ~captured:captured.(k))
   in
   build ~mode ~mailbox ~part
-    ~algorithm:algorithm.Ltc_algo.Algorithm.name shards_arr
+    ~algorithm:algorithm.Ltc_algo.Algorithm.name ~super ~journal ~fsync
+    ~group_commit ~fresh shards_arr
 
-let restore ?mailbox ?(mode = Domains) ?fsync ?group_commit ~path () =
+let restore ?mailbox ?(mode = Domains) ?fsync ?group_commit ?supervise ~path
+    () =
   let m = read_manifest ~path in
   let algorithm =
     match Ltc_algo.Algorithm.find_opt m.mf_algorithm with
@@ -523,36 +642,49 @@ let restore ?mailbox ?(mode = Domains) ?fsync ?group_commit ~path () =
   let fsync = Option.value fsync ~default:m.mf_fsync in
   let group_commit = Option.value group_commit ~default:m.mf_group_commit in
   let mailbox = Option.value mailbox ~default:m.mf_mailbox in
+  let super =
+    Option.map (fun c -> Supervisor.create ~shards:m.mf_shards c) supervise
+  in
+  let captured = Array.init m.mf_shards (fun _ -> ref None) in
+  let hook k =
+    match super with
+    | None -> None
+    | Some _ -> Some (fun d -> captured.(k) := Some d)
+  in
   let part = make_partition ~shards:m.mf_shards m.mf_instance in
   let seeds = shard_seeds ~seed:m.mf_seed m.mf_shards in
+  let fresh k =
+    let _, tasks = shard_tasks part m.mf_instance k in
+    Session.create ?accept_rate:m.mf_accept_rate ?deadline
+      ?on_decision:(hook k) ~journal:(shard_journal path k)
+      ~checkpoint_every:m.mf_checkpoint_every ~fsync ~format:m.mf_format
+      ~group_commit ~algorithm ~seed:seeds.(k)
+      (sub_instance m.mf_instance tasks)
+  in
   let shards_arr =
     Array.init m.mf_shards (fun k ->
         let shard_path = shard_journal path k in
-        let tasks_globals, tasks = shard_tasks part m.mf_instance k in
+        let tasks_globals, _ = shard_tasks part m.mf_instance k in
         if
           (not (Sys.file_exists shard_path))
           || Session.is_empty_journal shard_path
-        then begin
+        then
           (* This shard's journal never became durable (create-time crash
              or an untouched shard): restart it fresh, same derived seed. *)
-          let sub = sub_instance m.mf_instance tasks in
-          let session =
-            Session.create ?accept_rate:m.mf_accept_rate ?deadline
-              ~journal:shard_path ~checkpoint_every:m.mf_checkpoint_every
-              ~fsync ~format:m.mf_format ~group_commit ~algorithm
-              ~seed:seeds.(k) sub
-          in
-          make_shard ~session ~tasks_globals ~restored:false
-        end
+          make_shard ~session:(fresh k) ~tasks_globals ~restored:false
+            ~supervised:(super <> None) ~captured:captured.(k)
         else begin
           let session =
-            Session.restore ~fsync ~group_commit ~path:shard_path ()
+            Session.restore ?on_decision:(hook k) ~fsync ~group_commit
+              ~path:shard_path ()
           in
           make_shard ~session ~tasks_globals ~restored:true
+            ~supervised:(super <> None) ~captured:captured.(k)
         end)
   in
   build ~mode ~mailbox ~part
-    ~algorithm:algorithm.Ltc_algo.Algorithm.name shards_arr
+    ~algorithm:algorithm.Ltc_algo.Algorithm.name ~super ~journal:(Some path)
+    ~fsync ~group_commit ~fresh shards_arr
 
 (* ------------------------------------------------------- feeding/merging *)
 
@@ -591,6 +723,20 @@ let release t =
         t.t_replayed <- t.t_replayed + 1;
         if Hashtbl.mem sh.sh_recruited local then
           t.t_latency <- max t.t_latency g
+      | P_dead _ ->
+        (* Shed, or owned by a quarantined shard: an explicit unassigned
+           degraded ack.  Nothing was consumed and the shard's tasks stay
+           incomplete — the merge layer just refuses to hang on it. *)
+        out :=
+          {
+            Session.worker = g;
+            assigned = [];
+            answered = [];
+            completed = t.t_incomplete = 0;
+            latency = t.t_latency;
+            degraded = true;
+          }
+          :: !out
       | P_dec (k, d) ->
         let sh = t.t_shards.(k) in
         let was_complete = t.t_incomplete = 0 in
@@ -626,6 +772,126 @@ let add_pending t g entry =
   Hashtbl.replace t.t_pending g entry;
   Mutex.unlock t.t_cmutex
 
+(* ---------------------------------------------------------- supervision *)
+
+(* Assign the next shard-local index to [w] and record the routing (and,
+   when supervised, the arrival itself, for crash-time re-feed). *)
+let route t sh g (w : Worker.t) =
+  let local = sh.sh_local_fed + 1 in
+  sh.sh_local_fed <- local;
+  if local > Array.length sh.sh_globals then begin
+    let n = Array.length sh.sh_globals in
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit sh.sh_globals 0 bigger 0 n;
+    sh.sh_globals <- bigger;
+    if supervised t then begin
+      let bigger_a = Array.make (2 * n) None in
+      Array.blit sh.sh_arrivals 0 bigger_a 0 n;
+      sh.sh_arrivals <- bigger_a
+    end
+  end;
+  sh.sh_globals.(local - 1) <- g;
+  if supervised t then sh.sh_arrivals.(local - 1) <- Some w;
+  local
+
+let scoped k f = Ltc_util.Fault.with_scope (Supervisor.scope ~shard:k) f
+
+(* Quarantine shard [k]: clear its lane's standing failure (so quiesce,
+   shutdown and the siblings are unaffected) and give every routed-but-
+   unmerged arrival an explicit unassigned-decision ack — the merge layer
+   keeps releasing instead of waiting forever on a dead shard.  Arrivals
+   routed to [k] from now on are acked the same way at the door. *)
+let quarantine_now t k =
+  let sh = t.t_shards.(k) in
+  if not sh.sh_quarantined then begin
+    sh.sh_quarantined <- true;
+    (match t.t_pool with
+    | Some pool -> ignore (Ltc_util.Pool.Workers.restart pool ~lane:k)
+    | None -> ());
+    Mutex.lock t.t_cmutex;
+    for local = sh.sh_decided + 1 to sh.sh_local_fed do
+      Hashtbl.replace t.t_pending sh.sh_globals.(local - 1) (P_dead k)
+    done;
+    if sh.sh_local_fed > sh.sh_decided then sh.sh_decided <- sh.sh_local_fed;
+    Mutex.unlock t.t_cmutex
+  end
+
+(* Restore shard [k]'s session from its journal and re-feed what the
+   crash lost.  Runs on the calling domain under the shard's fault scope
+   (recovery probes the same per-shard sites, so scripted restore-time
+   faults stay deterministic); any exception here counts as another
+   crash of the same shard. *)
+let rec handle_crash t k =
+  let super = Option.get t.t_super in
+  match Supervisor.on_crash super ~shard:k with
+  | `Quarantine -> quarantine_now t k
+  | `Restart backoff_s -> (
+    Ltc_util.Fault.sleep backoff_s;
+    match revive t k with () -> () | exception _ -> handle_crash t k)
+
+and revive t k =
+  let sh = t.t_shards.(k) in
+  let base =
+    match t.t_journal with
+    | Some base -> base
+    | None -> invalid_arg "Shard_server: cannot revive without a journal"
+  in
+  let path = shard_journal base k in
+  let session =
+    scoped k (fun () ->
+        if (not (Sys.file_exists path)) || Session.is_empty_journal path
+        then t.t_fresh k
+        else
+          Session.restore
+            ~on_decision:(fun d -> sh.sh_captured := Some d)
+            ~fsync:t.t_fsync ~group_commit:t.t_group_commit ~path ())
+  in
+  sh.sh_session <- session;
+  let m = Session.consumed session in
+  (* The one arrival whose append became durable but whose merge insert
+     the crash interrupted: its pre-append capture stands in (the
+     restored session cannot re-decide an index it already consumed). *)
+  (match !(sh.sh_captured) with
+  | Some d when d.Session.worker = sh.sh_decided + 1 && d.Session.worker <= m
+    ->
+    add_entry t sh ~local:d.Session.worker
+      sh.sh_globals.(d.Session.worker - 1)
+      (P_dec (k, d))
+  | _ -> ());
+  (* The lane parked on its failure; clearing it lets the same domain
+     consume again.  Its lost mailbox items are superseded by the
+     retained-arrival re-feed below. *)
+  (match t.t_pool with
+  | Some pool -> ignore (Ltc_util.Pool.Workers.restart pool ~lane:k)
+  | None -> ());
+  (* Re-feed, in order, everything routed past the durable prefix: quiet
+     for arrivals whose decision is already merged (the session must
+     re-consume them to reach the same state, but no entry is inserted),
+     live for the rest. *)
+  for local = m + 1 to sh.sh_local_fed do
+    let w =
+      match sh.sh_arrivals.(local - 1) with
+      | Some w -> w
+      | None ->
+        invalid_arg "Shard_server: supervised re-feed lost an arrival"
+    in
+    let lw =
+      Worker.make ~index:local ~loc:w.Worker.loc ~accuracy:w.Worker.accuracy
+        ~capacity:w.Worker.capacity
+    in
+    let quiet = local <= sh.sh_decided in
+    match t.t_pool with
+    | Some pool ->
+      Ltc_util.Pool.Workers.push pool ~lane:k
+        { mg = sh.sh_globals.(local - 1); mq = quiet; mw = lw }
+    | None ->
+      let d = scoped k (fun () -> Session.feed sh.sh_session lw) in
+      if not quiet then
+        add_entry t sh ~local sh.sh_globals.(local - 1) (P_dec (k, d))
+  done
+
+(* ----------------------------------------------------------------- feed *)
+
 let feed t (w : Worker.t) =
   if t.t_closed then invalid_arg "Shard_server.feed: server is closed";
   if w.Worker.index <> t.t_fed + 1 then
@@ -643,29 +909,62 @@ let feed t (w : Worker.t) =
   else begin
     let k = shard_of_point t w.Worker.loc in
     let sh = t.t_shards.(k) in
-    let local = sh.sh_local_fed + 1 in
-    sh.sh_local_fed <- local;
-    if local > Array.length sh.sh_globals then begin
-      let bigger = Array.make (2 * Array.length sh.sh_globals) 0 in
-      Array.blit sh.sh_globals 0 bigger 0 (Array.length sh.sh_globals);
-      sh.sh_globals <- bigger
-    end;
-    sh.sh_globals.(local - 1) <- g;
     if sh.sh_skip > 0 then begin
+      let local = route t sh g w in
       sh.sh_skip <- sh.sh_skip - 1;
-      add_pending t g (P_skip (k, local))
+      add_entry t sh ~local g (P_skip (k, local))
     end
+    else if sh.sh_quarantined then
+      (* Quarantined shard: ack at the door, never route. *)
+      add_pending t g (P_dead k)
     else begin
+      let local = route t sh g w in
       let local_worker =
         Worker.make ~index:local ~loc:w.Worker.loc
           ~accuracy:w.Worker.accuracy ~capacity:w.Worker.capacity
       in
       match t.t_pool with
-      | None ->
-        let d = Session.feed sh.sh_session local_worker in
-        add_pending t g (P_dec (k, d))
-      | Some pool ->
-        Ltc_util.Pool.Workers.push pool ~lane:k { mg = g; mw = local_worker }
+      | None -> (
+        match
+          if supervised t then
+            scoped k (fun () -> Session.feed sh.sh_session local_worker)
+          else Session.feed sh.sh_session local_worker
+        with
+        | d -> add_entry t sh ~local g (P_dec (k, d))
+        | exception e when supervised t ->
+          ignore e;
+          (* this arrival is already routed, so recovery re-feeds it *)
+          handle_crash t k)
+      | Some pool -> (
+        let msg = { mg = g; mq = false; mw = local_worker } in
+        let overload =
+          match t.t_super with
+          | None -> Supervisor.Block
+          | Some s -> (Supervisor.config s).Supervisor.overload
+        in
+        match overload with
+        | Supervisor.Block -> (
+          match Ltc_util.Pool.Workers.push pool ~lane:k msg with
+          | () -> ()
+          | exception e when supervised t ->
+            ignore e;
+            (* the lane failed before accepting this arrival; it is
+               already routed, so recovery re-feeds it *)
+            handle_crash t k)
+        | Supervisor.Shed -> (
+          match Ltc_util.Pool.Workers.try_push pool ~lane:k msg with
+          | true -> ()
+          | false ->
+            (* Mailbox full: shed instead of blocking.  Un-route the
+               arrival (its local index was never seen by the session)
+               and ack it explicitly. *)
+            sh.sh_local_fed <- local - 1;
+            sh.sh_arrivals.(local - 1) <- None;
+            Supervisor.note_shed (Option.get t.t_super);
+            add_pending t g (P_dead k)
+          | exception e when supervised t ->
+            ignore e;
+            handle_crash t k))
     end;
     locked_release t
   end
@@ -676,10 +975,27 @@ let flush t =
     (match t.t_pool with
     | None -> ()
     | Some pool ->
-      Ltc_util.Pool.Workers.quiesce pool;
-      (match Ltc_util.Pool.Workers.first_failure pool with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()));
+      let rec drain () =
+        Ltc_util.Pool.Workers.quiesce pool;
+        let failed = ref None in
+        for k = Array.length t.t_shards - 1 downto 0 do
+          if Ltc_util.Pool.Workers.failure pool ~lane:k <> None then
+            failed := Some k
+        done;
+        match !failed with
+        | None -> ()
+        | Some k ->
+          if supervised t then begin
+            handle_crash t k;
+            drain ()
+          end
+          else begin
+            match Ltc_util.Pool.Workers.first_failure pool with
+            | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+            | None -> ()
+          end
+      in
+      drain ());
     locked_release t
   end
 
@@ -688,8 +1004,32 @@ let close t =
     (match t.t_pool with
     | None -> ()
     | Some pool ->
-      Ltc_util.Pool.Workers.quiesce pool;
+      if supervised t then begin
+        (* Recover (or quarantine) any lane that died with work in
+           flight, so shutdown joins clean domains. *)
+        let rec drain () =
+          Ltc_util.Pool.Workers.quiesce pool;
+          let failed = ref None in
+          for k = Array.length t.t_shards - 1 downto 0 do
+            if Ltc_util.Pool.Workers.failure pool ~lane:k <> None then
+              failed := Some k
+          done;
+          match !failed with
+          | None -> ()
+          | Some k ->
+            handle_crash t k;
+            drain ()
+        in
+        drain ()
+      end
+      else Ltc_util.Pool.Workers.quiesce pool;
       Ltc_util.Pool.Workers.shutdown pool);
     t.t_closed <- true;
-    Array.iter (fun sh -> Session.close sh.sh_session) t.t_shards
+    Array.iter
+      (fun sh ->
+        (* A quarantined shard's session died mid-write; its journal tail
+           is whatever was durable, and closing the dead handle could
+           raise — abandon it like the chaos harness does. *)
+        if not sh.sh_quarantined then Session.close sh.sh_session)
+      t.t_shards
   end

@@ -67,6 +67,7 @@ val create :
   ?group_commit:int ->
   ?mailbox:int ->
   ?mode:mode ->
+  ?supervise:Supervisor.config ->
   shards:int ->
   algorithm:Ltc_algo.Algorithm.t ->
   seed:int ->
@@ -79,8 +80,23 @@ val create :
     (default [64]) bounds each shard's queue in [`Domains] mode; the
     session options are applied to every shard session alike.
 
-    @raise Invalid_argument when [shards < 1], [mailbox < 1], or the
-    session options are invalid (see {!Session.create}). *)
+    [supervise] turns on the sharded failure model (DESIGN.md §16): a
+    shard whose session raises is captured without touching its
+    siblings, restored online from its own journal with
+    {!Supervisor.config}[.backoff] between attempts, and re-fed the
+    arrivals its mailbox lost; a shard that exhausts
+    [config.max_restarts] is quarantined — its arrivals (pending and
+    future) are released as explicit unassigned degraded acks.  With
+    [overload = Shed], an arrival routed to a full mailbox is shed the
+    same way instead of blocking.  Supervised shard domains probe
+    {!Ltc_util.Fault} sites under the ["shard<k>"] scope, which is what
+    lets {!Chaos.run_sharded} script per-shard faults deterministically
+    in [`Domains] mode.  Supervision retains every routed arrival in
+    memory for re-feed — the cost of online recovery.
+
+    @raise Invalid_argument when [shards < 1], [mailbox < 1], the
+    session options are invalid (see {!Session.create}), or [supervise]
+    has [max_restarts > 0] without [~journal]. *)
 
 val feed : t -> Ltc_core.Worker.t -> Session.decision list
 (** Route the next arrival (indices consecutive from 1, as in
@@ -105,7 +121,7 @@ val close : t -> unit
 
 val restore :
   ?mailbox:int -> ?mode:mode -> ?fsync:bool -> ?group_commit:int ->
-  path:string -> unit -> t
+  ?supervise:Supervisor.config -> path:string -> unit -> t
 (** [restore ~path ()] rebuilds a shard server from the manifest written
     by [create ~journal:path]: the partition is recomputed from the
     embedded instance, every [path.shard<k>] is restored with
@@ -122,6 +138,31 @@ val restore :
 val is_manifest : string -> bool
 (** [true] iff the file exists and starts with the shard-manifest magic —
     how [ltc serve --resume] tells a sharded journal from a plain one. *)
+
+(** The manifest's configuration lines, read without restoring anything —
+    what [ltc journal inspect] prints before enumerating the
+    [path.shard<k>] journals. *)
+type manifest_info = {
+  mi_shards : int;
+  mi_mailbox : int;
+  mi_algorithm : string;
+  mi_seed : int;
+  mi_accept_rate : float option;
+  mi_checkpoint_every : int;
+  mi_fsync : bool;
+  mi_format : Session.codec;
+  mi_group_commit : int;
+  mi_deadline : (float * string) option;  (** budget (s), fallback name *)
+  mi_tasks : int;  (** task count of the embedded instance *)
+}
+
+val manifest_info : path:string -> manifest_info
+(** @raise Ltc_core.Serialize.Parse_error on a malformed manifest.
+    @raise Sys_error if [path] cannot be read. *)
+
+val shard_journal_path : base:string -> shard:int -> string
+(** The journal path of one shard under manifest [base] —
+    ["<base>.shard<k>"]. *)
 
 (** {1 Observers} *)
 
@@ -152,6 +193,21 @@ val stalls : t -> int
 
 val degraded_total : t -> int
 (** Sum of the shard sessions' deadline-fallback decisions. *)
+
+val supervised : t -> bool
+
+val restarts : t -> int
+(** Online shard restores performed by the supervisor ([0] when
+    unsupervised). *)
+
+val shard_restarts : t -> int array
+(** Per-shard restart counts. *)
+
+val quarantined : t -> int
+(** Shards quarantined after exhausting their restart budget. *)
+
+val shed : t -> int
+(** Arrivals shed by [overload = Shed] admission control. *)
 
 val arrangement : t -> Ltc_core.Arrangement.t
 (** The merged arrangement in global task ids and global arrival order —

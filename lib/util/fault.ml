@@ -26,40 +26,94 @@ type state = {
   index : (string * int, armed_fault) Hashtbl.t;
   counters : (string, int ref) Hashtbl.t;
   mutable stats : stats;
+  (* [None]: real time.  [Some t]: virtual time, advanced explicitly. *)
+  mutable vnow : float option;
 }
 
-let state =
-  { index = Hashtbl.create 64; counters = Hashtbl.create 16; stats = no_stats }
+(* All of [state] is guarded by [lock]: probes may run concurrently from
+   shard domains once a plan is armed.  Exceptions are raised and the
+   virtual clock advanced only *outside* the critical section, so a fired
+   Crash can never leak the lock. *)
+let lock = Mutex.create ()
 
-(* The hot-path switch: a single load + branch while disarmed. *)
-let is_armed = ref false
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+let state =
+  {
+    index = Hashtbl.create 64;
+    counters = Hashtbl.create 16;
+    stats = no_stats;
+    vnow = None;
+  }
+
+(* The hot-path switch: a single atomic load + branch while disarmed. *)
+let is_armed = Atomic.make false
+
+(* ----------------------------------------------------------------- scope *)
+
+(* A domain-local site prefix: while a scope [s] is set, every probe for
+   [site] is accounted against ["s/site"] instead.  The supervised sharded
+   server scopes each shard domain to its shard name, giving every shard a
+   single-writer (hence deterministic) hit sequence that plans can target
+   individually.  Unscoped domains — everything outside supervision —
+   behave exactly as before. *)
+let scope_key : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let scope_site ~scope site = scope ^ "/" ^ site
+
+let resolve site =
+  match Domain.DLS.get scope_key with
+  | None -> site
+  | Some scope -> scope_site ~scope site
+
+let with_scope scope f =
+  let prev = Domain.DLS.get scope_key in
+  Domain.DLS.set scope_key (Some scope);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key prev) f
+
+let current_scope () = Domain.DLS.get scope_key
+
+(* --------------------------------------------------------------- arming *)
 
 let arm plan =
-  Hashtbl.reset state.index;
-  (* First fault wins on a duplicate (site, hit) pair, like the previous
-     list scan. *)
-  List.iter
-    (fun f ->
-      let key = (f.site, f.hit) in
-      if not (Hashtbl.mem state.index key) then
-        Hashtbl.add state.index key { f; fired = false })
-    plan;
-  Hashtbl.reset state.counters;
-  state.stats <- no_stats;
-  is_armed := true
+  locked (fun () ->
+      Hashtbl.reset state.index;
+      (* First fault wins on a duplicate (site, hit) pair, like the
+         previous list scan. *)
+      List.iter
+        (fun f ->
+          let key = (f.site, f.hit) in
+          if not (Hashtbl.mem state.index key) then
+            Hashtbl.add state.index key { f; fired = false })
+        plan;
+      Hashtbl.reset state.counters;
+      state.stats <- no_stats);
+  Atomic.set is_armed true
 
-let disarm () = is_armed := false
-let armed () = !is_armed
+let disarm () = Atomic.set is_armed false
+let armed () = Atomic.get is_armed
 
 let hits site =
-  match Hashtbl.find_opt state.counters site with
-  | Some r -> !r
-  | None -> 0
+  let site = resolve site in
+  locked (fun () ->
+      match Hashtbl.find_opt state.counters site with
+      | Some r -> !r
+      | None -> 0)
 
-let stats () = state.stats
+let stats () = locked (fun () -> state.stats)
 
 (* ----------------------------------------------------------- the probes *)
 
+(* Called with [lock] held. *)
 let bump site =
   match Hashtbl.find_opt state.counters site with
   | Some r ->
@@ -69,77 +123,106 @@ let bump site =
     Hashtbl.add state.counters site (ref 1);
     1
 
+(* Called with [lock] held. *)
 let pending site hit =
   match Hashtbl.find_opt state.index (site, hit) with
   | Some af when not af.fired -> Some af
   | _ -> None
 
 module Clock = struct
-  (* [None]: real time.  [Some cell]: virtual time, advanced explicitly. *)
-  let virtual_now = ref None
-
   let now_s () =
-    match !virtual_now with
-    | Some t -> !t
+    match locked (fun () -> state.vnow) with
+    | Some t -> t
     | None -> Unix.gettimeofday ()
 
-  let set_virtual t = virtual_now := Some (ref t)
+  let set_virtual t = locked (fun () -> state.vnow <- Some t)
 
   let advance dt =
     if dt < 0.0 then invalid_arg "Fault.Clock.advance: negative amount";
-    match !virtual_now with None -> () | Some t -> t := !t +. dt
+    locked (fun () ->
+        match state.vnow with
+        | None -> ()
+        | Some t -> state.vnow <- Some (t +. dt))
 
-  let clear () = virtual_now := None
-  let is_virtual () = !virtual_now <> None
+  let clear () = locked (fun () -> state.vnow <- None)
+  let is_virtual () = locked (fun () -> state.vnow <> None)
 end
 
 let sleep dt = if Clock.is_virtual () then Clock.advance dt else Unix.sleepf dt
 
-let fire af ~hit =
-  let site = af.f.site in
-  af.fired <- true;
+(* What a probe decided to do, computed under the lock (counter bump,
+   fired flag, stats) and executed after releasing it. *)
+type decision = Pass | Raise_crash of int | Raise_io of int | Advance of float
+
+(* Called with [lock] held. *)
+let decide af ~hit =
   let s = state.stats in
   match af.f.action with
   | Crash ->
+    af.fired <- true;
     state.stats <- { s with crashes = s.crashes + 1 };
-    raise (Injected_crash { site; hit })
+    Raise_crash hit
   | Io_error ->
+    af.fired <- true;
     state.stats <- { s with io_errors = s.io_errors + 1 };
-    raise (Injected_io { site; hit })
+    Raise_io hit
   | Delay dt ->
+    af.fired <- true;
     state.stats <- { s with delays = s.delays + 1 };
-    Clock.advance dt
+    Advance dt
   | Torn_write _ ->
     (* Only [check_write] can honour a torn write; a plain site leaves it
        pending (it will never fire — the counter passes [hit] once). *)
-    af.fired <- false
+    Pass
+
+let execute site = function
+  | Pass -> ()
+  | Raise_crash hit -> raise (Injected_crash { site; hit })
+  | Raise_io hit -> raise (Injected_io { site; hit })
+  | Advance dt -> Clock.advance dt
 
 let check site =
-  if !is_armed then begin
-    let hit = bump site in
-    match pending site hit with None -> () | Some af -> fire af ~hit
+  if Atomic.get is_armed then begin
+    let site = resolve site in
+    locked (fun () ->
+        let hit = bump site in
+        match pending site hit with None -> Pass | Some af -> decide af ~hit)
+    |> execute site
   end
 
 let check_write site ~len =
-  if not !is_armed then None
+  if not (Atomic.get is_armed) then None
   else begin
-    let hit = bump site in
-    match pending site hit with
-    | None -> None
-    | Some af -> (
-      match af.f.action with
-      | Torn_write n ->
-        af.fired <- true;
-        let s = state.stats in
-        state.stats <- { s with torn_writes = s.torn_writes + 1 };
-        (* Keep a strict prefix so the record on disk is genuinely torn. *)
-        Some (min n (max 0 (len - 1)))
-      | Crash | Io_error | Delay _ ->
-        fire af ~hit;
-        None)
+    let site = resolve site in
+    let torn, dec =
+      locked (fun () ->
+          let hit = bump site in
+          match pending site hit with
+          | None -> (None, Pass)
+          | Some af -> (
+            match af.f.action with
+            | Torn_write n ->
+              af.fired <- true;
+              let s = state.stats in
+              state.stats <- { s with torn_writes = s.torn_writes + 1 };
+              (* Keep a strict prefix so the record on disk is genuinely
+                 torn. *)
+              (Some (min n (max 0 (len - 1))), Pass)
+            | Crash | Io_error | Delay _ -> (None, decide af ~hit)))
+    in
+    execute site dec;
+    torn
   end
 
-let crash site = raise (Injected_crash { site; hit = hits site })
+let crash site =
+  let site = resolve site in
+  let hit =
+    locked (fun () ->
+        match Hashtbl.find_opt state.counters site with
+        | Some r -> !r
+        | None -> 0)
+  in
+  raise (Injected_crash { site; hit })
 
 (* ------------------------------------------------------ plan generation *)
 

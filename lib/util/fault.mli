@@ -20,9 +20,19 @@
     the clock is virtual, so backoff schedules cost no real time in
     tests).
 
-    State is process-global and meant for single-domain use: arm a plan,
-    run the scenario, disarm.  Do not arm plans from concurrent
-    domains. *)
+    State is process-global and mutex-guarded: arm a plan from one
+    domain, then probe it from as many domains as the scenario runs —
+    hit counting, firing and the virtual clock are all atomic with
+    respect to concurrent probes.  Arm/disarm themselves are setup
+    steps; call them from a single coordinating domain.
+
+    Concurrent probing of one {e shared} site interleaves the domains'
+    visits into one counter, so which domain reaches a scripted hit is
+    racy.  Where determinism matters — the sharded chaos harness — give
+    each domain its own counter space with {!with_scope}: a scoped
+    domain probing [site] is accounted against ["scope/site"], a
+    single-writer counter whose hit sequence is reproducible.  Plans
+    target a scoped site by naming it explicitly ({!scope_site}). *)
 
 (** {1 Fault plans} *)
 
@@ -87,7 +97,29 @@ val crash : string -> 'a
     second half of the torn-write protocol. *)
 
 val hits : string -> int
-(** Current hit counter of a site (0 when never probed since {!arm}). *)
+(** Current hit counter of a site (0 when never probed since {!arm}).
+    Scope-resolved like the probes: under {!with_scope} it reads the
+    scoped counter. *)
+
+(** {1 Per-domain scopes} *)
+
+val with_scope : string -> (unit -> 'a) -> 'a
+(** [with_scope scope f] runs [f] with every probe on the calling domain
+    accounted against [scope ^ "/" ^ site] instead of [site].  Scopes
+    are domain-local and nest (the innermost wins); the previous scope
+    is restored when [f] returns or raises.  A scoped domain is the
+    single writer of its counters, so its hit sequence — and therefore
+    which of its visits a plan can hit — is deterministic even with
+    other domains probing concurrently. *)
+
+val scope_site : scope:string -> string -> string
+(** [scope_site ~scope site] is the site name a probe under
+    [with_scope scope] resolves [site] to — use it to aim plan entries
+    at one scoped domain, e.g.
+    [scope_site ~scope:"shard0" "journal.append"]. *)
+
+val current_scope : unit -> string option
+(** The calling domain's active scope, if any. *)
 
 type stats = {
   crashes : int;

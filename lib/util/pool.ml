@@ -212,6 +212,7 @@ module Workers = struct
     mutable pushed : int;    (* total accepted by [push] *)
     mutable done_ : int;     (* total handled or discarded *)
     mutable failure : (exn * Printexc.raw_backtrace) option;
+    mutable lost : 'a list;  (* items discarded by a failure, newest first *)
     mutable domain : unit Domain.t option;
   }
 
@@ -231,12 +232,22 @@ module Workers = struct
   let lanes t = Array.length t.lanes
 
   (* Called with [t.mutex] held.  Discards everything still queued on a
-     failed lane, counting the items handled so [quiesce] terminates and
-     blocked pushers wake up instead of waiting on a dead consumer. *)
+     failed lane — retaining the items in [lane.lost] so a supervisor can
+     [restart] the lane and re-feed them — counting the items handled so
+     [quiesce] terminates and blocked pushers wake up instead of waiting
+     on a dead consumer. *)
   let discard_queue t lane =
     if lane.len > 0 then begin
+      let cap = Array.length lane.ring in
+      for i = 0 to lane.len - 1 do
+        let slot = (lane.head + i) mod cap in
+        (match lane.ring.(slot) with
+        | Some item -> lane.lost <- item :: lane.lost
+        | None -> ());
+        lane.ring.(slot) <- None
+      done;
       lane.done_ <- lane.done_ + lane.len;
-      lane.head <- (lane.head + lane.len) mod Array.length lane.ring;
+      lane.head <- (lane.head + lane.len) mod cap;
       lane.len <- 0;
       Condition.broadcast t.not_full
     end;
@@ -267,6 +278,9 @@ module Workers = struct
           let bt = Printexc.get_raw_backtrace () in
           Mutex.lock t.mutex;
           if lane.failure = None then lane.failure <- Some (e, bt);
+          (* The item that killed the handler heads the lost list: a
+             restart re-feeds it first. *)
+          lane.lost <- item :: lane.lost;
           discard_queue t lane);
         lane.done_ <- lane.done_ + 1;
         if lane.done_ = lane.pushed then Condition.broadcast t.idle;
@@ -297,6 +311,7 @@ module Workers = struct
                 pushed = 0;
                 done_ = 0;
                 failure = None;
+                lost = [];
                 domain = None;
               });
         mutex = Mutex.create ();
@@ -339,6 +354,57 @@ module Workers = struct
       l.pushed <- l.pushed + 1;
       Condition.broadcast t.not_empty;
       Mutex.unlock t.mutex
+
+  let try_push t ~lane item =
+    if lane < 0 || lane >= Array.length t.lanes then
+      invalid_arg "Pool.Workers.try_push: no such lane";
+    let l = t.lanes.(lane) in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.Workers: used after shutdown"
+    end;
+    match l.failure with
+    | Some (e, bt) ->
+      Mutex.unlock t.mutex;
+      Printexc.raise_with_backtrace e bt
+    | None when l.len = t.capacity ->
+      Mutex.unlock t.mutex;
+      false
+    | None ->
+      l.ring.((l.head + l.len) mod t.capacity) <- Some item;
+      l.len <- l.len + 1;
+      l.pushed <- l.pushed + 1;
+      Condition.broadcast t.not_empty;
+      Mutex.unlock t.mutex;
+      true
+
+  let failure t ~lane =
+    if lane < 0 || lane >= Array.length t.lanes then
+      invalid_arg "Pool.Workers.failure: no such lane";
+    Mutex.lock t.mutex;
+    let f = t.lanes.(lane).failure in
+    Mutex.unlock t.mutex;
+    f
+
+  let restart t ~lane =
+    if lane < 0 || lane >= Array.length t.lanes then
+      invalid_arg "Pool.Workers.restart: no such lane";
+    let l = t.lanes.(lane) in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.Workers: used after shutdown"
+    end;
+    let lost = List.rev l.lost in
+    l.lost <- [];
+    l.failure <- None;
+    (* The lane domain is parked on [not_empty]; wake it so it resumes
+       consuming as soon as new items arrive (or immediately, if a racing
+       push already queued some). *)
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.mutex;
+    lost
 
   let quiesce t =
     Mutex.lock t.mutex;

@@ -68,16 +68,27 @@ vary; the schema and the cross-run identity checksum do not:
 
 chaos-replay times a full Chaos.run pass — fault-free baseline, then the
 same stream under scripted faults with kill/restore at every injected
-crash.  Timings vary; the schema and the survival checksum do not:
+crash — plus the supervised sharded scenario, where every crash is an
+online shard restore under a per-shard scoped plan.  Timings vary; the
+schema and both survival checksums do not:
 
   $ ltc-bench chaos-replay --json chaos.json > /dev/null
   $ sed -e 's/: [0-9][0-9.e+-]*/: _/g' chaos.json
   {
-    "BENCH_chaos_replay": {"arrivals": _, "checkpoint_every": _, "plan_faults": _, "kills": _, "restores": _, "degraded": _, "chaos_s": _, "arrivals_per_s": _, "identical": _}
+    "BENCH_chaos_replay": {"arrivals": _, "checkpoint_every": _, "plan_faults": _, "kills": _, "restores": _, "degraded": _, "chaos_s": _, "arrivals_per_s": _, "identical": _, "shards": _, "sharded_plan_faults": _, "shard_restarts": _, "shard_quarantined": _, "shard_shed": _, "sharded_chaos_s": _, "sharded_arrivals_per_s": _, "sharded_identical": _}
   }
 
   $ grep -o '"identical": 1' chaos.json
   "identical": 1
+
+  $ grep -o '"sharded_identical": 1' chaos.json
+  "sharded_identical": 1
+
+Every shard was restored online at least once and none were quarantined:
+
+  $ grep -o '"shard_restarts": [0-9]*' chaos.json | awk '{exit !($2 >= 4)}'
+  $ grep -o '"shard_quarantined": 0' chaos.json
+  "shard_quarantined": 0
 
 loadgen times an open-loop Loadgen pass — a flash crowd with exponential
 service times against a deadline session on the virtual clock.  Timings

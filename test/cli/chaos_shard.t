@@ -1,0 +1,59 @@
+Sharded chaos: drive a supervised domain-per-shard server under
+per-shard scoped fault plans — each shard gets its own seeded schedule
+of crashes, torn writes, transient I/O errors and decide delays — and
+verify that killing and restoring individual shards online leaves the
+merged decision stream byte-identical to an unsupervised fault-free
+baseline.
+
+  $ ltc generate -T 6 -W 40 --scale 1.0 --seed 3 -o wl.inst
+  instance{|T|=6, |W|=40, eps=0.14, acc=sigmoid(dmax=30), scoring=hoeffding, radius=30.}
+  saved to wl.inst
+
+Every shard is killed several times (the per-shard restart vector), every
+kill is restored online with its mailbox re-fed, nothing is quarantined,
+and the merge layer loses and duplicates nothing (exit 0 = identical):
+
+  $ ltc chaos --load wl.inst -a LAF --seed 7 --fault-seed 29 --shards 3 --horizon 8 --journal chaos.j
+  chaos: algorithm=LAF shards=3 arrivals=40 seed=7 fault-seed=29
+  chaos: plan: 3 crashes, 2 io-errors, 2 torn-writes, 2 delays per shard (horizon 8)
+  chaos: fired: crashes=4 io-errors=4 torn-writes=6 delays=6
+  chaos: restarts=13 (4,5,4) quarantined=0 shed=0 degraded=0
+  chaos: merged decision stream identical to fault-free baseline
+
+The base path left behind is a shard manifest, and `journal inspect`
+enumerates every shard journal under it — codec, record counts, durable
+prefix and torn-tail status:
+
+  $ head -1 chaos.j
+  ltc-shard-manifest v1
+
+  $ ltc journal inspect chaos.j
+  manifest: chaos.j
+  shards: 3
+  mailbox: 64
+  algorithm: LAF
+  seed: 7
+  accept_rate: none
+  checkpoint_every: 8
+  fsync: true
+  codec: text
+  group_commit: 1
+  deadline: none
+  tasks: 6
+  shard 0: chaos.j.shard0: codec=text snapshots=1 events=6 consumed=21 bytes=758 clean
+  shard 1: chaos.j.shard1: codec=text snapshots=1 events=2 consumed=12 bytes=599 clean
+  shard 2: chaos.j.shard2: codec=text snapshots=1 events=2 consumed=7 bytes=518 clean
+
+A zero restart budget quarantines each shard at its first crash instead:
+the quarantined shards' arrivals come back as explicit unassigned
+degraded acks — every arrival is still acknowledged, the merge layer
+never hangs — but the stream diverges from the baseline by design
+(exit 1):
+
+  $ ltc chaos --load wl.inst -a LAF --seed 7 --fault-seed 29 --shards 3 --horizon 8 --max-restarts 0 --journal q.j
+  chaos: algorithm=LAF shards=3 arrivals=40 seed=7 fault-seed=29
+  chaos: plan: 3 crashes, 2 io-errors, 2 torn-writes, 2 delays per shard (horizon 8)
+  chaos: fired: crashes=1 io-errors=1 torn-writes=1 delays=0
+  chaos: restarts=0 (0,0,0) quarantined=3 shed=0 degraded=38
+  chaos: DIVERGED: arrival 2: baseline {assigned=[]; answered=[]; completed=false; latency=0} vs survived {assigned=[]; answered=[]; completed=false; latency=0; degraded}
+  [1]

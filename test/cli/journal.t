@@ -33,6 +33,7 @@ keeps the full event history:
   deadline: none
   tasks: 6
   file_bytes: 997
+  torn_bytes: 0
   snapshots: 1
   events: 8
   consumed: 40
@@ -48,6 +49,7 @@ keeps the full event history:
   deadline: none
   tasks: 6
   file_bytes: 2090
+  torn_bytes: 0
   snapshots: 2
   events: 40
   consumed: 40

@@ -74,7 +74,7 @@ plus mailbox backpressure stalls next to the merged report:
     throughput: offered=500/s achieved=498.008/s makespan=0.0502s
     latency: mean=0.0002s p50=0.0002s p99=0.0002s p999=0.0002s max=0.0002s
     flight recorder: 25 records (capacity 4096, dropped 0)
-    shards: 2 mailbox_stalls=0
+    shards: 2 mailbox_stalls=0 restarts=0 quarantined=0 shed=0
       shard 0: arrivals=13 p50=0.0002s p99=0.0002s
       shard 1: arrivals=12 p50=0.0002s p99=0.0002s
 

@@ -215,6 +215,88 @@ let test_plan_empty_pools () =
       Alcotest.(check bool) "all crashes" true (f.Fault.action = Fault.Crash))
     p
 
+(* -------------------------------------------------------------- scopes *)
+
+let test_scope_resolution () =
+  Fault.arm
+    [
+      { Fault.site = "shard0/s"; hit = 1; action = Fault.Crash };
+      { Fault.site = "s"; hit = 1; action = Fault.Io_error };
+    ];
+  (* outside any scope the bare site fires, not the scoped one *)
+  (match Fault.check "s" with
+  | () -> Alcotest.fail "bare site should have fired Io_error"
+  | exception Fault.Injected_io { site; _ } ->
+    Alcotest.(check string) "bare site" "s" site);
+  Alcotest.(check (option string)) "no ambient scope" None
+    (Fault.current_scope ());
+  (* under a scope the same probe resolves to the scoped counter *)
+  (match
+     Fault.with_scope "shard0" (fun () ->
+         Alcotest.(check (option string)) "scope visible" (Some "shard0")
+           (Fault.current_scope ());
+         Fault.check "s")
+   with
+  | () -> Alcotest.fail "scoped site should have crashed"
+  | exception Fault.Injected_crash { site; hit } ->
+    Alcotest.(check string) "scoped site" "shard0/s" site;
+    Alcotest.(check int) "scoped hit" 1 hit);
+  Alcotest.(check string) "scope_site spelling" "shard0/s"
+    (Fault.scope_site ~scope:"shard0" "s");
+  Alcotest.(check int) "bare counter untouched by scoped probes" 1
+    (Fault.hits "s");
+  (* [hits] resolves the ambient scope too *)
+  Alcotest.(check int) "scoped counter via with_scope" 1
+    (Fault.with_scope "shard0" (fun () -> Fault.hits "s"))
+
+let test_scope_restored_on_exception () =
+  Fault.disarm ();
+  (try
+     Fault.with_scope "outer" (fun () ->
+         try Fault.with_scope "inner" (fun () -> failwith "boom")
+         with Failure _ ->
+           Alcotest.(check (option string)) "inner scope unwound"
+             (Some "outer") (Fault.current_scope ());
+           failwith "boom again")
+   with Failure _ -> ());
+  Alcotest.(check (option string)) "outer scope unwound" None
+    (Fault.current_scope ())
+
+(* Scoped counters are per (scope, site) pair, so concurrent domains each
+   under their own scope never interleave hit counts: every domain sees
+   its fault at exactly its scripted hit. *)
+let test_scope_domain_isolation () =
+  let domains = 4 and probes = 50 in
+  Fault.arm
+    (List.init domains (fun k ->
+         {
+           Fault.site = Fault.scope_site ~scope:(Printf.sprintf "d%d" k) "s";
+           hit = 10 + k;
+           action = Fault.Crash;
+         }));
+  let results =
+    Array.init domains (fun k ->
+        Domain.spawn (fun () ->
+            Fault.with_scope (Printf.sprintf "d%d" k) (fun () ->
+                let fired = ref None in
+                for _ = 1 to probes do
+                  try Fault.check "s"
+                  with Fault.Injected_crash { hit; _ } -> fired := Some hit
+                done;
+                (!fired, Fault.hits "s"))))
+    |> Array.map Domain.join
+  in
+  Array.iteri
+    (fun k (fired, hits) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "domain %d crashed at its own scripted hit" k)
+        (Some (10 + k)) fired;
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d counted every probe" k)
+        probes hits)
+    results;
+  Alcotest.(check int) "all crashes fired" domains (Fault.stats ()).Fault.crashes
+
 let test_rearm_resets_state () =
   Fault.arm [ { Fault.site = "s"; hit = 1; action = Fault.Io_error } ];
   (try Fault.check "s" with Fault.Injected_io _ -> ());
@@ -243,6 +325,15 @@ let suite =
           (isolated test_delay_advances_virtual_clock);
         Alcotest.test_case "rearm resets state" `Quick
           (isolated test_rearm_resets_state);
+      ] );
+    ( "fault.scopes",
+      [
+        Alcotest.test_case "resolution and spelling" `Quick
+          (isolated test_scope_resolution);
+        Alcotest.test_case "restored on exception" `Quick
+          (isolated test_scope_restored_on_exception);
+        Alcotest.test_case "per-domain isolation" `Quick
+          (isolated test_scope_domain_isolation);
       ] );
     ( "fault.clock",
       [

@@ -181,6 +181,87 @@ let test_workers_mid_batch_kill () =
   (* idempotent once the failure has been delivered *)
   Pool.Workers.shutdown w
 
+(* A failed lane retains everything it lost — the failing item first,
+   then the queued items in push order — and [restart] hands them back,
+   clears the failure and resumes the lane in place, without the
+   siblings ever noticing. *)
+let test_workers_restart_recovers_lost () =
+  let handled = ref [] in
+  let m = Mutex.create () in
+  let gate = Atomic.make false in
+  let armed = Atomic.make true in
+  let w =
+    Pool.Workers.create ~lanes:2 ~capacity:8 ~handler:(fun ~lane i ->
+        if lane = 0 && i = 2 && Atomic.get armed then begin
+          while not (Atomic.get gate) do
+            Domain.cpu_relax ()
+          done;
+          raise Lane_down
+        end;
+        Mutex.lock m;
+        handled := (lane, i) :: !handled;
+        Mutex.unlock m)
+  in
+  (* lane 0 sticks at item 2 behind the gate; 3..6 pile up queued *)
+  for i = 1 to 6 do
+    Pool.Workers.push w ~lane:0 i;
+    Pool.Workers.push w ~lane:1 i
+  done;
+  Atomic.set gate true;
+  while Pool.Workers.failure w ~lane:0 = None do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "failure observable" true
+    (match Pool.Workers.failure w ~lane:0 with
+    | Some (Lane_down, _) -> true
+    | _ -> false);
+  Atomic.set armed false;
+  let lost = Pool.Workers.restart w ~lane:0 in
+  Alcotest.(check (list int))
+    "lost = failing item, then the queue in push order" [ 2; 3; 4; 5; 6 ]
+    lost;
+  Alcotest.(check bool) "failure cleared" true
+    (Pool.Workers.failure w ~lane:0 = None);
+  (* the lane is live again: re-feed what it lost *)
+  List.iter (fun i -> Pool.Workers.push w ~lane:0 i) lost;
+  Pool.Workers.quiesce w;
+  let lane n =
+    List.rev (List.filter_map (fun (l, i) -> if l = n then Some i else None)
+                !handled)
+  in
+  Alcotest.(check (list int)) "lane 0 drained everything after restart"
+    [ 1; 2; 3; 4; 5; 6 ] (lane 0);
+  Alcotest.(check (list int)) "lane 1 untouched" [ 1; 2; 3; 4; 5; 6 ] (lane 1);
+  Pool.Workers.shutdown w
+
+(* [try_push] refuses a full mailbox instead of blocking, and admits
+   again once the lane drains. *)
+let test_workers_try_push () =
+  let gate = Atomic.make false in
+  let w =
+    Pool.Workers.create ~lanes:1 ~capacity:1 ~handler:(fun ~lane:_ _ ->
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done)
+  in
+  Pool.Workers.push w ~lane:0 1;
+  (* blocking push parks until the lane dequeues item 1 into the gated
+     handler, leaving the single slot free for item 2 *)
+  Pool.Workers.push w ~lane:0 2;
+  (* the blocking push may legitimately stall while item 1 is still
+     queued; only the try_push refusal must not add one *)
+  let stalls_before = Pool.Workers.stalls w in
+  Alcotest.(check bool) "full mailbox refused" false
+    (Pool.Workers.try_push w ~lane:0 3);
+  Alcotest.(check int) "refusal is not a stall" stalls_before
+    (Pool.Workers.stalls w);
+  Atomic.set gate true;
+  Pool.Workers.quiesce w;
+  Alcotest.(check bool) "admits again once drained" true
+    (Pool.Workers.try_push w ~lane:0 3);
+  Pool.Workers.quiesce w;
+  Pool.Workers.shutdown w
+
 let test_workers_contracts () =
   Alcotest.check_raises "lanes 0"
     (Invalid_argument "Pool.Workers.create: lanes must be >= 1") (fun () ->
@@ -323,6 +404,10 @@ let suite =
           test_workers_backpressure_stalls;
         Alcotest.test_case "kill one lane mid-stream" `Quick
           test_workers_mid_batch_kill;
+        Alcotest.test_case "restart recovers the lost items" `Quick
+          test_workers_restart_recovers_lost;
+        Alcotest.test_case "try_push admission control" `Quick
+          test_workers_try_push;
         Alcotest.test_case "contracts" `Quick test_workers_contracts;
       ] );
     ( "parallel.observability",

@@ -1032,6 +1032,307 @@ let prop_chaos_identical =
           (Option.value r.Chaos.divergence ~default:"?");
       true)
 
+(* -------------------------------------------------------- supervision *)
+
+(* The restart-budget state machine, in isolation: the first
+   [max_restarts] crashes grant backoff-scheduled restarts, everything
+   after quarantines, permanently and idempotently. *)
+let test_supervisor_budget () =
+  let cfg = { Supervisor.default with max_restarts = 2 } in
+  let sup = Supervisor.create ~shards:3 cfg in
+  let crash shard = Supervisor.on_crash sup ~shard in
+  (match crash 1 with
+  | `Restart d ->
+    Alcotest.(check (float 1e-9))
+      "first restart backs off per schedule"
+      (Ltc_util.Fault.Retry.backoff_s cfg.Supervisor.backoff 1)
+      d
+  | `Quarantine -> Alcotest.fail "first crash must restart");
+  (match crash 1 with
+  | `Restart d ->
+    Alcotest.(check (float 1e-9))
+      "second restart backs off further"
+      (Ltc_util.Fault.Retry.backoff_s cfg.Supervisor.backoff 2)
+      d
+  | `Quarantine -> Alcotest.fail "second crash must restart");
+  (match crash 1 with
+  | `Restart _ -> Alcotest.fail "budget exhausted: third crash must quarantine"
+  | `Quarantine -> ());
+  (match crash 1 with
+  | `Restart _ -> Alcotest.fail "quarantine is permanent"
+  | `Quarantine -> ());
+  Alcotest.(check int) "restarts granted" 2 (Supervisor.restarts sup);
+  Alcotest.(check (array int))
+    "per-shard restart counts" [| 0; 2; 0 |]
+    (Supervisor.shard_restarts sup);
+  Alcotest.(check int) "one shard quarantined" 1 (Supervisor.quarantined sup);
+  Alcotest.(check bool) "shard 1 quarantined" true
+    (Supervisor.is_quarantined sup ~shard:1);
+  Alcotest.(check bool) "shard 0 healthy" false
+    (Supervisor.is_quarantined sup ~shard:0);
+  (* a sibling's quarantine does not touch this shard's budget *)
+  (match crash 0 with
+  | `Restart _ -> ()
+  | `Quarantine -> Alcotest.fail "sibling budget must be independent");
+  Supervisor.note_shed sup;
+  Supervisor.note_shed sup;
+  Alcotest.(check int) "shed accounting" 2 (Supervisor.shed sup);
+  Alcotest.(check string) "scope name" "shard2" (Supervisor.scope ~shard:2);
+  (* max_restarts = 0 quarantines on the very first crash *)
+  let sup0 =
+    Supervisor.create ~shards:1 { cfg with Supervisor.max_restarts = 0 }
+  in
+  (match Supervisor.on_crash sup0 ~shard:0 with
+  | `Restart _ -> Alcotest.fail "max_restarts=0 must quarantine immediately"
+  | `Quarantine -> ());
+  Alcotest.check_raises "shards must be positive"
+    (Invalid_argument "Supervisor.create: shards must be >= 1") (fun () ->
+      ignore (Supervisor.create ~shards:0 cfg));
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Supervisor.create: max_restarts must be >= 0")
+    (fun () ->
+      ignore
+        (Supervisor.create ~shards:1 { cfg with Supervisor.max_restarts = -1 }))
+
+let with_faults faults f =
+  Fun.protect
+    ~finally:(fun () -> Ltc_util.Fault.disarm ())
+    (fun () ->
+      Ltc_util.Fault.arm faults;
+      f ())
+
+(* Crash isolation under quarantine: kill shard [kill_shard] at its
+   [hit]-th scoped journal append with a zero restart budget.  The shard
+   is quarantined, its pending and future arrivals come back as explicit
+   unassigned degraded acks (the merge layer never hangs), and every
+   {e other} shard's decision substream is byte-identical to the
+   unsupervised baseline.  Returns whether the fault actually fired. *)
+let shard_crash_isolation ~mode ~shards ~kill_shard ~hit instance =
+  let algo = Ltc_algo.Algorithm.laf in
+  let n = Array.length instance.Ltc_core.Instance.workers in
+  let collect srv =
+    let decisions = Array.make n None in
+    let record (d : Session.decision) =
+      decisions.(d.Session.worker - 1) <- Some d
+    in
+    List.iter
+      (fun w -> List.iter record (Shard_server.feed srv w))
+      (arrivals instance);
+    List.iter record (Shard_server.flush srv);
+    decisions
+  in
+  let base =
+    Shard_server.create ~mode:Shard_server.Inline ~shards ~algorithm:algo
+      ~seed:99 instance
+  in
+  let baseline = collect base in
+  Shard_server.close base;
+  with_tmp_shard_base @@ fun path ->
+  let srv =
+    Shard_server.create ~mode ~journal:path ~checkpoint_every:1000
+      ~supervise:{ Supervisor.default with Supervisor.max_restarts = 0 }
+      ~shards ~algorithm:algo ~seed:99 instance
+  in
+  let site =
+    Ltc_util.Fault.scope_site
+      ~scope:(Supervisor.scope ~shard:kill_shard)
+      "journal.append"
+  in
+  let got =
+    with_faults
+      [ { Ltc_util.Fault.site; hit; action = Ltc_util.Fault.Crash } ]
+      (fun () -> collect srv)
+  in
+  let crashed = Shard_server.quarantined srv = 1 in
+  (* Compare per-worker decision content; the merge-global [completed] /
+     [latency] watermarks legitimately differ once a shard is
+     quarantined (its tasks never complete, its acks never answer). *)
+  let substream (d : Session.decision) =
+    (d.Session.worker, d.Session.assigned, d.Session.answered,
+     d.Session.degraded)
+  in
+  Array.iteri
+    (fun i d ->
+      let w = instance.Ltc_core.Instance.workers.(i) in
+      let label what =
+        Printf.sprintf "K=%d kill=%d hit=%d arrival %d: %s" shards kill_shard
+          hit (i + 1) what
+      in
+      match (d, baseline.(i)) with
+      | None, _ -> Alcotest.fail (label "never acknowledged")
+      | _, None -> Alcotest.fail (label "baseline never acknowledged")
+      | Some d, Some b ->
+        if Shard_server.shard_of_point srv w.Ltc_core.Worker.loc <> kill_shard
+        then begin
+          if substream d <> substream b then
+            Alcotest.fail (label "sibling substream diverged")
+        end
+        else if substream d <> substream b then
+          if not (d.Session.assigned = [] && d.Session.degraded) then
+            Alcotest.fail
+              (label "killed shard's arrival is neither baseline nor dead ack"))
+    got;
+  Shard_server.close srv;
+  crashed
+
+let test_shard_quarantine_isolation () =
+  let instance = clustered_instance ~seed:13 () in
+  let fired = ref 0 in
+  for kill_shard = 0 to 2 do
+    if
+      shard_crash_isolation ~mode:Shard_server.Domains ~shards:3 ~kill_shard
+        ~hit:3 instance
+    then incr fired
+  done;
+  Alcotest.(check int) "every shard reached its third append" 3 !fired
+
+let prop_shard_crash_isolation =
+  QCheck2.Test.make
+    ~name:"killing shard k leaves every sibling substream byte-identical"
+    ~count:25
+    QCheck2.Gen.(
+      let* iseed = int_range 0 10_000 in
+      let* shards = int_range 2 4 in
+      let* kill_shard = int_range 0 (shards - 1) in
+      let* hit = int_range 1 15 in
+      return (iseed, shards, kill_shard, hit))
+    (fun (iseed, shards, kill_shard, hit) ->
+      let instance = clustered_instance ~seed:iseed () in
+      ignore
+        (shard_crash_isolation ~mode:Shard_server.Inline ~shards ~kill_shard
+           ~hit instance);
+      true)
+
+(* Online recovery end-to-end: a plan that provably kills every shard
+   (scoped journal.append crashes at small hits, twice per shard) must
+   leave the supervised [`Domains] merged stream byte-identical to the
+   unsupervised baseline — zero lost, zero duplicated, zero quarantined. *)
+let test_sharded_chaos_acceptance () =
+  let shards = 3 in
+  let instance = clustered_instance ~seed:21 () in
+  let plan =
+    List.concat
+      (List.init shards (fun k ->
+           let site =
+             Ltc_util.Fault.scope_site
+               ~scope:(Supervisor.scope ~shard:k)
+               "journal.append"
+           in
+           [
+             { Ltc_util.Fault.site; hit = 2 + k;
+               action = Ltc_util.Fault.Crash };
+             { Ltc_util.Fault.site; hit = 7 + k;
+               action = Ltc_util.Fault.Crash };
+           ]))
+  in
+  with_tmp_shard_base @@ fun journal ->
+  let r =
+    Chaos.run_sharded ~plan ~shards ~algorithm:Ltc_algo.Algorithm.laf ~seed:77
+      ~journal instance
+  in
+  if not r.Chaos.s_identical then
+    Alcotest.fail
+      (Printf.sprintf "diverged: %s"
+         (Option.value r.Chaos.s_divergence ~default:"?"));
+  Alcotest.(check int) "every crash recovered online" (2 * shards)
+    r.Chaos.s_restarts;
+  Array.iteri
+    (fun k c ->
+      if c < 1 then
+        Alcotest.fail (Printf.sprintf "shard %d never crashed" k))
+    r.Chaos.s_shard_restarts;
+  Alcotest.(check int) "no quarantine" 0 r.Chaos.s_quarantined;
+  Alcotest.(check int) "nothing shed" 0 r.Chaos.s_shed;
+  Alcotest.(check int) "one ack per arrival"
+    (Array.length instance.Ltc_core.Instance.workers)
+    (Array.length r.Chaos.s_survived)
+
+(* Seeded random scoped plans (crashes, torn writes, transient I/O
+   errors, delays) against the concurrent supervised runtime: the merged
+   stream survives whatever fires. *)
+let prop_sharded_chaos_identical =
+  QCheck2.Test.make
+    ~name:"sharded chaos: survived stream == baseline under random plans"
+    ~count:10
+    QCheck2.Gen.(
+      let* iseed = int_range 0 10_000 in
+      let* fault_seed = int_range 0 10_000 in
+      let* shards = int_range 2 4 in
+      let* crashes = int_range 0 2 in
+      let* io_errors = int_range 0 2 in
+      let* torn_writes = int_range 0 2 in
+      return (iseed, fault_seed, shards, crashes, io_errors, torn_writes))
+    (fun (iseed, fault_seed, shards, crashes, io_errors, torn_writes) ->
+      let instance = clustered_instance ~seed:iseed () in
+      let plan =
+        Chaos.sharded_plan ~crashes ~io_errors ~torn_writes ~horizon:10
+          ~seed:fault_seed ~shards ()
+      in
+      with_tmp_shard_base @@ fun journal ->
+      let r =
+        Chaos.run_sharded ~checkpoint_every:8 ~plan ~shards
+          ~algorithm:Ltc_algo.Algorithm.laf ~seed:77 ~journal instance
+      in
+      if not r.Chaos.s_identical then
+        QCheck2.Test.fail_reportf "diverged: %s"
+          (Option.value r.Chaos.s_divergence ~default:"?");
+      true)
+
+(* Overload shedding: pin shard 0's domain with a scoped decide delay
+   behind a 1-slot mailbox; arrivals that find the mailbox full are shed
+   as immediate unassigned degraded acks, counted, and nothing is lost
+   or duplicated. *)
+let test_shard_shed () =
+  let instance = clustered_instance ~seed:31 () in
+  let n = Array.length instance.Ltc_core.Instance.workers in
+  let srv =
+    Shard_server.create ~mode:Shard_server.Domains ~mailbox:1
+      ~supervise:
+        { Supervisor.default with
+          Supervisor.max_restarts = 0;
+          overload = Supervisor.Shed }
+      ~shards:2 ~algorithm:Ltc_algo.Algorithm.laf ~seed:99 instance
+  in
+  let site =
+    Ltc_util.Fault.scope_site ~scope:(Supervisor.scope ~shard:0)
+      "session.decide"
+  in
+  let got = ref [] in
+  with_faults
+    [ { Ltc_util.Fault.site; hit = 1; action = Ltc_util.Fault.Delay 0.3 } ]
+    (fun () ->
+      List.iter
+        (fun w -> got := List.rev_append (Shard_server.feed srv w) !got)
+        (arrivals instance);
+      got := List.rev_append (Shard_server.flush srv) !got);
+  let got = List.rev !got in
+  Alcotest.(check int) "one ack per arrival" n (List.length got);
+  let dead =
+    List.length
+      (List.filter
+         (fun (d : Session.decision) ->
+           d.Session.assigned = [] && d.Session.degraded)
+         got)
+  in
+  Alcotest.(check int) "shed counter matches dead acks" dead
+    (Shard_server.shed srv);
+  if Shard_server.shed srv < 1 then
+    Alcotest.fail "a 300ms decide stall behind a 1-slot mailbox must shed";
+  Alcotest.(check int) "no restarts" 0 (Shard_server.restarts srv);
+  Shard_server.close srv
+
+(* Supervision options are validated up front. *)
+let test_supervise_validation () =
+  let instance = clustered_instance ~seed:3 () in
+  Alcotest.check_raises "restart budget without a journal"
+    (Invalid_argument
+       "Shard_server.create: supervision with restarts requires ~journal \
+        (restore needs a shard journal; use max_restarts = 0 to \
+        quarantine-on-crash without one)") (fun () ->
+      ignore
+        (Shard_server.create ~supervise:Supervisor.default ~shards:2
+           ~algorithm:Ltc_algo.Algorithm.laf ~seed:1 instance))
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -1089,6 +1390,20 @@ let suite =
         qcheck prop_sharded_kill_restore;
         Alcotest.test_case "manifest roundtrip" `Quick
           test_shard_manifest_roundtrip;
+      ] );
+    ( "service.supervision",
+      [
+        Alcotest.test_case "restart budget state machine" `Quick
+          test_supervisor_budget;
+        Alcotest.test_case "quarantine isolates the killed shard" `Quick
+          test_shard_quarantine_isolation;
+        qcheck prop_shard_crash_isolation;
+        Alcotest.test_case "online recovery: every shard killed twice" `Quick
+          test_sharded_chaos_acceptance;
+        qcheck prop_sharded_chaos_identical;
+        Alcotest.test_case "overload shedding" `Quick test_shard_shed;
+        Alcotest.test_case "supervise validation" `Quick
+          test_supervise_validation;
       ] );
     ( "service.contracts",
       [
